@@ -1,0 +1,62 @@
+//! Model-kernel benchmarks: the analytical equations the whole evaluation
+//! is built from. One configuration evaluation (`predict` + `energy` +
+//! `mix_and_match`) is the inner loop of every figure's sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hecmix_bench::bundles;
+use hecmix_core::config::{ClusterPoint, NodeConfig};
+use hecmix_core::energy::EnergyModel;
+use hecmix_core::exec_time::ExecTimeModel;
+use hecmix_core::mix_match::{evaluate, mix_and_match, TypeDeployment};
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::memcached::Memcached;
+use hecmix_workloads::Workload;
+
+fn bench_exec_time(c: &mut Criterion) {
+    let models = bundles(&Ep::class_c());
+    let em = ExecTimeModel::new(&models[0]);
+    let cfg = NodeConfig::maxed(&models[0].platform, 8);
+    c.bench_function("model/exec_time_predict", |b| {
+        b.iter(|| black_box(em.predict(black_box(&cfg), black_box(5e7))))
+    });
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let models = bundles(&Ep::class_c());
+    let em = ExecTimeModel::new(&models[0]);
+    let en = EnergyModel::new(&models[0]);
+    let cfg = NodeConfig::maxed(&models[0].platform, 8);
+    let tb = em.predict(&cfg, 5e7);
+    c.bench_function("model/energy_price", |b| {
+        b.iter(|| black_box(en.energy(black_box(&cfg), black_box(&tb), tb.total)))
+    });
+}
+
+fn bench_mix_match(c: &mut Criterion) {
+    for w in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        let models = bundles(w);
+        let point = ClusterPoint::new(vec![
+            TypeDeployment::maxed(&models[0].platform, 8),
+            TypeDeployment::maxed(&models[1].platform, 2),
+        ]);
+        c.bench_function(&format!("model/mix_and_match/{}", w.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    mix_and_match(black_box(&point), &models, w.analysis_units() as f64).unwrap(),
+                )
+            })
+        });
+        c.bench_function(&format!("model/evaluate_full/{}", w.name()), |b| {
+            b.iter(|| {
+                black_box(evaluate(black_box(&point), &models, w.analysis_units() as f64).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_exec_time, bench_energy, bench_mix_match);
+criterion_main!(benches);

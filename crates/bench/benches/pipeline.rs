@@ -1,0 +1,50 @@
+//! Characterization-pipeline benchmarks — §II-D / Figs. 2–3: turning
+//! simulator runs into model inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hecmix_bench::arches;
+use hecmix_profile::characterize::{characterize_workload, spi_mem_grid, CharacterizeOptions};
+use hecmix_profile::characterize_power;
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::Workload;
+
+fn bench_characterize(c: &mut Criterion) {
+    let [arm, _amd] = arches();
+    let trace = Ep::class_a().trace();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("characterize_workload_arm", |b| {
+        b.iter(|| {
+            black_box(characterize_workload(
+                black_box(&arm),
+                &trace,
+                &CharacterizeOptions {
+                    baseline_units: 100_000,
+                    grid_units: 25_000,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    g.bench_function("fig3_spi_mem_grid_arm", |b| {
+        b.iter(|| {
+            black_box(spi_mem_grid(
+                black_box(&arm),
+                &trace,
+                &CharacterizeOptions {
+                    baseline_units: 50_000,
+                    grid_units: 25_000,
+                    seed: 2,
+                },
+            ))
+        })
+    });
+    g.bench_function("power_characterization_arm", |b| {
+        b.iter(|| black_box(characterize_power(black_box(&arm), 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

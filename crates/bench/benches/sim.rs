@@ -1,0 +1,74 @@
+//! Simulator benchmarks — the measurement substrate behind Tables 3–4.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hecmix_bench::arches;
+use hecmix_sim::{run_cluster, run_node, ClusterSpec, NodeRunSpec, TypeAssignment};
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::memcached::Memcached;
+use hecmix_workloads::Workload;
+
+fn bench_node_runs(c: &mut Criterion) {
+    let [arm, amd] = arches();
+    let mut group = c.benchmark_group("sim/node");
+    for (w, units) in [
+        (&Ep::class_c() as &dyn Workload, 1_000_000u64),
+        (&Memcached::default() as &dyn Workload, 50_000),
+    ] {
+        let trace = w.trace();
+        group.bench_function(BenchmarkId::new("arm", w.name()), |b| {
+            b.iter(|| {
+                black_box(run_node(
+                    &arm,
+                    &trace,
+                    &NodeRunSpec::new(4, arm.platform.fmax(), black_box(units), 7),
+                ))
+            })
+        });
+        group.bench_function(BenchmarkId::new("amd", w.name()), |b| {
+            b.iter(|| {
+                black_box(run_node(
+                    &amd,
+                    &trace,
+                    &NodeRunSpec::new(6, amd.platform.fmax(), black_box(units), 7),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_run(c: &mut Criterion) {
+    // The Table 4 configuration: 8 ARM + 1 AMD, matched shares.
+    let [arm, amd] = arches();
+    let w = Ep::class_c();
+    let spec = ClusterSpec {
+        trace: w.trace(),
+        assignments: vec![
+            TypeAssignment {
+                arch: arm.clone(),
+                nodes: 8,
+                cores: 4,
+                freq: arm.platform.fmax(),
+                units: 3_400_000,
+            },
+            TypeAssignment {
+                arch: amd.clone(),
+                nodes: 1,
+                cores: 6,
+                freq: amd.platform.fmax(),
+                units: 1_600_000,
+            },
+        ],
+        seed: 9,
+    };
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    group.bench_function("table4_cluster_8arm_1amd", |b| {
+        b.iter(|| black_box(run_cluster(black_box(&spec))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_runs, bench_cluster_run);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Configuration-space sweep benchmarks — the compute behind Figs. 4–9.
+//!
+//! `fig4_pareto_ep` / `fig5_pareto_memcached` regenerate the paper's
+//! 36,380-point sweeps end to end; `frontier_only` isolates the Pareto
+//! derivation; `fig6_budget_rung` times one rung of the 1 kW ladder.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hecmix_bench::bundles;
+use hecmix_core::budget::BudgetMix;
+use hecmix_core::config::ConfigSpace;
+use hecmix_core::pareto::ParetoFrontier;
+use hecmix_core::sweep::{sweep_space, EvaluatedConfig};
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::memcached::Memcached;
+use hecmix_workloads::Workload;
+
+fn bench_full_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    for w in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        let models = bundles(w);
+        let space = ConfigSpace::two_type(
+            models[0].platform.clone(),
+            10,
+            models[1].platform.clone(),
+            10,
+        );
+        assert_eq!(space.count(), 36_380);
+        let fig = if w.name() == "ep" { "fig4" } else { "fig5" };
+        group.bench_function(BenchmarkId::new(format!("{fig}_pareto"), w.name()), |b| {
+            b.iter(|| {
+                let evaluated =
+                    sweep_space(black_box(&space), &models, w.analysis_units() as f64).unwrap();
+                black_box(ParetoFrontier::from_points(
+                    evaluated
+                        .iter()
+                        .map(EvaluatedConfig::to_pareto_point)
+                        .collect(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_only(c: &mut Criterion) {
+    let w = Ep::class_c();
+    let models = bundles(&w);
+    let space = ConfigSpace::two_type(
+        models[0].platform.clone(),
+        10,
+        models[1].platform.clone(),
+        10,
+    );
+    let evaluated = sweep_space(&space, &models, w.analysis_units() as f64).unwrap();
+    let points: Vec<_> = evaluated
+        .iter()
+        .map(EvaluatedConfig::to_pareto_point)
+        .collect();
+    c.bench_function("sweep/frontier_only_36380", |b| {
+        b.iter(|| black_box(ParetoFrontier::from_points(black_box(points.clone()))))
+    });
+}
+
+fn bench_budget_rung(c: &mut Criterion) {
+    let w = Memcached::default();
+    let models = bundles(&w);
+    let mix = BudgetMix {
+        low_nodes: 16,
+        high_nodes: 14,
+    };
+    let space = mix.config_space(&models[0].platform, &models[1].platform);
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("fig6_budget_rung_16_14", |b| {
+        b.iter(|| {
+            black_box(sweep_space(black_box(&space), &models, w.analysis_units() as f64).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pruned_vs_exhaustive(c: &mut Criterion) {
+    // The configuration-space reduction the paper leaves open: dominance
+    // pruning typically evaluates ~1-3 % of the space for the same
+    // frontier.
+    let w = Ep::class_c();
+    let models = bundles(&w);
+    let space = ConfigSpace::two_type(
+        models[0].platform.clone(),
+        10,
+        models[1].platform.clone(),
+        10,
+    );
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("fig4_pruned_frontier", |b| {
+        b.iter(|| {
+            black_box(
+                hecmix_core::sweep::sweep_frontier_pruned(
+                    black_box(&space),
+                    &models,
+                    w.analysis_units() as f64,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_sweeps,
+    bench_frontier_only,
+    bench_budget_rung,
+    bench_pruned_vs_exhaustive
+);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Real-kernel benchmarks: the six workload computations themselves.
+//! These are the ground-truth programs whose service demands drive the
+//! traces (module docs of each workload derive the demand constants from
+//! these kernels' structure).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use hecmix_workloads::bitcodec::{encode_block, BitWriter};
+use hecmix_workloads::blackscholes::{greeks, price_portfolio, synthetic_portfolio};
+use hecmix_workloads::dsp::{fft, Complex};
+use hecmix_workloads::ep::run_ep;
+use hecmix_workloads::julius::frontend::{mfcc, synth_tones, FrontendConfig};
+use hecmix_workloads::julius::synthetic_task;
+use hecmix_workloads::memcached::Command;
+use hecmix_workloads::memcached::{KvStore, Memslap};
+use hecmix_workloads::micro::{run_cpumax, run_pointer_chase};
+use hecmix_workloads::protocol::{decode_command, encode_command, Decoded};
+use hecmix_workloads::rsa::KeyPair;
+use hecmix_workloads::x264::{encode_frame, Frame};
+
+fn bench_ep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/ep");
+    g.throughput(Throughput::Elements(100_000 * 2));
+    g.bench_function("pairs_100k", |b| {
+        b.iter(|| black_box(run_ep(black_box(100_000), 0)))
+    });
+    g.finish();
+}
+
+fn bench_memcached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/memcached");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("ops_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut store = KvStore::new(1 << 22);
+                let mut gen = Memslap::new(3, 2_000, 16, 64);
+                gen.warm(&mut store);
+                (store, gen)
+            },
+            |(mut store, mut gen)| {
+                for _ in 0..10_000 {
+                    black_box(store.execute(gen.next_command()));
+                }
+                store
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_x264(c: &mut Criterion) {
+    let reference = Frame::synthetic(176, 144, 0); // QCIF for bench brevity
+    let cur = Frame::synthetic(176, 144, 2);
+    let mut g = c.benchmark_group("kernels/x264");
+    g.sample_size(10);
+    g.bench_function("encode_qcif_frame", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&cur), black_box(&reference), 4.0)))
+    });
+    g.finish();
+}
+
+fn bench_blackscholes(c: &mut Criterion) {
+    let portfolio = synthetic_portfolio(10_000);
+    let mut g = c.benchmark_group("kernels/blackscholes");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("options_10k", |b| {
+        b.iter(|| black_box(price_portfolio(black_box(&portfolio))))
+    });
+    g.finish();
+}
+
+fn bench_julius(c: &mut Criterion) {
+    let (hmm, obs, _) = synthetic_task(8, 12, 500, 42);
+    let mut g = c.benchmark_group("kernels/julius");
+    g.throughput(Throughput::Elements(500));
+    g.bench_function("viterbi_500_frames", |b| {
+        b.iter(|| black_box(hmm.viterbi(black_box(&obs))))
+    });
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let kp = KeyPair::generate(512, &mut rng);
+    let msg = b"bench message";
+    let sig = kp.sign(msg);
+    let mut g = c.benchmark_group("kernels/rsa");
+    g.bench_function("verify_512", |b| {
+        b.iter(|| black_box(kp.verify(black_box(msg), &sig)))
+    });
+    g.bench_function("sign_512", |b| {
+        b.iter(|| black_box(kp.sign(black_box(msg))))
+    });
+    g.finish();
+}
+
+fn bench_dsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/dsp");
+    let data: Vec<Complex> = (0..1024)
+        .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+        .collect();
+    g.bench_function("fft_1024", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| {
+                fft(&mut d);
+                d
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let cfg = FrontendConfig::default();
+    let audio = synth_tones(&[(440.0, 16_000)], cfg.sample_rate);
+    g.throughput(Throughput::Elements(16_000));
+    g.bench_function("mfcc_1s_audio", |b| {
+        b.iter(|| black_box(mfcc(black_box(&audio), &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/codecs");
+    // Entropy coding: one mixed 8x8 block.
+    let mut block = [[0i32; 8]; 8];
+    for (r, row) in block.iter_mut().enumerate() {
+        for (cc, v) in row.iter_mut().enumerate() {
+            *v = if (r + cc) % 3 == 0 {
+                (r as i32 - 3) * (cc as i32 + 1)
+            } else {
+                0
+            };
+        }
+    }
+    g.bench_function("entropy_encode_block", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            encode_block(black_box(&block), &mut w);
+            black_box(w.bit_len())
+        })
+    });
+    // memcached text protocol round-trip.
+    let cmd = Command::Set("some_key_0001".into(), bytes::Bytes::from(vec![7u8; 512]));
+    let wire = encode_command(&cmd);
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("protocol_decode_set_512B", |b| {
+        b.iter(|| match decode_command(black_box(&wire)) {
+            Decoded::Done(c, used) => black_box((c, used)),
+            _ => unreachable!(),
+        })
+    });
+    g.finish();
+}
+
+fn bench_greeks(c: &mut Criterion) {
+    let portfolio = synthetic_portfolio(1_000);
+    let mut g = c.benchmark_group("kernels/blackscholes");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("greeks_1k", |b| {
+        b.iter(|| {
+            portfolio
+                .iter()
+                .map(|o| black_box(greeks(o)).delta)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/micro");
+    g.bench_function("cpumax_100k", |b| {
+        b.iter(|| black_box(run_cpumax(black_box(100_000))))
+    });
+    g.bench_function("pointer_chase_64k_steps", |b| {
+        b.iter(|| black_box(run_pointer_chase(black_box(1 << 16), 65_536)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ep,
+    bench_memcached,
+    bench_x264,
+    bench_blackscholes,
+    bench_julius,
+    bench_rsa,
+    bench_dsp,
+    bench_codecs,
+    bench_greeks,
+    bench_micro
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared fixtures for the hecmix Criterion benchmarks.
+//!
+//! The benches map onto the paper artifacts they power:
+//!
+//! | bench target | exercises | paper artifact |
+//! |---|---|---|
+//! | `model` | Eq. 1–19 evaluation, mix-and-match solve | every figure's inner loop |
+//! | `sweep` | full configuration-space sweeps + Pareto frontiers | Figs. 4–9 |
+//! | `sim` | discrete-event node/cluster simulation | Tables 3–4 measurements |
+//! | `workload_kernels` | the real workload computations | workload ground truth |
+//! | `queueing` | M/D/1 closed forms and DES | Fig. 10 |
+//! | `pipeline` | characterization → model inputs | §II-D, Figs. 2–3 |
+
+#![warn(missing_docs)]
+
+use hecmix_core::profile::WorkloadModel;
+use hecmix_profile::characterize_pair;
+use hecmix_sim::{reference_amd_arch, reference_arm_arch, NodeArch};
+use hecmix_workloads::Workload;
+
+/// The two reference archetypes, `[ARM, AMD]`.
+#[must_use]
+pub fn arches() -> [NodeArch; 2] {
+    [reference_arm_arch(), reference_amd_arch()]
+}
+
+/// Characterized model bundles for a workload, `[ARM, AMD]` order.
+#[must_use]
+pub fn bundles(w: &dyn Workload) -> Vec<WorkloadModel> {
+    let [arm, amd] = arches();
+    characterize_pair(&arm, &amd, &w.trace(), 0xBE7C)
+}

@@ -1,0 +1,367 @@
+//! Cluster configuration space (§IV-B).
+//!
+//! A *configuration* fixes, for every node type: how many nodes participate
+//! (`n_t`), how many cores each of those nodes enables (`c_t`), and the
+//! common core clock frequency (`f_t`). All nodes of a type are identical —
+//! the paper distributes a type's share equally among them.
+//!
+//! The space enumerated here reproduces the paper's count exactly
+//! (footnote 2 of §IV-B): with 10 ARM (5 frequencies × 4 core counts) and
+//! 10 AMD nodes (3 × 6), there are `10·5·4·10·3·6 = 36 000` heterogeneous
+//! mixes, plus `200` ARM-only and `180` AMD-only homogeneous configurations:
+//! **36 380** in total. Generalized to `k` node types, the space is the sum
+//! over all non-empty subsets `S` of types of `Π_{t∈S} n_t·|f_t|·|c_t|`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Frequency, Platform};
+
+/// Per-type knobs of one configuration: node count, active cores per node,
+/// and core clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Number of nodes of this type that participate (`n_t ≥ 1` when the
+    /// type is used at all).
+    pub nodes: u32,
+    /// Cores enabled per node (`1 ..= platform.cores`).
+    pub cores: u32,
+    /// Core clock frequency (one of the platform's P-states).
+    pub freq: Frequency,
+}
+
+impl NodeConfig {
+    /// Construct a per-type configuration.
+    #[must_use]
+    pub fn new(nodes: u32, cores: u32, freq: Frequency) -> Self {
+        Self { nodes, cores, freq }
+    }
+
+    /// All nodes at all cores and maximum frequency.
+    #[must_use]
+    pub fn maxed(platform: &Platform, nodes: u32) -> Self {
+        Self {
+            nodes,
+            cores: platform.cores,
+            freq: platform.fmax(),
+        }
+    }
+}
+
+/// One point of the whole-cluster configuration space: an optional
+/// [`NodeConfig`] per node type (in the same order as the platform list the
+/// space was built from). `None` means the type is unused (its nodes are
+/// idle or switched off, depending on the analysis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPoint {
+    /// Per-type settings, `None` for unused types.
+    pub per_type: Vec<Option<NodeConfig>>,
+}
+
+impl ClusterPoint {
+    /// Number of node types actually used.
+    #[must_use]
+    pub fn types_used(&self) -> usize {
+        self.per_type.iter().flatten().count()
+    }
+
+    /// True when at most one node type is used.
+    #[must_use]
+    pub fn is_homogeneous(&self) -> bool {
+        self.types_used() <= 1
+    }
+
+    /// Total number of nodes deployed.
+    #[must_use]
+    pub fn total_nodes(&self) -> u32 {
+        self.per_type.iter().flatten().map(|c| c.nodes).sum()
+    }
+
+    /// Compact human-readable label, e.g. `ARM 8(4c@1.40 GHz) + AMD 1(6c@2.10 GHz)`.
+    #[must_use]
+    pub fn label(&self, platforms: &[Platform]) -> String {
+        let mut parts = Vec::new();
+        for (p, cfg) in platforms.iter().zip(&self.per_type) {
+            if let Some(c) = cfg {
+                parts.push(format!("{} {}({}c@{})", p.name, c.nodes, c.cores, c.freq));
+            }
+        }
+        if parts.is_empty() {
+            "empty".to_owned()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
+
+/// Bounds for one node type inside a [`ConfigSpace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeBounds {
+    /// The platform.
+    pub platform: Platform,
+    /// Maximum number of nodes of this type available (`n_t^max`).
+    pub max_nodes: u32,
+}
+
+/// The enumerable configuration space over a set of node types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSpace {
+    /// Per-type bounds, fixed order.
+    pub types: Vec<TypeBounds>,
+}
+
+impl ConfigSpace {
+    /// Build a space from `(platform, max nodes)` pairs.
+    #[must_use]
+    pub fn new(types: Vec<TypeBounds>) -> Self {
+        Self { types }
+    }
+
+    /// Convenience: the paper's two-type space.
+    #[must_use]
+    pub fn two_type(a: Platform, max_a: u32, b: Platform, max_b: u32) -> Self {
+        Self::new(vec![
+            TypeBounds {
+                platform: a,
+                max_nodes: max_a,
+            },
+            TypeBounds {
+                platform: b,
+                max_nodes: max_b,
+            },
+        ])
+    }
+
+    /// Number of per-type choices when the type participates:
+    /// `n · |f| · |c|`.
+    fn per_type_choices(t: &TypeBounds) -> u64 {
+        u64::from(t.max_nodes) * t.platform.freqs.len() as u64 * u64::from(t.platform.cores)
+    }
+
+    /// Exact size of the space: `Σ over non-empty subsets S of
+    /// Π_{t∈S} n_t·|f_t|·|c_t|` — equivalently `Π (choices_t + 1) − 1`.
+    ///
+    /// For the paper's 10 ARM + 10 AMD this is 36 380.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.types
+            .iter()
+            .map(|t| Self::per_type_choices(t) + 1)
+            .product::<u64>()
+            .saturating_sub(1)
+    }
+
+    /// Iterate over every configuration point (lazily).
+    pub fn iter(&self) -> impl Iterator<Item = ClusterPoint> + '_ {
+        SpaceIter::new(self)
+    }
+
+    /// Materialize the whole space. Prefer [`Self::iter`] or
+    /// [`crate::sweep::sweep_space`] for large spaces.
+    #[must_use]
+    pub fn enumerate(&self) -> Vec<ClusterPoint> {
+        self.iter().collect()
+    }
+}
+
+/// Lazy odometer-style iterator over the configuration space.
+///
+/// Each type's digit ranges over `None` plus all `(n, c, f)` combinations;
+/// the all-`None` point is skipped.
+struct SpaceIter<'a> {
+    space: &'a ConfigSpace,
+    /// Digit per type: `0 = None`, `1..=choices` maps to an `(n, c, f)`.
+    digits: Vec<u64>,
+    /// Cached per-type choice counts.
+    choices: Vec<u64>,
+    done: bool,
+}
+
+impl<'a> SpaceIter<'a> {
+    fn new(space: &'a ConfigSpace) -> Self {
+        let choices = space
+            .types
+            .iter()
+            .map(ConfigSpace::per_type_choices)
+            .collect();
+        let mut it = Self {
+            space,
+            digits: vec![0; space.types.len()],
+            choices,
+            done: space.types.is_empty(),
+        };
+        // Skip the all-None (empty cluster) point.
+        it.advance();
+        it
+    }
+
+    fn advance(&mut self) {
+        for i in 0..self.digits.len() {
+            if self.digits[i] < self.choices[i] {
+                self.digits[i] += 1;
+                return;
+            }
+            self.digits[i] = 0;
+        }
+        self.done = true;
+    }
+
+    fn decode(&self, type_idx: usize, digit: u64) -> Option<NodeConfig> {
+        if digit == 0 {
+            return None;
+        }
+        let t = &self.space.types[type_idx];
+        let idx = digit - 1;
+        let nf = t.platform.freqs.len() as u64;
+        let nc = u64::from(t.platform.cores);
+        let n = idx / (nf * nc);
+        let rem = idx % (nf * nc);
+        let f = rem / nc;
+        let c = rem % nc;
+        Some(NodeConfig {
+            nodes: n as u32 + 1,
+            cores: c as u32 + 1,
+            freq: t.platform.freqs[f as usize],
+        })
+    }
+}
+
+impl Iterator for SpaceIter<'_> {
+    type Item = ClusterPoint;
+
+    fn next(&mut self) -> Option<ClusterPoint> {
+        if self.done {
+            return None;
+        }
+        let per_type = self
+            .digits
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| self.decode(i, d))
+            .collect();
+        self.advance();
+        Some(ClusterPoint { per_type })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_space(max_arm: u32, max_amd: u32) -> ConfigSpace {
+        ConfigSpace::two_type(
+            Platform::reference_arm(),
+            max_arm,
+            Platform::reference_amd(),
+            max_amd,
+        )
+    }
+
+    #[test]
+    fn paper_count_footnote2() {
+        // §IV-B footnote 2: 36 000 mixed + 200 ARM-only + 180 AMD-only.
+        let space = paper_space(10, 10);
+        assert_eq!(space.count(), 36_380);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let space = paper_space(2, 3);
+        let pts = space.enumerate();
+        assert_eq!(pts.len() as u64, space.count());
+        // 2·5·4 = 40 ARM choices; 3·3·6 = 54 AMD choices;
+        // 40·54 + 40 + 54 = 2254.
+        assert_eq!(space.count(), 2254);
+    }
+
+    #[test]
+    fn no_empty_point_and_no_duplicates() {
+        let space = paper_space(2, 2);
+        let pts = space.enumerate();
+        assert!(pts.iter().all(|p| p.types_used() >= 1));
+        let mut labels: Vec<String> = pts.iter().map(|p| format!("{:?}", p)).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), pts.len(), "duplicate configurations emitted");
+    }
+
+    #[test]
+    fn decoded_configs_are_valid() {
+        let space = paper_space(3, 2);
+        for p in space.iter() {
+            for (t, cfg) in space.types.iter().zip(&p.per_type) {
+                if let Some(c) = cfg {
+                    assert!(c.nodes >= 1 && c.nodes <= t.max_nodes);
+                    assert!(c.cores >= 1 && c.cores <= t.platform.cores);
+                    assert!(t.platform.supports_frequency(c.freq));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_detection() {
+        let arm = Platform::reference_arm();
+        let amd = Platform::reference_amd();
+        let hetero = ClusterPoint {
+            per_type: vec![
+                Some(NodeConfig::maxed(&arm, 2)),
+                Some(NodeConfig::maxed(&amd, 1)),
+            ],
+        };
+        assert!(!hetero.is_homogeneous());
+        assert_eq!(hetero.total_nodes(), 3);
+        let homo = ClusterPoint {
+            per_type: vec![Some(NodeConfig::maxed(&arm, 2)), None],
+        };
+        assert!(homo.is_homogeneous());
+        assert_eq!(homo.types_used(), 1);
+    }
+
+    #[test]
+    fn label_is_readable() {
+        let arm = Platform::reference_arm();
+        let amd = Platform::reference_amd();
+        let p = ClusterPoint {
+            per_type: vec![
+                Some(NodeConfig::new(8, 4, Frequency::from_ghz(1.4))),
+                Some(NodeConfig::new(1, 6, Frequency::from_ghz(2.1))),
+            ],
+        };
+        let label = p.label(&[arm, amd]);
+        assert!(label.contains("ARM Cortex-A9 8(4c@1.40 GHz)"), "{label}");
+        assert!(label.contains("AMD K10 1(6c@2.10 GHz)"), "{label}");
+    }
+
+    #[test]
+    fn single_type_space() {
+        let space = ConfigSpace::new(vec![TypeBounds {
+            platform: Platform::reference_arm(),
+            max_nodes: 10,
+        }]);
+        // 10 × 5 × 4 = 200 (paper footnote 2, ARM-only term).
+        assert_eq!(space.count(), 200);
+        assert_eq!(space.enumerate().len(), 200);
+    }
+
+    #[test]
+    fn three_type_space_counts() {
+        let arm = Platform::reference_arm();
+        let space = ConfigSpace::new(vec![
+            TypeBounds {
+                platform: arm.clone(),
+                max_nodes: 1,
+            },
+            TypeBounds {
+                platform: arm.clone(),
+                max_nodes: 1,
+            },
+            TypeBounds {
+                platform: arm,
+                max_nodes: 1,
+            },
+        ]);
+        // choices per type: 1·5·4 = 20 → (20+1)^3 − 1 = 9260.
+        assert_eq!(space.count(), 9260);
+        assert_eq!(space.enumerate().len(), 9260);
+    }
+}

@@ -1,0 +1,361 @@
+//! Energy–deadline Pareto frontiers and region classification (§IV-B).
+//!
+//! Every evaluated configuration is a point `(T, E)`: the job's service
+//! time and the energy it uses. Given a deadline `D`, the best
+//! configuration is the one with minimum energy among those with `T ≤ D`;
+//! the set of all such minima over all deadlines is the **energy–deadline
+//! Pareto frontier**.
+//!
+//! The paper divides the frontier into two qualitative regions:
+//!
+//! * a **sweet region** — heterogeneous mixes where relaxing the deadline
+//!   linearly reduces energy, bounded above by the best homogeneous
+//!   high-power configuration and below by the best homogeneous low-power
+//!   one;
+//! * an **overlap region** — a homogeneous low-power tail that only exists
+//!   for compute-bound workloads (shrinking cores/frequency still trades
+//!   time for energy there; I/O-bound workloads go flat instead).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ClusterPoint;
+
+/// An evaluated configuration in the energy–deadline plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Job service time in seconds.
+    pub time_s: f64,
+    /// Job energy in joules.
+    pub energy_j: f64,
+    /// The configuration that produced this point.
+    pub config: ClusterPoint,
+}
+
+impl ParetoPoint {
+    /// Weak Pareto dominance: at least as fast *and* at least as frugal.
+    #[must_use]
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.time_s <= other.time_s && self.energy_j <= other.energy_j
+    }
+}
+
+/// The energy–deadline Pareto frontier: points sorted by ascending time,
+/// with strictly descending energy.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    /// Frontier points, ascending in time, strictly descending in energy.
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoFrontier {
+    /// Derive the frontier from an arbitrary set of evaluated points.
+    ///
+    /// Standard sweep: sort by `(time, energy)`, keep each point that
+    /// strictly improves the best energy seen so far. Non-finite points are
+    /// dropped (they cannot meet any deadline).
+    #[must_use]
+    pub fn from_points(mut pts: Vec<ParetoPoint>) -> Self {
+        pts.retain(|p| p.time_s.is_finite() && p.energy_j.is_finite());
+        pts.sort_by(|a, b| {
+            a.time_s
+                .total_cmp(&b.time_s)
+                .then(a.energy_j.total_cmp(&b.energy_j))
+        });
+        let mut points: Vec<ParetoPoint> = Vec::new();
+        let mut best = f64::INFINITY;
+        for p in pts {
+            if p.energy_j < best {
+                best = p.energy_j;
+                points.push(p);
+            }
+        }
+        Self { points }
+    }
+
+    /// Number of frontier points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the frontier has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Minimum energy needed to meet `deadline_s`, with the configuration
+    /// that achieves it. `None` when no configuration is fast enough.
+    #[must_use]
+    pub fn min_energy_for_deadline(&self, deadline_s: f64) -> Option<&ParetoPoint> {
+        // Points are sorted by time with descending energy, so the best
+        // point meeting the deadline is the *last* one with time ≤ deadline.
+        let idx = self.points.partition_point(|p| p.time_s <= deadline_s);
+        idx.checked_sub(1).map(|i| &self.points[i])
+    }
+
+    /// The fastest achievable service time.
+    #[must_use]
+    pub fn min_time_s(&self) -> Option<f64> {
+        self.points.first().map(|p| p.time_s)
+    }
+
+    /// The globally minimum energy (achieved at the most relaxed deadline).
+    #[must_use]
+    pub fn min_energy_j(&self) -> Option<f64> {
+        self.points.last().map(|p| p.energy_j)
+    }
+
+    /// Merge two frontiers (e.g. per-subset frontiers computed in
+    /// parallel): the frontier of the union.
+    #[must_use]
+    pub fn merge(&self, other: &ParetoFrontier) -> ParetoFrontier {
+        let mut pts = self.points.clone();
+        pts.extend(other.points.iter().cloned());
+        ParetoFrontier::from_points(pts)
+    }
+
+    /// Classify the frontier into contiguous sweet (heterogeneous) and
+    /// overlap (homogeneous) regions, in frontier order.
+    #[must_use]
+    pub fn regions(&self) -> Vec<Region> {
+        let mut regions: Vec<Region> = Vec::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let kind = if p.config.is_homogeneous() {
+                RegionKind::Homogeneous
+            } else {
+                RegionKind::Sweet
+            };
+            match regions.last_mut() {
+                Some(r) if r.kind == kind => r.end = i + 1,
+                _ => regions.push(Region {
+                    kind,
+                    start: i,
+                    end: i + 1,
+                }),
+            }
+        }
+        regions
+    }
+
+    /// The paper's "sweet region": the maximal run of *heterogeneous*
+    /// frontier points. Returns the index range, or `None` when the
+    /// frontier is entirely homogeneous.
+    #[must_use]
+    pub fn sweet_region(&self) -> Option<Region> {
+        self.regions()
+            .into_iter()
+            .filter(|r| r.kind == RegionKind::Sweet)
+            .max_by_key(|r| r.end - r.start)
+    }
+
+    /// The paper's "overlap region": a homogeneous tail at the relaxed end
+    /// of the frontier along which relaxing the deadline still buys a
+    /// *meaningful* energy reduction (trading cores/frequency for energy —
+    /// possible only for compute-bound workloads; I/O-bound homogeneous
+    /// tails are energy-flat and do not count, §IV-B).
+    ///
+    /// "Meaningful" is a ≥ 1 % relative energy decline across the tail.
+    #[must_use]
+    pub fn overlap_region(&self) -> Option<Region> {
+        let regions = self.regions();
+        let r = match regions.last() {
+            Some(r) if r.kind == RegionKind::Homogeneous && regions.len() > 1 => *r,
+            _ => return None,
+        };
+        // The decline must happen *within* the tail: an I/O-bound workload
+        // still steps down when switching from the last heterogeneous mix
+        // to the homogeneous configuration, but then goes flat.
+        let entry = self.points[r.start].energy_j;
+        let exit = self.points[r.end - 1].energy_j;
+        if entry > 0.0 && (entry - exit) / entry >= 0.01 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Linearity of energy-vs-deadline over an index range: `r²` of a
+    /// least-squares line through `(time, energy)` of those points.
+    /// The paper's sweet-region claim is that this is close to 1.
+    #[must_use]
+    pub fn linearity_r2(&self, region: Region) -> f64 {
+        let pts = &self.points[region.start..region.end];
+        if pts.len() < 3 {
+            return 1.0;
+        }
+        let xs: Vec<f64> = pts.iter().map(|p| p.time_s).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.energy_j).collect();
+        crate::stats::LinearFit::fit(&xs, &ys).r2
+    }
+}
+
+/// Qualitative kind of a frontier region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Heterogeneous mixes — the paper's sweet region.
+    Sweet,
+    /// Homogeneous configurations (single node type).
+    Homogeneous,
+}
+
+/// A contiguous index range `[start, end)` of frontier points sharing a
+/// [`RegionKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Region kind.
+    pub kind: RegionKind,
+    /// First frontier index (inclusive).
+    pub start: usize,
+    /// One past the last frontier index.
+    pub end: usize,
+}
+
+impl Region {
+    /// Number of frontier points in the region.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::types::Platform;
+
+    fn pt(time_s: f64, energy_j: f64, hetero: bool) -> ParetoPoint {
+        let arm = Platform::reference_arm();
+        let amd = Platform::reference_amd();
+        let config = ClusterPoint {
+            per_type: if hetero {
+                vec![
+                    Some(NodeConfig::maxed(&arm, 1)),
+                    Some(NodeConfig::maxed(&amd, 1)),
+                ]
+            } else {
+                vec![Some(NodeConfig::maxed(&arm, 1)), None]
+            },
+        };
+        ParetoPoint {
+            time_s,
+            energy_j,
+            config,
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_only_non_dominated() {
+        let pts = vec![
+            pt(1.0, 10.0, true),
+            pt(2.0, 8.0, true),
+            pt(2.5, 9.0, true), // dominated by (2.0, 8.0)
+            pt(3.0, 8.0, true), // equal energy, slower → dominated
+            pt(4.0, 5.0, false),
+        ];
+        let f = ParetoFrontier::from_points(pts);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.points[0].time_s, 1.0);
+        assert_eq!(f.points[1].time_s, 2.0);
+        assert_eq!(f.points[2].time_s, 4.0);
+        // Energy strictly decreasing along the frontier.
+        assert!(f
+            .points
+            .windows(2)
+            .all(|w| w[1].energy_j < w[0].energy_j && w[1].time_s > w[0].time_s));
+    }
+
+    #[test]
+    fn deadline_queries() {
+        let f = ParetoFrontier::from_points(vec![
+            pt(1.0, 10.0, true),
+            pt(2.0, 8.0, true),
+            pt(4.0, 5.0, false),
+        ]);
+        assert!(f.min_energy_for_deadline(0.5).is_none());
+        assert_eq!(f.min_energy_for_deadline(1.0).unwrap().energy_j, 10.0);
+        assert_eq!(f.min_energy_for_deadline(2.9).unwrap().energy_j, 8.0);
+        assert_eq!(f.min_energy_for_deadline(100.0).unwrap().energy_j, 5.0);
+        assert_eq!(f.min_time_s().unwrap(), 1.0);
+        assert_eq!(f.min_energy_j().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn merge_equals_frontier_of_union() {
+        let a = vec![pt(1.0, 10.0, true), pt(3.0, 6.0, true)];
+        let b = vec![pt(2.0, 7.0, false), pt(5.0, 6.5, false)];
+        let merged =
+            ParetoFrontier::from_points(a.clone()).merge(&ParetoFrontier::from_points(b.clone()));
+        let mut all = a;
+        all.extend(b);
+        let direct = ParetoFrontier::from_points(all);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn regions_and_sweet_overlap() {
+        // Hetero, hetero, homo, homo → sweet region of 2, overlap tail of 2.
+        let f = ParetoFrontier::from_points(vec![
+            pt(1.0, 10.0, true),
+            pt(2.0, 8.0, true),
+            pt(3.0, 6.0, false),
+            pt(4.0, 5.0, false),
+        ]);
+        let regions = f.regions();
+        assert_eq!(regions.len(), 2);
+        let sweet = f.sweet_region().unwrap();
+        assert_eq!((sweet.start, sweet.end), (0, 2));
+        assert_eq!(sweet.len(), 2);
+        let overlap = f.overlap_region().unwrap();
+        assert_eq!((overlap.start, overlap.end), (2, 4));
+    }
+
+    #[test]
+    fn no_overlap_when_frontier_all_homogeneous() {
+        let f = ParetoFrontier::from_points(vec![pt(1.0, 10.0, false), pt(2.0, 5.0, false)]);
+        assert!(f.sweet_region().is_none());
+        // A single all-homogeneous run is not an overlap *tail*.
+        assert!(f.overlap_region().is_none());
+    }
+
+    #[test]
+    fn linearity_of_straight_line_is_one() {
+        let f = ParetoFrontier::from_points(
+            (0..10)
+                .map(|i| pt(1.0 + i as f64, 100.0 - 5.0 * i as f64, true))
+                .collect(),
+        );
+        let region = Region {
+            kind: RegionKind::Sweet,
+            start: 0,
+            end: f.len(),
+        };
+        assert!((f.linearity_r2(region) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_points_dropped() {
+        let f = ParetoFrontier::from_points(vec![
+            pt(f64::INFINITY, 1.0, true),
+            pt(1.0, f64::NAN, true),
+            pt(1.0, 2.0, true),
+        ]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = pt(1.0, 5.0, true);
+        let b = pt(2.0, 6.0, true);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+    }
+}

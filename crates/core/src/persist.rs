@@ -1,0 +1,351 @@
+//! Persistence for characterized model bundles.
+//!
+//! Characterization costs real measurement time (on the paper's testbed,
+//! hours of baseline runs per workload). This module round-trips a
+//! [`WorkloadModel`] through a small, self-contained, line-oriented text
+//! format so a characterization can be shipped alongside a study and
+//! reloaded without the testbed:
+//!
+//! ```text
+//! hecmix-model v1
+//! workload = ep
+//! [platform]
+//! name = ARM Cortex-A9
+//! ...
+//! [profile]
+//! i_ps = 215.2
+//! spi_mem = 1:0.01,0.1,0.99 4:0.02,0.3,0.97
+//! ...
+//! [power]
+//! core_w = 0.2:0.01,0.005 ... 1.4:0.9,0.54
+//! ...
+//! ```
+//!
+//! The format is deliberately not a general serializer: every field is
+//! written and read explicitly, unknown keys are rejected, and `f64`s
+//! round-trip exactly via Rust's shortest-representation float printing.
+
+use std::fmt::Write as _;
+
+use crate::error::{Error, Result};
+use crate::profile::{IoProfile, PowerProfile, SpiMemFit, WorkloadModel, WorkloadProfile};
+use crate::stats::LinearFit;
+use crate::types::{Frequency, Platform};
+
+const MAGIC: &str = "hecmix-model v1";
+
+/// Serialize a model bundle to the v1 text format.
+#[must_use]
+pub fn to_string(model: &WorkloadModel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{MAGIC}");
+    let _ = writeln!(s, "workload = {}", model.workload);
+
+    let p = &model.platform;
+    let _ = writeln!(s, "[platform]");
+    let _ = writeln!(s, "name = {}", p.name);
+    let _ = writeln!(s, "isa = {}", p.isa);
+    let _ = writeln!(s, "cores = {}", p.cores);
+    let freqs: Vec<String> = p.freqs.iter().map(|f| fmt_f64(f.ghz())).collect();
+    let _ = writeln!(s, "freqs_ghz = {}", freqs.join(" "));
+    let _ = writeln!(s, "io_bandwidth_bps = {}", fmt_f64(p.io_bandwidth_bps));
+    let _ = writeln!(s, "peak_power_w = {}", fmt_f64(p.peak_power_w));
+    let _ = writeln!(s, "idle_power_w = {}", fmt_f64(p.idle_power_w));
+    let _ = writeln!(s, "infra_power_w = {}", fmt_f64(p.infra_power_w));
+
+    let pr = &model.profile;
+    let _ = writeln!(s, "[profile]");
+    let _ = writeln!(s, "i_ps = {}", fmt_f64(pr.i_ps));
+    let _ = writeln!(s, "wpi = {}", fmt_f64(pr.wpi));
+    let _ = writeln!(s, "spi_core = {}", fmt_f64(pr.spi_core));
+    let fits: Vec<String> = pr
+        .spi_mem
+        .per_cores
+        .iter()
+        .map(|(c, fit)| {
+            format!(
+                "{c}:{},{},{}",
+                fmt_f64(fit.intercept),
+                fmt_f64(fit.slope),
+                fmt_f64(fit.r2)
+            )
+        })
+        .collect();
+    let _ = writeln!(s, "spi_mem = {}", fits.join(" "));
+    let _ = writeln!(s, "active_cores = {}", fmt_f64(pr.active_cores));
+    let _ = writeln!(s, "baseline_freq_ghz = {}", fmt_f64(pr.baseline_freq.ghz()));
+    let _ = writeln!(s, "io_bytes_per_unit = {}", fmt_f64(pr.io.bytes_per_unit));
+    let _ = writeln!(s, "io_lambda = {}", fmt_f64(pr.io.lambda_io));
+
+    let pw = &model.power;
+    let _ = writeln!(s, "[power]");
+    let entries: Vec<String> = pw
+        .core_w
+        .iter()
+        .map(|(f, a, st)| format!("{}:{},{}", fmt_f64(f.ghz()), fmt_f64(*a), fmt_f64(*st)))
+        .collect();
+    let _ = writeln!(s, "core_w = {}", entries.join(" "));
+    let _ = writeln!(s, "mem_w = {}", fmt_f64(pw.mem_w));
+    let _ = writeln!(s, "io_w = {}", fmt_f64(pw.io_w));
+    let _ = writeln!(s, "idle_w = {}", fmt_f64(pw.idle_w));
+    s
+}
+
+/// Parse a model bundle from the v1 text format. Strict: unknown keys,
+/// missing fields and malformed numbers are all errors, and the resulting
+/// bundle is validated before being returned.
+pub fn from_str(text: &str) -> Result<WorkloadModel> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    if lines.next() != Some(MAGIC) {
+        return Err(bad("missing or unsupported header"));
+    }
+
+    #[derive(Default)]
+    struct Raw {
+        workload: Option<String>,
+        fields: std::collections::HashMap<String, String>,
+    }
+    let mut raw = Raw::default();
+    let mut section = String::new();
+    for line in lines {
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.to_owned();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| bad(&format!("expected `key = value`, got {line:?}")))?;
+        let key = key.trim();
+        let value = value.trim();
+        if section.is_empty() && key == "workload" {
+            raw.workload = Some(value.to_owned());
+        } else if section.is_empty() {
+            return Err(bad(&format!("unknown top-level key {key:?}")));
+        } else {
+            let full = format!("{section}.{key}");
+            if raw.fields.insert(full.clone(), value.to_owned()).is_some() {
+                return Err(bad(&format!("duplicate key {full:?}")));
+            }
+        }
+    }
+
+    let take = |fields: &mut std::collections::HashMap<String, String>, key: &str| {
+        fields
+            .remove(key)
+            .ok_or_else(|| bad(&format!("missing key {key:?}")))
+    };
+    let f = &mut raw.fields;
+
+    let platform = Platform {
+        name: take(f, "platform.name")?,
+        isa: take(f, "platform.isa")?,
+        cores: parse_u32(&take(f, "platform.cores")?)?,
+        freqs: take(f, "platform.freqs_ghz")?
+            .split_whitespace()
+            .map(|x| Ok(Frequency::from_ghz(parse_f64(x)?)))
+            .collect::<Result<Vec<_>>>()?,
+        io_bandwidth_bps: parse_f64(&take(f, "platform.io_bandwidth_bps")?)?,
+        peak_power_w: parse_f64(&take(f, "platform.peak_power_w")?)?,
+        idle_power_w: parse_f64(&take(f, "platform.idle_power_w")?)?,
+        infra_power_w: parse_f64(&take(f, "platform.infra_power_w")?)?,
+    };
+
+    let spi_mem = SpiMemFit::new(
+        take(f, "profile.spi_mem")?
+            .split_whitespace()
+            .map(|entry| {
+                let (cores, fit) = entry
+                    .split_once(':')
+                    .ok_or_else(|| bad("malformed spi_mem entry"))?;
+                let parts: Vec<&str> = fit.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(bad("spi_mem fit needs intercept,slope,r2"));
+                }
+                Ok((
+                    parse_u32(cores)?,
+                    LinearFit {
+                        intercept: parse_f64(parts[0])?,
+                        slope: parse_f64(parts[1])?,
+                        r2: parse_f64(parts[2])?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?,
+    );
+
+    let profile = WorkloadProfile {
+        i_ps: parse_f64(&take(f, "profile.i_ps")?)?,
+        wpi: parse_f64(&take(f, "profile.wpi")?)?,
+        spi_core: parse_f64(&take(f, "profile.spi_core")?)?,
+        spi_mem,
+        active_cores: parse_f64(&take(f, "profile.active_cores")?)?,
+        baseline_freq: Frequency::from_ghz(parse_f64(&take(f, "profile.baseline_freq_ghz")?)?),
+        io: IoProfile {
+            bytes_per_unit: parse_f64(&take(f, "profile.io_bytes_per_unit")?)?,
+            lambda_io: parse_f64(&take(f, "profile.io_lambda")?)?,
+        },
+    };
+
+    let power = PowerProfile {
+        core_w: take(f, "power.core_w")?
+            .split_whitespace()
+            .map(|entry| {
+                let (freq, rest) = entry
+                    .split_once(':')
+                    .ok_or_else(|| bad("malformed core_w entry"))?;
+                let (act, stall) = rest
+                    .split_once(',')
+                    .ok_or_else(|| bad("core_w needs act,stall"))?;
+                Ok((
+                    Frequency::from_ghz(parse_f64(freq)?),
+                    parse_f64(act)?,
+                    parse_f64(stall)?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?,
+        mem_w: parse_f64(&take(f, "power.mem_w")?)?,
+        io_w: parse_f64(&take(f, "power.io_w")?)?,
+        idle_w: parse_f64(&take(f, "power.idle_w")?)?,
+    };
+
+    if let Some(stray) = f.keys().next() {
+        return Err(bad(&format!("unknown key {stray:?}")));
+    }
+
+    let model = WorkloadModel {
+        workload: raw.workload.ok_or_else(|| bad("missing `workload`"))?,
+        platform,
+        profile,
+        power,
+    };
+    model.validate()?;
+    Ok(model)
+}
+
+/// Write a bundle to a file.
+pub fn save(model: &WorkloadModel, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, to_string(model))
+        .map_err(|e| Error::InvalidInput(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Read a bundle from a file.
+pub fn load(path: &std::path::Path) -> Result<WorkloadModel> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::InvalidInput(format!("cannot read {}: {e}", path.display())))?;
+    from_str(&text)
+}
+
+fn bad(why: &str) -> Error {
+    Error::InvalidInput(format!("hecmix-model parse: {why}"))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_owned()
+    } else {
+        // Rust's shortest round-trip representation.
+        format!("{v}")
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64> {
+    if s == "inf" {
+        return Ok(f64::INFINITY);
+    }
+    s.parse().map_err(|_| bad(&format!("bad number {s:?}")))
+}
+
+fn parse_u32(s: &str) -> Result<u32> {
+    s.parse().map_err(|_| bad(&format!("bad integer {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkloadModel {
+        let platform = Platform::reference_arm();
+        let mut m = WorkloadModel::synthetic_io_bound(&platform, "memcached", 2240.7, 1000.25);
+        // Exercise multi-fit SpiMem and odd floats.
+        m.profile.spi_mem = SpiMemFit::new(vec![
+            (
+                1,
+                LinearFit {
+                    intercept: 0.017_345,
+                    slope: 1.862_113,
+                    r2: 0.996_2,
+                },
+            ),
+            (
+                4,
+                LinearFit {
+                    intercept: 0.051,
+                    slope: 6.082_912_551,
+                    r2: 0.991_7,
+                },
+            ),
+        ]);
+        m.profile.active_cores = 0.107_356_201;
+        m
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = sample();
+        let text = to_string(&m);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, m, "round-trip must be bit-exact");
+        // And idempotent through a second cycle.
+        assert_eq!(to_string(&back), text);
+    }
+
+    #[test]
+    fn roundtrip_infinite_lambda() {
+        let mut m = sample();
+        m.profile.io.lambda_io = f64::INFINITY;
+        let back = from_str(&to_string(&m)).unwrap();
+        assert_eq!(back.profile.io.lambda_io, f64::INFINITY);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = sample();
+        let path = std::env::temp_dir().join("hecmix-persist-test.model");
+        save(&m, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("not-a-model").is_err());
+        assert!(from_str("hecmix-model v2\n").is_err());
+        // Missing fields.
+        assert!(from_str("hecmix-model v1\nworkload = x\n[platform]\nname = n\n").is_err());
+        // Unknown key.
+        let mut text = to_string(&sample());
+        text.push_str("\n[power]\nbogus = 1\n");
+        assert!(from_str(&text).is_err());
+        // Malformed number.
+        let text = to_string(&sample()).replace("wpi = ", "wpi = abc ");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let mut text = to_string(&sample());
+        text.push_str("[power]\nmem_w = 1\n");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn validated_on_load() {
+        // A structurally valid file with an out-of-domain value must fail
+        // model validation.
+        let text = to_string(&sample());
+        let broken = text.replace("i_ps = ", "i_ps = -");
+        assert!(from_str(&broken).is_err());
+    }
+}

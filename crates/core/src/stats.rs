@@ -1,0 +1,200 @@
+//! Small statistics toolbox: least-squares linear regression, Pearson
+//! correlation, means and standard deviations.
+//!
+//! The paper's characterization step (§II-D, §III-C) fits `SPI_mem` linearly
+//! over core frequency and reports the Pearson correlation (`r² ≥ 0.94` in
+//! Fig. 3). These helpers are shared by the model (`SpiMemFit`) and by the
+//! `hecmix-profile` measurement pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// An ordinary-least-squares fit `y ≈ intercept + slope · x` with its
+/// coefficient of determination.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept `a` of `y = a + b x`.
+    pub intercept: f64,
+    /// Slope `b` of `y = a + b x`.
+    pub slope: f64,
+    /// Coefficient of determination `r²` of the fit, in `[0, 1]`.
+    /// For a perfect fit or a degenerate (constant-x) input this is 1.
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Evaluate the fitted line at `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Fit `y = a + b x` by ordinary least squares.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or fewer than two points.
+    #[must_use]
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+        assert!(xs.len() >= 2, "need at least two points to fit a line");
+        let n = xs.len() as f64;
+        let mx = mean(xs);
+        let my = mean(ys);
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        if sxx == 0.0 {
+            // Degenerate: all x equal. Fall back to the mean.
+            return Self {
+                intercept: my,
+                slope: 0.0,
+                r2: 1.0,
+            };
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let r2 = if syy == 0.0 {
+            1.0 // perfectly flat data is perfectly explained by slope ≈ 0
+        } else {
+            let ss_res: f64 = xs
+                .iter()
+                .zip(ys)
+                .map(|(x, y)| {
+                    let e = y - (intercept + slope * x);
+                    e * e
+                })
+                .sum();
+            (1.0 - ss_res / syy).clamp(0.0, 1.0)
+        };
+        let _ = n;
+        Self {
+            intercept,
+            slope,
+            r2,
+        }
+    }
+}
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns 0 for fewer than two points.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient `r` between two samples.
+/// Returns 0 when either sample is constant.
+#[must_use]
+pub fn pearson_r(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Relative error `|predicted - measured| / measured` as a percentage.
+/// Returns 0 when `measured` is 0 and `predicted` is 0 too; infinite
+/// otherwise (surfaced deliberately — a zero measurement with a non-zero
+/// prediction is a real validation failure).
+#[must_use]
+pub fn relative_error_pct(predicted: f64, measured: f64) -> f64 {
+    if measured == 0.0 {
+        return if predicted == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((predicted - measured) / measured).abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let xs = [0.2, 0.5, 0.8, 1.1, 1.4];
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 + 2.0 * x).collect();
+        let fit = LinearFit::fit(&xs, &ys);
+        assert!((fit.intercept - 1.5).abs() < 1e-12);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.eval(1.0) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_noisy_line_has_high_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        // Deterministic pseudo-noise.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 + 0.7 * x + 0.01 * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let fit = LinearFit::fit(&xs, &ys);
+        assert!((fit.slope - 0.7).abs() < 0.05);
+        assert!(fit.r2 > 0.99, "r2 = {}", fit.r2);
+    }
+
+    #[test]
+    fn degenerate_constant_x() {
+        let fit = LinearFit::fit(&[1.0, 1.0, 1.0], &[2.0, 4.0, 6.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert!((fit.intercept - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_y_has_r2_one() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert!((fit.slope).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anticorrelated() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_r(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_r(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson_r(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert!((relative_error_pct(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert!((relative_error_pct(90.0, 100.0) - 10.0).abs() < 1e-12);
+        assert_eq!(relative_error_pct(0.0, 0.0), 0.0);
+        assert!(relative_error_pct(1.0, 0.0).is_infinite());
+    }
+}

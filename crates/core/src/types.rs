@@ -1,0 +1,274 @@
+//! Node platforms and basic physical quantities.
+//!
+//! A [`Platform`] describes one *type* of node in the heterogeneous cluster
+//! (Table 1 of the paper): its ISA label, core count, supported P-state
+//! frequencies, I/O bandwidth, and peak/idle power envelope. The paper's
+//! evaluation uses two platforms — an AMD Opteron K10 and an ARM Cortex-A9 —
+//! and we ship those as [`Platform::reference_amd`] / [`Platform::reference_arm`],
+//! but every model in this crate is generic over any number of platforms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A core clock frequency. Stored in Hz; constructed from GHz for
+/// readability since every P-state in the paper is quoted in GHz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// Build a frequency from GHz. Panics on non-finite or non-positive input.
+    #[must_use]
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(
+            ghz.is_finite() && ghz > 0.0,
+            "frequency must be finite and positive, got {ghz} GHz"
+        );
+        Self { hz: ghz * 1e9 }
+    }
+
+    /// Frequency in Hz.
+    #[must_use]
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Frequency in GHz.
+    #[must_use]
+    pub fn ghz(self) -> f64 {
+        self.hz / 1e9
+    }
+}
+
+impl std::fmt::Display for Frequency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} GHz", self.ghz())
+    }
+}
+
+/// Stable identifier for a platform within one analysis. Index into the
+/// list of platforms handed to the sweep/cluster APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlatformId(pub u16);
+
+impl std::fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "platform#{}", self.0)
+    }
+}
+
+/// One type of node available to the cluster (paper Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable name, e.g. `"AMD K10"`.
+    pub name: String,
+    /// ISA label, e.g. `"x86_64"` or `"ARMv7-A"`. Informational; the
+    /// ISA-specific behaviour lives in the per-platform measured inputs.
+    pub isa: String,
+    /// Number of physical cores per node.
+    pub cores: u32,
+    /// Supported P-state core frequencies, ascending.
+    pub freqs: Vec<Frequency>,
+    /// Network I/O bandwidth in bits per second (e.g. `1e9` for 1 Gbps).
+    pub io_bandwidth_bps: f64,
+    /// Peak node power draw in watts (all cores busy at max frequency).
+    /// Used for power-budget analyses (§IV-C), not by the energy model,
+    /// which works from the measured power profile.
+    pub peak_power_w: f64,
+    /// Idle node power draw in watts (C-state 0, no work — the paper keeps
+    /// cores awake at all times, a common datacenter setting).
+    pub idle_power_w: f64,
+    /// Extra always-on infrastructure power *per node*, in watts, amortized
+    /// from shared equipment (the paper folds a 20 W switch across the ARM
+    /// nodes it connects when computing the 8:1 substitution ratio).
+    pub infra_power_w: f64,
+}
+
+impl Platform {
+    /// Validate invariants: non-empty frequency list (ascending), at least
+    /// one core, positive bandwidth and sane powers.
+    pub fn validate(&self) -> Result<()> {
+        if self.freqs.is_empty() || self.cores == 0 {
+            return Err(Error::EmptyPlatform(self.name.clone()));
+        }
+        if self.freqs.windows(2).any(|w| w[0].hz() >= w[1].hz()) {
+            return Err(Error::InvalidInput(format!(
+                "platform `{}` frequencies must be strictly ascending",
+                self.name
+            )));
+        }
+        if !(self.io_bandwidth_bps > 0.0) {
+            return Err(Error::InvalidInput(format!(
+                "platform `{}` must have positive I/O bandwidth",
+                self.name
+            )));
+        }
+        if !(self.peak_power_w > 0.0) || self.idle_power_w < 0.0 || self.infra_power_w < 0.0 {
+            return Err(Error::InvalidInput(format!(
+                "platform `{}` has invalid power envelope",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Maximum (highest) P-state frequency.
+    #[must_use]
+    pub fn fmax(&self) -> Frequency {
+        *self
+            .freqs
+            .last()
+            .expect("validated platform has at least one frequency")
+    }
+
+    /// Minimum (lowest) P-state frequency.
+    #[must_use]
+    pub fn fmin(&self) -> Frequency {
+        *self
+            .freqs
+            .first()
+            .expect("validated platform has at least one frequency")
+    }
+
+    /// Whether `f` is (within 1 kHz) one of this platform's P-states.
+    #[must_use]
+    pub fn supports_frequency(&self, f: Frequency) -> bool {
+        self.freqs.iter().any(|p| (p.hz() - f.hz()).abs() < 1e3)
+    }
+
+    /// Effective peak power for budgeting: node peak + amortized
+    /// infrastructure share.
+    #[must_use]
+    pub fn effective_peak_power_w(&self) -> f64 {
+        self.peak_power_w + self.infra_power_w
+    }
+
+    /// The AMD Opteron K10 node of the paper's testbed (Table 1):
+    /// x86_64, 6 cores, 0.8–2.1 GHz (three P-states as in §IV-B footnote 2),
+    /// 1 Gbps NIC, 60 W peak / 45 W idle (§IV-C and §IV-E).
+    #[must_use]
+    pub fn reference_amd() -> Self {
+        Self {
+            name: "AMD K10".to_owned(),
+            isa: "x86_64".to_owned(),
+            cores: 6,
+            freqs: vec![
+                Frequency::from_ghz(0.8),
+                Frequency::from_ghz(1.4),
+                Frequency::from_ghz(2.1),
+            ],
+            io_bandwidth_bps: 1e9,
+            peak_power_w: 60.0,
+            idle_power_w: 45.0,
+            infra_power_w: 0.0,
+        }
+    }
+
+    /// The ARM Cortex-A9 node of the paper's testbed (Table 1):
+    /// ARMv7-A, 4 cores, 0.2–1.4 GHz (five P-states as in §IV-B footnote 2),
+    /// 100 Mbps NIC, 5 W peak / <2 W idle, plus an amortized 2.5 W/node share
+    /// of the 20 W top-of-rack switch, which yields the paper's 8:1 power
+    /// substitution ratio (8 × (5 + 2.5) = 60 W = one AMD node).
+    #[must_use]
+    pub fn reference_arm() -> Self {
+        Self {
+            name: "ARM Cortex-A9".to_owned(),
+            isa: "ARMv7-A".to_owned(),
+            cores: 4,
+            freqs: vec![
+                Frequency::from_ghz(0.2),
+                Frequency::from_ghz(0.5),
+                Frequency::from_ghz(0.8),
+                Frequency::from_ghz(1.1),
+                Frequency::from_ghz(1.4),
+            ],
+            io_bandwidth_bps: 1e8,
+            peak_power_w: 5.0,
+            idle_power_w: 1.8,
+            infra_power_w: 2.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_roundtrip() {
+        let f = Frequency::from_ghz(2.1);
+        assert!((f.ghz() - 2.1).abs() < 1e-12);
+        assert!((f.hz() - 2.1e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn frequency_rejects_zero() {
+        let _ = Frequency::from_ghz(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn frequency_rejects_nan() {
+        let _ = Frequency::from_ghz(f64::NAN);
+    }
+
+    #[test]
+    fn reference_platforms_validate() {
+        Platform::reference_amd().validate().unwrap();
+        Platform::reference_arm().validate().unwrap();
+    }
+
+    #[test]
+    fn reference_platforms_match_table1() {
+        let amd = Platform::reference_amd();
+        assert_eq!(amd.cores, 6);
+        assert_eq!(amd.freqs.len(), 3);
+        assert!((amd.fmax().ghz() - 2.1).abs() < 1e-9);
+        assert!((amd.fmin().ghz() - 0.8).abs() < 1e-9);
+        assert!((amd.io_bandwidth_bps - 1e9).abs() < 1.0);
+
+        let arm = Platform::reference_arm();
+        assert_eq!(arm.cores, 4);
+        assert_eq!(arm.freqs.len(), 5);
+        assert!((arm.fmax().ghz() - 1.4).abs() < 1e-9);
+        assert!((arm.fmin().ghz() - 0.2).abs() < 1e-9);
+        assert!((arm.io_bandwidth_bps - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn substitution_ratio_is_eight_to_one() {
+        // §IV-C footnote 5: one 60 W AMD node is power-equivalent to 8 ARM
+        // nodes once the switch is amortized.
+        let amd = Platform::reference_amd();
+        let arm = Platform::reference_arm();
+        let ratio = amd.effective_peak_power_w() / arm.effective_peak_power_w();
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supports_frequency_is_exact() {
+        let arm = Platform::reference_arm();
+        assert!(arm.supports_frequency(Frequency::from_ghz(1.1)));
+        assert!(!arm.supports_frequency(Frequency::from_ghz(1.0)));
+    }
+
+    #[test]
+    fn empty_platform_rejected() {
+        let mut p = Platform::reference_arm();
+        p.freqs.clear();
+        assert!(matches!(p.validate(), Err(Error::EmptyPlatform(_))));
+        let mut p = Platform::reference_arm();
+        p.cores = 0;
+        assert!(matches!(p.validate(), Err(Error::EmptyPlatform(_))));
+    }
+
+    #[test]
+    fn descending_frequencies_rejected() {
+        let mut p = Platform::reference_arm();
+        p.freqs.reverse();
+        assert!(p.validate().is_err());
+    }
+}

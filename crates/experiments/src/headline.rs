@@ -1,0 +1,104 @@
+//! The paper's headline result (§VI): switching from a homogeneous AMD
+//! cluster to a heterogeneous AMD + ARM cluster reduces the energy needed
+//! to meet the same service-time deadline by up to 44 % for memcached and
+//! 58 % for EP (quoted for the 16 ARM + 14 AMD mix).
+
+use hecmix_core::budget::BudgetMix;
+use hecmix_workloads::Workload;
+
+use crate::figures::mix_frontiers;
+use crate::lab::Lab;
+
+/// Savings of the heterogeneous mix vs the homogeneous AMD cluster.
+#[derive(Debug, Clone)]
+pub struct HeadlineResult {
+    /// Workload name.
+    pub workload: String,
+    /// Maximum relative energy saving over all common deadlines, in
+    /// percent.
+    pub max_saving_pct: f64,
+    /// Deadline (seconds) at which the maximum saving occurs.
+    pub at_deadline_s: f64,
+    /// Energy of the homogeneous AMD configuration at that deadline.
+    pub amd_energy_j: f64,
+    /// Energy of the heterogeneous mix at that deadline.
+    pub mix_energy_j: f64,
+}
+
+/// Compute the headline saving for one workload: compare the
+/// `ARM 16:AMD 14` mix against `ARM 0:AMD 16` (both 960 W peak) across all
+/// deadlines both can meet, and report the maximum energy reduction.
+#[must_use]
+pub fn headline(lab: &Lab, w: &dyn Workload) -> HeadlineResult {
+    let mixes = [
+        BudgetMix {
+            low_nodes: 0,
+            high_nodes: 16,
+        },
+        BudgetMix {
+            low_nodes: 16,
+            high_nodes: 14,
+        },
+    ];
+    let series = mix_frontiers(lab, w, &mixes);
+    let amd = &series[0].frontier;
+    let mix = &series[1].frontier;
+
+    let mut best = HeadlineResult {
+        workload: w.name().to_owned(),
+        max_saving_pct: 0.0,
+        at_deadline_s: f64::NAN,
+        amd_energy_j: f64::NAN,
+        mix_energy_j: f64::NAN,
+    };
+    // Scan deadlines at every frontier knee of either curve.
+    let mut deadlines: Vec<f64> = amd
+        .points
+        .iter()
+        .chain(mix.points.iter())
+        .map(|p| p.time_s)
+        .collect();
+    deadlines.sort_by(f64::total_cmp);
+    for d in deadlines {
+        let (Some(a), Some(m)) = (
+            amd.min_energy_for_deadline(d),
+            mix.min_energy_for_deadline(d),
+        ) else {
+            continue;
+        };
+        let saving = (1.0 - m.energy_j / a.energy_j) * 100.0;
+        if saving > best.max_saving_pct {
+            best.max_saving_pct = saving;
+            best.at_deadline_s = d;
+            best.amd_energy_j = a.energy_j;
+            best.mix_energy_j = m.energy_j;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecmix_workloads::ep::Ep;
+
+    #[test]
+    fn ep_headline_saving_substantial() {
+        // The paper reports up to 58 % for EP on 16 ARM + 14 AMD. The
+        // reproduction must show the same direction with a substantial
+        // magnitude (the exact percentage depends on calibration).
+        let lab = Lab::new();
+        let r = headline(&lab, &Ep::class_c());
+        assert!(
+            r.max_saving_pct > 25.0,
+            "EP heterogeneous saving too small: {:.1}%",
+            r.max_saving_pct
+        );
+        assert!(
+            r.max_saving_pct < 95.0,
+            "implausibly large: {:.1}%",
+            r.max_saving_pct
+        );
+        assert!(r.mix_energy_j < r.amd_energy_j);
+    }
+}

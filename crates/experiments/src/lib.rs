@@ -1,0 +1,39 @@
+//! # hecmix-experiments — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§III–IV)
+//! end-to-end: characterize the workloads on the simulated testbed
+//! (`hecmix-profile` on `hecmix-sim`), drive the analytical model
+//! (`hecmix-core`), and emit the published artifacts:
+//!
+//! | Artifact | Module | Content |
+//! |---|---|---|
+//! | Table 1 | [`lab`] | node platforms |
+//! | Table 3 | [`validation`] | single-node time/energy model error |
+//! | Table 4 | [`validation`] | cluster (8 ARM + {0,1} AMD) model error |
+//! | Table 5 | [`ppr`] | performance-to-power ratios |
+//! | Fig. 2  | [`figures`] | WPI / SPI_core across problem sizes |
+//! | Fig. 3  | [`figures`] | SPI_mem linearity over frequency |
+//! | Fig. 4/5 | [`figures`] | energy–deadline Pareto frontiers |
+//! | Fig. 6/7 | [`figures`] | power-budget substitution mixes |
+//! | Fig. 8/9 | [`figures`] | cluster-size scaling |
+//! | Fig. 10 | [`figures`] | M/D/1 queueing-delay window energy |
+//! | §IV headline | [`headline`] | up-to-44 % / 58 % energy savings |
+//!
+//! The design-choice ablations of DESIGN.md §4 live in [`ablation`].
+//!
+//! The `experiments` binary prints paper-style rows and writes CSV series
+//! under `results/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod extensions;
+pub mod figures;
+pub mod headline;
+pub mod lab;
+pub mod ppr;
+pub mod report;
+pub mod validation;
+
+pub use lab::Lab;

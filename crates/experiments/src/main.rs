@@ -1,0 +1,755 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--results-dir DIR] [--seed N] ARTIFACT...
+//!   ARTIFACT: --table1 --table3 --table4 --table5
+//!             --fig2 --fig3 --fig4 --fig5 --fig6 --fig7 --fig8 --fig9 --fig10
+//!             --headline --all
+//! ```
+//!
+//! Prints paper-style rows to stdout and writes CSV series under the
+//! results directory (default `results/`).
+
+use std::process::ExitCode;
+
+use hecmix_core::budget::BudgetMix;
+use hecmix_experiments::ablation::{
+    matching_ablation, overlap_ablation, spimem_ablation, switching_ablation,
+};
+use hecmix_experiments::extensions::{
+    diurnal_study, fig10_des_crosscheck, governor_study, sensitivity, threeway,
+};
+use hecmix_experiments::figures::{
+    fig10, fig2, fig3, mix_frontiers, paper_budget_mixes, paper_scaling_mixes, pareto_figure,
+};
+use hecmix_experiments::headline::headline;
+use hecmix_experiments::lab::{table1_rows, Lab};
+use hecmix_experiments::ppr::table5;
+use hecmix_experiments::report::{ascii_scatter, fmt_f, render_table, CsvWriter};
+use hecmix_experiments::validation::{table3, table4};
+use hecmix_queueing::dispatch::DiurnalProfile;
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::memcached::Memcached;
+use hecmix_workloads::Workload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments [--results-dir DIR] [--seed N] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--all ...");
+        return ExitCode::FAILURE;
+    }
+    let mut results_dir = "results".to_owned();
+    let mut seed = 0x1CC9_2014u64;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--results-dir" => match it.next() {
+                Some(d) => results_dir = d,
+                None => {
+                    eprintln!("--results-dir needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with("--") => {
+                artifacts.push(other.trim_start_matches("--").to_owned())
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = [
+            "table1",
+            "table3",
+            "table4",
+            "table5",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "headline",
+            "ablations",
+            "threeway",
+            "diurnal",
+            "sensitivity",
+            "export-models",
+            "governor",
+            "fig10des",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    }
+
+    let lab = Lab::with_seed(seed);
+    let csv = match CsvWriter::new(&results_dir) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cannot create results dir {results_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for artifact in &artifacts {
+        let started = std::time::Instant::now();
+        match artifact.as_str() {
+            "table1" => run_table1(&lab),
+            "table3" => run_table3(&lab, &csv),
+            "table4" => run_table4(&lab, &csv),
+            "table5" => run_table5(&lab, &csv),
+            "fig2" => run_fig2(&lab, &csv),
+            "fig3" => run_fig3(&lab, &csv),
+            "fig4" => run_pareto(&lab, &csv, &Ep::class_c(), "fig4"),
+            "fig5" => run_pareto(&lab, &csv, &Memcached::default(), "fig5"),
+            "fig6" => run_mixes(
+                &lab,
+                &csv,
+                &Memcached::default(),
+                "fig6",
+                &paper_budget_mixes(&lab),
+            ),
+            "fig7" => run_mixes(
+                &lab,
+                &csv,
+                &Ep::class_c(),
+                "fig7",
+                &paper_budget_mixes(&lab),
+            ),
+            "fig8" => run_mixes(
+                &lab,
+                &csv,
+                &Memcached::default(),
+                "fig8",
+                &paper_scaling_mixes(),
+            ),
+            "fig9" => run_mixes(&lab, &csv, &Ep::class_c(), "fig9", &paper_scaling_mixes()),
+            "fig10" => run_fig10(&lab, &csv),
+            "headline" => run_headline(&lab, &csv),
+            "ablations" => run_ablations(&lab, &csv),
+            "threeway" => run_threeway(&lab, &csv),
+            "export-models" => run_export_models(&lab, &results_dir),
+            "diurnal" => run_diurnal(&lab, &csv),
+            "sensitivity" => run_sensitivity(&csv),
+            "governor" => run_governor(&lab, &csv),
+            "fig10des" => run_fig10des(&lab, &csv),
+            other => {
+                eprintln!("unknown artifact: --{other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "[{artifact} done in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_table1(lab: &Lab) {
+    println!("== Table 1: Types of heterogeneous nodes ==");
+    let rows: Vec<Vec<String>> = table1_rows(lab)
+        .into_iter()
+        .map(|(k, amd, arm)| vec![k, amd, arm])
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Node", "AMD K10", "ARM Cortex-A9"], &rows)
+    );
+}
+
+fn run_table3(lab: &Lab, csv: &CsvWriter) {
+    println!("== Table 3: Single-node validation (model vs measurement, % error) ==");
+    let rows = table3(lab);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.problem.clone(),
+                r.bottleneck.to_owned(),
+                format!("{:.0}", r.time_amd.mean),
+                format!("{:.0}", r.time_amd.std_dev),
+                format!("{:.0}", r.time_arm.mean),
+                format!("{:.0}", r.time_arm.std_dev),
+                format!("{:.0}", r.energy_amd.mean),
+                format!("{:.0}", r.energy_amd.std_dev),
+                format!("{:.0}", r.energy_arm.mean),
+                format!("{:.0}", r.energy_arm.std_dev),
+            ]
+        })
+        .collect();
+    let header = [
+        "Program",
+        "Problem Size",
+        "Bottleneck",
+        "tAMD mean",
+        "tAMD sd",
+        "tARM mean",
+        "tARM sd",
+        "eAMD mean",
+        "eAMD sd",
+        "eARM mean",
+        "eARM sd",
+    ];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("table3", &header, &table);
+}
+
+fn run_table4(lab: &Lab, csv: &CsvWriter) {
+    println!("== Table 4: Cluster validation (8 ARM + {{1,0}} AMD, % error) ==");
+    let rows = table4(lab);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.arm_nodes.to_string(),
+                r.amd_nodes.to_string(),
+                format!("{:.0}", r.time_err),
+                format!("{:.0}", r.energy_err),
+            ]
+        })
+        .collect();
+    let header = [
+        "Program",
+        "ARM nodes",
+        "AMD nodes",
+        "time err %",
+        "energy err %",
+    ];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("table4", &header, &table);
+}
+
+fn run_table5(lab: &Lab, csv: &CsvWriter) {
+    println!("== Table 5: Performance-to-power ratio (best configuration) ==");
+    let rows = table5(lab);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.unit.to_owned(),
+                fmt_f(r.amd.ppr),
+                fmt_f(r.arm.ppr),
+                if r.arm.ppr > r.amd.ppr { "ARM" } else { "AMD" }.to_owned(),
+            ]
+        })
+        .collect();
+    let header = ["Program", "PPR unit", "AMD node", "ARM node", "winner"];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("table5", &header, &table);
+}
+
+fn run_fig2(lab: &Lab, csv: &CsvWriter) {
+    println!("== Fig. 2: WPI and SPI_core across problem size (EP A/B/C) ==");
+    let rows = fig2(lab);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                r.class.to_string(),
+                r.units.to_string(),
+                format!("{:.3}", r.wpi),
+                format!("{:.3}", r.spi_core),
+            ]
+        })
+        .collect();
+    let header = ["Platform", "Class", "Randoms", "WPI", "SPIcore"];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("fig2", &header, &table);
+}
+
+fn run_fig3(lab: &Lab, csv: &CsvWriter) {
+    println!("== Fig. 3: SPI_mem vs core frequency (stall micro-benchmark) ==");
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for series in fig3(lab) {
+        for cell in &series.cells {
+            table.push(vec![
+                series.platform.clone(),
+                cell.cores.to_string(),
+                format!("{:.2}", cell.freq.ghz()),
+                format!("{:.3}", cell.spi_mem),
+            ]);
+        }
+        for (c, r2) in series.cores.iter().zip(&series.r2) {
+            println!("{} cores={c}: r² = {r2:.3}", series.platform);
+        }
+    }
+    let header = ["Platform", "Cores", "f GHz", "SPImem"];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("fig3", &header, &table);
+}
+
+fn run_pareto(lab: &Lab, csv: &CsvWriter, w: &dyn Workload, name: &str) {
+    println!(
+        "== {}: Pareto frontier for {} (10 ARM + 10 AMD, {} {}s/job) ==",
+        name.to_uppercase(),
+        w.name(),
+        w.analysis_units(),
+        w.unit_name()
+    );
+    let fig = pareto_figure(lab, w, 10, 10);
+    println!("configurations evaluated: {}", fig.all_points.len());
+    println!("frontier points: {}", fig.frontier.len());
+    if let Some(s) = fig.sweet {
+        println!(
+            "sweet region: {} heterogeneous points, linearity r² = {:.3}",
+            s.len(),
+            fig.frontier.linearity_r2(s)
+        );
+    }
+    match fig.overlap {
+        Some(o) => println!(
+            "overlap region: {} homogeneous points (compute-bound tail)",
+            o.len()
+        ),
+        None => println!("overlap region: none (I/O-bound energy flattens instead)"),
+    }
+    // Console sketch: frontier (*), ARM-only (a), AMD-only (A).
+    let mut pts: Vec<(f64, f64, char)> = fig
+        .frontier
+        .points
+        .iter()
+        .map(|p| (p.time_s * 1e3, p.energy_j, '*'))
+        .collect();
+    pts.extend(
+        fig.arm_only
+            .points
+            .iter()
+            .map(|p| (p.time_s * 1e3, p.energy_j, 'a')),
+    );
+    pts.extend(
+        fig.amd_only
+            .points
+            .iter()
+            .map(|p| (p.time_s * 1e3, p.energy_j, 'A')),
+    );
+    println!("{}", ascii_scatter(&pts, 72, 18, false));
+
+    let header = ["series", "deadline_ms", "energy_j"];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let push = |series: &str,
+                frontier: &hecmix_core::pareto::ParetoFrontier,
+                rows: &mut Vec<Vec<String>>| {
+        for p in &frontier.points {
+            rows.push(vec![
+                series.to_owned(),
+                fmt_f(p.time_s * 1e3),
+                fmt_f(p.energy_j),
+            ]);
+        }
+    };
+    push("pareto", &fig.frontier, &mut rows);
+    push("arm-only", &fig.arm_only, &mut rows);
+    push("amd-only", &fig.amd_only, &mut rows);
+    let _ = csv.write(name, &header, &rows);
+    // Full point cloud for external plotting.
+    let cloud: Vec<Vec<String>> = fig
+        .all_points
+        .iter()
+        .map(|(t, e, homo)| {
+            vec![
+                fmt_f(t * 1e3),
+                fmt_f(*e),
+                if *homo { "homo" } else { "hetero" }.to_owned(),
+            ]
+        })
+        .collect();
+    let _ = csv.write(
+        &format!("{name}_all_points"),
+        &["deadline_ms", "energy_j", "kind"],
+        &cloud,
+    );
+}
+
+fn run_mixes(lab: &Lab, csv: &CsvWriter, w: &dyn Workload, name: &str, mixes: &[BudgetMix]) {
+    println!(
+        "== {}: heterogeneous mixes for {} ==",
+        name.to_uppercase(),
+        w.name()
+    );
+    let series = mix_frontiers(lab, w, mixes);
+    let header = ["mix", "deadline_ms", "min_energy_j"];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for s in &series {
+        let min_t = s.frontier.min_time_s().unwrap_or(f64::NAN);
+        let min_e = s.frontier.min_energy_j().unwrap_or(f64::NAN);
+        println!(
+            "{:<18} frontier: {:3} points, fastest deadline {:>8.1} ms, min energy {:>8.2} J",
+            s.label,
+            s.frontier.len(),
+            min_t * 1e3,
+            min_e
+        );
+        for p in &s.frontier.points {
+            rows.push(vec![
+                s.label.replace(':', "_"),
+                fmt_f(p.time_s * 1e3),
+                fmt_f(p.energy_j),
+            ]);
+        }
+    }
+    let _ = csv.write(name, &header, &rows);
+}
+
+fn run_fig10(lab: &Lab, csv: &CsvWriter) {
+    println!("== Fig. 10: job queueing delay (16 ARM + 14 AMD, memcached, 20 s window) ==");
+    let curves = fig10(lab, &Memcached::default());
+    let header = [
+        "utilization",
+        "lambda_jobs_per_s",
+        "response_ms",
+        "energy_20s_j",
+        "uses_amd",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in &curves {
+        let min_e = c
+            .points
+            .iter()
+            .map(|p| p.energy_j)
+            .fold(f64::INFINITY, f64::min);
+        let max_e = c.points.iter().map(|p| p.energy_j).fold(0.0f64, f64::max);
+        println!(
+            "U = {:>4.0} % (λ = {:.2}/s): {} feasible configs, energy {:.0}–{:.0} J",
+            c.nominal_utilization * 100.0,
+            c.lambda,
+            c.points.len(),
+            min_e,
+            max_e
+        );
+        for p in &c.points {
+            rows.push(vec![
+                format!("{:.2}", c.nominal_utilization),
+                fmt_f(c.lambda),
+                fmt_f(p.response_s * 1e3),
+                fmt_f(p.energy_j),
+                p.uses_amd.to_string(),
+            ]);
+        }
+    }
+    let _ = csv.write("fig10", &header, &rows);
+}
+
+fn run_headline(lab: &Lab, csv: &CsvWriter) {
+    println!("== Headline: energy saving of ARM 16:AMD 14 vs ARM 0:AMD 16 ==");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for w in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        let r = headline(lab, w);
+        println!(
+            "{:<12} max saving {:>5.1} % at deadline {:>8.1} ms ({:.2} J -> {:.2} J)",
+            r.workload,
+            r.max_saving_pct,
+            r.at_deadline_s * 1e3,
+            r.amd_energy_j,
+            r.mix_energy_j
+        );
+        rows.push(vec![
+            r.workload.clone(),
+            format!("{:.1}", r.max_saving_pct),
+            fmt_f(r.at_deadline_s * 1e3),
+            fmt_f(r.amd_energy_j),
+            fmt_f(r.mix_energy_j),
+        ]);
+    }
+    let _ = csv.write(
+        "headline",
+        &[
+            "workload",
+            "max_saving_pct",
+            "deadline_ms",
+            "amd_energy_j",
+            "mix_energy_j",
+        ],
+        &rows,
+    );
+}
+
+fn run_ablations(lab: &Lab, csv: &CsvWriter) {
+    println!("== Ablations: what each modeling choice buys (DESIGN.md §4) ==");
+
+    let o = overlap_ablation(lab, &Memcached::default(), 20_000);
+    println!(
+        "overlap (Eq. 2-3)   : max() model err {:>5.1} %  vs additive err {:>6.1} %  [memcached, ARM grid]",
+        o.max_model_err_pct, o.additive_err_pct
+    );
+
+    for w in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        let m = matching_ablation(lab, w);
+        println!(
+            "matching ({:<9}) : matched {:>7.2} J vs node-proportional {:>7.2} J (+{:>4.1} %) vs equal {:>7.2} J (+{:>5.1} %)",
+            m.workload,
+            m.matched_energy_j,
+            m.node_proportional_energy_j,
+            100.0 * (m.node_proportional_energy_j / m.matched_energy_j - 1.0),
+            m.equal_split_energy_j,
+            100.0 * (m.equal_split_energy_j / m.matched_energy_j - 1.0),
+        );
+    }
+
+    let s = spimem_ablation(lab, &hecmix_workloads::x264::X264::default(), 600);
+    println!(
+        "SPI_mem linearity   : linear fit err {:>5.1} %  vs constant err {:>6.1} %  [x264, ARM frequencies]",
+        s.linear_err_pct, s.constant_err_pct
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for w in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        let samples = switching_ablation(lab, w);
+        let max_gap = samples
+            .iter()
+            .map(|x| 1.0 - x.mixing_energy_j / x.switching_energy_j)
+            .fold(0.0f64, f64::max);
+        println!(
+            "switching vs mixing : {:<9} mixing saves up to {:>5.1} % over pool switching across {} deadlines",
+            w.name(),
+            max_gap * 100.0,
+            samples.len()
+        );
+        for x in &samples {
+            rows.push(vec![
+                w.name().to_owned(),
+                fmt_f(x.deadline_s * 1e3),
+                fmt_f(x.switching_energy_j),
+                fmt_f(x.mixing_energy_j),
+            ]);
+        }
+    }
+    let _ = csv.write(
+        "ablation_switching",
+        &[
+            "workload",
+            "deadline_ms",
+            "switching_energy_j",
+            "mixing_energy_j",
+        ],
+        &rows,
+    );
+}
+
+fn run_threeway(lab: &Lab, csv: &CsvWriter) {
+    println!("== Extension: three node types (6 A9 + 4 A15 + 4 K10) ==");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for w in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        let r = threeway(lab, w);
+        println!(
+            "{:<10} space {:>9} configs, pruned to {:>6} evals ({:.2} %); frontier {} points, {} use all three types",
+            r.workload,
+            r.stats.full_space,
+            r.stats.evaluated_configs,
+            100.0 * r.stats.evaluated_configs as f64 / r.stats.full_space as f64,
+            r.frontier.len(),
+            r.three_type_points
+        );
+        println!(
+            "{:<10} min energy {:.2} J (best two-type subset: {:.2} J)",
+            "", r.min_energy_j, r.best_two_type_min_energy_j
+        );
+        for p in &r.frontier.points {
+            rows.push(vec![
+                r.workload.clone(),
+                fmt_f(p.time_s * 1e3),
+                fmt_f(p.energy_j),
+                p.config.types_used().to_string(),
+            ]);
+        }
+    }
+    let _ = csv.write(
+        "threeway",
+        &["workload", "deadline_ms", "energy_j", "types_used"],
+        &rows,
+    );
+}
+
+fn run_diurnal(lab: &Lab, csv: &CsvWriter) {
+    println!("== Extension: dispatch policies under a diurnal day (memcached) ==");
+    // Quiet hours fit the ARM pool (16 ARM serve a 50 k-request job in
+    // ≈250 ms; at the trough's λ the queue stays comfortable), peak hours
+    // do not — the regime where policy choice matters.
+    let profile = DiurnalProfile::new(2.0, 0.8, 24, 3600.0).expect("valid profile");
+    let slo = 0.45;
+    println!(
+        "profile: λ = 2·(1 + 0.8·sin) jobs/s over 24 × 1 h slots; SLO: mean response ≤ {} ms",
+        slo * 1e3
+    );
+    let days = diurnal_study(lab, &Memcached::default(), &profile, slo);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for d in &days {
+        println!(
+            "{:<14} energy {:>10.0} J/day, SLO violations {:>2}/24",
+            d.policy, d.outcome.energy_j, d.outcome.violations
+        );
+        for s in &d.outcome.slots {
+            rows.push(vec![
+                d.policy.to_owned(),
+                s.slot.to_string(),
+                fmt_f(s.lambda),
+                fmt_f(s.energy_j),
+                fmt_f(s.response_s * 1e3),
+                s.violated.to_string(),
+            ]);
+        }
+    }
+    let _ = csv.write(
+        "diurnal",
+        &[
+            "policy",
+            "slot",
+            "lambda",
+            "energy_j",
+            "response_ms",
+            "violated",
+        ],
+        &rows,
+    );
+}
+
+fn run_sensitivity(csv: &CsvWriter) {
+    println!("== Extension: calibration sensitivity (hidden constants ±20 %) ==");
+    let rows = sensitivity(0.20);
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let mut robust = 0;
+    for r in &rows {
+        let core_claims = r.ep_arm_wins && r.memcached_arm_wins && r.rsa_amd_wins && r.sweet_region;
+        robust += i32::from(core_claims);
+        table.push(vec![
+            r.parameter.clone(),
+            format!("{:+.0}%", r.delta * 100.0),
+            r.ep_arm_wins.to_string(),
+            r.memcached_arm_wins.to_string(),
+            r.rsa_amd_wins.to_string(),
+            r.x264_amd_wins.to_string(),
+            r.sweet_region.to_string(),
+            format!("{:.1}", r.memcached_crossover_ms),
+        ]);
+    }
+    let header = [
+        "parameter",
+        "delta",
+        "ep_ARM",
+        "memcached_ARM",
+        "rsa_AMD",
+        "x264_AMD",
+        "sweet",
+        "crossover_ms",
+    ];
+    println!("{}", render_table(&header, &table));
+    println!(
+        "core qualitative claims (EP/memcached/RSA winners + sweet region) hold in {robust}/{} perturbations",
+        rows.len()
+    );
+    let _ = csv.write("sensitivity", &header, &table);
+}
+
+fn run_export_models(lab: &Lab, results_dir: &str) {
+    println!("== Export: characterized model bundles ==");
+    let dir = std::path::Path::new(results_dir).join("models");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    for w in hecmix_workloads::all_workloads() {
+        let models = lab.models(w.as_ref());
+        for m in models.iter() {
+            let short = m.platform.name.split_whitespace().last().unwrap_or("node");
+            let path = dir.join(format!("{}-{}.model", w.name(), short.to_lowercase()));
+            match hecmix_core::persist::save(m, &path) {
+                Ok(()) => {
+                    // Round-trip verification before reporting success.
+                    let back =
+                        hecmix_core::persist::load(&path).expect("just-written bundle parses");
+                    assert_eq!(&back, m, "round trip must be exact");
+                    println!("wrote {}", path.display());
+                }
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn run_governor(lab: &Lab, csv: &CsvWriter) {
+    println!(
+        "== Extension: ondemand DVFS governor vs the fixed-P-state assumption (one ARM node) =="
+    );
+    let rows = governor_study(lab);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                fmt_f(r.pinned_s * 1e3),
+                fmt_f(r.governed_s * 1e3),
+                fmt_f(r.pinned_j),
+                fmt_f(r.governed_j),
+                format!("{:+.1}%", 100.0 * (r.governed_j / r.pinned_j - 1.0)),
+            ]
+        })
+        .collect();
+    let header = [
+        "workload",
+        "pinned_ms",
+        "governed_ms",
+        "pinned_J",
+        "governed_J",
+        "energy_delta",
+    ];
+    println!("{}", render_table(&header, &table));
+    println!("(CPU-bound rows converge to the pinned behaviour — the model's assumption;");
+    println!(" I/O-bound rows show the energy a governor saves that a pinned fmax would waste.)");
+    let _ = csv.write("governor", &header, &table);
+}
+
+fn run_fig10des(lab: &Lab, csv: &CsvWriter) {
+    println!("== Extension: Fig. 10 analytics vs full job-stream simulation (ρ = 0.4) ==");
+    let rows = fig10_des_crosscheck(lab, &Memcached::default(), 0.4);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.replace(',', ";"),
+                fmt_f(r.analytic_response_s * 1e3),
+                fmt_f(r.sim_response_s * 1e3),
+                fmt_f(r.analytic_energy_j),
+                fmt_f(r.sim_energy_j),
+            ]
+        })
+        .collect();
+    let header = [
+        "config",
+        "analytic_resp_ms",
+        "sim_resp_ms",
+        "analytic_J",
+        "sim_J",
+    ];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("fig10des", &header, &table);
+}

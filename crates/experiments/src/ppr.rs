@@ -1,0 +1,154 @@
+//! Performance-to-power ratios — Table 5 (§IV-A).
+//!
+//! PPR is "the work done per unit of time, normalized by the average power
+//! consumption", computed at each node type's *most energy-efficient*
+//! configuration. The paper's finding: ARM wins everywhere except RSA-2048
+//! (AMD's wide multiplier) and x264 (AMD's memory bandwidth).
+
+use hecmix_core::config::NodeConfig;
+use hecmix_core::energy::EnergyModel;
+use hecmix_core::exec_time::ExecTimeModel;
+use hecmix_core::profile::WorkloadModel;
+use hecmix_workloads::Workload;
+
+use crate::lab::Lab;
+
+/// One platform's best PPR for one workload.
+#[derive(Debug, Clone)]
+pub struct PprEntry {
+    /// Best PPR value in the workload's Table 5 unit.
+    pub ppr: f64,
+    /// Raw work rate at that configuration (units/s).
+    pub rate: f64,
+    /// Average node power at that configuration (W).
+    pub power_w: f64,
+    /// The configuration achieving it.
+    pub config: NodeConfig,
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Workload name.
+    pub workload: String,
+    /// PPR unit label from the paper.
+    pub unit: &'static str,
+    /// AMD node entry.
+    pub amd: PprEntry,
+    /// ARM node entry.
+    pub arm: PprEntry,
+}
+
+/// The scale from work-units/s to the paper's PPR unit (memcached reports
+/// kbytes/s rather than requests/s).
+fn unit_scale(w: &dyn Workload, model: &WorkloadModel) -> f64 {
+    if w.name() == "memcached" {
+        model.profile.io.bytes_per_unit / 1000.0
+    } else {
+        1.0
+    }
+}
+
+/// Best PPR of one platform for one workload: maximize `rate / power`
+/// over every single-node `(cores, frequency)` configuration.
+#[must_use]
+pub fn best_ppr(w: &dyn Workload, model: &WorkloadModel) -> PprEntry {
+    let em = ExecTimeModel::new(model);
+    let en = EnergyModel::new(model);
+    let scale = unit_scale(w, model);
+    let mut best: Option<PprEntry> = None;
+    for cores in 1..=model.platform.cores {
+        for &freq in &model.platform.freqs {
+            let cfg = NodeConfig::new(1, cores, freq);
+            // Rate and average power are work-size independent (both the
+            // time and the energy are linear in W); evaluate at one unit.
+            let times = em.predict(&cfg, 1.0);
+            if times.total <= 0.0 {
+                continue;
+            }
+            let rate = 1.0 / times.total;
+            let power_w = en.energy(&cfg, &times, times.total).total() / times.total;
+            let ppr = rate * scale / power_w;
+            if best.as_ref().is_none_or(|b| ppr > b.ppr) {
+                best = Some(PprEntry {
+                    ppr,
+                    rate,
+                    power_w,
+                    config: cfg,
+                });
+            }
+        }
+    }
+    best.expect("non-empty configuration grid")
+}
+
+/// Compute Table 5 for all workloads.
+#[must_use]
+pub fn table5(lab: &Lab) -> Vec<Table5Row> {
+    hecmix_workloads::all_workloads()
+        .iter()
+        .map(|w| {
+            let models = lab.models(w.as_ref());
+            Table5Row {
+                workload: w.name().to_owned(),
+                unit: w.ppr_unit(),
+                arm: best_ppr(w.as_ref(), &models[0]),
+                amd: best_ppr(w.as_ref(), &models[1]),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppr_directionality_matches_table5() {
+        // The paper's headline PPR structure: ARM better for EP,
+        // memcached, blackscholes, julius; AMD better for RSA-2048 and
+        // x264.
+        let lab = Lab::new();
+        let rows = table5(&lab);
+        let get = |name: &str| rows.iter().find(|r| r.workload == name).unwrap();
+
+        for arm_wins in ["ep", "memcached", "blackscholes", "julius"] {
+            let r = get(arm_wins);
+            assert!(
+                r.arm.ppr > r.amd.ppr,
+                "{arm_wins}: ARM {} should beat AMD {}",
+                r.arm.ppr,
+                r.amd.ppr
+            );
+        }
+        for amd_wins in ["rsa-2048", "x264"] {
+            let r = get(amd_wins);
+            assert!(
+                r.amd.ppr > r.arm.ppr,
+                "{amd_wins}: AMD {} should beat ARM {}",
+                r.amd.ppr,
+                r.arm.ppr
+            );
+        }
+    }
+
+    #[test]
+    fn best_configs_are_valid_and_powers_sane() {
+        let lab = Lab::new();
+        for row in table5(&lab) {
+            assert!(row.arm.config.cores >= 1 && row.arm.config.cores <= 4);
+            assert!(row.amd.config.cores >= 1 && row.amd.config.cores <= 6);
+            // Average power within the node envelopes.
+            assert!(
+                row.arm.power_w > 0.5 && row.arm.power_w < 6.0,
+                "{}",
+                row.arm.power_w
+            );
+            assert!(
+                row.amd.power_w > 40.0 && row.amd.power_w < 62.0,
+                "{}",
+                row.amd.power_w
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Output helpers: aligned console tables, CSV series files and a small
+//! ASCII scatter plot for eyeballing frontier shapes in a terminal.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Render rows as an aligned console table. `header` supplies the column
+/// names; every row must have the same arity.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<w$}");
+        }
+        // Trim trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+    );
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// A CSV writer for result series. Writes under a results directory;
+/// quoting is minimal (fields must not contain commas/newlines — ours are
+/// numbers and simple labels, asserted).
+pub struct CsvWriter {
+    dir: PathBuf,
+}
+
+impl CsvWriter {
+    /// Writer rooted at `dir` (created if missing).
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Self {
+            dir: dir.as_ref().to_owned(),
+        })
+    }
+
+    /// Write `rows` with `header` to `<dir>/<name>.csv`. Returns the path.
+    pub fn write(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+        let mut body = String::new();
+        let check = |s: &str| {
+            assert!(
+                !s.contains(',') && !s.contains('\n') && !s.contains('"'),
+                "CSV field needs quoting: {s:?}"
+            );
+        };
+        header.iter().for_each(|h| check(h));
+        body.push_str(&header.join(","));
+        body.push('\n');
+        for row in rows {
+            assert_eq!(row.len(), header.len(), "row arity mismatch");
+            row.iter().for_each(|c| check(c));
+            body.push_str(&row.join(","));
+            body.push('\n');
+        }
+        let path = self.dir.join(format!("{name}.csv"));
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// A minimal ASCII scatter plot (log-x optional), for quick terminal
+/// inspection of energy–deadline shapes.
+#[must_use]
+pub fn ascii_scatter(
+    points: &[(f64, f64, char)],
+    width: usize,
+    height: usize,
+    log_x: bool,
+) -> String {
+    if points.is_empty() {
+        return "(no points)\n".to_owned();
+    }
+    let tx = |x: f64| if log_x { x.max(1e-12).log10() } else { x };
+    let xs: Vec<f64> = points.iter().map(|p| tx(p.0)).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let (xmin, xmax) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (ymin, ymax) = (
+        ys.iter().cloned().fold(f64::INFINITY, f64::min),
+        ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, y, c) in points {
+        let gx = (((tx(*x) - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let gy = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - gy;
+        grid[row][gx.min(width - 1)] = *c;
+    }
+    let mut out = String::new();
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Format a float compactly for tables (3 significant-ish digits).
+#[must_use]
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else if a >= 0.001 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["name", "value"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["a-much-longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Values aligned under the same column start.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][col..col + 1], "1");
+        assert_eq!(&lines[3][col..col + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_writes_file() {
+        let dir = std::env::temp_dir().join("hecmix-report-test");
+        let w = CsvWriter::new(&dir).unwrap();
+        let path = w
+            .write("t", &["x", "y"], &[vec!["1".into(), "2".into()]])
+            .unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs quoting")]
+    fn csv_rejects_commas() {
+        let dir = std::env::temp_dir().join("hecmix-report-test2");
+        let w = CsvWriter::new(&dir).unwrap();
+        let _ = w.write("t", &["x"], &[vec!["a,b".into()]]);
+    }
+
+    #[test]
+    fn scatter_contains_markers() {
+        let s = ascii_scatter(&[(1.0, 1.0, 'A'), (100.0, 5.0, 'B')], 40, 10, true);
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert_eq!(s.lines().count(), 11);
+        assert_eq!(ascii_scatter(&[], 10, 5, false), "(no points)\n");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1234.6), "1235");
+        assert_eq!(fmt_f(12.345), "12.35");
+        assert_eq!(fmt_f(0.0123), "0.0123");
+        assert_eq!(fmt_f(0.0000123), "1.230e-5");
+    }
+}

@@ -1,0 +1,270 @@
+//! Model validation against the simulated testbed — Tables 3 and 4.
+//!
+//! Table 3 (single node): for every workload and both node types, predict
+//! execution time and energy for every `(cores, frequency)` configuration
+//! and compare with direct measurement; report the mean error and standard
+//! deviation across configurations.
+//!
+//! Table 4 (cluster): for every workload, predict and measure on the
+//! paper's two cluster configurations — 8 ARM + 1 AMD (mix-and-match
+//! split) and 8 ARM + 0 AMD.
+
+use rayon::prelude::*;
+
+use hecmix_core::config::ClusterPoint;
+use hecmix_core::config::NodeConfig;
+use hecmix_core::energy::EnergyModel;
+use hecmix_core::exec_time::ExecTimeModel;
+use hecmix_core::mix_match::{evaluate, TypeDeployment};
+use hecmix_core::profile::WorkloadModel;
+use hecmix_core::stats::{mean, relative_error_pct, std_dev};
+use hecmix_sim::{run_cluster, run_node, ClusterSpec, NodeArch, NodeRunSpec, TypeAssignment};
+use hecmix_workloads::Workload;
+
+use crate::lab::Lab;
+
+/// Per-platform error statistics (percent).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrStats {
+    /// Mean absolute relative error, %.
+    pub mean: f64,
+    /// Standard deviation of the error, %.
+    pub std_dev: f64,
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Workload name.
+    pub workload: String,
+    /// Problem-size description.
+    pub problem: String,
+    /// Bottleneck column.
+    pub bottleneck: &'static str,
+    /// Execution-time error on the AMD node.
+    pub time_amd: ErrStats,
+    /// Execution-time error on the ARM node.
+    pub time_arm: ErrStats,
+    /// Energy error on the AMD node.
+    pub energy_amd: ErrStats,
+    /// Energy error on the ARM node.
+    pub energy_arm: ErrStats,
+}
+
+/// Scale heavy validation problem sizes down for the *measurement* runs
+/// while keeping the model prediction at the same units (both sides use
+/// the same `units`, so this only bounds simulation effort).
+fn validation_units(w: &dyn Workload) -> u64 {
+    // EP's 2^31 single-node runs are cheap in the simulator thanks to
+    // relative chunking, so full sizes are used directly.
+    w.validation_units()
+}
+
+/// Errors for one (workload, platform) over the whole `(c, f)` grid.
+fn single_node_errors(
+    arch: &NodeArch,
+    model: &WorkloadModel,
+    units: u64,
+    seed: u64,
+) -> (ErrStats, ErrStats) {
+    let em = ExecTimeModel::new(model);
+    let en = EnergyModel::new(model);
+    let grid: Vec<(u32, usize)> = (1..=arch.platform.cores)
+        .flat_map(|c| (0..arch.platform.freqs.len()).map(move |f| (c, f)))
+        .collect();
+    let errs: Vec<(f64, f64)> = grid
+        .par_iter()
+        .map(|&(cores, f_idx)| {
+            let freq = arch.platform.freqs[f_idx];
+            let cfg = NodeConfig::new(1, cores, freq);
+            let times = em.predict(&cfg, units as f64);
+            let pred_t = times.total;
+            let pred_e = en.energy(&cfg, &times, times.total).total();
+            let m = run_node(
+                arch,
+                &WorkloadTraceOf(model),
+                &NodeRunSpec::new(
+                    cores,
+                    freq,
+                    units,
+                    seed ^ (u64::from(cores) << 8) ^ f_idx as u64,
+                ),
+            );
+            (
+                relative_error_pct(pred_t, m.duration_s),
+                relative_error_pct(pred_e, m.measured_energy_j),
+            )
+        })
+        .collect();
+    let (t_errs, e_errs): (Vec<f64>, Vec<f64>) = errs.into_iter().unzip();
+    (
+        ErrStats {
+            mean: mean(&t_errs),
+            std_dev: std_dev(&t_errs),
+        },
+        ErrStats {
+            mean: mean(&e_errs),
+            std_dev: std_dev(&e_errs),
+        },
+    )
+}
+
+// The measurement side needs the *trace*, which the model bundle does not
+// carry; a tiny adapter resolves it back from the workload registry.
+#[allow(non_snake_case)]
+fn WorkloadTraceOf(model: &WorkloadModel) -> hecmix_sim::WorkloadTrace {
+    hecmix_workloads::workload_by_name(&model.workload)
+        .unwrap_or_else(|| panic!("unknown workload {}", model.workload))
+        .trace()
+}
+
+/// Compute Table 3 for all six workloads.
+#[must_use]
+pub fn table3(lab: &Lab) -> Vec<Table3Row> {
+    hecmix_workloads::all_workloads()
+        .iter()
+        .map(|w| {
+            let models = lab.models(w.as_ref());
+            let units = validation_units(w.as_ref());
+            let (time_arm, energy_arm) =
+                single_node_errors(&lab.arm, &models[0], units, lab.seed() ^ 0xA);
+            let (time_amd, energy_amd) =
+                single_node_errors(&lab.amd, &models[1], units, lab.seed() ^ 0xB);
+            Table3Row {
+                workload: w.name().to_owned(),
+                problem: format!("{} {}s", units, w.unit_name()),
+                bottleneck: w.bottleneck(),
+                time_amd,
+                time_arm,
+                energy_amd,
+                energy_arm,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Workload name.
+    pub workload: String,
+    /// ARM nodes in the configuration.
+    pub arm_nodes: u32,
+    /// AMD nodes in the configuration.
+    pub amd_nodes: u32,
+    /// Execution-time error, %.
+    pub time_err: f64,
+    /// Energy error, %.
+    pub energy_err: f64,
+}
+
+/// Compute Table 4: cluster validation on 8 ARM + {1, 0} AMD.
+#[must_use]
+pub fn table4(lab: &Lab) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for w in hecmix_workloads::all_workloads() {
+        let models = lab.models(w.as_ref());
+        let units = validation_units(w.as_ref());
+        for amd_nodes in [1u32, 0] {
+            let point = ClusterPoint::new(vec![
+                TypeDeployment::maxed(&lab.arm.platform, 8),
+                TypeDeployment::maxed(&lab.amd.platform, amd_nodes),
+            ]);
+            let predicted =
+                evaluate(&point, &models, units as f64).expect("valid cluster configuration");
+            // Measure: run the simulator cluster with the matched shares.
+            let arm_units = predicted.shares[0].round() as u64;
+            let amd_units = units - arm_units.min(units);
+            let spec = ClusterSpec {
+                trace: w.trace(),
+                assignments: vec![
+                    TypeAssignment {
+                        arch: lab.arm.clone(),
+                        nodes: 8,
+                        cores: lab.arm.platform.cores,
+                        freq: lab.arm.platform.fmax(),
+                        units: arm_units,
+                    },
+                    TypeAssignment {
+                        arch: lab.amd.clone(),
+                        nodes: amd_nodes,
+                        cores: lab.amd.platform.cores,
+                        freq: lab.amd.platform.fmax(),
+                        units: amd_units,
+                    },
+                ],
+                seed: lab.seed() ^ u64::from(amd_nodes),
+            };
+            let measured = run_cluster(&spec);
+            rows.push(Table4Row {
+                workload: w.name().to_owned(),
+                arm_nodes: 8,
+                amd_nodes,
+                time_err: relative_error_pct(predicted.time_s, measured.duration_s),
+                energy_err: relative_error_pct(predicted.energy_j, measured.measured_energy_j),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecmix_workloads::ep::Ep;
+
+    // The full tables take a minute; unit tests here exercise one workload
+    // end-to-end, the complete tables run in the integration suite and the
+    // `experiments` binary.
+
+    #[test]
+    fn single_node_errors_within_paper_bound() {
+        let lab = Lab::new();
+        let ep = Ep::class_a();
+        let models = lab.models(&ep);
+        let (t, e) = single_node_errors(&lab.arm, &models[0], 500_000, 7);
+        assert!(t.mean < 15.0, "time error {}%", t.mean);
+        assert!(e.mean < 15.0, "energy error {}%", e.mean);
+        assert!(t.std_dev < 15.0);
+        assert!(e.std_dev < 15.0);
+    }
+
+    #[test]
+    fn cluster_validation_ep() {
+        let lab = Lab::new();
+        let ep = Ep::class_a();
+        let models = lab.models(&ep);
+        let units = 2_000_000u64;
+        let point = ClusterPoint::new(vec![
+            TypeDeployment::maxed(&lab.arm.platform, 8),
+            TypeDeployment::maxed(&lab.amd.platform, 1),
+        ]);
+        let predicted = evaluate(&point, &models, units as f64).unwrap();
+        let arm_units = predicted.shares[0].round() as u64;
+        let spec = ClusterSpec {
+            trace: ep.trace(),
+            assignments: vec![
+                TypeAssignment {
+                    arch: lab.arm.clone(),
+                    nodes: 8,
+                    cores: 4,
+                    freq: lab.arm.platform.fmax(),
+                    units: arm_units,
+                },
+                TypeAssignment {
+                    arch: lab.amd.clone(),
+                    nodes: 1,
+                    cores: 6,
+                    freq: lab.amd.platform.fmax(),
+                    units: units - arm_units,
+                },
+            ],
+            seed: 3,
+        };
+        let measured = run_cluster(&spec);
+        let terr = relative_error_pct(predicted.time_s, measured.duration_s);
+        let eerr = relative_error_pct(predicted.energy_j, measured.measured_energy_j);
+        assert!(terr < 15.0, "cluster time error {terr}%");
+        assert!(eerr < 15.0, "cluster energy error {eerr}%");
+    }
+}

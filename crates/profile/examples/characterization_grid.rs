@@ -1,0 +1,52 @@
+//! Inspect the raw `(cores, frequency)` characterization grid for a
+//! workload — the measurements behind the paper's Fig. 3 `SPI_mem`
+//! regression.
+//!
+//! ```text
+//! cargo run --release -p hecmix-profile --example characterization_grid [-- workload]
+//! ```
+
+use hecmix_profile::characterize::{fit_spi_mem, spi_mem_grid, CharacterizeOptions};
+use hecmix_sim::{reference_amd_arch, reference_arm_arch};
+use hecmix_workloads::workload_by_name;
+
+fn main() {
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| a != "--")
+        .unwrap_or_else(|| "x264".to_owned());
+    let Some(workload) = workload_by_name(&name) else {
+        eprintln!("unknown workload {name:?}");
+        std::process::exit(1);
+    };
+    let trace = workload.trace();
+
+    for arch in [reference_amd_arch(), reference_arm_arch()] {
+        let opts = CharacterizeOptions::for_trace(&trace);
+        let grid = spi_mem_grid(&arch, &trace, &opts);
+        println!("== {} / {} ==", arch.platform.name, workload.name());
+        println!(
+            "{:>6} {:>7} {:>9} {:>8} {:>9}",
+            "cores", "f GHz", "SPImem", "WPI", "SPIcore"
+        );
+        for cell in &grid {
+            println!(
+                "{:>6} {:>7.2} {:>9.3} {:>8.3} {:>9.3}",
+                cell.cores,
+                cell.freq.ghz(),
+                cell.spi_mem,
+                cell.wpi,
+                cell.spi_core
+            );
+        }
+        let cores_list: Vec<u32> = (1..=arch.platform.cores).collect();
+        let fit = fit_spi_mem(&grid, &cores_list);
+        for (c, f) in &fit.per_cores {
+            println!(
+                "fit cores={c}: SPImem(f) = {:.3} + {:.3}·f   (r² = {:.3})",
+                f.intercept, f.slope, f.r2
+            );
+        }
+        println!();
+    }
+}

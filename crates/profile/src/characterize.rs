@@ -1,0 +1,345 @@
+//! Workload characterization: from simulator runs to model parameters.
+
+use rayon::prelude::*;
+
+use hecmix_core::profile::{IoProfile, SpiMemFit, WorkloadProfile};
+use hecmix_core::stats::LinearFit;
+use hecmix_core::types::Frequency;
+use hecmix_sim::{run_node, ArrivalProcess, NodeArch, NodeRunSpec, WorkloadTrace};
+
+/// Knobs for the characterization runs.
+#[derive(Debug, Clone, Copy)]
+pub struct CharacterizeOptions {
+    /// Work units for the baseline run (the representative subset `Ps`
+    /// scaled far enough for stable counter ratios).
+    pub baseline_units: u64,
+    /// Work units for each `(cores, f)` grid cell (smaller: the grid has
+    /// dozens of cells).
+    pub grid_units: u64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl Default for CharacterizeOptions {
+    fn default() -> Self {
+        Self {
+            baseline_units: 200_000,
+            grid_units: 50_000,
+            seed: 0xC11A,
+        }
+    }
+}
+
+impl CharacterizeOptions {
+    /// Options scaled for workloads with very heavy units (frames): fewer
+    /// units still give hundreds of chunks.
+    #[must_use]
+    pub fn heavy_units() -> Self {
+        Self {
+            baseline_units: 2_000,
+            grid_units: 600,
+            seed: 0xC11A,
+        }
+    }
+
+    /// Pick sensible options from the per-unit operation count.
+    #[must_use]
+    pub fn for_trace(trace: &WorkloadTrace) -> Self {
+        if trace.demand.total_ops() > 1e5 {
+            Self::heavy_units()
+        } else {
+            Self::default()
+        }
+    }
+}
+
+/// One cell of the `(cores, frequency)` characterization grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridCell {
+    /// Active cores of the run.
+    pub cores: u32,
+    /// Core frequency of the run.
+    pub freq: Frequency,
+    /// Measured memory stall cycles per instruction.
+    pub spi_mem: f64,
+    /// Measured work cycles per instruction.
+    pub wpi: f64,
+    /// Measured non-memory stall cycles per instruction.
+    pub spi_core: f64,
+}
+
+/// Measure the full `(cores, frequency)` grid for one workload on one node
+/// type (the paper measures `SPI_mem` "for all values of active cores and
+/// core clock frequencies"). Cells run in parallel — they are independent
+/// single-node simulations.
+#[must_use]
+pub fn spi_mem_grid(
+    arch: &NodeArch,
+    trace: &WorkloadTrace,
+    opts: &CharacterizeOptions,
+) -> Vec<GridCell> {
+    let cells: Vec<(u32, Frequency)> = (1..=arch.platform.cores)
+        .flat_map(|c| arch.platform.freqs.iter().map(move |&f| (c, f)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(cores, freq)| {
+            let spec = NodeRunSpec::new(
+                cores,
+                freq,
+                opts.grid_units,
+                opts.seed ^ (u64::from(cores) << 32) ^ freq.hz() as u64,
+            );
+            let m = run_node(arch, trace, &spec);
+            let t = m.counters.total();
+            GridCell {
+                cores,
+                freq,
+                spi_mem: t.spi_mem(),
+                wpi: t.wpi(),
+                spi_core: t.spi_core(),
+            }
+        })
+        .collect()
+}
+
+/// Fit `SPI_mem` linearly over frequency (GHz) for each core count of a
+/// measured grid (§III-C; Fig. 3 reports `r² ≥ 0.94`).
+#[must_use]
+pub fn fit_spi_mem(grid: &[GridCell], cores_list: &[u32]) -> SpiMemFit {
+    let fits = cores_list
+        .iter()
+        .map(|&c| {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = grid
+                .iter()
+                .filter(|cell| cell.cores == c)
+                .map(|cell| (cell.freq.ghz(), cell.spi_mem))
+                .unzip();
+            (c, LinearFit::fit(&xs, &ys))
+        })
+        .collect();
+    SpiMemFit::new(fits)
+}
+
+/// Characterize one workload on one node archetype: baseline run for the
+/// scalar parameters plus the grid for the `SPI_mem` fits.
+#[must_use]
+pub fn characterize_workload(
+    arch: &NodeArch,
+    trace: &WorkloadTrace,
+    opts: &CharacterizeOptions,
+) -> WorkloadProfile {
+    let cores = arch.platform.cores;
+    let fmax = arch.platform.fmax();
+    let baseline = run_node(
+        arch,
+        trace,
+        &NodeRunSpec::new(cores, fmax, opts.baseline_units, opts.seed),
+    );
+    let totals = baseline.counters.total();
+    let units = totals.units_done;
+    debug_assert!(units > 0.0);
+
+    let i_ps = totals.instructions / units;
+    let wpi = totals.wpi();
+    let spi_core = totals.spi_core();
+    let u_cpu = baseline.counters.cpu_utilization();
+    let active_cores = (u_cpu * f64::from(cores)).max(1e-3);
+
+    let io = IoProfile {
+        bytes_per_unit: baseline.counters.io_bytes / units,
+        lambda_io: match trace.arrivals {
+            ArrivalProcess::Saturated => f64::INFINITY,
+            ArrivalProcess::Open { rate_per_node } => rate_per_node,
+        },
+    };
+
+    let grid = spi_mem_grid(arch, trace, opts);
+    let cores_list: Vec<u32> = (1..=cores).collect();
+    let spi_mem = fit_spi_mem(&grid, &cores_list);
+
+    WorkloadProfile {
+        i_ps,
+        wpi,
+        spi_core,
+        spi_mem,
+        active_cores,
+        baseline_freq: fmax,
+        io,
+    }
+}
+
+/// One row of the problem-size sweep behind the paper's Fig. 2.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeSweepRow {
+    /// Problem size in work units.
+    pub units: u64,
+    /// Measured `WPI`.
+    pub wpi: f64,
+    /// Measured `SPI_core`.
+    pub spi_core: f64,
+}
+
+/// Measure `WPI` and `SPI_core` across problem sizes (Fig. 2 validates
+/// that they stay constant as the workload scales from `Ps` to `P`).
+#[must_use]
+pub fn wpi_across_sizes(
+    arch: &NodeArch,
+    trace: &WorkloadTrace,
+    sizes: &[u64],
+) -> Vec<SizeSweepRow> {
+    sizes
+        .par_iter()
+        .map(|&units| {
+            let m = run_node(
+                arch,
+                trace,
+                // Per-size seed: each problem size is a distinct run of the
+                // real system, with its own run-level irregularity.
+                &NodeRunSpec::new(
+                    arch.platform.cores,
+                    arch.platform.fmax(),
+                    units,
+                    0xF16 ^ units,
+                ),
+            );
+            let t = m.counters.total();
+            SizeSweepRow {
+                units,
+                wpi: t.wpi(),
+                spi_core: t.spi_core(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hecmix_sim::{reference_amd_arch, reference_arm_arch};
+    use hecmix_workloads::ep::Ep;
+    use hecmix_workloads::memcached::Memcached;
+    use hecmix_workloads::x264::X264;
+    use hecmix_workloads::Workload;
+
+    #[test]
+    fn ep_characterization_is_cpu_bound() {
+        let arch = reference_arm_arch();
+        let prof = characterize_workload(
+            &arch,
+            &Ep::class_a().trace(),
+            &CharacterizeOptions::default(),
+        );
+        prof.validate().unwrap();
+        // Calibration targets (§III-B): ARM WPI ≈ 0.85, SPI_core ≈ 0.65.
+        assert!((prof.wpi - 0.86).abs() < 0.1, "WPI {}", prof.wpi);
+        assert!(
+            (prof.spi_core - 0.62).abs() < 0.1,
+            "SPI_core {}",
+            prof.spi_core
+        );
+        // Fully CPU-bound: all cores active.
+        assert!(prof.active_cores > 3.8, "{}", prof.active_cores);
+        assert_eq!(prof.io.bytes_per_unit, 0.0);
+        // Memory stalls negligible at every grid point.
+        assert!(prof.spi_mem.eval(4.0, arch.platform.fmax()) < prof.spi_core);
+    }
+
+    #[test]
+    fn amd_wpi_matches_fig2_band() {
+        let arch = reference_amd_arch();
+        let prof = characterize_workload(
+            &arch,
+            &Ep::class_a().trace(),
+            &CharacterizeOptions::default(),
+        );
+        // Fig. 2: AMD WPI ≈ 0.6–0.7, SPI_core ≈ 0.5–0.6.
+        assert!((0.5..=0.75).contains(&prof.wpi), "WPI {}", prof.wpi);
+        assert!(
+            (0.45..=0.65).contains(&prof.spi_core),
+            "SPI_core {}",
+            prof.spi_core
+        );
+        // ARM needs more instructions per unit than AMD (different ISA).
+        let arm_prof = characterize_workload(
+            &reference_arm_arch(),
+            &Ep::class_a().trace(),
+            &CharacterizeOptions::default(),
+        );
+        assert!(arm_prof.i_ps > prof.i_ps);
+    }
+
+    #[test]
+    fn memcached_characterization_is_io_bound() {
+        let arch = reference_arm_arch();
+        let prof = characterize_workload(
+            &arch,
+            &Memcached::default().trace(),
+            &CharacterizeOptions {
+                baseline_units: 20_000,
+                grid_units: 5_000,
+                seed: 1,
+            },
+        );
+        prof.validate().unwrap();
+        assert!((prof.io.bytes_per_unit - 1000.0).abs() < 1.0);
+        // Cores mostly idle behind the NIC.
+        assert!(prof.active_cores < 2.0, "{}", prof.active_cores);
+    }
+
+    #[test]
+    fn spi_mem_linear_in_frequency_with_high_r2() {
+        // §III-C / Fig. 3: r² ≥ 0.94 for the memory-heavy workload.
+        let arch = reference_amd_arch();
+        let grid = spi_mem_grid(
+            &arch,
+            &X264::default().trace(),
+            &CharacterizeOptions::heavy_units(),
+        );
+        let fit = fit_spi_mem(&grid, &[1, arch.platform.cores]);
+        assert!(fit.min_r2() >= 0.94, "r² {}", fit.min_r2());
+        // Positive slope: SPI_mem grows with frequency.
+        for (_, f) in &fit.per_cores {
+            assert!(f.slope > 0.0, "slope {}", f.slope);
+        }
+        // Contention: more cores → higher SPI_mem at the same frequency.
+        let fmax = arch.platform.fmax();
+        assert!(fit.eval(6.0, fmax) > fit.eval(1.0, fmax));
+    }
+
+    #[test]
+    fn wpi_constant_across_problem_sizes() {
+        // Fig. 2's hypothesis, on our substrate: WPI and SPI_core vary by
+        // well under 5 % from class A to class C scales.
+        let arch = reference_arm_arch();
+        let rows = wpi_across_sizes(&arch, &Ep::class_a().trace(), &[50_000, 200_000, 800_000]);
+        assert_eq!(rows.len(), 3);
+        let wpis: Vec<f64> = rows.iter().map(|r| r.wpi).collect();
+        let spis: Vec<f64> = rows.iter().map(|r| r.spi_core).collect();
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / min
+        };
+        assert!(spread(&wpis) < 0.05, "WPI spread {:?}", wpis);
+        assert!(spread(&spis) < 0.05, "SPI_core spread {:?}", spis);
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let arch = reference_arm_arch();
+        let grid = spi_mem_grid(
+            &arch,
+            &Ep::class_a().trace(),
+            &CharacterizeOptions {
+                baseline_units: 10_000,
+                grid_units: 5_000,
+                seed: 3,
+            },
+        );
+        assert_eq!(grid.len(), 4 * 5);
+        for c in 1..=4u32 {
+            assert_eq!(grid.iter().filter(|g| g.cores == c).count(), 5);
+        }
+    }
+}

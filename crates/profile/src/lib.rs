@@ -1,0 +1,33 @@
+//! # hecmix-profile — the characterization pipeline
+//!
+//! Reproduces §II-D of the paper: the analytical model is *trace-driven*,
+//! so every `+`-marked parameter of Table 2 is obtained "from measurements
+//! by executing some representative subset of the workloads or
+//! micro-benchmarks". The paper uses `perf` hardware counters and a
+//! Yokogawa WT210 power meter on one node of each type; this crate runs
+//! the same procedure against the `hecmix-sim` substrate:
+//!
+//! * [`characterize`] — run the representative phase `Ps` on one simulated
+//!   node, read the event counters, and extract `I_Ps`, `WPI`, `SPI_core`,
+//!   `U_CPU` and the I/O demand; sweep the `(cores, frequency)` grid and
+//!   regress `SPI_mem` linearly over `f` per core count (§III-C).
+//! * [`power`] — measure the power profile: idle floor, per-frequency
+//!   active/stall core power from the `cpumax`/`memstall` micro-benchmarks,
+//!   I/O device power from a NIC-saturating stream; memory power is taken
+//!   from the datasheet, as the paper does.
+//! * [`pipeline`] — the one-stop `characterize_node` that produces a
+//!   [`hecmix_core::profile::WorkloadModel`] ready for the model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod characterize;
+pub mod pipeline;
+pub mod power;
+
+pub use characterize::{
+    characterize_workload, spi_mem_grid, wpi_across_sizes, CharacterizeOptions, GridCell,
+    SizeSweepRow,
+};
+pub use pipeline::{characterize_node, characterize_pair};
+pub use power::characterize_power;

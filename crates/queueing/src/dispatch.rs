@@ -1,0 +1,309 @@
+//! Dispatch policies under time-varying load.
+//!
+//! The paper's introduction motivates heterogeneity with the "cyclic
+//! variation in arrival rates" a datacenter sees. This module extends the
+//! §IV-E analysis from one arrival rate to a *diurnal profile*: a day is
+//! divided into slots, each with its own `λ`, and a dispatch policy picks
+//! a cluster configuration per slot. Policies differ in the *menu* of
+//! configurations they may choose from:
+//!
+//! * a homogeneous high-performance pool (related work's busy-hour mode);
+//! * a homogeneous low-power pool (the quiet-hour mode);
+//! * **switching** — the union of the two pools, one of them per slot
+//!   (the KnightShift-style state of the art the paper argues against);
+//! * **mix-and-match** — every heterogeneous configuration of the same
+//!   hardware.
+//!
+//! Each slot is evaluated with the M/D/1 window-energy model; a slot whose
+//! best feasible configuration still misses the response-time SLO counts
+//! as a violation (the policy then picks the fastest configuration and
+//! eats the miss, as an operator would).
+
+use serde::{Deserialize, Serialize};
+
+use hecmix_core::{Error, Result};
+
+use crate::{window_energy, MD1};
+
+/// One configuration a policy may choose: the outcome of a cluster
+/// configuration for one job, plus the idle power of its powered nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigChoice {
+    /// Display label (e.g. `ARM 16(4c@1.40 GHz) + AMD 2(6c@2.10 GHz)`).
+    pub label: String,
+    /// Job service time, seconds.
+    pub service_s: f64,
+    /// Energy per job, joules.
+    pub job_energy_j: f64,
+    /// Idle power of the powered nodes, watts (unused nodes are off).
+    pub idle_power_w: f64,
+}
+
+/// A sinusoidal diurnal arrival profile:
+/// `λ(slot) = base · (1 + amplitude · sin(2π · slot / slots))`, clipped
+/// at a small positive floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Mean arrival rate over the day, jobs/second.
+    pub base_lambda: f64,
+    /// Relative swing in `[0, 1)`: 0 = flat, 0.9 = strong day/night cycle.
+    pub amplitude: f64,
+    /// Number of slots per day (e.g. 24).
+    pub slots: u32,
+    /// Slot length in seconds.
+    pub slot_s: f64,
+}
+
+impl DiurnalProfile {
+    /// Validate and construct.
+    pub fn new(base_lambda: f64, amplitude: f64, slots: u32, slot_s: f64) -> Result<Self> {
+        if !(base_lambda > 0.0) || !(0.0..1.0).contains(&amplitude) || slots == 0 || !(slot_s > 0.0)
+        {
+            return Err(Error::InvalidInput(format!(
+                "bad diurnal profile: λ={base_lambda}, amp={amplitude}, slots={slots}, slot_s={slot_s}"
+            )));
+        }
+        Ok(Self {
+            base_lambda,
+            amplitude,
+            slots,
+            slot_s,
+        })
+    }
+
+    /// Arrival rate during `slot`.
+    #[must_use]
+    pub fn lambda_at(&self, slot: u32) -> f64 {
+        let phase = std::f64::consts::TAU * f64::from(slot % self.slots) / f64::from(self.slots);
+        (self.base_lambda * (1.0 + self.amplitude * phase.sin())).max(1e-9)
+    }
+}
+
+/// Result of one slot under a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotOutcome {
+    /// Slot index.
+    pub slot: u32,
+    /// Arrival rate in the slot.
+    pub lambda: f64,
+    /// Index of the chosen configuration in the menu.
+    pub choice: usize,
+    /// Energy over the slot, joules.
+    pub energy_j: f64,
+    /// Mean response time in the slot, seconds.
+    pub response_s: f64,
+    /// Whether the SLO was violated in this slot.
+    pub violated: bool,
+}
+
+/// Aggregated day under one policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayOutcome {
+    /// Total energy over the day, joules.
+    pub energy_j: f64,
+    /// Slots that missed the SLO (including saturated ones).
+    pub violations: u32,
+    /// Per-slot detail.
+    pub slots: Vec<SlotOutcome>,
+}
+
+/// For one slot, pick the cheapest menu entry whose mean response meets
+/// the SLO; fall back to the fastest-response feasible entry (counted as
+/// a violation) when none does. Returns `None` only when every entry is
+/// saturated at this `λ`.
+#[must_use]
+pub fn best_choice(
+    menu: &[ConfigChoice],
+    lambda: f64,
+    window_s: f64,
+    slo_response_s: f64,
+) -> Option<(usize, f64, f64, bool)> {
+    let mut best_ok: Option<(usize, f64, f64)> = None; // (idx, energy, response)
+    let mut best_fallback: Option<(usize, f64, f64)> = None; // fastest response
+    for (idx, c) in menu.iter().enumerate() {
+        let Ok(we) = window_energy(
+            lambda,
+            window_s,
+            c.service_s,
+            c.job_energy_j,
+            c.idle_power_w,
+        ) else {
+            continue; // saturated
+        };
+        let e = we.total_j();
+        if we.response_s <= slo_response_s && best_ok.as_ref().is_none_or(|(_, be, _)| e < *be) {
+            best_ok = Some((idx, e, we.response_s));
+        }
+        if best_fallback
+            .as_ref()
+            .is_none_or(|(_, _, br)| we.response_s < *br)
+        {
+            best_fallback = Some((idx, e, we.response_s));
+        }
+    }
+    match (best_ok, best_fallback) {
+        (Some((i, e, r)), _) => Some((i, e, r, false)),
+        (None, Some((i, e, r))) => Some((i, e, r, true)),
+        (None, None) => None,
+    }
+}
+
+/// Run a whole day under one menu. A slot where even the fastest
+/// configuration is saturated contributes zero energy but counts as a
+/// violation (the queue is unstable — energy accounting is moot).
+#[must_use]
+pub fn run_day(menu: &[ConfigChoice], profile: &DiurnalProfile, slo_response_s: f64) -> DayOutcome {
+    let mut slots = Vec::with_capacity(profile.slots as usize);
+    let mut energy_j = 0.0;
+    let mut violations = 0;
+    for slot in 0..profile.slots {
+        let lambda = profile.lambda_at(slot);
+        match best_choice(menu, lambda, profile.slot_s, slo_response_s) {
+            Some((choice, e, response_s, violated)) => {
+                energy_j += e;
+                violations += u32::from(violated);
+                slots.push(SlotOutcome {
+                    slot,
+                    lambda,
+                    choice,
+                    energy_j: e,
+                    response_s,
+                    violated,
+                });
+            }
+            None => {
+                violations += 1;
+                slots.push(SlotOutcome {
+                    slot,
+                    lambda,
+                    choice: usize::MAX,
+                    energy_j: 0.0,
+                    response_s: f64::INFINITY,
+                    violated: true,
+                });
+            }
+        }
+    }
+    DayOutcome {
+        energy_j,
+        violations,
+        slots,
+    }
+}
+
+/// Convenience: the highest arrival rate any menu entry can stabilize
+/// (`max_i 1/T_i`, exclusive).
+#[must_use]
+pub fn saturation_lambda(menu: &[ConfigChoice]) -> f64 {
+    menu.iter().map(|c| 1.0 / c.service_s).fold(0.0, f64::max)
+}
+
+/// Sanity helper: would this menu meet the SLO at `lambda` at all?
+#[must_use]
+pub fn feasible(menu: &[ConfigChoice], lambda: f64, slo_response_s: f64) -> bool {
+    menu.iter().any(|c| {
+        MD1::new(lambda, c.service_s)
+            .and_then(|q| q.mean_response_s())
+            .map(|r| r <= slo_response_s)
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn menu() -> Vec<ConfigChoice> {
+        vec![
+            // A fast, expensive configuration (AMD-heavy).
+            ConfigChoice {
+                label: "fast".into(),
+                service_s: 0.025,
+                job_energy_j: 20.0,
+                idle_power_w: 700.0,
+            },
+            // A slow, cheap one (ARM-only).
+            ConfigChoice {
+                label: "cheap".into(),
+                service_s: 0.40,
+                job_energy_j: 7.5,
+                idle_power_w: 25.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn diurnal_profile_shape() {
+        let p = DiurnalProfile::new(1.0, 0.5, 24, 3600.0).unwrap();
+        let lambdas: Vec<f64> = (0..24).map(|s| p.lambda_at(s)).collect();
+        let max = lambdas.iter().cloned().fold(0.0f64, f64::max);
+        let min = lambdas.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - 1.5).abs() < 0.01, "peak {max}");
+        assert!((min - 0.5).abs() < 0.01, "trough {min}");
+        // Periodic.
+        assert_eq!(p.lambda_at(0), p.lambda_at(24));
+        // Degenerate profiles rejected.
+        assert!(DiurnalProfile::new(0.0, 0.5, 24, 3600.0).is_err());
+        assert!(DiurnalProfile::new(1.0, 1.0, 24, 3600.0).is_err());
+        assert!(DiurnalProfile::new(1.0, 0.5, 0, 3600.0).is_err());
+    }
+
+    #[test]
+    fn best_choice_prefers_cheap_when_slack() {
+        let m = menu();
+        // λ low, SLO loose: the cheap configuration wins.
+        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 1.0).unwrap();
+        assert_eq!(idx, 1);
+        assert!(!violated);
+        // SLO tight (50 ms): only the fast configuration qualifies.
+        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 0.05).unwrap();
+        assert_eq!(idx, 0);
+        assert!(!violated);
+    }
+
+    #[test]
+    fn best_choice_falls_back_and_flags_violation() {
+        let m = menu();
+        // SLO impossible (1 ms): fastest config chosen, violation flagged.
+        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 0.001).unwrap();
+        assert_eq!(idx, 0);
+        assert!(violated);
+        // λ beyond every config's saturation: nothing to pick.
+        assert!(best_choice(&m, 1000.0, 3600.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn day_accounting() {
+        let m = menu();
+        let p = DiurnalProfile::new(1.0, 0.8, 24, 600.0).unwrap();
+        let day = run_day(&m, &p, 0.5);
+        assert_eq!(day.slots.len(), 24);
+        assert_eq!(day.violations, 0);
+        assert!(day.energy_j > 0.0);
+        let sum: f64 = day.slots.iter().map(|s| s.energy_j).sum();
+        assert!((sum - day.energy_j).abs() < 1e-9);
+        // The policy switches with load: both menu entries get used.
+        let used: std::collections::HashSet<usize> = day.slots.iter().map(|s| s.choice).collect();
+        assert!(used.contains(&0) && used.contains(&1), "{used:?}");
+    }
+
+    #[test]
+    fn richer_menu_never_costs_more() {
+        // A menu that is a superset can only do better or equal.
+        let small = vec![menu()[0].clone()];
+        let big = menu();
+        let p = DiurnalProfile::new(1.0, 0.6, 24, 600.0).unwrap();
+        let day_small = run_day(&small, &p, 0.5);
+        let day_big = run_day(&big, &p, 0.5);
+        assert!(day_big.energy_j <= day_small.energy_j + 1e-9);
+        assert!(day_big.violations <= day_small.violations);
+    }
+
+    #[test]
+    fn saturation_and_feasibility() {
+        let m = menu();
+        assert!((saturation_lambda(&m) - 40.0).abs() < 1e-9);
+        assert!(feasible(&m, 1.0, 0.5));
+        assert!(!feasible(&m, 100.0, 0.5));
+    }
+}

@@ -1,0 +1,443 @@
+//! # hecmix-queueing — job arrivals and waiting time (§IV-E)
+//!
+//! The paper extends its Pareto analysis to a datacenter receiving a
+//! *stream* of jobs: arrivals are Poisson (exponential inter-arrival with
+//! rate `λ_job`), each job's service time is fixed by the chosen cluster
+//! configuration (deterministic service — the mix-and-match schedule), and
+//! jobs queue FIFO at a dispatcher. That is an **M/D/1** queue with
+//! utilization `U = T·λ_job`.
+//!
+//! This crate provides:
+//!
+//! * [`MD1`] — the analytical model (Pollaczek–Khinchine mean waiting
+//!   time), plus [`MM1`] for comparison;
+//! * [`simulate_md1`] — a discrete-event simulation of the same queue that
+//!   cross-validates the closed forms;
+//! * [`window_energy`] — the paper's observation-window energy accounting
+//!   (Fig. 10): over a 20 s window, jobs × per-job energy plus the idle
+//!   energy of the configuration's nodes between jobs, with unused nodes
+//!   switched off.
+
+// `!(x > 0.0)` deliberately rejects NaN along with non-positive values;
+// rewriting with `partial_cmp` would hide that intent.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dispatch;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hecmix_core::{Error, Result};
+
+/// The M/D/1 queue: Poisson arrivals at rate `lambda`, deterministic
+/// service time `service_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MD1 {
+    /// Job arrival rate, jobs/second.
+    pub lambda: f64,
+    /// Deterministic service time per job, seconds.
+    pub service_s: f64,
+}
+
+impl MD1 {
+    /// Construct and validate (`lambda`, `service_s` positive).
+    pub fn new(lambda: f64, service_s: f64) -> Result<Self> {
+        if !(lambda > 0.0) || !lambda.is_finite() || !(service_s > 0.0) || !service_s.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "MD1 needs positive finite lambda and service time, got λ={lambda}, T={service_s}"
+            )));
+        }
+        Ok(Self { lambda, service_s })
+    }
+
+    /// Server utilization `ρ = λ·T` (the paper's `U = T·λ_job`).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.lambda * self.service_s
+    }
+
+    /// Mean waiting time in queue (Pollaczek–Khinchine for deterministic
+    /// service): `W_q = ρ·T / (2(1 − ρ))`. Errors at or beyond saturation.
+    pub fn mean_wait_s(&self) -> Result<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(Error::Saturated { utilization: rho });
+        }
+        Ok(rho * self.service_s / (2.0 * (1.0 - rho)))
+    }
+
+    /// Mean response time per job: `R = T + W_q`.
+    pub fn mean_response_s(&self) -> Result<f64> {
+        Ok(self.service_s + self.mean_wait_s()?)
+    }
+
+    /// Mean number of jobs in the system (Little's law: `L = λ·R`).
+    pub fn mean_jobs_in_system(&self) -> Result<f64> {
+        Ok(self.lambda * self.mean_response_s()?)
+    }
+}
+
+/// The M/M/1 queue (exponential service) — included for comparison; its
+/// wait is exactly twice the M/D/1 wait at the same utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MM1 {
+    /// Job arrival rate, jobs/second.
+    pub lambda: f64,
+    /// Mean service time, seconds.
+    pub service_s: f64,
+}
+
+impl MM1 {
+    /// Server utilization.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.lambda * self.service_s
+    }
+
+    /// Mean waiting time `W_q = ρ·T/(1 − ρ)`.
+    pub fn mean_wait_s(&self) -> Result<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(Error::Saturated { utilization: rho });
+        }
+        Ok(rho * self.service_s / (1.0 - rho))
+    }
+}
+
+/// The M/G/1 queue: Poisson arrivals, generally distributed service with
+/// mean `service_s` and squared coefficient of variation `scv`
+/// (`Var[S]/E[S]²`). `scv = 0` recovers M/D/1, `scv = 1` recovers M/M/1 —
+/// the full Pollaczek–Khinchine formula. Useful because the simulated
+/// cluster's per-job service times carry real run-to-run variance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MG1 {
+    /// Job arrival rate, jobs/second.
+    pub lambda: f64,
+    /// Mean service time, seconds.
+    pub service_s: f64,
+    /// Squared coefficient of variation of the service time.
+    pub scv: f64,
+}
+
+impl MG1 {
+    /// Construct and validate.
+    pub fn new(lambda: f64, service_s: f64, scv: f64) -> Result<Self> {
+        if !(lambda > 0.0) || !(service_s > 0.0) || !(scv >= 0.0) || !scv.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "MG1 needs positive λ and E[S] and non-negative SCV, got λ={lambda}, T={service_s}, scv={scv}"
+            )));
+        }
+        Ok(Self {
+            lambda,
+            service_s,
+            scv,
+        })
+    }
+
+    /// Server utilization `ρ = λ·E[S]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.lambda * self.service_s
+    }
+
+    /// Pollaczek–Khinchine mean wait:
+    /// `W_q = ρ·E[S]·(1 + scv) / (2(1 − ρ))`.
+    pub fn mean_wait_s(&self) -> Result<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(Error::Saturated { utilization: rho });
+        }
+        Ok(rho * self.service_s * (1.0 + self.scv) / (2.0 * (1.0 - rho)))
+    }
+
+    /// Mean response time `R = E[S] + W_q`.
+    pub fn mean_response_s(&self) -> Result<f64> {
+        Ok(self.service_s + self.mean_wait_s()?)
+    }
+}
+
+/// Statistics from the discrete-event M/D/1 simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Mean waiting time in queue, seconds.
+    pub mean_wait_s: f64,
+    /// Mean response time, seconds.
+    pub mean_response_s: f64,
+    /// Fraction of time the server was busy.
+    pub utilization: f64,
+}
+
+/// Discrete-event simulation of an M/D/1 queue: `n_jobs` Poisson arrivals,
+/// FIFO service. Used to cross-validate the Pollaczek–Khinchine formula.
+#[must_use]
+pub fn simulate_md1(lambda: f64, service_s: f64, n_jobs: u64, seed: u64) -> SimStats {
+    assert!(lambda > 0.0 && service_s > 0.0 && n_jobs > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut clock = 0.0f64; // arrival clock
+    let mut server_free_at = 0.0f64;
+    let mut total_wait = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut last_departure = 0.0f64;
+    for _ in 0..n_jobs {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        clock += -u.ln() / lambda; // exponential inter-arrival
+        let start = clock.max(server_free_at);
+        total_wait += start - clock;
+        server_free_at = start + service_s;
+        busy += service_s;
+        last_departure = server_free_at;
+    }
+    let jobs = n_jobs;
+    SimStats {
+        jobs,
+        mean_wait_s: total_wait / jobs as f64,
+        mean_response_s: total_wait / jobs as f64 + service_s,
+        utilization: busy / last_departure,
+    }
+}
+
+/// Energy of one configuration over an observation window (Fig. 10):
+/// per-job energy times the jobs served, plus the *idle* energy of the
+/// configuration's powered nodes between jobs. Nodes not in the
+/// configuration are switched off and contribute nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowEnergy {
+    /// Window length, seconds.
+    pub window_s: f64,
+    /// Jobs served in the window (`λ·L`).
+    pub jobs: f64,
+    /// Energy spent actively servicing jobs, joules.
+    pub busy_energy_j: f64,
+    /// Idle energy of powered nodes between jobs, joules.
+    pub idle_energy_j: f64,
+    /// Mean response time per job (service + queueing wait), seconds.
+    pub response_s: f64,
+    /// Utilization `ρ`.
+    pub utilization: f64,
+}
+
+impl WindowEnergy {
+    /// Total window energy.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.busy_energy_j + self.idle_energy_j
+    }
+}
+
+/// Evaluate the window energy of a configuration with per-job service time
+/// `service_s`, per-job energy `job_energy_j` (which already includes the
+/// nodes' idle floor *during* service), and total idle power
+/// `idle_power_w` of the powered nodes, under Poisson arrivals `lambda`
+/// over `window_s` seconds.
+pub fn window_energy(
+    lambda: f64,
+    window_s: f64,
+    service_s: f64,
+    job_energy_j: f64,
+    idle_power_w: f64,
+) -> Result<WindowEnergy> {
+    if !(window_s > 0.0) || job_energy_j < 0.0 || idle_power_w < 0.0 {
+        return Err(Error::InvalidInput(
+            "window_energy needs positive window and non-negative energy/power".into(),
+        ));
+    }
+    let q = MD1::new(lambda, service_s)?;
+    let rho = q.utilization();
+    if rho >= 1.0 {
+        return Err(Error::Saturated { utilization: rho });
+    }
+    let jobs = lambda * window_s;
+    let busy_energy_j = jobs * job_energy_j;
+    let idle_energy_j = idle_power_w * window_s * (1.0 - rho);
+    Ok(WindowEnergy {
+        window_s,
+        jobs,
+        busy_energy_j,
+        idle_energy_j,
+        response_s: q.mean_response_s()?,
+        utilization: rho,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn md1_known_values() {
+        // ρ = 0.5: W_q = 0.5·T/(2·0.5) = T/2.
+        let q = MD1::new(5.0, 0.1).unwrap();
+        assert!((q.utilization() - 0.5).abs() < 1e-12);
+        assert!((q.mean_wait_s().unwrap() - 0.05).abs() < 1e-12);
+        assert!((q.mean_response_s().unwrap() - 0.15).abs() < 1e-12);
+        // Little's law.
+        assert!((q.mean_jobs_in_system().unwrap() - 5.0 * 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_wait_is_half_of_mm1() {
+        let lambda = 3.0;
+        let t = 0.2;
+        let md1 = MD1::new(lambda, t).unwrap();
+        let mm1 = MM1 {
+            lambda,
+            service_s: t,
+        };
+        let wd = md1.mean_wait_s().unwrap();
+        let wm = mm1.mean_wait_s().unwrap();
+        assert!((wm / wd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_interpolates_md1_and_mm1() {
+        let (lambda, t) = (4.0, 0.1);
+        let md1 = MD1::new(lambda, t).unwrap().mean_wait_s().unwrap();
+        let mm1 = MM1 {
+            lambda,
+            service_s: t,
+        }
+        .mean_wait_s()
+        .unwrap();
+        let g0 = MG1::new(lambda, t, 0.0).unwrap().mean_wait_s().unwrap();
+        let g1 = MG1::new(lambda, t, 1.0).unwrap().mean_wait_s().unwrap();
+        assert!((g0 - md1).abs() < 1e-12, "scv=0 must equal M/D/1");
+        assert!((g1 - mm1).abs() < 1e-12, "scv=1 must equal M/M/1");
+        // Monotone in variance.
+        let g_half = MG1::new(lambda, t, 0.5).unwrap().mean_wait_s().unwrap();
+        assert!(md1 < g_half && g_half < mm1);
+        // Domain checks.
+        assert!(MG1::new(lambda, t, -0.1).is_err());
+        assert!(MG1::new(20.0, t, 0.5).unwrap().mean_wait_s().is_err());
+    }
+
+    #[test]
+    fn saturation_rejected() {
+        let q = MD1::new(10.0, 0.1).unwrap(); // ρ = 1
+        assert!(matches!(q.mean_wait_s(), Err(Error::Saturated { .. })));
+        let q = MD1::new(20.0, 0.1).unwrap(); // ρ = 2
+        assert!(q.mean_response_s().is_err());
+        assert!(MD1::new(0.0, 0.1).is_err());
+        assert!(MD1::new(1.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn wait_diverges_near_saturation() {
+        let t = 0.1;
+        let w90 = MD1::new(9.0, t).unwrap().mean_wait_s().unwrap();
+        let w99 = MD1::new(9.9, t).unwrap().mean_wait_s().unwrap();
+        assert!(w99 > 10.0 * w90 / 2.0, "wait must blow up: {w90} -> {w99}");
+    }
+
+    #[test]
+    fn simulation_matches_pollaczek_khinchine() {
+        for rho in [0.05f64, 0.25, 0.5, 0.8] {
+            let service = 0.01;
+            let lambda = rho / service;
+            let analytic = MD1::new(lambda, service).unwrap().mean_wait_s().unwrap();
+            let sim = simulate_md1(lambda, service, 400_000, 42);
+            let rel = if analytic > 0.0 {
+                (sim.mean_wait_s - analytic).abs() / analytic
+            } else {
+                sim.mean_wait_s
+            };
+            assert!(
+                rel < 0.05,
+                "ρ={rho}: sim {} vs analytic {analytic} (rel {rel})",
+                sim.mean_wait_s
+            );
+            assert!((sim.utilization - rho).abs() < 0.05 * rho.max(0.1));
+        }
+    }
+
+    #[test]
+    fn window_energy_accounting() {
+        // λ = 2 jobs/s, T = 0.1 s → ρ = 0.2. Window 20 s → 40 jobs.
+        let w = window_energy(2.0, 20.0, 0.1, 5.0, 10.0).unwrap();
+        assert!((w.jobs - 40.0).abs() < 1e-12);
+        assert!((w.busy_energy_j - 200.0).abs() < 1e-12);
+        // Idle: 10 W × 20 s × 0.8 = 160 J.
+        assert!((w.idle_energy_j - 160.0).abs() < 1e-12);
+        assert!((w.total_j() - 360.0).abs() < 1e-12);
+        assert!((w.utilization - 0.2).abs() < 1e-12);
+        assert!(w.response_s > 0.1);
+    }
+
+    #[test]
+    fn window_energy_rejects_saturation_and_bad_inputs() {
+        assert!(matches!(
+            window_energy(20.0, 20.0, 0.1, 1.0, 1.0),
+            Err(Error::Saturated { .. })
+        ));
+        assert!(window_energy(1.0, 0.0, 0.1, 1.0, 1.0).is_err());
+        assert!(window_energy(1.0, 20.0, 0.1, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn higher_utilization_needs_faster_response_for_same_deadline() {
+        // The paper's Observation 4 mechanism: at higher λ, the same
+        // response-time deadline requires a shorter service time.
+        let deadline = 0.2;
+        let find_max_service = |lambda: f64| {
+            // Bisection on service time such that response == deadline.
+            let (mut lo, mut hi) = (1e-6, deadline);
+            for _ in 0..100 {
+                let mid = 0.5 * (lo + hi);
+                let ok = MD1::new(lambda, mid)
+                    .and_then(|q| q.mean_response_s())
+                    .map(|r| r <= deadline)
+                    .unwrap_or(false);
+                if ok {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        let t_slow = find_max_service(1.0);
+        let t_fast = find_max_service(4.0);
+        assert!(
+            t_fast < t_slow,
+            "higher arrival rate must force faster service: {t_fast} vs {t_slow}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wait_nonnegative_and_monotone_in_rho(
+            lambda in 0.1f64..50.0,
+            service in 0.001f64..0.019,
+        ) {
+            let q = MD1 { lambda, service_s: service };
+            prop_assume!(q.utilization() < 0.99);
+            let w = q.mean_wait_s().unwrap();
+            prop_assert!(w >= 0.0);
+            // Increasing λ increases the wait.
+            let q2 = MD1 { lambda: lambda * 1.01, service_s: service };
+            if q2.utilization() < 0.995 {
+                prop_assert!(q2.mean_wait_s().unwrap() >= w);
+            }
+        }
+
+        #[test]
+        fn prop_window_energy_scales_with_window(
+            lambda in 0.1f64..5.0,
+            service in 0.001f64..0.1,
+            energy in 0.1f64..100.0,
+            idle in 0.0f64..100.0,
+        ) {
+            prop_assume!(lambda * service < 0.95);
+            let a = window_energy(lambda, 10.0, service, energy, idle).unwrap();
+            let b = window_energy(lambda, 20.0, service, energy, idle).unwrap();
+            prop_assert!((b.total_j() - 2.0 * a.total_j()).abs() < 1e-9 * b.total_j().max(1.0));
+            // Response time independent of window length.
+            prop_assert!((a.response_s - b.response_s).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Node archetypes: ISA expansion, issue model, memory system and power.
+//!
+//! A [`NodeArch`] is the simulator's ground truth for one node type. It is
+//! intentionally parameterized by *lower-level* quantities than the
+//! analytical model consumes — instruction-expansion factors, issue IPCs,
+//! cache-miss scaling, memory latency in nanoseconds, contention slopes,
+//! power coefficients — so that the model parameters (`WPI`, `SPI_core`,
+//! `SPI_mem(f)`, `I_Ps`, powers) have to be *measured* from simulator runs
+//! rather than copied.
+
+use serde::{Deserialize, Serialize};
+
+use hecmix_core::types::{Frequency, Platform};
+
+use crate::trace::UnitDemand;
+
+/// How one ISA/micro-architecture executes an abstract [`UnitDemand`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsaModel {
+    /// Machine instructions per abstract integer op (RISC ISAs need more
+    /// instructions than CISC for the same work).
+    pub int_expand: f64,
+    /// Machine instructions per abstract FP op (scalar vs SIMD width,
+    /// fused ops).
+    pub fp_expand: f64,
+    /// Machine instructions per abstract SIMD op (1 on a 128-bit
+    /// datapath; several micro-ops on a 64-bit one).
+    pub simd_expand: f64,
+    /// Machine instructions per abstract wide multiply (1 on a 64-bit
+    /// machine with a wide multiplier; several narrow multiplies plus
+    /// carry-chain instructions on a 32-bit machine).
+    pub wide_mul_expand: f64,
+    /// Machine instructions per abstract memory reference.
+    pub mem_expand: f64,
+    /// Machine instructions per abstract branch.
+    pub branch_expand: f64,
+    /// Sustained issue rate for integer instructions (instructions/cycle).
+    pub int_ipc: f64,
+    /// Sustained issue rate for FP instructions.
+    pub fp_ipc: f64,
+    /// Sustained issue rate for SIMD instructions.
+    pub simd_ipc: f64,
+    /// Cycles per wide-multiply instruction (not pipelined on small cores).
+    pub wide_mul_cpi: f64,
+    /// Sustained issue rate for memory instructions that hit in cache.
+    pub mem_ipc: f64,
+    /// Pipeline-hazard stall cycles per instruction (structural hazards,
+    /// issue-width pressure) — contributes to `SPI_core`.
+    pub hazard_spi: f64,
+    /// Branch-misprediction penalty in cycles.
+    pub branch_penalty: f64,
+    /// Multiplier on the trace's reference LLC miss rate: <1 for caches
+    /// larger than the 4 MiB reference, >1 for smaller.
+    pub miss_scaling: f64,
+}
+
+/// Breakdown of executing a batch of work on one core, in cycles and
+/// instruction counts (before memory-contention effects).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IsaCost {
+    /// Machine instructions.
+    pub instructions: f64,
+    /// Issue/work cycles (the `WPI` numerator).
+    pub work_cycles: f64,
+    /// Non-memory stall cycles (the `SPI_core` numerator).
+    pub core_stall_cycles: f64,
+    /// Last-level cache misses that go to memory.
+    pub llc_misses: f64,
+}
+
+impl IsaModel {
+    /// Expand `units` work units of `demand` into ISA-level costs.
+    #[must_use]
+    pub fn expand(&self, demand: &UnitDemand, units: f64) -> IsaCost {
+        let int_i = demand.int_ops * self.int_expand * units;
+        let fp_i = demand.fp_ops * self.fp_expand * units;
+        let simd_i = demand.simd_ops * self.simd_expand * units;
+        let mul_i = demand.wide_mul_ops * self.wide_mul_expand * units;
+        let mem_i = demand.mem_ops * self.mem_expand * units;
+        let br_i = demand.branch_ops * self.branch_expand * units;
+        let instructions = int_i + fp_i + simd_i + mul_i + mem_i + br_i;
+
+        let work_cycles = int_i / self.int_ipc
+            + fp_i / self.fp_ipc
+            + simd_i / self.simd_ipc
+            + mul_i * self.wide_mul_cpi
+            + mem_i / self.mem_ipc
+            + br_i / self.int_ipc;
+
+        let branch_misses = demand.branch_ops * demand.branch_miss_rate * units;
+        let core_stall_cycles =
+            branch_misses * self.branch_penalty + instructions * self.hazard_spi;
+
+        let llc_misses =
+            demand.mem_ops * units * (demand.llc_miss_rate * self.miss_scaling).min(1.0);
+
+        IsaCost {
+            instructions,
+            work_cycles,
+            core_stall_cycles,
+            llc_misses,
+        }
+    }
+}
+
+/// Memory-system ground truth: DRAM latency and its growth under
+/// multi-core contention, and the memory-level parallelism the out-of-order
+/// window can extract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Unloaded round-trip latency of a last-level miss, nanoseconds.
+    pub latency_ns: f64,
+    /// Fractional latency growth per additional *contending* core:
+    /// `lat(c) = latency_ns · (1 + contention · (c − 1))` (the off-chip
+    /// contention behaviour of [Tudor et al., ICPP 2011] cited by the paper).
+    pub contention: f64,
+    /// Average overlapped outstanding misses (MLP): effective stall per
+    /// miss is `lat / mlp`.
+    pub mlp: f64,
+}
+
+impl MemoryModel {
+    /// Effective stall time per miss, in nanoseconds, with `c` cores
+    /// contending.
+    #[must_use]
+    pub fn stall_ns_per_miss(&self, contending_cores: f64) -> f64 {
+        let c = contending_cores.max(1.0);
+        self.latency_ns * (1.0 + self.contention * (c - 1.0)) / self.mlp
+    }
+}
+
+/// Ground-truth power behaviour of one node type.
+///
+/// Dynamic core power follows `k · (f/f_nom)^exp` per core (voltage scales
+/// with frequency under DVFS); stalled cores clock-gate part of the
+/// pipeline and draw a fraction of active power. Memory and the NIC draw
+/// incremental power while busy. Everything else is the idle floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchPower {
+    /// Idle floor for the whole node, watts.
+    pub idle_w: f64,
+    /// Active per-core power at nominal (max) frequency, watts.
+    pub core_peak_w: f64,
+    /// Exponent of the frequency–power law (≈1.8 with voltage scaling).
+    pub freq_exponent: f64,
+    /// Stalled-core power as a fraction of active power.
+    pub stall_frac: f64,
+    /// Incremental DRAM power while servicing requests, watts.
+    pub mem_w: f64,
+    /// Incremental NIC power while transferring, watts.
+    pub io_w: f64,
+    /// Multiplicative 1-σ noise of the external power meter (run-to-run
+    /// measurement irregularity, §III-D names power characterization as a
+    /// main error source).
+    pub meter_sigma: f64,
+}
+
+impl ArchPower {
+    /// Active per-core watts at frequency `f` given nominal `f_nom`.
+    #[must_use]
+    pub fn core_active_w(&self, f: Frequency, f_nom: Frequency) -> f64 {
+        self.core_peak_w * (f.ghz() / f_nom.ghz()).powf(self.freq_exponent)
+    }
+
+    /// Stalled per-core watts at frequency `f`.
+    #[must_use]
+    pub fn core_stall_w(&self, f: Frequency, f_nom: Frequency) -> f64 {
+        self.core_active_w(f, f_nom) * self.stall_frac
+    }
+}
+
+/// The full ground truth for one node type: the public platform spec plus
+/// the hidden micro-architectural parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeArch {
+    /// Public platform description (Table 1 data).
+    pub platform: Platform,
+    /// ISA/issue model.
+    pub isa: IsaModel,
+    /// Memory system.
+    pub mem: MemoryModel,
+    /// Power behaviour.
+    pub power: ArchPower,
+    /// Per-chunk execution-time jitter (1-σ, multiplicative) — short-term
+    /// irregularity within a run.
+    pub jitter_sigma: f64,
+    /// Whole-run jitter (1-σ, multiplicative) applied to all stall
+    /// components of one run: thermal state, OS interference and placement
+    /// effects that bias an *entire* execution — the paper's "irregularities
+    /// among different runs of the same program" (§III-D). Unlike the
+    /// per-chunk jitter this does not average away over long runs.
+    pub run_sigma: f64,
+}
+
+impl NodeArch {
+    /// Nominal (max) frequency shortcut.
+    #[must_use]
+    pub fn f_nom(&self) -> Frequency {
+        self.platform.fmax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{reference_amd_arch, reference_arm_arch};
+
+    fn ep_like() -> UnitDemand {
+        UnitDemand {
+            int_ops: 10.0,
+            fp_ops: 8.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 2.0,
+            llc_miss_rate: 0.005,
+            branch_ops: 2.0,
+            branch_miss_rate: 0.02,
+            io_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn expansion_is_linear_in_units() {
+        let arch = reference_arm_arch();
+        let one = arch.isa.expand(&ep_like(), 1.0);
+        let many = arch.isa.expand(&ep_like(), 1000.0);
+        assert!((many.instructions - 1000.0 * one.instructions).abs() < 1e-6);
+        assert!((many.work_cycles - 1000.0 * one.work_cycles).abs() < 1e-6);
+        assert!((many.llc_misses - 1000.0 * one.llc_misses).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arm_needs_more_instructions_than_amd() {
+        let arm = reference_arm_arch();
+        let amd = reference_amd_arch();
+        let d = ep_like();
+        let ia = arm.isa.expand(&d, 1.0).instructions;
+        let ix = amd.isa.expand(&d, 1.0).instructions;
+        assert!(ia > ix, "ARM {ia} vs AMD {ix} instructions per unit");
+    }
+
+    #[test]
+    fn wide_multiplies_hurt_narrow_isa_disproportionately() {
+        let arm = reference_arm_arch();
+        let amd = reference_amd_arch();
+        let mut d = UnitDemand::zero();
+        d.wide_mul_ops = 100.0;
+        d.int_ops = 10.0;
+        let ca = arm.isa.expand(&d, 1.0);
+        let cx = amd.isa.expand(&d, 1.0);
+        // Cycle blow-up on ARM must exceed its generic instruction blow-up.
+        let generic = ep_like();
+        let ga = arm.isa.expand(&generic, 1.0).work_cycles;
+        let gx = amd.isa.expand(&generic, 1.0).work_cycles;
+        assert!(
+            ca.work_cycles / cx.work_cycles > ga / gx,
+            "bignum-heavy mix should widen the ARM/AMD cycle gap"
+        );
+    }
+
+    #[test]
+    fn memory_contention_grows_latency() {
+        let arch = reference_arm_arch();
+        let base = arch.mem.stall_ns_per_miss(1.0);
+        let four = arch.mem.stall_ns_per_miss(4.0);
+        assert!(four > base);
+        // Sub-linear in core count is fine, but must be monotone.
+        assert!(arch.mem.stall_ns_per_miss(2.0) < four);
+        // Degenerate inputs clamp to one core.
+        assert!((arch.mem.stall_ns_per_miss(0.0) - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_scales_down_with_frequency() {
+        let arch = reference_amd_arch();
+        let f_nom = arch.f_nom();
+        let full = arch.power.core_active_w(f_nom, f_nom);
+        assert!((full - arch.power.core_peak_w).abs() < 1e-12);
+        let half = arch
+            .power
+            .core_active_w(Frequency::from_ghz(f_nom.ghz() / 2.0), f_nom);
+        assert!(half < full * 0.5, "superlinear power law expected");
+        let stall = arch.power.core_stall_w(f_nom, f_nom);
+        assert!((stall - full * arch.power.stall_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_scaling_clamps_at_one() {
+        let mut arch = reference_arm_arch();
+        arch.isa.miss_scaling = 100.0;
+        let mut d = ep_like();
+        d.llc_miss_rate = 0.5;
+        let c = arch.isa.expand(&d, 1.0);
+        assert!(c.llc_misses <= d.mem_ops + 1e-12);
+    }
+}

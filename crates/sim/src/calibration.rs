@@ -1,0 +1,241 @@
+//! Reference node archetypes, calibrated to the paper's testbed (Table 1).
+//!
+//! The *public* envelope of each archetype (core counts, P-states,
+//! bandwidths, peak/idle power) is taken directly from the paper. The
+//! *hidden* micro-architectural constants (issue rates, expansion factors,
+//! DRAM latency, contention slope, ...) are calibrated-synthetic: chosen so
+//! that the characterization pipeline measures model inputs in the ranges
+//! the paper reports —
+//!
+//! * EP on AMD: `WPI ≈ 0.7`, `SPI_core ≈ 0.55`; on ARM: `WPI ≈ 0.85`,
+//!   `SPI_core ≈ 0.65` (Fig. 2);
+//! * `SPI_mem` linear in `f` with `r² ≥ 0.94` (Fig. 3);
+//! * ARM holding the better performance-per-watt except for bignum-heavy
+//!   (RSA) and memory-bandwidth-heavy (x264) workloads (Table 5).
+//!
+//! Sources of the flavor constants: the Cortex-A9 is a 2-wide
+//! partially-out-of-order core with a weak FPU and a 32-bit multiplier
+//! behind LP-DDR2; the K10 is a 3-wide out-of-order core with wide SSE
+//! datapaths and a 64-bit multiplier in front of dual-channel DDR3 and a
+//! 6 MiB L3.
+
+use hecmix_core::types::Platform;
+
+use crate::arch::{ArchPower, IsaModel, MemoryModel, NodeArch};
+
+/// Ground truth for the AMD Opteron K10 node (high-performance type).
+#[must_use]
+pub fn reference_amd_arch() -> NodeArch {
+    NodeArch {
+        platform: Platform::reference_amd(),
+        isa: IsaModel {
+            int_expand: 1.0,
+            fp_expand: 1.0,
+            // Full-width 128-bit SSE datapaths.
+            simd_expand: 1.0,
+            wide_mul_expand: 1.0,
+            mem_expand: 1.0,
+            branch_expand: 1.0,
+            int_ipc: 2.0,
+            fp_ipc: 1.3,
+            simd_ipc: 2.0,
+            wide_mul_cpi: 4.0,
+            mem_ipc: 1.6,
+            hazard_spi: 0.5,
+            branch_penalty: 14.0,
+            // 512 KiB/core L2 + 6 MiB L3 → misses less than the reference.
+            miss_scaling: 0.7,
+        },
+        mem: MemoryModel {
+            // Dual-channel DDR3 behind an on-die controller.
+            latency_ns: 65.0,
+            contention: 0.18,
+            mlp: 2.5,
+        },
+        power: ArchPower {
+            idle_w: 45.0,
+            core_peak_w: 2.5, // 45 + 6 × 2.5 = 60 W peak (§IV-C)
+            freq_exponent: 2.2,
+            stall_frac: 0.6,
+            mem_w: 4.0,
+            io_w: 2.0,
+            meter_sigma: 0.02,
+        },
+        jitter_sigma: 0.02,
+        run_sigma: 0.02,
+    }
+}
+
+/// Ground truth for the ARM Cortex-A9 node (low-power type).
+#[must_use]
+pub fn reference_arm_arch() -> NodeArch {
+    NodeArch {
+        platform: Platform::reference_arm(),
+        isa: IsaModel {
+            // RISC expansion: more instructions for the same abstract work.
+            int_expand: 1.15,
+            fp_expand: 1.4,
+            // The A9's NEON unit is 64 bits wide and misses several
+            // packed operations, so 128-bit SIMD work triples.
+            simd_expand: 4.0,
+            // 64×64 multiply = 4 × 32-bit UMULL/UMLAL plus explicit carry
+            // propagation and register shuffling (pre-ARMv8 bignum code).
+            wide_mul_expand: 6.0,
+            mem_expand: 1.1,
+            branch_expand: 1.0,
+            int_ipc: 1.5,
+            fp_ipc: 0.9,
+            simd_ipc: 0.5,
+            // The A9 multiplier is not fully pipelined.
+            wide_mul_cpi: 6.0,
+            mem_ipc: 1.2,
+            hazard_spi: 0.6,
+            branch_penalty: 13.0,
+            // 1 MiB shared L2, no L3 → misses more than the reference.
+            miss_scaling: 2.2,
+        },
+        mem: MemoryModel {
+            // Single-channel LP-DDR2: long unloaded latency, and the narrow
+            // channel saturates quickly when several cores stream misses.
+            latency_ns: 110.0,
+            contention: 0.7,
+            mlp: 1.2,
+        },
+        power: ArchPower {
+            // The board idles below the paper's "less than 2 watts"; the
+            // balance of the 5 W peak envelope is dynamic core power,
+            // which gives the A9 a genuine energy-optimal P-state below
+            // fmax (the overlap region of Fig. 4).
+            idle_w: 1.4,
+            core_peak_w: 0.9, // 1.4 + 4 × 0.9 = 5 W peak (§IV-C)
+            freq_exponent: 2.2,
+            stall_frac: 0.6,
+            mem_w: 0.4,
+            io_w: 0.3,
+            meter_sigma: 0.02,
+        },
+        jitter_sigma: 0.03,
+        run_sigma: 0.03,
+    }
+}
+
+/// Ground truth for an ARM Cortex-A15 node — a *third* type exercising the
+/// model's "generic mix of heterogeneous nodes" claim (§II-A names the
+/// Cortex-A15 among the architectures the machine model covers).
+///
+/// The A15 sits between the A9 and the K10: a 3-wide out-of-order core
+/// with full 128-bit NEON, a 2 MiB L2 and dual-channel DDR3L, at roughly
+/// 12 W per quad-core node. Public envelope values follow contemporary
+/// A15 dev platforms; hidden constants are calibrated-synthetic like the
+/// other archetypes.
+#[must_use]
+pub fn reference_a15_arch() -> NodeArch {
+    use hecmix_core::types::Frequency;
+    NodeArch {
+        platform: Platform {
+            name: "ARM Cortex-A15".to_owned(),
+            isa: "ARMv7-A".to_owned(),
+            cores: 4,
+            freqs: vec![
+                Frequency::from_ghz(0.6),
+                Frequency::from_ghz(1.0),
+                Frequency::from_ghz(1.4),
+                Frequency::from_ghz(1.7),
+                Frequency::from_ghz(2.0),
+            ],
+            io_bandwidth_bps: 1e9,
+            peak_power_w: 12.0,
+            idle_power_w: 3.0,
+            infra_power_w: 2.5,
+        },
+        isa: IsaModel {
+            int_expand: 1.15,
+            fp_expand: 1.2,
+            // Full-width NEON: mild expansion, decent issue rate.
+            simd_expand: 1.5,
+            // Still a 32-bit multiplier, but a fast pipelined one.
+            wide_mul_expand: 4.0,
+            mem_expand: 1.1,
+            branch_expand: 1.0,
+            int_ipc: 1.9,
+            fp_ipc: 1.2,
+            simd_ipc: 1.2,
+            wide_mul_cpi: 3.0,
+            mem_ipc: 1.5,
+            hazard_spi: 0.5,
+            branch_penalty: 15.0,
+            // 2 MiB L2, no L3.
+            miss_scaling: 1.4,
+        },
+        mem: MemoryModel {
+            latency_ns: 85.0,
+            contention: 0.35,
+            mlp: 2.0,
+        },
+        power: ArchPower {
+            idle_w: 3.0,
+            core_peak_w: 2.25, // 3 + 4 × 2.25 = 12 W peak
+            freq_exponent: 2.2,
+            stall_frac: 0.6,
+            mem_w: 1.0,
+            io_w: 0.8,
+            meter_sigma: 0.02,
+        },
+        jitter_sigma: 0.025,
+        run_sigma: 0.025,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_power_consistent_with_platform() {
+        for arch in [
+            reference_amd_arch(),
+            reference_arm_arch(),
+            reference_a15_arch(),
+        ] {
+            let computed =
+                arch.power.idle_w + arch.power.core_peak_w * f64::from(arch.platform.cores);
+            assert!(
+                (computed - arch.platform.peak_power_w).abs() < 1e-9,
+                "{}: {computed} vs {}",
+                arch.platform.name,
+                arch.platform.peak_power_w
+            );
+        }
+    }
+
+    #[test]
+    fn platforms_validate() {
+        reference_amd_arch().platform.validate().unwrap();
+        reference_arm_arch().platform.validate().unwrap();
+        reference_a15_arch().platform.validate().unwrap();
+    }
+
+    #[test]
+    fn arm_memory_weaker_than_amd() {
+        let arm = reference_arm_arch();
+        let amd = reference_amd_arch();
+        assert!(arm.mem.latency_ns > amd.mem.latency_ns);
+        assert!(arm.isa.miss_scaling > amd.isa.miss_scaling);
+        assert!(arm.mem.mlp < amd.mem.mlp);
+    }
+
+    #[test]
+    fn a15_sits_between_a9_and_k10() {
+        let a9 = reference_arm_arch();
+        let a15 = reference_a15_arch();
+        let amd = reference_amd_arch();
+        // Issue capability and memory system strictly between the two.
+        assert!(a9.isa.int_ipc < a15.isa.int_ipc && a15.isa.int_ipc < amd.isa.int_ipc);
+        assert!(amd.mem.latency_ns < a15.mem.latency_ns);
+        assert!(a15.mem.latency_ns < a9.mem.latency_ns);
+        assert!(a15.isa.simd_expand < a9.isa.simd_expand);
+        // Power envelope between the two as well.
+        assert!(a9.platform.peak_power_w < a15.platform.peak_power_w);
+        assert!(a15.platform.peak_power_w < amd.platform.peak_power_w);
+    }
+}

@@ -1,0 +1,227 @@
+//! Hardware event counters, `perf`-style.
+//!
+//! The paper reads instructions, work cycles and stall cycles from the
+//! PMU of each node (§II-D-1) and computes `WPI`, `SPI_core` and `SPI_mem`
+//! from them. These structs expose exactly those observables from the
+//! simulator, with the same semantics:
+//!
+//! * a core is *busy* (accumulating cycles) while executing instructions
+//!   **or waiting for memory** — memory waits are CPU time;
+//! * waiting for the network device is **not** CPU time (DMA transfers
+//!   proceed without the core);
+//! * stall counters record the *raw* cycles of each stall cause. Because
+//!   the out-of-order window overlaps memory waits with other work, the
+//!   per-cause counters can sum to more than the elapsed cycles (as on
+//!   real PMUs); the elapsed cycles are bounded by
+//!   `work + max(stalls) ≤ cycles ≤ work + Σ stalls`.
+
+use serde::{Deserialize, Serialize};
+
+/// Event counters of one core over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreCounters {
+    /// Retired instructions.
+    pub instructions: f64,
+    /// Total cycles while busy (work + all stalls).
+    pub cycles: f64,
+    /// Issue/work cycles.
+    pub work_cycles: f64,
+    /// Non-memory stall cycles (branch, hazards).
+    pub core_stall_cycles: f64,
+    /// Memory stall cycles (LLC-miss service time seen by the core).
+    pub mem_stall_cycles: f64,
+    /// Last-level cache misses.
+    pub llc_misses: f64,
+    /// Wall-clock seconds the core was busy (work + stalls).
+    pub busy_s: f64,
+    /// Work units this core completed.
+    pub units_done: f64,
+}
+
+impl CoreCounters {
+    /// Accumulate another counter set (e.g. across runs).
+    pub fn merge(&mut self, other: &CoreCounters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.work_cycles += other.work_cycles;
+        self.core_stall_cycles += other.core_stall_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.llc_misses += other.llc_misses;
+        self.busy_s += other.busy_s;
+        self.units_done += other.units_done;
+    }
+
+    /// Work cycles per instruction (`WPI`). 0 when no instructions retired.
+    #[must_use]
+    pub fn wpi(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.work_cycles / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Non-memory stall cycles per instruction (`SPI_core`).
+    #[must_use]
+    pub fn spi_core(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.core_stall_cycles / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Memory stall cycles per instruction (`SPI_mem`).
+    #[must_use]
+    pub fn spi_mem(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.mem_stall_cycles / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Cycle-conservation check. With overlapping stall causes the elapsed
+    /// cycles are bracketed: at least the work plus the larger stall
+    /// source, at most the work plus both (no overlap at all).
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        let lo = self.work_cycles + self.core_stall_cycles.max(self.mem_stall_cycles);
+        let hi = self.work_cycles + self.core_stall_cycles + self.mem_stall_cycles;
+        let tol = 1e-6 * self.cycles.max(1.0);
+        self.cycles + tol >= lo && self.cycles <= hi + tol
+    }
+}
+
+/// Counters for a whole node: per-core counters plus node-level devices.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// Per-core counters.
+    pub cores: Vec<CoreCounters>,
+    /// Bytes the NIC transferred.
+    pub io_bytes: f64,
+    /// Seconds the NIC was busy transferring.
+    pub io_busy_s: f64,
+    /// Seconds the memory controller was servicing misses (union across
+    /// cores is approximated by the max core mem-stall time).
+    pub mem_busy_s: f64,
+    /// Wall-clock duration of the run on this node.
+    pub duration_s: f64,
+}
+
+impl NodeCounters {
+    /// Build with `cores` zeroed counters.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores: vec![CoreCounters::default(); cores],
+            io_bytes: 0.0,
+            io_busy_s: 0.0,
+            mem_busy_s: 0.0,
+            duration_s: 0.0,
+        }
+    }
+
+    /// Aggregate counters across cores.
+    #[must_use]
+    pub fn total(&self) -> CoreCounters {
+        let mut t = CoreCounters::default();
+        for c in &self.cores {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Average CPU utilization across the run: busy core-seconds divided by
+    /// `cores × duration` (the `U_CPU` of Table 2).
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.duration_s <= 0.0 || self.cores.is_empty() {
+            return 0.0;
+        }
+        let busy: f64 = self.cores.iter().map(|c| c.busy_s).sum();
+        (busy / (self.cores.len() as f64 * self.duration_s)).min(1.0)
+    }
+
+    /// Total work units completed by the node.
+    #[must_use]
+    pub fn units_done(&self) -> f64 {
+        self.cores.iter().map(|c| c.units_done).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoreCounters {
+        CoreCounters {
+            instructions: 1000.0,
+            cycles: 1800.0,
+            work_cycles: 800.0,
+            core_stall_cycles: 600.0,
+            mem_stall_cycles: 400.0,
+            llc_misses: 10.0,
+            busy_s: 0.5,
+            units_done: 42.0,
+        }
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let c = sample();
+        assert!((c.wpi() - 0.8).abs() < 1e-12);
+        assert!((c.spi_core() - 0.6).abs() < 1e-12);
+        assert!((c.spi_mem() - 0.4).abs() < 1e-12);
+        assert!(c.is_conserved());
+    }
+
+    #[test]
+    fn zero_instructions_safe() {
+        let c = CoreCounters::default();
+        assert_eq!(c.wpi(), 0.0);
+        assert_eq!(c.spi_core(), 0.0);
+        assert_eq!(c.spi_mem(), 0.0);
+    }
+
+    #[test]
+    fn conservation_detects_mismatch() {
+        let mut c = sample();
+        c.cycles += 100.0;
+        assert!(!c.is_conserved());
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert!((a.instructions - 2000.0).abs() < 1e-12);
+        assert!((a.units_done - 84.0).abs() < 1e-12);
+        assert!(a.is_conserved());
+    }
+
+    #[test]
+    fn node_utilization() {
+        let mut n = NodeCounters::new(4);
+        n.duration_s = 2.0;
+        for c in &mut n.cores {
+            c.busy_s = 1.0; // each core busy half the time
+        }
+        assert!((n.cpu_utilization() - 0.5).abs() < 1e-12);
+        // Clamped at 1 even with rounding slop.
+        for c in &mut n.cores {
+            c.busy_s = 2.1;
+        }
+        assert_eq!(n.cpu_utilization(), 1.0);
+    }
+
+    #[test]
+    fn node_totals() {
+        let mut n = NodeCounters::new(2);
+        n.cores[0] = sample();
+        n.cores[1] = sample();
+        let t = n.total();
+        assert!((t.instructions - 2000.0).abs() < 1e-12);
+        assert!((n.units_done() - 84.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Job-stream simulation: the full §IV-E scenario, end to end.
+//!
+//! The paper's queueing analysis (Fig. 10) is *analytic*: M/D/1 waiting
+//! times plus a window-energy formula. This module provides the matching
+//! *measurement*: Poisson job arrivals feed a FIFO dispatcher; each job is
+//! serviced by an actual cluster simulation (so service times carry the
+//! real run-to-run variance, making the system M/G/1-with-small-CV rather
+//! than exactly M/D/1); powered nodes burn their idle floor between jobs.
+//! The integration tests cross-validate the analytic window energies and
+//! response times against this simulation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::{run_cluster, ClusterSpec, TypeAssignment};
+use crate::trace::WorkloadTrace;
+
+/// A stream of jobs offered to one cluster configuration.
+#[derive(Debug, Clone)]
+pub struct JobStreamSpec {
+    /// The workload (one job = `Σ assignments.units` work units).
+    pub trace: WorkloadTrace,
+    /// The cluster configuration servicing each job, including the
+    /// per-type unit shares of one job (the mix-and-match split).
+    pub assignments: Vec<TypeAssignment>,
+    /// Poisson arrival rate, jobs/second.
+    pub lambda: f64,
+    /// Observation window, seconds (arrivals stop at its end; service
+    /// drains the queue past it, with energy prorated to the window).
+    pub window_s: f64,
+    /// Base noise seed.
+    pub seed: u64,
+}
+
+/// Measured outcome of a job stream.
+#[derive(Debug, Clone)]
+pub struct JobStreamMeasurement {
+    /// Jobs that arrived inside the window.
+    pub jobs_arrived: u64,
+    /// Mean response time (wait + service) over those jobs, seconds.
+    pub mean_response_s: f64,
+    /// Mean service time over those jobs, seconds.
+    pub mean_service_s: f64,
+    /// Energy spent servicing jobs *within the window*, joules (a job
+    /// straddling the window edge contributes pro rata).
+    pub busy_energy_j: f64,
+    /// Idle-floor energy of the powered nodes while no job was running,
+    /// within the window, joules.
+    pub idle_energy_j: f64,
+    /// Fraction of the window the cluster was servicing a job.
+    pub utilization: f64,
+}
+
+impl JobStreamMeasurement {
+    /// Total window energy.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.busy_energy_j + self.idle_energy_j
+    }
+}
+
+/// Simulate the stream.
+///
+/// # Panics
+/// Panics on non-positive `lambda` or `window_s`, or an empty cluster.
+#[must_use]
+pub fn run_job_stream(spec: &JobStreamSpec) -> JobStreamMeasurement {
+    assert!(
+        spec.lambda > 0.0 && spec.window_s > 0.0,
+        "bad stream parameters"
+    );
+    assert!(
+        spec.assignments.iter().any(|a| a.nodes > 0),
+        "cluster has no nodes"
+    );
+    let idle_power_w: f64 = spec
+        .assignments
+        .iter()
+        .map(|a| f64::from(a.nodes) * a.arch.power.idle_w)
+        .sum();
+
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    // Arrival epochs within the window.
+    let mut arrivals = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / spec.lambda;
+        if t >= spec.window_s {
+            break;
+        }
+        arrivals.push(t);
+    }
+
+    let mut server_free_at = 0.0f64;
+    let mut total_response = 0.0f64;
+    let mut total_service = 0.0f64;
+    let mut busy_energy_j = 0.0f64;
+    let mut busy_in_window = 0.0f64;
+    for (i, &arrival) in arrivals.iter().enumerate() {
+        // Service this job on the simulated cluster with its own seed —
+        // real per-job variance.
+        let m = run_cluster(&ClusterSpec {
+            trace: spec.trace.clone(),
+            assignments: spec.assignments.clone(),
+            seed: spec.seed.wrapping_add(0x9E37 * (i as u64 + 1)),
+        });
+        let start = arrival.max(server_free_at);
+        let end = start + m.duration_s;
+        server_free_at = end;
+        total_response += end - arrival;
+        total_service += m.duration_s;
+        // Pro-rate the job's energy to the part inside the window.
+        let inside = (spec.window_s.min(end) - start.min(spec.window_s)).max(0.0);
+        busy_energy_j += m.measured_energy_j * inside / m.duration_s;
+        busy_in_window += inside;
+    }
+    let busy_in_window = busy_in_window.min(spec.window_s);
+    let idle_in_window = spec.window_s - busy_in_window;
+    let jobs = arrivals.len() as u64;
+    JobStreamMeasurement {
+        jobs_arrived: jobs,
+        mean_response_s: if jobs > 0 {
+            total_response / jobs as f64
+        } else {
+            0.0
+        },
+        mean_service_s: if jobs > 0 {
+            total_service / jobs as f64
+        } else {
+            0.0
+        },
+        busy_energy_j,
+        idle_energy_j: idle_power_w * idle_in_window,
+        utilization: busy_in_window / spec.window_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{reference_amd_arch, reference_arm_arch};
+    use crate::trace::UnitDemand;
+
+    fn kv_demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 1200.0,
+            fp_ops: 0.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 600.0,
+            llc_miss_rate: 0.02,
+            branch_ops: 200.0,
+            branch_miss_rate: 0.03,
+            io_bytes: 1000.0,
+        }
+    }
+
+    fn small_cluster(units_arm: u64, units_amd: u64) -> Vec<TypeAssignment> {
+        let arm = reference_arm_arch();
+        let amd = reference_amd_arch();
+        vec![
+            TypeAssignment {
+                arch: arm.clone(),
+                nodes: 4,
+                cores: 4,
+                freq: arm.platform.fmax(),
+                units: units_arm,
+            },
+            TypeAssignment {
+                arch: amd.clone(),
+                nodes: 1,
+                cores: 6,
+                freq: amd.platform.fmax(),
+                units: units_amd,
+            },
+        ]
+    }
+
+    #[test]
+    fn stream_accounting_is_consistent() {
+        let spec = JobStreamSpec {
+            trace: WorkloadTrace::batch("kv", kv_demand()),
+            assignments: small_cluster(2_000, 3_000),
+            lambda: 2.0,
+            window_s: 10.0,
+            seed: 42,
+        };
+        let m = run_job_stream(&spec);
+        assert!(
+            m.jobs_arrived > 5 && m.jobs_arrived < 60,
+            "{}",
+            m.jobs_arrived
+        );
+        assert!(m.mean_response_s >= m.mean_service_s);
+        assert!((0.0..=1.0).contains(&m.utilization));
+        assert!(m.busy_energy_j > 0.0 && m.idle_energy_j > 0.0);
+        // Utilization ≈ λ · E[S] for a stable queue (within Poisson noise).
+        let expect_rho = spec.lambda * m.mean_service_s;
+        assert!(
+            (m.utilization - expect_rho).abs() < 0.35 * expect_rho.max(0.05),
+            "ρ {} vs λE[S] {expect_rho}",
+            m.utilization
+        );
+    }
+
+    #[test]
+    fn higher_arrival_rate_raises_utilization_and_energy() {
+        let mk = |lambda| JobStreamSpec {
+            trace: WorkloadTrace::batch("kv", kv_demand()),
+            assignments: small_cluster(2_000, 3_000),
+            lambda,
+            window_s: 20.0,
+            seed: 7,
+        };
+        let slow = run_job_stream(&mk(1.0));
+        let fast = run_job_stream(&mk(6.0));
+        assert!(fast.utilization > 2.0 * slow.utilization);
+        assert!(fast.busy_energy_j > 2.0 * slow.busy_energy_j);
+        // Idle energy shrinks as the cluster fills up.
+        assert!(fast.idle_energy_j < slow.idle_energy_j);
+        // Waiting appears: responses exceed service times more at high λ.
+        let slack_slow = slow.mean_response_s / slow.mean_service_s;
+        let slack_fast = fast.mean_response_s / fast.mean_service_s;
+        assert!(slack_fast > slack_slow);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = JobStreamSpec {
+            trace: WorkloadTrace::batch("kv", kv_demand()),
+            assignments: small_cluster(1_000, 1_500),
+            lambda: 2.0,
+            window_s: 5.0,
+            seed: 9,
+        };
+        let a = run_job_stream(&spec);
+        let b = run_job_stream(&spec);
+        assert_eq!(a.jobs_arrived, b.jobs_arrived);
+        assert_eq!(a.total_j(), b.total_j());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad stream parameters")]
+    fn rejects_bad_lambda() {
+        let spec = JobStreamSpec {
+            trace: WorkloadTrace::batch("kv", kv_demand()),
+            assignments: small_cluster(100, 100),
+            lambda: 0.0,
+            window_s: 5.0,
+            seed: 1,
+        };
+        let _ = run_job_stream(&spec);
+    }
+}

@@ -1,0 +1,781 @@
+//! Event-driven simulation of one node executing a workload share.
+//!
+//! Cores pull *chunks* of work units from a shared queue. For each chunk,
+//! the ISA model expands the abstract demand into instructions, issue
+//! cycles and cache misses; misses wait on the memory controller, whose
+//! latency depends on how many cores are busy *at that moment*; the chunk's
+//! duration is the slower of the core path and the memory path (out-of-order
+//! overlap), perturbed by run-to-run jitter. Completed chunks hand their
+//! network bytes to the NIC, which drains them by DMA in the background;
+//! cores block when the NIC backlog grows too deep (I/O backpressure) or
+//! when an open arrival process has not yet delivered more work.
+//!
+//! CPU utilization, I/O-boundness and memory contention therefore *emerge*
+//! from the event interleaving — nothing in this module evaluates the
+//! analytical model's equations.
+
+use hecmix_core::types::Frequency;
+
+use crate::arch::NodeArch;
+use crate::counters::NodeCounters;
+use crate::engine::EventQueue;
+use crate::noise::Noise;
+use crate::power::{EnergyAccount, PowerMeter};
+use crate::trace::{ArrivalProcess, WorkloadTrace};
+
+/// DVFS policy for a run. The paper (and the model) pin each node to one
+/// P-state per configuration; [`Governor::Ondemand`] reproduces what a
+/// stock Linux `ondemand` governor would do instead, so experiments can
+/// quantify the fixed-frequency assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Governor {
+    /// Stay at the configured P-state for the whole run.
+    Fixed,
+    /// Sample utilization every `interval_s`; step the P-state up when
+    /// utilization exceeds `up_threshold`, down when it falls below
+    /// `down_threshold`.
+    Ondemand {
+        /// Sampling interval, seconds.
+        interval_s: f64,
+        /// Utilization above which to raise the frequency.
+        up_threshold: f64,
+        /// Utilization below which to lower it.
+        down_threshold: f64,
+    },
+}
+
+impl Governor {
+    /// A stock ondemand-like configuration (10 ms sampling, 80 %/30 %).
+    #[must_use]
+    pub fn ondemand() -> Self {
+        Governor::Ondemand {
+            interval_s: 0.010,
+            up_threshold: 0.8,
+            down_threshold: 0.3,
+        }
+    }
+}
+
+/// Per-node run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRunSpec {
+    /// Enabled cores (`1 ..= platform.cores`).
+    pub cores: u32,
+    /// Core clock frequency (one of the platform P-states); the starting
+    /// P-state when a governor is active.
+    pub freq: Frequency,
+    /// Work units assigned to this node.
+    pub units: u64,
+    /// Noise seed (vary for repeated "runs" of the same experiment).
+    pub seed: u64,
+    /// Chunk size override in units; `None` picks a size that gives each
+    /// core a few hundred chunks.
+    pub chunk_units: Option<u64>,
+    /// DVFS policy.
+    pub governor: Governor,
+}
+
+impl NodeRunSpec {
+    /// A spec with default chunking and a pinned frequency.
+    #[must_use]
+    pub fn new(cores: u32, freq: Frequency, units: u64, seed: u64) -> Self {
+        Self {
+            cores,
+            freq,
+            units,
+            seed,
+            chunk_units: None,
+            governor: Governor::Fixed,
+        }
+    }
+
+    /// Switch to a DVFS governor.
+    #[must_use]
+    pub fn with_governor(mut self, governor: Governor) -> Self {
+        self.governor = governor;
+        self
+    }
+}
+
+/// Everything measured from one node run.
+#[derive(Debug, Clone)]
+pub struct NodeMeasurement {
+    /// Hardware event counters.
+    pub counters: NodeCounters,
+    /// Exact (ground-truth) energy account.
+    pub energy: EnergyAccount,
+    /// Energy as read by the external power meter (with measurement error).
+    pub measured_energy_j: f64,
+    /// Wall-clock duration of the run in seconds.
+    pub duration_s: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    CoreDone(u32),
+    NicDone,
+    WakeArrival,
+    GovernorTick,
+}
+
+/// NIC backlog (in chunks of pending transfer) above which cores stop
+/// starting new chunks. Small enough that an I/O-bound run is promptly
+/// limited by the line rate; large enough to keep the pipeline full.
+const NIC_BACKLOG_CHUNKS: f64 = 4.0;
+
+struct NodeSim<'a> {
+    arch: &'a NodeArch,
+    trace: &'a WorkloadTrace,
+    spec: NodeRunSpec,
+    chunk: u64,
+    queue: EventQueue<Ev>,
+    noise: Noise,
+    counters: NodeCounters,
+    energy: EnergyAccount,
+    /// Units not yet handed to a core.
+    pending_units: u64,
+    /// Units arrived (for open arrivals) but not yet consumed; `f64`
+    /// because arrival is a fluid process.
+    consumed_units: f64,
+    /// Per-core busy flag (holds the chunk size being executed).
+    core_busy: Vec<Option<u64>>,
+    /// Cores currently executing (memory contention driver).
+    busy_cores: u32,
+    /// NIC state.
+    nic_busy: bool,
+    nic_queue_bytes: f64,
+    nic_chunk_backlog: f64,
+    nic_pending_bytes: f64,
+    /// Cores parked on backpressure or arrival starvation.
+    parked: Vec<u32>,
+    wake_scheduled: bool,
+    /// Whole-run stall bias (drawn once per run from the seed).
+    run_factor: f64,
+    /// Current P-state index into `arch.platform.freqs`.
+    freq_idx: usize,
+    /// Busy core-seconds accumulated since the last governor tick.
+    busy_since_tick: f64,
+    last_tick: f64,
+}
+
+impl<'a> NodeSim<'a> {
+    fn new(arch: &'a NodeArch, trace: &'a WorkloadTrace, spec: NodeRunSpec) -> Self {
+        assert!(
+            spec.cores >= 1 && spec.cores <= arch.platform.cores,
+            "core count {} out of range for {}",
+            spec.cores,
+            arch.platform.name
+        );
+        assert!(
+            arch.platform.supports_frequency(spec.freq),
+            "{} is not a P-state of {}",
+            spec.freq,
+            arch.platform.name
+        );
+        assert!(trace.demand.is_valid(), "invalid workload demand");
+        let chunk = spec.chunk_units.unwrap_or_else(|| {
+            // A few hundred chunks per core keeps event counts low while
+            // letting contention and backpressure interleave.
+            (spec.units / (u64::from(spec.cores) * 256)).max(1)
+        });
+        let mut noise = Noise::new(spec.seed);
+        let run_factor = noise.factor(arch.run_sigma);
+        let freq_idx = arch
+            .platform
+            .freqs
+            .iter()
+            .position(|f| (f.hz() - spec.freq.hz()).abs() < 1e3)
+            .expect("validated above");
+        Self {
+            arch,
+            trace,
+            spec,
+            chunk,
+            queue: EventQueue::new(),
+            noise,
+            counters: NodeCounters::new(spec.cores as usize),
+            energy: EnergyAccount::default(),
+            pending_units: spec.units,
+            consumed_units: 0.0,
+            core_busy: vec![None; spec.cores as usize],
+            busy_cores: 0,
+            nic_busy: false,
+            nic_queue_bytes: 0.0,
+            nic_chunk_backlog: 0.0,
+            nic_pending_bytes: 0.0,
+            parked: Vec::new(),
+            wake_scheduled: false,
+            run_factor,
+            freq_idx,
+            busy_since_tick: 0.0,
+            last_tick: 0.0,
+        }
+    }
+
+    /// The frequency the node is running at right now.
+    fn cur_freq(&self) -> Frequency {
+        self.arch.platform.freqs[self.freq_idx]
+    }
+
+    /// Governor tick: measure utilization since the last tick, step the
+    /// P-state, and reschedule while the run is still active.
+    fn governor_tick(&mut self) {
+        let Governor::Ondemand {
+            interval_s,
+            up_threshold,
+            down_threshold,
+        } = self.spec.governor
+        else {
+            return;
+        };
+        let now = self.queue.now();
+        let window = (now - self.last_tick).max(1e-12);
+        // Two utilization signals: busy time of chunks *completed* in the
+        // window, and the cores busy right now (a long chunk spanning
+        // several windows contributes nothing to the former until it
+        // retires — sampling only completions would read a saturated core
+        // as idle and drive the governor the wrong way).
+        let completed = (self.busy_since_tick / (window * f64::from(self.spec.cores))).min(1.0);
+        let instantaneous = f64::from(self.busy_cores) / f64::from(self.spec.cores);
+        let util = completed.max(instantaneous);
+        self.busy_since_tick = 0.0;
+        self.last_tick = now;
+        if util > up_threshold && self.freq_idx + 1 < self.arch.platform.freqs.len() {
+            self.freq_idx += 1;
+        } else if util < down_threshold && self.freq_idx > 0 {
+            self.freq_idx -= 1;
+        }
+        let active = self.pending_units > 0
+            || self.busy_cores > 0
+            || self.nic_busy
+            || self.nic_queue_bytes > 0.0;
+        if active {
+            self.queue.schedule_in(interval_s, Ev::GovernorTick);
+        }
+    }
+
+    /// Units that have arrived by time `t` under the arrival process.
+    fn arrived_by(&self, t: f64) -> f64 {
+        match self.trace.arrivals {
+            ArrivalProcess::Saturated => self.spec.units as f64,
+            ArrivalProcess::Open { rate_per_node } => {
+                (rate_per_node * t).min(self.spec.units as f64)
+            }
+        }
+    }
+
+    /// Try to start the next chunk on `core`. Returns false if the core
+    /// must park (no work, starved arrivals, or NIC backpressure).
+    fn try_start(&mut self, core: u32) -> bool {
+        if self.pending_units == 0 {
+            return false;
+        }
+        // Backpressure: too many un-sent responses.
+        if self.nic_chunk_backlog >= NIC_BACKLOG_CHUNKS {
+            self.park(core);
+            return false;
+        }
+        let now = self.queue.now();
+        let want = self.chunk.min(self.pending_units) as f64;
+        let arrived = self.arrived_by(now);
+        // Tolerance of a millionth of a unit guards against the wake event
+        // firing at exactly t_ready with `rate·t` rounding a hair short,
+        // which would otherwise re-park and re-schedule a zero-delay wake
+        // forever.
+        if arrived + 1e-6 < self.consumed_units + want {
+            // Starved: wake when enough units will have arrived.
+            if let ArrivalProcess::Open { rate_per_node } = self.trace.arrivals {
+                if !self.wake_scheduled {
+                    let t_ready = (self.consumed_units + want) / rate_per_node;
+                    self.queue.schedule(t_ready.max(now), Ev::WakeArrival);
+                    self.wake_scheduled = true;
+                }
+            }
+            self.park(core);
+            return false;
+        }
+
+        let units = self.chunk.min(self.pending_units);
+        self.pending_units -= units;
+        self.consumed_units += units as f64;
+        self.busy_cores += 1;
+        self.core_busy[core as usize] = Some(units);
+
+        let dur = self.execute_chunk(core, units);
+        self.queue.schedule_in(dur, Ev::CoreDone(core));
+        true
+    }
+
+    fn park(&mut self, core: u32) {
+        if !self.parked.contains(&core) {
+            self.parked.push(core);
+        }
+    }
+
+    fn unpark_all(&mut self) {
+        let parked = std::mem::take(&mut self.parked);
+        for core in parked {
+            self.try_start(core);
+        }
+    }
+
+    /// Compute one chunk's timing/energy/counters. Returns its duration.
+    fn execute_chunk(&mut self, core: u32, units: u64) -> f64 {
+        let freq = self.cur_freq();
+        let f_hz = freq.hz();
+        let f_ghz = freq.ghz();
+        let cost = self.arch.isa.expand(&self.trace.demand, units as f64);
+
+        // Per-chunk jitter on the two stall paths (work cycles are
+        // architectural and repeatable; stalls are not).
+        let jc = self.noise.factor(self.arch.jitter_sigma) * self.run_factor;
+        let jm = self.noise.factor(self.arch.jitter_sigma) * self.run_factor;
+
+        let work = cost.work_cycles;
+        let core_stall = cost.core_stall_cycles * jc;
+
+        // Memory path: misses wait on the controller, whose latency grows
+        // with the number of cores busy right now.
+        let contending = f64::from(self.busy_cores.max(1));
+        let stall_ns = self.arch.mem.stall_ns_per_miss(contending);
+        let mem_service_s = cost.llc_misses * stall_ns * 1e-9 * jm;
+        let mem_stall_cycles_raw = mem_service_s * f_hz;
+
+        // Out-of-order overlap: the chunk takes the slower of the two paths.
+        let core_path = work + core_stall;
+        let mem_path = work + mem_stall_cycles_raw;
+        let cycles = core_path.max(mem_path);
+        let dur = cycles / f_hz;
+
+        // PMU view: stall-event counters record the *raw* stall cycles of
+        // each cause. Out-of-order overlap means the per-cause counters can
+        // sum to more than the elapsed cycles — exactly how real stall
+        // events behave, and what the model's Eq. 9 consumes as SPI_mem.
+        let mem_stall_recorded = mem_stall_cycles_raw;
+
+        let c = &mut self.counters.cores[core as usize];
+        c.instructions += cost.instructions;
+        c.cycles += cycles;
+        c.work_cycles += work;
+        c.core_stall_cycles += core_stall;
+        c.mem_stall_cycles += mem_stall_recorded;
+        c.llc_misses += cost.llc_misses;
+        c.busy_s += dur;
+        c.units_done += units as f64;
+
+        // Energy: active power for work cycles, stall power for the rest.
+        let p_act = self.arch.power.core_active_w(freq, self.arch.f_nom());
+        let p_stall = self.arch.power.core_stall_w(freq, self.arch.f_nom());
+        self.energy.core_work_j += p_act * (work / f_hz);
+        self.energy.core_stall_j += p_stall * ((cycles - work) / f_hz);
+        // DRAM active while servicing this chunk's misses.
+        self.energy.mem_j += self.arch.power.mem_w * mem_service_s;
+        self.counters.mem_busy_s += mem_service_s;
+        self.busy_since_tick += dur;
+
+        let _ = f_ghz;
+        dur
+    }
+
+    /// Enqueue a finished chunk's bytes on the NIC.
+    fn enqueue_io(&mut self, units: u64) {
+        let bytes = self.trace.demand.io_bytes * units as f64;
+        if bytes <= 0.0 {
+            return;
+        }
+        self.nic_queue_bytes += bytes;
+        self.nic_chunk_backlog += 1.0;
+        if !self.nic_busy {
+            self.start_nic();
+        }
+    }
+
+    fn start_nic(&mut self) {
+        debug_assert!(!self.nic_busy && self.nic_queue_bytes > 0.0);
+        self.nic_busy = true;
+        // Drain one chunk's worth per NIC service event.
+        let per_chunk = self.nic_queue_bytes / self.nic_chunk_backlog.max(1.0);
+        let bytes = per_chunk.min(self.nic_queue_bytes);
+        let dur = bytes * 8.0 / self.arch.platform.io_bandwidth_bps;
+        self.nic_pending_bytes = bytes;
+        self.queue.schedule_in(dur, Ev::NicDone);
+        self.counters.io_busy_s += dur;
+        self.energy.io_j += self.arch.power.io_w * dur;
+    }
+
+    fn run(mut self) -> NodeMeasurement {
+        if let Governor::Ondemand { interval_s, .. } = self.spec.governor {
+            self.queue.schedule(interval_s, Ev::GovernorTick);
+        }
+        // Kick all cores at t = 0.
+        for core in 0..self.spec.cores {
+            self.try_start(core);
+        }
+        while let Some((_t, ev)) = self.queue.pop() {
+            match ev {
+                Ev::CoreDone(core) => {
+                    let units = self.core_busy[core as usize]
+                        .take()
+                        .expect("completion for an idle core");
+                    self.busy_cores -= 1;
+                    self.enqueue_io(units);
+                    if !self.try_start(core) && self.pending_units > 0 {
+                        // parked (or could not start): handled via events.
+                    }
+                }
+                Ev::NicDone => {
+                    self.nic_busy = false;
+                    self.nic_queue_bytes = (self.nic_queue_bytes - self.nic_pending_bytes).max(0.0);
+                    self.nic_chunk_backlog = (self.nic_chunk_backlog - 1.0).max(0.0);
+                    self.counters.io_bytes += self.nic_pending_bytes;
+                    self.nic_pending_bytes = 0.0;
+                    if self.nic_queue_bytes > 0.0 {
+                        self.start_nic();
+                    }
+                    // Backpressure may have lifted.
+                    self.unpark_all();
+                }
+                Ev::WakeArrival => {
+                    self.wake_scheduled = false;
+                    self.unpark_all();
+                }
+                Ev::GovernorTick => self.governor_tick(),
+            }
+        }
+        debug_assert_eq!(self.pending_units, 0, "work left but no events pending");
+        debug_assert!(!self.nic_busy && self.nic_queue_bytes <= 1e-9);
+
+        let duration = self.queue.now();
+        self.counters.duration_s = duration;
+        self.energy.idle_j = self.arch.power.idle_w * duration;
+
+        let mut meter = PowerMeter::new(
+            Noise::new(self.spec.seed ^ 0x9E3779B97F4A7C15),
+            self.arch.power.meter_sigma,
+        );
+        let measured_energy_j = meter.read_j(&self.energy);
+        NodeMeasurement {
+            counters: self.counters,
+            energy: self.energy,
+            measured_energy_j,
+            duration_s: duration,
+        }
+    }
+}
+
+/// Run one node to completion.
+///
+/// # Panics
+/// Panics when the spec is inconsistent with the archetype (bad core count
+/// or frequency) or the trace demand is invalid.
+#[must_use]
+pub fn run_node(arch: &NodeArch, trace: &WorkloadTrace, spec: &NodeRunSpec) -> NodeMeasurement {
+    NodeSim::new(arch, trace, *spec).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::{reference_amd_arch, reference_arm_arch};
+    use crate::trace::UnitDemand;
+
+    fn ep_demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 10.0,
+            fp_ops: 8.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 2.0,
+            llc_miss_rate: 0.005,
+            branch_ops: 2.0,
+            branch_miss_rate: 0.02,
+            io_bytes: 0.0,
+        }
+    }
+
+    fn io_demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 300.0,
+            fp_ops: 0.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 150.0,
+            llc_miss_rate: 0.02,
+            branch_ops: 50.0,
+            branch_miss_rate: 0.03,
+            io_bytes: 1024.0,
+        }
+    }
+
+    #[test]
+    fn cpu_bound_run_completes_all_units() {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let spec = NodeRunSpec::new(4, arch.platform.fmax(), 100_000, 1);
+        let m = run_node(&arch, &trace, &spec);
+        assert!((m.counters.units_done() - 100_000.0).abs() < 1e-6);
+        assert!(m.duration_s > 0.0);
+        assert!(m.energy.total_j() > 0.0);
+        // CPU-bound: cores essentially always busy.
+        assert!(
+            m.counters.cpu_utilization() > 0.95,
+            "{}",
+            m.counters.cpu_utilization()
+        );
+        // All cores contributed.
+        assert!(m.counters.cores.iter().all(|c| c.units_done > 0.0));
+        // Counter conservation on every core.
+        assert!(m.counters.cores.iter().all(|c| c.is_conserved()));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let arch = reference_amd_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let spec = NodeRunSpec::new(6, arch.platform.fmax(), 50_000, 7);
+        let a = run_node(&arch, &trace, &spec);
+        let b = run_node(&arch, &trace, &spec);
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.measured_energy_j, b.measured_energy_j);
+        let mut c = spec;
+        c.seed = 8;
+        let d = run_node(&arch, &trace, &c);
+        assert_ne!(a.duration_s, d.duration_s);
+    }
+
+    #[test]
+    fn more_cores_run_faster_cpu_bound() {
+        let arch = reference_amd_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let one = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(1, arch.platform.fmax(), 60_000, 3),
+        );
+        let six = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(6, arch.platform.fmax(), 60_000, 3),
+        );
+        assert!(
+            six.duration_s < one.duration_s / 4.0,
+            "{} vs {}",
+            six.duration_s,
+            one.duration_s
+        );
+    }
+
+    #[test]
+    fn higher_frequency_runs_faster_but_draws_more_power() {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let slow = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, hecmix_core::types::Frequency::from_ghz(0.5), 60_000, 3),
+        );
+        let fast = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, arch.platform.fmax(), 60_000, 3),
+        );
+        assert!(fast.duration_s < slow.duration_s);
+        let p_fast = fast.energy.total_j() / fast.duration_s;
+        let p_slow = slow.energy.total_j() / slow.duration_s;
+        assert!(p_fast > p_slow);
+    }
+
+    #[test]
+    fn io_bound_run_limited_by_line_rate() {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("kv", io_demand());
+        let units = 20_000u64;
+        let spec = NodeRunSpec::new(4, arch.platform.fmax(), units, 5);
+        let m = run_node(&arch, &trace, &spec);
+        let wire_s = units as f64 * 1024.0 * 8.0 / 1e8;
+        // Duration is essentially the wire time (within jitter/pipelining).
+        assert!(
+            m.duration_s >= wire_s * 0.98,
+            "{} vs wire {}",
+            m.duration_s,
+            wire_s
+        );
+        assert!(
+            m.duration_s <= wire_s * 1.2,
+            "{} vs wire {}",
+            m.duration_s,
+            wire_s
+        );
+        // Cores are mostly idle: utilization well below 1.
+        assert!(
+            m.counters.cpu_utilization() < 0.7,
+            "{}",
+            m.counters.cpu_utilization()
+        );
+        // All bytes got transferred.
+        assert!((m.counters.io_bytes - units as f64 * 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn open_arrivals_pace_the_run() {
+        let arch = reference_amd_arch();
+        let mut trace = WorkloadTrace::batch("paced", ep_demand());
+        let rate = 100_000.0; // units/s
+        trace.arrivals = ArrivalProcess::Open {
+            rate_per_node: rate,
+        };
+        let units = 50_000u64;
+        let m = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(6, arch.platform.fmax(), units, 2),
+        );
+        let arrival_window = units as f64 / rate;
+        assert!(m.duration_s >= arrival_window * 0.99);
+        assert!(m.duration_s <= arrival_window * 1.1);
+    }
+
+    #[test]
+    fn energy_components_positive_and_idle_floor_scales() {
+        let arch = reference_amd_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let m = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(6, arch.platform.fmax(), 50_000, 9),
+        );
+        assert!(m.energy.core_work_j > 0.0);
+        assert!(m.energy.core_stall_j > 0.0);
+        assert!(m.energy.mem_j > 0.0);
+        assert!((m.energy.idle_j - 45.0 * m.duration_s).abs() < 1e-9);
+        // Meter reading close to truth.
+        assert!((m.measured_energy_j / m.energy.total_j() - 1.0).abs() < 0.07);
+    }
+
+    #[test]
+    fn memory_contention_slows_multicore_runs() {
+        // A very memory-heavy demand: per-unit time grows with core count.
+        let arch = reference_arm_arch();
+        let mut d = ep_demand();
+        d.mem_ops = 200.0;
+        d.llc_miss_rate = 0.2;
+        let trace = WorkloadTrace::batch("memhog", d);
+        let units = 20_000u64;
+        let one = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(1, arch.platform.fmax(), units, 4),
+        );
+        let four = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, arch.platform.fmax(), units, 4),
+        );
+        let speedup = one.duration_s / four.duration_s;
+        assert!(
+            speedup < 3.2,
+            "memory-bound speedup should be sublinear: {speedup}"
+        );
+        assert!(speedup > 1.2, "but still a speedup: {speedup}");
+    }
+
+    #[test]
+    fn ondemand_races_to_fmax_for_cpu_bound() {
+        // Start at fmin: a CPU-bound run saturates the cores, so the
+        // governor climbs to fmax and the run finishes close to the
+        // pinned-fmax time.
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        // Long enough that the ~40 ms P-state ramp is amortized.
+        let units = 5_000_000u64;
+        let governed = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, hecmix_core::types::Frequency::from_ghz(0.2), units, 3)
+                .with_governor(Governor::ondemand()),
+        );
+        let pinned_max = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, arch.platform.fmax(), units, 3),
+        );
+        let pinned_min = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, hecmix_core::types::Frequency::from_ghz(0.2), units, 3),
+        );
+        assert!(
+            governed.duration_s < pinned_min.duration_s * 0.4,
+            "governor should escape fmin: {} vs {}",
+            governed.duration_s,
+            pinned_min.duration_s
+        );
+        assert!(
+            governed.duration_s < pinned_max.duration_s * 2.0,
+            "and approach fmax (modulo the ramp): {} vs {}",
+            governed.duration_s,
+            pinned_max.duration_s
+        );
+    }
+
+    #[test]
+    fn ondemand_drops_to_fmin_when_io_bound() {
+        // An I/O-bound run leaves cores nearly idle: the governor sinks to
+        // the lowest P-state and saves energy vs a pinned-fmax run without
+        // extending the (wire-limited) duration.
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("kv", io_demand());
+        let units = 20_000u64;
+        let governed = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, arch.platform.fmax(), units, 5)
+                .with_governor(Governor::ondemand()),
+        );
+        let pinned = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, arch.platform.fmax(), units, 5),
+        );
+        assert!(
+            (governed.duration_s / pinned.duration_s - 1.0).abs() < 0.05,
+            "I/O-bound duration should not change: {} vs {}",
+            governed.duration_s,
+            pinned.duration_s
+        );
+        assert!(
+            governed.energy.core_work_j + governed.energy.core_stall_j
+                < 0.8 * (pinned.energy.core_work_j + pinned.energy.core_stall_j),
+            "governor should cut core energy when cores idle"
+        );
+    }
+
+    #[test]
+    fn fixed_governor_is_the_default_and_identical() {
+        let arch = reference_amd_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let spec = NodeRunSpec::new(6, arch.platform.fmax(), 50_000, 7);
+        let a = run_node(&arch, &trace, &spec);
+        let b = run_node(&arch, &trace, &spec.with_governor(Governor::Fixed));
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.measured_energy_j, b.measured_energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "P-state")]
+    fn rejects_bad_frequency() {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let spec = NodeRunSpec::new(4, hecmix_core::types::Frequency::from_ghz(3.0), 10, 1);
+        let _ = run_node(&arch, &trace, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn rejects_bad_cores() {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("ep", ep_demand());
+        let spec = NodeRunSpec::new(9, arch.platform.fmax(), 10, 1);
+        let _ = run_node(&arch, &trace, &spec);
+    }
+}

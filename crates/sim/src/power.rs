@@ -1,0 +1,120 @@
+//! Energy accounting and the external power meter.
+//!
+//! The simulator accounts per-component energy exactly (watts × busy
+//! time); the [`PowerMeter`] then models the *measurement* of that energy
+//! by an external instrument in the style of the paper's Yokogawa WT210:
+//! the reading is the true integral perturbed by a calibrated multiplicative
+//! error (§III-D names power characterization as a main error source).
+
+use serde::{Deserialize, Serialize};
+
+use crate::noise::Noise;
+
+/// Exact per-component energy of one node over one run, in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Core energy while doing work cycles.
+    pub core_work_j: f64,
+    /// Core energy while stalled (both core and memory stalls — a stalled
+    /// core draws stall power regardless of what it waits on).
+    pub core_stall_j: f64,
+    /// Incremental DRAM energy while servicing requests.
+    pub mem_j: f64,
+    /// Incremental NIC energy while transferring.
+    pub io_j: f64,
+    /// Idle-floor energy over the run duration.
+    pub idle_j: f64,
+}
+
+impl EnergyAccount {
+    /// Total true energy.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.core_work_j + self.core_stall_j + self.mem_j + self.io_j + self.idle_j
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        self.core_work_j += other.core_work_j;
+        self.core_stall_j += other.core_stall_j;
+        self.mem_j += other.mem_j;
+        self.io_j += other.io_j;
+        self.idle_j += other.idle_j;
+    }
+}
+
+/// An external power meter attached to one node.
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    noise: Noise,
+    sigma: f64,
+}
+
+impl PowerMeter {
+    /// A meter with multiplicative 1-σ error `sigma`, seeded noise.
+    #[must_use]
+    pub fn new(noise: Noise, sigma: f64) -> Self {
+        Self { noise, sigma }
+    }
+
+    /// Read the energy of `account` as the instrument would report it.
+    pub fn read_j(&mut self, account: &EnergyAccount) -> f64 {
+        account.total_j() * self.noise.factor(self.sigma)
+    }
+
+    /// Read an average power over `duration_s` (what a wattmeter displays).
+    pub fn read_avg_w(&mut self, account: &EnergyAccount, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.read_j(account) / duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account() -> EnergyAccount {
+        EnergyAccount {
+            core_work_j: 10.0,
+            core_stall_j: 5.0,
+            mem_j: 2.0,
+            io_j: 1.0,
+            idle_j: 20.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = account();
+        assert!((a.total_j() - 38.0).abs() < 1e-12);
+        a.merge(&account());
+        assert!((a.total_j() - 76.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meter_reads_near_truth() {
+        let mut m = PowerMeter::new(Noise::new(5), 0.02);
+        let a = account();
+        let readings: Vec<f64> = (0..1000).map(|_| m.read_j(&a)).collect();
+        let mean = readings.iter().sum::<f64>() / readings.len() as f64;
+        assert!((mean / a.total_j() - 1.0).abs() < 0.01);
+        assert!(readings
+            .iter()
+            .all(|r| (r / a.total_j() - 1.0).abs() <= 0.061));
+    }
+
+    #[test]
+    fn meter_without_noise_is_exact() {
+        let mut m = PowerMeter::new(Noise::new(5), 0.0);
+        assert_eq!(m.read_j(&account()), account().total_j());
+        assert!((m.read_avg_w(&account(), 2.0) - 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_power_is_zero() {
+        let mut m = PowerMeter::new(Noise::new(5), 0.0);
+        assert_eq!(m.read_avg_w(&account(), 0.0), 0.0);
+    }
+}

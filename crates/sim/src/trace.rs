@@ -1,0 +1,204 @@
+//! Workload traces: architecture-neutral service demands.
+//!
+//! A scale-out workload is a long sequence of repetitions of one
+//! *representative phase* `Ps` (§II-D-1 of the paper): one GET/SET request
+//! for memcached, one frame for x264, one option for blackscholes, one
+//! random number for EP, and so on. A [`WorkloadTrace`] describes what one
+//! such phase (one *work unit*) demands from the machine in
+//! architecture-neutral terms; each node archetype translates the demand
+//! into its own instructions, cycles, misses and transfers.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture-neutral demand of **one work unit** (one repetition of the
+/// representative phase `Ps`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitDemand {
+    /// Scalar integer ALU operations.
+    pub int_ops: f64,
+    /// Floating-point operations.
+    pub fp_ops: f64,
+    /// SIMD/vector operations (packed integer or FP). Wide-datapath ISAs
+    /// retire these at full rate; narrow ones (64-bit NEON on the
+    /// Cortex-A9) expand them into several micro-ops at lower issue rates
+    /// — the architectural reason the paper's x264 favors the AMD node.
+    pub simd_ops: f64,
+    /// Wide (64×64-bit) multiply/multiply-accumulate operations — the
+    /// building block of bignum arithmetic (RSA). High-performance ISAs
+    /// execute these natively; 32-bit ISAs expand them into several
+    /// narrow multiplies with carry chains.
+    pub wide_mul_ops: f64,
+    /// Memory reference operations (loads + stores issued).
+    pub mem_ops: f64,
+    /// Fraction of memory references that miss the last-level cache of a
+    /// *reference* 4 MiB cache. Archetypes with smaller caches miss more,
+    /// larger caches miss less (see `IsaModel::miss_scaling`).
+    pub llc_miss_rate: f64,
+    /// Branch operations.
+    pub branch_ops: f64,
+    /// Fraction of branches mispredicted on the reference predictor.
+    pub branch_miss_rate: f64,
+    /// Network bytes transferred per unit (request + response payloads).
+    pub io_bytes: f64,
+}
+
+impl UnitDemand {
+    /// A demand with nothing in it (useful as a builder base).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            int_ops: 0.0,
+            fp_ops: 0.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 0.0,
+            llc_miss_rate: 0.0,
+            branch_ops: 0.0,
+            branch_miss_rate: 0.0,
+            io_bytes: 0.0,
+        }
+    }
+
+    /// Total abstract operations (used for sanity checks and scaling).
+    #[must_use]
+    pub fn total_ops(&self) -> f64 {
+        self.int_ops
+            + self.fp_ops
+            + self.simd_ops
+            + self.wide_mul_ops
+            + self.mem_ops
+            + self.branch_ops
+    }
+
+    /// Scale every demand component by `k` (e.g. a frame that is `k`×
+    /// larger). Miss rates are unchanged.
+    #[must_use]
+    pub fn scaled(&self, k: f64) -> Self {
+        Self {
+            int_ops: self.int_ops * k,
+            fp_ops: self.fp_ops * k,
+            simd_ops: self.simd_ops * k,
+            wide_mul_ops: self.wide_mul_ops * k,
+            mem_ops: self.mem_ops * k,
+            llc_miss_rate: self.llc_miss_rate,
+            branch_ops: self.branch_ops * k,
+            branch_miss_rate: self.branch_miss_rate,
+            io_bytes: self.io_bytes * k,
+        }
+    }
+
+    /// Basic domain validation.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let nonneg = self.int_ops >= 0.0
+            && self.fp_ops >= 0.0
+            && self.simd_ops >= 0.0
+            && self.wide_mul_ops >= 0.0
+            && self.mem_ops >= 0.0
+            && self.branch_ops >= 0.0
+            && self.io_bytes >= 0.0;
+        nonneg
+            && (0.0..=1.0).contains(&self.llc_miss_rate)
+            && (0.0..=1.0).contains(&self.branch_miss_rate)
+            && self.total_ops() > 0.0
+            && self.total_ops().is_finite()
+    }
+}
+
+/// How work units become *available* to a node (the `λ_I/O` axis of the
+/// paper's Eq. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All units are available at time zero (batch workloads; also a
+    /// saturating load generator like `memslap`).
+    Saturated,
+    /// Units arrive at a fixed rate per node, in units per second. Cores
+    /// idle when they outrun the arrivals.
+    Open {
+        /// Arrival rate per node, units/second.
+        rate_per_node: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The per-unit inter-arrival gap in seconds (0 when saturated).
+    #[must_use]
+    pub fn gap_s(&self) -> f64 {
+        match self {
+            ArrivalProcess::Saturated => 0.0,
+            ArrivalProcess::Open { rate_per_node } => 1.0 / rate_per_node,
+        }
+    }
+}
+
+/// A complete workload trace: name, the per-unit demand, and the arrival
+/// process feeding the nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Workload name (e.g. `"ep"`).
+    pub name: String,
+    /// Demand of one work unit.
+    pub demand: UnitDemand,
+    /// How units arrive.
+    pub arrivals: ArrivalProcess,
+}
+
+impl WorkloadTrace {
+    /// Build a saturated (batch) trace.
+    #[must_use]
+    pub fn batch(name: &str, demand: UnitDemand) -> Self {
+        Self {
+            name: name.to_owned(),
+            demand,
+            arrivals: ArrivalProcess::Saturated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 10.0,
+            fp_ops: 8.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 2.0,
+            llc_miss_rate: 0.01,
+            branch_ops: 1.0,
+            branch_miss_rate: 0.02,
+            io_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_rates() {
+        let d = demand().scaled(3.0);
+        assert!((d.int_ops - 30.0).abs() < 1e-12);
+        assert!((d.llc_miss_rate - 0.01).abs() < 1e-12);
+        assert!((d.total_ops() - 3.0 * demand().total_ops()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(demand().is_valid());
+        let mut d = demand();
+        d.llc_miss_rate = 1.5;
+        assert!(!d.is_valid());
+        let mut d = demand();
+        d.int_ops = -1.0;
+        assert!(!d.is_valid());
+        assert!(!UnitDemand::zero().is_valid(), "zero demand is degenerate");
+    }
+
+    #[test]
+    fn arrival_gaps() {
+        assert_eq!(ArrivalProcess::Saturated.gap_s(), 0.0);
+        let open = ArrivalProcess::Open {
+            rate_per_node: 200.0,
+        };
+        assert!((open.gap_s() - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,222 @@
+//! Failure injection: drive the simulator with hostile parameters and
+//! degenerate hardware, and check it either behaves sanely or rejects the
+//! input loudly (DESIGN.md §7).
+
+use hecmix_core::types::Frequency;
+use hecmix_sim::{
+    reference_amd_arch, reference_arm_arch, run_cluster, run_node, ClusterSpec, NodeRunSpec,
+    TypeAssignment, UnitDemand, WorkloadTrace,
+};
+
+fn demand() -> UnitDemand {
+    UnitDemand {
+        int_ops: 50.0,
+        fp_ops: 20.0,
+        simd_ops: 0.0,
+        wide_mul_ops: 0.0,
+        mem_ops: 10.0,
+        llc_miss_rate: 0.01,
+        branch_ops: 5.0,
+        branch_miss_rate: 0.02,
+        io_bytes: 200.0,
+    }
+}
+
+#[test]
+fn hostile_noise_levels_still_terminate_and_stay_positive() {
+    let mut arch = reference_arm_arch();
+    arch.jitter_sigma = 0.5; // wild per-chunk swings
+    arch.run_sigma = 0.5;
+    arch.power.meter_sigma = 0.3;
+    let trace = WorkloadTrace::batch("hostile", demand());
+    for seed in 0..20 {
+        let m = run_node(
+            &arch,
+            &trace,
+            &NodeRunSpec::new(4, arch.platform.fmax(), 20_000, seed),
+        );
+        assert!(m.duration_s.is_finite() && m.duration_s > 0.0);
+        assert!(m.measured_energy_j.is_finite() && m.measured_energy_j > 0.0);
+        assert!((m.counters.units_done() - 20_000.0).abs() < 1e-6);
+        assert!(m.counters.cores.iter().all(|c| c.is_conserved()));
+    }
+}
+
+#[test]
+fn crawling_nic_bounds_throughput_without_hanging() {
+    // A 1 kbps NIC: the run must still finish (slowly), cores nearly idle.
+    let mut arch = reference_arm_arch();
+    arch.platform.io_bandwidth_bps = 1e3;
+    let trace = WorkloadTrace::batch("slowwire", demand());
+    let units = 50u64;
+    let m = run_node(
+        &arch,
+        &trace,
+        &NodeRunSpec::new(2, arch.platform.fmax(), units, 1),
+    );
+    let wire_s = units as f64 * 200.0 * 8.0 / 1e3;
+    assert!(
+        m.duration_s >= wire_s * 0.95,
+        "{} vs wire {}",
+        m.duration_s,
+        wire_s
+    );
+    assert!(m.counters.cpu_utilization() < 0.05);
+    assert!((m.counters.io_bytes - units as f64 * 200.0).abs() < 1.0);
+}
+
+#[test]
+fn single_core_lowest_frequency_degenerate_node() {
+    let arch = reference_arm_arch();
+    let trace = WorkloadTrace::batch("tiny", demand());
+    let m = run_node(
+        &arch,
+        &trace,
+        &NodeRunSpec::new(1, Frequency::from_ghz(0.2), 1, 2),
+    );
+    assert!(m.duration_s > 0.0);
+    assert!((m.counters.units_done() - 1.0).abs() < 1e-9);
+    // One active core only.
+    assert!(m.counters.cores[0].instructions > 0.0);
+}
+
+#[test]
+fn chunk_override_extremes_agree() {
+    // One giant chunk vs unit chunks: totals agree (timing differs only
+    // through contention interleaving and jitter draws).
+    let arch = reference_amd_arch();
+    let mut trace = WorkloadTrace::batch("chunky", demand());
+    trace.demand.io_bytes = 0.0;
+    let units = 10_000u64;
+    let mut one = NodeRunSpec::new(6, arch.platform.fmax(), units, 3);
+    one.chunk_units = Some(units);
+    let mut fine = NodeRunSpec::new(6, arch.platform.fmax(), units, 3);
+    fine.chunk_units = Some(10);
+    let a = run_node(&arch, &trace, &one);
+    let b = run_node(&arch, &trace, &fine);
+    assert!((a.counters.units_done() - b.counters.units_done()).abs() < 1e-9);
+    let ia = a.counters.total().instructions;
+    let ib = b.counters.total().instructions;
+    assert!(
+        (ia - ib).abs() < 1e-6 * ia,
+        "instruction counts must not depend on chunking"
+    );
+    // Durations within jitter of each other (one chunk means a single
+    // core does everything, so compare per-instruction cycle cost).
+    let ca = a.counters.total().cycles / ia;
+    let cb = b.counters.total().cycles / ib;
+    assert!(
+        (ca / cb - 1.0).abs() < 0.25,
+        "per-instruction cycles {ca} vs {cb}"
+    );
+}
+
+#[test]
+fn zero_work_cluster_type_is_benign() {
+    let arm = reference_arm_arch();
+    let amd = reference_amd_arch();
+    let m = run_cluster(&ClusterSpec {
+        trace: WorkloadTrace::batch("skew", demand()),
+        assignments: vec![
+            TypeAssignment {
+                arch: arm.clone(),
+                nodes: 2,
+                cores: 4,
+                freq: arm.platform.fmax(),
+                units: 5_000,
+            },
+            TypeAssignment {
+                arch: amd.clone(),
+                nodes: 2,
+                cores: 6,
+                freq: amd.platform.fmax(),
+                // This type gets zero work: its nodes idle for the whole job.
+                units: 0,
+            },
+        ],
+        seed: 4,
+    });
+    assert!(m.duration_s > 0.0);
+    // The idle type still burns its floor until the job completes.
+    let amd_energy = m.per_type[1].measured_energy_j;
+    let expect_idle = 2.0 * 45.0 * m.duration_s;
+    assert!(
+        (amd_energy - expect_idle).abs() < 0.05 * expect_idle,
+        "idle AMD type energy {amd_energy} vs expected {expect_idle}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid workload demand")]
+fn invalid_demand_rejected() {
+    let arch = reference_arm_arch();
+    let mut d = demand();
+    d.llc_miss_rate = 2.0;
+    let trace = WorkloadTrace::batch("bad", d);
+    let _ = run_node(
+        &arch,
+        &trace,
+        &NodeRunSpec::new(1, arch.platform.fmax(), 10, 0),
+    );
+}
+
+#[test]
+fn extreme_arrival_rates() {
+    let arch = reference_arm_arch();
+    let mut trace = WorkloadTrace::batch("paced", demand());
+    // Absurdly fast arrivals behave like saturation.
+    trace.arrivals = hecmix_sim::ArrivalProcess::Open {
+        rate_per_node: 1e12,
+    };
+    let fast = run_node(
+        &arch,
+        &trace,
+        &NodeRunSpec::new(4, arch.platform.fmax(), 5_000, 5),
+    );
+    let mut sat_trace = trace.clone();
+    sat_trace.arrivals = hecmix_sim::ArrivalProcess::Saturated;
+    let sat = run_node(
+        &arch,
+        &sat_trace,
+        &NodeRunSpec::new(4, arch.platform.fmax(), 5_000, 5),
+    );
+    assert!((fast.duration_s / sat.duration_s - 1.0).abs() < 0.01);
+
+    // Glacial arrivals: duration is the arrival window.
+    trace.arrivals = hecmix_sim::ArrivalProcess::Open {
+        rate_per_node: 100.0,
+    };
+    let slow = run_node(
+        &arch,
+        &trace,
+        &NodeRunSpec::new(4, arch.platform.fmax(), 1_000, 5),
+    );
+    assert!(slow.duration_s >= 10.0 * 0.99, "{}", slow.duration_s);
+    assert!(slow.counters.cpu_utilization() < 0.05);
+}
+
+#[test]
+fn repeated_seeds_form_a_sane_distribution() {
+    // 30 runs: durations spread a few percent, none pathological.
+    let arch = reference_amd_arch();
+    let trace = WorkloadTrace::batch("spread", demand());
+    let durations: Vec<f64> = (0..30)
+        .map(|s| {
+            run_node(
+                &arch,
+                &trace,
+                &NodeRunSpec::new(6, arch.platform.fmax(), 100_000, s),
+            )
+            .duration_s
+        })
+        .collect();
+    let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+    for d in &durations {
+        assert!(
+            (d / mean - 1.0).abs() < 0.15,
+            "outlier run: {d} vs mean {mean}"
+        );
+    }
+    let distinct: std::collections::HashSet<u64> = durations.iter().map(|d| d.to_bits()).collect();
+    assert!(distinct.len() > 25, "seeds should decorrelate runs");
+}

@@ -1,0 +1,138 @@
+//! Property tests over the discrete-event simulator: conservation laws and
+//! monotonicities that must hold for *any* workload demand and node
+//! configuration.
+
+use proptest::prelude::*;
+
+use hecmix_sim::{
+    reference_amd_arch, reference_arm_arch, run_node, NodeRunSpec, UnitDemand, WorkloadTrace,
+};
+
+fn demand_strategy() -> impl Strategy<Value = UnitDemand> {
+    (
+        1.0f64..500.0,                             // int
+        0.0f64..300.0,                             // fp
+        0.0f64..200.0,                             // simd
+        0.0f64..100.0,                             // wide mul
+        0.0f64..400.0,                             // mem
+        0.0f64..0.3,                               // miss rate
+        0.0f64..100.0,                             // branches
+        0.0f64..0.2,                               // branch miss
+        prop_oneof![Just(0.0f64), 1.0f64..2000.0], // io bytes
+    )
+        .prop_map(
+            |(int_ops, fp_ops, simd_ops, wide_mul_ops, mem_ops, llc, branch_ops, bm, io_bytes)| {
+                UnitDemand {
+                    int_ops,
+                    fp_ops,
+                    simd_ops,
+                    wide_mul_ops,
+                    mem_ops,
+                    llc_miss_rate: llc,
+                    branch_ops,
+                    branch_miss_rate: bm,
+                    io_bytes,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every run completes exactly the assigned units, keeps per-core
+    /// cycle conservation, and produces finite positive observables.
+    #[test]
+    fn runs_conserve_and_complete(
+        demand in demand_strategy(),
+        cores in 1u32..=4,
+        f_idx in 0usize..5,
+        units in 500u64..50_000,
+        seed in 0u64..1000,
+    ) {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("prop", demand);
+        let spec = NodeRunSpec::new(cores, arch.platform.freqs[f_idx], units, seed);
+        let m = run_node(&arch, &trace, &spec);
+        prop_assert!((m.counters.units_done() - units as f64).abs() < 1e-6);
+        prop_assert!(m.duration_s.is_finite() && m.duration_s > 0.0);
+        prop_assert!(m.measured_energy_j.is_finite() && m.measured_energy_j > 0.0);
+        for c in &m.counters.cores {
+            prop_assert!(c.is_conserved(), "core counters not conserved: {c:?}");
+        }
+        // The node cannot be busier than cores × duration.
+        let busy: f64 = m.counters.cores.iter().map(|c| c.busy_s).sum();
+        prop_assert!(busy <= f64::from(cores) * m.duration_s * 1.001);
+        // All assigned bytes were transferred.
+        let expect_bytes = demand.io_bytes * units as f64;
+        prop_assert!((m.counters.io_bytes - expect_bytes).abs() <= 1e-6 * expect_bytes.max(1.0));
+    }
+
+    /// More work never takes less time or less true energy (same seed,
+    /// same configuration).
+    #[test]
+    fn monotone_in_work(
+        demand in demand_strategy(),
+        units in 2_000u64..20_000,
+    ) {
+        let arch = reference_amd_arch();
+        let trace = WorkloadTrace::batch("prop", demand);
+        let small = run_node(&arch, &trace, &NodeRunSpec::new(4, arch.platform.fmax(), units, 11));
+        let big =
+            run_node(&arch, &trace, &NodeRunSpec::new(4, arch.platform.fmax(), units * 3, 11));
+        prop_assert!(big.duration_s > small.duration_s * 1.5);
+        prop_assert!(big.energy.total_j() > small.energy.total_j());
+    }
+
+    /// For a CPU-heavy demand (no I/O), raising the frequency never slows
+    /// the run down.
+    #[test]
+    fn cpu_bound_faster_at_higher_frequency(
+        mut demand in demand_strategy(),
+        units in 2_000u64..20_000,
+    ) {
+        demand.io_bytes = 0.0;
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("prop", demand);
+        let mut prev = f64::INFINITY;
+        for &f in &arch.platform.freqs {
+            let m = run_node(&arch, &trace, &NodeRunSpec::new(4, f, units, 5));
+            prop_assert!(
+                m.duration_s < prev * 1.05,
+                "slower at {f}: {} vs {prev}",
+                m.duration_s
+            );
+            prev = m.duration_s;
+        }
+    }
+
+    /// The meter's reading stays within its 3-σ envelope of the true
+    /// energy.
+    #[test]
+    fn meter_within_envelope(
+        demand in demand_strategy(),
+        seed in 0u64..500,
+    ) {
+        let arch = reference_arm_arch();
+        let trace = WorkloadTrace::batch("prop", demand);
+        let m = run_node(&arch, &trace, &NodeRunSpec::new(4, arch.platform.fmax(), 5_000, seed));
+        let rel = (m.measured_energy_j / m.energy.total_j() - 1.0).abs();
+        prop_assert!(rel <= 3.0 * arch.power.meter_sigma + 1e-9, "meter off by {rel}");
+    }
+
+    /// Identical specs give identical measurements; different seeds give
+    /// (almost always) different ones.
+    #[test]
+    fn determinism_and_seed_sensitivity(
+        demand in demand_strategy(),
+        seed in 0u64..500,
+    ) {
+        let arch = reference_amd_arch();
+        let trace = WorkloadTrace::batch("prop", demand);
+        let spec = NodeRunSpec::new(6, arch.platform.fmax(), 4_000, seed);
+        let a = run_node(&arch, &trace, &spec);
+        let b = run_node(&arch, &trace, &spec);
+        prop_assert_eq!(a.duration_s, b.duration_s);
+        prop_assert_eq!(a.measured_energy_j, b.measured_energy_j);
+    }
+}

@@ -1,0 +1,810 @@
+//! Arbitrary-precision unsigned integers with Montgomery multiplication.
+//!
+//! The RSA-2048 workload needs real bignum arithmetic; this module is the
+//! from-scratch substrate: little-endian `u64`-limb integers with
+//! schoolbook multiplication, binary long division, Montgomery-form modular
+//! multiplication/exponentiation (CIOS), Miller–Rabin primality testing and
+//! prime generation. It is sized for correctness and clarity, not
+//! side-channel resistance.
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer, little-endian `u64` limbs,
+/// always normalized (no leading zero limbs; zero is the empty limb vec).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// From a single limb.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// From little-endian limbs (normalizes).
+    #[must_use]
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut x = Self { limbs };
+        x.normalize();
+        x
+    }
+
+    /// Borrow the little-endian limbs.
+    #[must_use]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// From big-endian bytes.
+    #[must_use]
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut cur: u64 = 0;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            cur |= u64::from(b) << shift;
+            shift += 8;
+            if shift == 64 {
+                limbs.push(cur);
+                cur = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(cur);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// To big-endian bytes (no leading zeros; zero encodes as empty).
+    #[must_use]
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.split_off(first_nonzero)
+    }
+
+    /// Parse from a hexadecimal string (no `0x` prefix, case-insensitive).
+    ///
+    /// # Panics
+    /// Panics on a non-hex character.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Self {
+        let mut limbs: Vec<u64> = Vec::new();
+        let digits: Vec<u64> = s
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| {
+                c.to_digit(16)
+                    .unwrap_or_else(|| panic!("bad hex digit {c:?}"))
+                    .into()
+            })
+            .collect();
+        for d in digits {
+            // limbs = limbs * 16 + d
+            let mut carry = d;
+            for limb in &mut limbs {
+                let v = (u128::from(*limb) << 4) | u128::from(carry);
+                *limb = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            if carry > 0 {
+                limbs.push(carry);
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Lower-case hexadecimal representation (no prefix; `"0"` for zero).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True for zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True for odd numbers.
+    #[must_use]
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(hi) => self.limbs.len() * 64 - hi.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (LSB = 0).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Compare.
+    #[must_use]
+    pub fn cmp_big(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// `self + other`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // carry chains read clearest with indices
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self` (unsigned underflow).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // carry chains read clearest with indices
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_big(other) != std::cmp::Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::from_limbs(out)
+    }
+
+    /// `self * other`, schoolbook.
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u128::from(a) * u128::from(b) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = u128::from(out[k]) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Shift left by `bits`.
+    #[must_use]
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Shift right by `bits`.
+    #[must_use]
+    pub fn shr(&self, bits: usize) -> Self {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `(self / other, self % other)` by binary long division.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    #[must_use]
+    pub fn div_rem(&self, other: &Self) -> (Self, Self) {
+        assert!(!other.is_zero(), "division by zero");
+        use std::cmp::Ordering;
+        match self.cmp_big(other) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        let shift = self.bit_len() - other.bit_len();
+        let mut rem = self.clone();
+        let mut quot_limbs = vec![0u64; shift / 64 + 1];
+        let mut d = other.shl(shift);
+        for i in (0..=shift).rev() {
+            if rem.cmp_big(&d) != Ordering::Less {
+                rem = rem.sub(&d);
+                quot_limbs[i / 64] |= 1u64 << (i % 64);
+            }
+            d = d.shr(1);
+        }
+        (Self::from_limbs(quot_limbs), rem)
+    }
+
+    /// `self % other`.
+    #[must_use]
+    pub fn rem(&self, other: &Self) -> Self {
+        self.div_rem(other).1
+    }
+
+    /// Modular exponentiation `self^exp mod modulus` via Montgomery
+    /// multiplication. `modulus` must be odd and > 1.
+    #[must_use]
+    pub fn mod_pow(&self, exp: &Self, modulus: &Self) -> Self {
+        let ctx = MontgomeryCtx::new(modulus);
+        ctx.pow(self, exp)
+    }
+
+    /// A uniformly random integer with exactly `bits` bits (MSB set).
+    pub fn random_bits<R: Rng>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits > 0);
+        let limbs_needed = bits.div_ceil(64);
+        let mut limbs: Vec<u64> = (0..limbs_needed).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs_needed - 1) * 64;
+        let mask = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
+        let last = limbs.last_mut().unwrap();
+        *last &= mask;
+        *last |= 1u64 << (top_bits - 1); // force exact bit length
+        Self::from_limbs(limbs)
+    }
+}
+
+/// Montgomery multiplication context for an odd modulus.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    n: BigUint,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// Limb count of `n` (the Montgomery `R = 2^(64k)`).
+    k: usize,
+    /// `R mod n` (Montgomery form of 1).
+    r_mod_n: BigUint,
+    /// `R² mod n` (to convert into Montgomery form).
+    r2_mod_n: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Build a context for odd `modulus > 1`.
+    ///
+    /// # Panics
+    /// Panics for even or trivial moduli.
+    #[must_use]
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(
+            modulus.is_odd() && modulus.bit_len() > 1,
+            "modulus must be odd and > 1"
+        );
+        let k = modulus.limbs.len();
+        // n' = -n^{-1} mod 2^64 by Newton–Hensel lifting.
+        let n0 = modulus.limbs[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n_prime = inv.wrapping_neg();
+        let r = BigUint::one().shl(64 * k);
+        let r_mod_n = r.rem(modulus);
+        let r2_mod_n = r_mod_n.mul(&r_mod_n).rem(modulus);
+        Self {
+            n: modulus.clone(),
+            n_prime,
+            k,
+            r_mod_n,
+            r2_mod_n,
+        }
+    }
+
+    /// Montgomery product `a · b · R^{-1} mod n` (CIOS), operands in
+    /// Montgomery form.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // CIOS is written index-wise, as in the literature
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.k;
+        let mut t = vec![0u64; k + 2];
+        let a_limb = |i: usize| a.limbs.get(i).copied().unwrap_or(0);
+        let b_limb = |i: usize| b.limbs.get(i).copied().unwrap_or(0);
+        for i in 0..k {
+            // t += a_i * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let v = u128::from(a_limb(i)) * u128::from(b_limb(j)) + u128::from(t[j]) + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = u128::from(t[k]) + carry;
+            t[k] = v as u64;
+            t[k + 1] = (v >> 64) as u64;
+
+            // m = t_0 * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let mut carry = (u128::from(m) * u128::from(self.n.limbs[0]) + u128::from(t[0])) >> 64;
+            for j in 1..k {
+                let v = u128::from(m) * u128::from(self.n.limbs[j]) + u128::from(t[j]) + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = u128::from(t[k]) + carry;
+            t[k - 1] = v as u64;
+            let hi = v >> 64;
+            let v2 = u128::from(t[k + 1]) + hi;
+            t[k] = v2 as u64;
+            t[k + 1] = (v2 >> 64) as u64;
+        }
+        debug_assert_eq!(t[k + 1], 0);
+        let mut out = BigUint::from_limbs(t[..=k].to_vec());
+        if out.cmp_big(&self.n) != std::cmp::Ordering::Less {
+            out = out.sub(&self.n);
+        }
+        out
+    }
+
+    /// Convert into Montgomery form: `a·R mod n`.
+    #[must_use]
+    pub fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(&a.rem(&self.n), &self.r2_mod_n)
+    }
+
+    /// Convert out of Montgomery form: `a·R^{-1} mod n`.
+    #[must_use]
+    pub fn from_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, &BigUint::one())
+    }
+
+    /// `base^exp mod n` (square-and-multiply, MSB first).
+    #[must_use]
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.n);
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.r_mod_n.clone(); // Montgomery form of 1
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime<R: Rng>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if n.bit_len() <= 1 {
+        return false; // 0, 1
+    }
+    let two = BigUint::from_u64(2);
+    if n.cmp_big(&two) == std::cmp::Ordering::Equal {
+        return true;
+    }
+    if !n.is_odd() {
+        return false;
+    }
+    // Quick trial division by small primes.
+    for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        let pb = BigUint::from_u64(p);
+        if n.cmp_big(&pb) == std::cmp::Ordering::Equal {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^s
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let ctx = MontgomeryCtx::new(n);
+    'witness: for _ in 0..rounds {
+        // a in [2, n-2]
+        let a = loop {
+            let c = BigUint::random_bits(rng, n.bit_len() - 1);
+            if c.cmp_big(&two) != std::cmp::Ordering::Less {
+                break c;
+            }
+        };
+        let mut x = ctx.pow(&a, &d);
+        if x.cmp_big(&BigUint::one()) == std::cmp::Ordering::Equal
+            || x.cmp_big(&n_minus_1) == std::cmp::Ordering::Equal
+        {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul(&x).rem(n);
+            if x.cmp_big(&n_minus_1) == std::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+pub fn gen_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 8, "prime too small to be useful");
+    loop {
+        let mut cand = BigUint::random_bits(rng, bits);
+        if !cand.is_odd() {
+            cand = cand.add(&BigUint::one());
+        }
+        if is_probable_prime(&cand, 16, rng) {
+            return cand;
+        }
+    }
+}
+
+/// Modular inverse `a^{-1} mod m` via the extended Euclid algorithm on
+/// non-negative values. Returns `None` when `gcd(a, m) != 1`.
+#[must_use]
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    // Iterative extended Euclid tracking coefficients in signed form:
+    // we keep (sign, magnitude) pairs.
+    if m.is_zero() {
+        return None;
+    }
+    let mut r0 = m.clone();
+    let mut r1 = a.rem(m);
+    // t0 = 0, t1 = 1
+    let mut t0 = (false, BigUint::zero()); // (negative?, magnitude)
+    let mut t1 = (false, BigUint::one());
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1);
+        // t2 = t0 - q * t1
+        let qt1 = q.mul(&t1.1);
+        let t2 = signed_sub(&t0, &(t1.0, qt1));
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t1 = t2;
+    }
+    if r0.cmp_big(&BigUint::one()) != std::cmp::Ordering::Equal {
+        return None;
+    }
+    // Normalize t0 into [0, m)
+    let inv = if t0.0 {
+        m.sub(&t0.1.rem(m)).rem(m)
+    } else {
+        t0.1.rem(m)
+    };
+    Some(inv)
+}
+
+/// `(sa, a) - (sb, b)` in sign-magnitude representation.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - (-b) = a + b ; -a - b = -(a + b)
+        (false, true) => (false, a.1.add(&b.1)),
+        (true, false) => (true, a.1.add(&b.1)),
+        // same sign: magnitude subtraction with sign flip when |b| > |a|
+        (sa, _) => {
+            if a.1.cmp_big(&b.1) != std::cmp::Ordering::Less {
+                (sa, a.1.sub(&b.1))
+            } else {
+                (!sa, b.1.sub(&a.1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn b(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let x = BigUint::from_hex("deadbeefcafebabe0123456789abcdef00000000ffffffff");
+        assert_eq!(
+            x.to_hex(),
+            "deadbeefcafebabe0123456789abcdef00000000ffffffff"
+        );
+        assert_eq!(BigUint::zero().to_hex(), "0");
+        assert_eq!(BigUint::from_hex("0"), BigUint::zero());
+        assert_eq!(BigUint::from_hex("10").to_hex(), "10");
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let x = BigUint::from_hex("0102030405060708090a0b0c");
+        let bytes = x.to_bytes_be();
+        assert_eq!(bytes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(BigUint::from_bytes_be(&bytes), x);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+        assert!(BigUint::from_bytes_be(&[0, 0, 0]).is_zero());
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(b(2).add(&b(3)), b(5));
+        assert_eq!(b(5).sub(&b(3)), b(2));
+        assert_eq!(b(7).mul(&b(6)), b(42));
+        let (q, r) = b(42).div_rem(&b(5));
+        assert_eq!((q, r), (b(8), b(2)));
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let max = BigUint::from_u64(u64::MAX);
+        let sum = max.add(&BigUint::one());
+        assert_eq!(sum.to_hex(), "10000000000000000");
+        let prod = max.mul(&max);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(prod.to_hex(), "fffffffffffffffe0000000000000001");
+        assert_eq!(sum.sub(&BigUint::one()), max);
+    }
+
+    #[test]
+    fn shifts() {
+        let x = BigUint::from_hex("1234567890abcdef");
+        assert_eq!(x.shl(64).shr(64), x);
+        assert_eq!(x.shl(3).to_hex(), "91a2b3c4855e6f78");
+        assert_eq!(x.shr(100), BigUint::zero());
+        assert_eq!(BigUint::zero().shl(100), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_ops() {
+        let x = BigUint::from_hex("8000000000000001");
+        assert_eq!(x.bit_len(), 64);
+        assert!(x.bit(0));
+        assert!(x.bit(63));
+        assert!(!x.bit(32));
+        assert!(!x.bit(1000));
+        assert_eq!(BigUint::zero().bit_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = b(3).sub(&b(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = b(3).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_small_known_values() {
+        // 3^7 mod 11 = 2187 mod 11 = 9
+        assert_eq!(b(3).mod_pow(&b(7), &b(11)), b(9));
+        // Fermat: a^(p-1) ≡ 1 (mod p)
+        let p = b(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(b(a).mod_pow(&p.sub(&BigUint::one()), &p), BigUint::one());
+        }
+        // exponent 0 → 1
+        assert_eq!(b(5).mod_pow(&BigUint::zero(), &b(7)), BigUint::one());
+    }
+
+    #[test]
+    fn montgomery_matches_naive() {
+        let n = BigUint::from_hex("f123456789abcdef0123456789abcdef1"); // odd
+        let ctx = MontgomeryCtx::new(&n);
+        let a = BigUint::from_hex("abcdef0123456789abcdef");
+        let bb = BigUint::from_hex("123456789abcdef0fedcba");
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&bb);
+        let got = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        let expect = a.mul(&bb).rem(&n);
+        assert_eq!(got, expect);
+        // Round-trip through Montgomery form is identity.
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a.rem(&n));
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 61, 97, 65537, 2_147_483_647] {
+            assert!(
+                is_probable_prime(&b(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [0u64, 1, 4, 9, 91, 65535, 2_147_483_649] {
+            assert!(
+                !is_probable_prime(&b(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+        // A Carmichael number (561 = 3·11·17) must be rejected.
+        assert!(!is_probable_prime(&b(561), 16, &mut rng));
+    }
+
+    #[test]
+    fn prime_generation() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = gen_prime(96, &mut rng);
+        assert_eq!(p.bit_len(), 96);
+        assert!(is_probable_prime(&p, 24, &mut rng));
+    }
+
+    #[test]
+    fn modular_inverse() {
+        let m = b(1_000_000_007);
+        let a = b(123_456_789);
+        let inv = mod_inverse(&a, &m).unwrap();
+        assert_eq!(a.mul(&inv).rem(&m), BigUint::one());
+        // Non-invertible: gcd(6, 9) = 3.
+        assert!(mod_inverse(&b(6), &b(9)).is_none());
+        // Inverse of 1 is 1.
+        assert_eq!(mod_inverse(&BigUint::one(), &m).unwrap(), BigUint::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(a in any::<u128>(), c in any::<u128>()) {
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            let cb = BigUint::from_bytes_be(&c.to_be_bytes());
+            let sum = ab.add(&cb);
+            prop_assert_eq!(sum.sub(&cb), ab);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in any::<u128>(), c in any::<u128>()) {
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            let cb = BigUint::from_bytes_be(&c.to_be_bytes());
+            prop_assert_eq!(ab.mul(&cb), cb.mul(&ab));
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(a in any::<u128>(), d in 1u64..) {
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            let db = BigUint::from_u64(d);
+            let (q, r) = ab.div_rem(&db);
+            prop_assert!(r.cmp_big(&db) == std::cmp::Ordering::Less);
+            prop_assert_eq!(q.mul(&db).add(&r), ab);
+        }
+
+        #[test]
+        fn prop_u64_arithmetic_matches(a in any::<u64>(), c in any::<u64>()) {
+            let ab = BigUint::from_u64(a);
+            let cb = BigUint::from_u64(c);
+            let sum = u128::from(a) + u128::from(c);
+            prop_assert_eq!(ab.add(&cb), BigUint::from_bytes_be(&sum.to_be_bytes()));
+            let prod = u128::from(a) * u128::from(c);
+            prop_assert_eq!(ab.mul(&cb), BigUint::from_bytes_be(&prod.to_be_bytes()));
+        }
+
+        #[test]
+        fn prop_mod_pow_matches_u128(base in 1u64..1000, exp in 0u32..16, m in 3u64..10000) {
+            let m = m | 1; // odd modulus for Montgomery
+            let expect = {
+                let mut acc: u128 = 1;
+                for _ in 0..exp {
+                    acc = acc * u128::from(base) % u128::from(m);
+                }
+                acc as u64
+            };
+            let got = BigUint::from_u64(base)
+                .mod_pow(&BigUint::from_u64(u64::from(exp)), &BigUint::from_u64(m));
+            prop_assert_eq!(got, BigUint::from_u64(expect));
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(a in any::<u128>(), s in 0usize..200) {
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            prop_assert_eq!(ab.shl(s).shr(s), ab);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Bit-level entropy coding for the video workload: an MSB-first bit
+//! writer/reader, unsigned and signed Exp-Golomb codes (H.264's workhorse
+//! variable-length code), and the 8×8 zig-zag scan with run-length coding
+//! of quantized transform coefficients.
+
+/// MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final partial byte (0–7).
+    cursor: u8,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.cursor == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.cursor);
+        }
+        self.cursor = (self.cursor + 1) % 8;
+    }
+
+    /// Append the low `n` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// Panics for `n > 64`.
+    pub fn put_bits(&mut self, value: u64, n: u8) {
+        assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Unsigned Exp-Golomb: `v` → `⌊log2(v+1)⌋` zeros, then `v+1` in binary.
+    pub fn put_ue(&mut self, v: u32) {
+        let x = u64::from(v) + 1;
+        let len = 64 - x.leading_zeros() as u8; // bits in x
+        self.put_bits(0, len - 1);
+        self.put_bits(x, len);
+    }
+
+    /// Signed Exp-Golomb (H.264 mapping: 0, 1, −1, 2, −2, ...).
+    pub fn put_se(&mut self, v: i32) {
+        let mapped = if v <= 0 {
+            (-2 * i64::from(v)) as u32
+        } else {
+            (2 * i64::from(v) - 1) as u32
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Number of bits written.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        if self.cursor == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + usize::from(self.cursor)
+        }
+    }
+
+    /// Finish, returning the zero-padded byte stream.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from a byte stream.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Next bit, or `None` at end of stream.
+    pub fn get_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Next `n` bits as an integer (MSB first).
+    pub fn get_bits(&mut self, n: u8) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.get_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Read an unsigned Exp-Golomb code.
+    pub fn get_ue(&mut self) -> Option<u32> {
+        let mut zeros = 0u8;
+        loop {
+            if self.get_bit()? {
+                break;
+            }
+            zeros += 1;
+            if zeros > 32 {
+                return None; // corrupt stream
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        let x = (1u64 << zeros) | rest;
+        Some((x - 1) as u32)
+    }
+
+    /// Read a signed Exp-Golomb code.
+    pub fn get_se(&mut self) -> Option<i32> {
+        let v = i64::from(self.get_ue()?);
+        Some(if v % 2 == 0 {
+            (-v / 2) as i32
+        } else {
+            ((v + 1) / 2) as i32
+        })
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// The 8×8 zig-zag scan order (JPEG/H.264 ordering).
+#[must_use]
+pub fn zigzag_order() -> [(usize, usize); 64] {
+    let mut order = [(0usize, 0usize); 64];
+    let (mut r, mut c) = (0usize, 0usize);
+    let mut up = true;
+    for slot in &mut order {
+        *slot = (r, c);
+        if up {
+            if c == 7 {
+                r += 1;
+                up = false;
+            } else if r == 0 {
+                c += 1;
+                up = false;
+            } else {
+                r -= 1;
+                c += 1;
+            }
+        } else if r == 7 {
+            c += 1;
+            up = true;
+        } else if c == 0 {
+            r += 1;
+            up = true;
+        } else {
+            r += 1;
+            c -= 1;
+        }
+    }
+    order
+}
+
+/// Entropy-encode one quantized 8×8 block: zig-zag scan, then `(run,
+/// level)` pairs as Exp-Golomb codes, terminated by an end-of-block code.
+pub fn encode_block(coefs: &[[i32; 8]; 8], w: &mut BitWriter) {
+    let order = zigzag_order();
+    let mut run = 0u32;
+    for &(r, c) in &order {
+        let v = coefs[r][c];
+        if v == 0 {
+            run += 1;
+        } else {
+            w.put_ue(run);
+            w.put_se(v);
+            run = 0;
+        }
+    }
+    // End of block: a run covering the remainder plus level 0.
+    w.put_ue(run);
+    w.put_se(0);
+}
+
+/// Decode one block written by [`encode_block`]. Returns `None` on a
+/// corrupt stream.
+pub fn decode_block(r: &mut BitReader<'_>) -> Option<[[i32; 8]; 8]> {
+    let order = zigzag_order();
+    let mut out = [[0i32; 8]; 8];
+    let mut idx = 0usize;
+    loop {
+        let run = r.get_ue()? as usize;
+        let level = r.get_se()?;
+        if level == 0 {
+            // End of block: the run must cover exactly the remainder.
+            if idx + run != 64 {
+                return None;
+            }
+            return Some(out);
+        }
+        idx += run;
+        if idx >= 64 {
+            return None;
+        }
+        let (rr, cc) = order[idx];
+        out[rr][cc] = level;
+        idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.put_bits(0b1_0110_0101, 9);
+        w.put_bits(u64::MAX, 64);
+        assert_eq!(w.bit_len(), 74);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bit(), Some(true));
+        assert_eq!(r.get_bits(9), Some(0b1_0110_0101));
+        assert_eq!(r.get_bits(64), Some(u64::MAX));
+        // Padding zeros follow, then end of stream.
+        while r.get_bit().is_some() {}
+        assert_eq!(r.position(), bytes.len() * 8);
+    }
+
+    #[test]
+    fn exp_golomb_known_codewords() {
+        // Classic table: 0→"1", 1→"010", 2→"011", 3→"00100".
+        let encode = |v: u32| {
+            let mut w = BitWriter::new();
+            w.put_ue(v);
+            let n = w.bit_len();
+            let bytes = w.into_bytes();
+            let mut s = String::new();
+            let mut r = BitReader::new(&bytes);
+            for _ in 0..n {
+                s.push(if r.get_bit().unwrap() { '1' } else { '0' });
+            }
+            s
+        };
+        assert_eq!(encode(0), "1");
+        assert_eq!(encode(1), "010");
+        assert_eq!(encode(2), "011");
+        assert_eq!(encode(3), "00100");
+        assert_eq!(encode(7), "0001000");
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation_with_known_prefix() {
+        let order = zigzag_order();
+        let mut seen = [[false; 8]; 8];
+        for (r, c) in order {
+            assert!(!seen[r][c], "duplicate at ({r},{c})");
+            seen[r][c] = true;
+        }
+        // Standard prefix: (0,0) (0,1) (1,0) (2,0) (1,1) (0,2).
+        assert_eq!(
+            &order[..6],
+            &[(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+        );
+        // And the tail ends at (7,7).
+        assert_eq!(order[63], (7, 7));
+    }
+
+    #[test]
+    fn block_roundtrip_sparse_and_dense() {
+        let mut sparse = [[0i32; 8]; 8];
+        sparse[0][0] = 17;
+        sparse[3][4] = -2;
+        sparse[7][7] = 1;
+        let mut dense = [[0i32; 8]; 8];
+        for (r, row) in dense.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r as i32 - 3) * (c as i32 + 1);
+            }
+        }
+        for block in [sparse, dense, [[0i32; 8]; 8]] {
+            let mut w = BitWriter::new();
+            encode_block(&block, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(decode_block(&mut r), Some(block));
+        }
+    }
+
+    #[test]
+    fn sparse_blocks_compress_smaller() {
+        let mut sparse = [[0i32; 8]; 8];
+        sparse[0][0] = 5;
+        let mut dense = [[3i32; 8]; 8];
+        dense[0][0] = 5;
+        let size = |b: &[[i32; 8]; 8]| {
+            let mut w = BitWriter::new();
+            encode_block(b, &mut w);
+            w.bit_len()
+        };
+        assert!(
+            size(&sparse) * 8 < size(&dense),
+            "{} vs {}",
+            size(&sparse),
+            size(&dense)
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        // A stream of zeros never terminates a UE code.
+        let zeros = [0u8; 16];
+        let mut r = BitReader::new(&zeros);
+        assert_eq!(decode_block(&mut r), None);
+        // Truncated valid stream.
+        let mut w = BitWriter::new();
+        let mut block = [[0i32; 8]; 8];
+        block[5][5] = 99;
+        encode_block(&block, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..bytes.len() - 1]);
+        assert_eq!(decode_block(&mut r), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ue_se_roundtrip(vs in proptest::collection::vec((any::<u32>(), any::<i32>()), 1..50)) {
+            let mut w = BitWriter::new();
+            for &(u, s) in &vs {
+                let u = u % (1 << 20);
+                let s = s % (1 << 19);
+                w.put_ue(u);
+                w.put_se(s);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(u, s) in &vs {
+                prop_assert_eq!(r.get_ue(), Some(u % (1 << 20)));
+                prop_assert_eq!(r.get_se(), Some(s % (1 << 19)));
+            }
+        }
+
+        #[test]
+        fn prop_block_roundtrip(levels in proptest::collection::vec(-127i32..=127, 64)) {
+            let mut block = [[0i32; 8]; 8];
+            for (i, &v) in levels.iter().enumerate() {
+                block[i / 8][i % 8] = v;
+            }
+            let mut w = BitWriter::new();
+            encode_block(&block, &mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            prop_assert_eq!(decode_block(&mut r), Some(block));
+        }
+    }
+}

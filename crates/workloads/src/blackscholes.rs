@@ -1,0 +1,435 @@
+//! blackscholes — closed-form European option pricing (PARSEC kernel).
+//!
+//! Prices European calls and puts with the Black–Scholes–Merton formula,
+//! using the same Abramowitz–Stegun polynomial approximation of the
+//! cumulative normal distribution PARSEC's `blackscholes` uses. The
+//! paper evaluates 500 000 options (Table 3) as its financial-analytics
+//! representative; the kernel is floating-point-dominated and CPU-bound.
+//!
+//! ## Trace derivation
+//!
+//! One work unit = one option. The formula evaluates `log`, `sqrt`, `exp`
+//! and two CNDF polynomial expansions (~5 × 8 fused ops each) plus
+//! bookkeeping — several hundred flops, a couple hundred scalar ops, and a
+//! streaming read of the option record (~36 bytes: excellent locality).
+
+use hecmix_sim::{UnitDemand, WorkloadTrace};
+
+use crate::Workload;
+
+/// One option contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionData {
+    /// Spot price.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Risk-free rate (annualized, continuous compounding).
+    pub rate: f64,
+    /// Volatility (annualized).
+    pub volatility: f64,
+    /// Time to expiry in years.
+    pub time: f64,
+    /// `true` for a put, `false` for a call.
+    pub is_put: bool,
+}
+
+/// Cumulative standard normal distribution, Abramowitz–Stegun 26.2.17
+/// polynomial approximation (the PARSEC `CNDF`), |error| < 7.5e-8.
+#[must_use]
+pub fn cndf(x: f64) -> f64 {
+    let sign = x < 0.0;
+    let x_abs = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * x_abs);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let pdf = (-0.5 * x_abs * x_abs).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let cnd = 1.0 - pdf * poly;
+    if sign {
+        1.0 - cnd
+    } else {
+        cnd
+    }
+}
+
+/// Black–Scholes price of one option.
+///
+/// # Panics
+/// Panics on non-positive spot, strike, volatility or time.
+#[must_use]
+pub fn price(opt: &OptionData) -> f64 {
+    assert!(
+        opt.spot > 0.0 && opt.strike > 0.0 && opt.volatility > 0.0 && opt.time > 0.0,
+        "option parameters must be positive"
+    );
+    let sqrt_t = opt.time.sqrt();
+    let d1 = ((opt.spot / opt.strike).ln()
+        + (opt.rate + 0.5 * opt.volatility * opt.volatility) * opt.time)
+        / (opt.volatility * sqrt_t);
+    let d2 = d1 - opt.volatility * sqrt_t;
+    let discounted_strike = opt.strike * (-opt.rate * opt.time).exp();
+    if opt.is_put {
+        discounted_strike * cndf(-d2) - opt.spot * cndf(-d1)
+    } else {
+        opt.spot * cndf(d1) - discounted_strike * cndf(d2)
+    }
+}
+
+/// The option sensitivities ("Greeks") of the Black–Scholes model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Greeks {
+    /// ∂V/∂S — sensitivity to the spot price.
+    pub delta: f64,
+    /// ∂²V/∂S² — curvature in the spot price.
+    pub gamma: f64,
+    /// ∂V/∂σ — sensitivity to volatility (per 1.0 of vol).
+    pub vega: f64,
+    /// ∂V/∂t — time decay (per year; negative for long options usually).
+    pub theta: f64,
+    /// ∂V/∂r — sensitivity to the risk-free rate.
+    pub rho: f64,
+}
+
+/// Standard normal density.
+#[must_use]
+fn npdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Closed-form Greeks of one option.
+///
+/// # Panics
+/// Panics on non-positive spot, strike, volatility or time.
+#[must_use]
+pub fn greeks(opt: &OptionData) -> Greeks {
+    assert!(
+        opt.spot > 0.0 && opt.strike > 0.0 && opt.volatility > 0.0 && opt.time > 0.0,
+        "option parameters must be positive"
+    );
+    let sqrt_t = opt.time.sqrt();
+    let d1 = ((opt.spot / opt.strike).ln()
+        + (opt.rate + 0.5 * opt.volatility * opt.volatility) * opt.time)
+        / (opt.volatility * sqrt_t);
+    let d2 = d1 - opt.volatility * sqrt_t;
+    let disc = (-opt.rate * opt.time).exp();
+    let gamma = npdf(d1) / (opt.spot * opt.volatility * sqrt_t);
+    let vega = opt.spot * npdf(d1) * sqrt_t;
+    if opt.is_put {
+        Greeks {
+            delta: cndf(d1) - 1.0,
+            gamma,
+            vega,
+            theta: -opt.spot * npdf(d1) * opt.volatility / (2.0 * sqrt_t)
+                + opt.rate * opt.strike * disc * cndf(-d2),
+            rho: -opt.strike * opt.time * disc * cndf(-d2),
+        }
+    } else {
+        Greeks {
+            delta: cndf(d1),
+            gamma,
+            vega,
+            theta: -opt.spot * npdf(d1) * opt.volatility / (2.0 * sqrt_t)
+                - opt.rate * opt.strike * disc * cndf(d2),
+            rho: opt.strike * opt.time * disc * cndf(d2),
+        }
+    }
+}
+
+/// Price a whole portfolio, returning the sum (PARSEC iterates the
+/// portfolio; the sum is a checksum-style output).
+#[must_use]
+pub fn price_portfolio(options: &[OptionData]) -> f64 {
+    options.iter().map(price).sum()
+}
+
+/// Deterministic synthetic portfolio generator (PARSEC ships static input
+/// files; this generates records with the same parameter ranges).
+#[must_use]
+pub fn synthetic_portfolio(n: usize) -> Vec<OptionData> {
+    (0..n)
+        .map(|i| {
+            let f = |k: usize, lo: f64, hi: f64| {
+                let u =
+                    ((i.wrapping_mul(2_654_435_761).wrapping_add(k * 97)) % 1000) as f64 / 999.0;
+                lo + u * (hi - lo)
+            };
+            OptionData {
+                spot: f(1, 20.0, 180.0),
+                strike: f(2, 20.0, 180.0),
+                rate: f(3, 0.01, 0.08),
+                volatility: f(4, 0.05, 0.65),
+                time: f(5, 0.1, 3.0),
+                is_put: i % 2 == 1,
+            }
+        })
+        .collect()
+}
+
+/// The blackscholes workload as evaluated in the paper.
+#[derive(Debug, Clone)]
+pub struct BlackScholes {
+    options: u64,
+}
+
+impl Default for BlackScholes {
+    fn default() -> Self {
+        Self { options: 500_000 } // Table 3: 500 000 stock options
+    }
+}
+
+impl BlackScholes {
+    /// Per-option service demand (see module docs).
+    #[must_use]
+    pub fn demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 200.0,
+            fp_ops: 600.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 150.0,
+            llc_miss_rate: 0.01,
+            branch_ops: 60.0,
+            branch_miss_rate: 0.01,
+            io_bytes: 0.0,
+        }
+    }
+}
+
+impl Workload for BlackScholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn unit_name(&self) -> &'static str {
+        "option"
+    }
+
+    fn trace(&self) -> WorkloadTrace {
+        WorkloadTrace::batch("blackscholes", Self::demand())
+    }
+
+    fn validation_units(&self) -> u64 {
+        self.options
+    }
+
+    fn analysis_units(&self) -> u64 {
+        500_000
+    }
+
+    fn bottleneck(&self) -> &'static str {
+        "CPU"
+    }
+
+    fn ppr_unit(&self) -> &'static str {
+        "(options/s)/W"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn atm() -> OptionData {
+        OptionData {
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.05,
+            volatility: 0.2,
+            time: 1.0,
+            is_put: false,
+        }
+    }
+
+    #[test]
+    fn cndf_known_values() {
+        assert!((cndf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cndf(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((cndf(-1.0) - 0.158_655_3).abs() < 1e-6);
+        assert!((cndf(1.96) - 0.975).abs() < 1e-4);
+        assert!(cndf(8.0) > 0.999_999);
+        assert!(cndf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn textbook_call_and_put() {
+        // Hull's classic example: S=100, K=100, r=5%, σ=20%, T=1:
+        // C ≈ 10.4506, P ≈ 5.5735.
+        let call = price(&atm());
+        assert!((call - 10.4506).abs() < 1e-3, "call {call}");
+        let put = price(&OptionData {
+            is_put: true,
+            ..atm()
+        });
+        assert!((put - 5.5735).abs() < 1e-3, "put {put}");
+    }
+
+    #[test]
+    fn deep_in_and_out_of_the_money() {
+        let deep_itm = price(&OptionData {
+            spot: 200.0,
+            ..atm()
+        });
+        // Call ≥ S − K·e^{-rT} (lower bound) and ≤ S.
+        let bound = 200.0 - 100.0 * (-0.05f64).exp();
+        assert!(deep_itm >= bound - 1e-6);
+        assert!(deep_itm <= 200.0);
+        let deep_otm = price(&OptionData {
+            spot: 20.0,
+            ..atm()
+        });
+        assert!(deep_otm < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_degenerate_inputs() {
+        let _ = price(&OptionData { time: 0.0, ..atm() });
+    }
+
+    #[test]
+    fn portfolio_sums() {
+        let opts = synthetic_portfolio(1000);
+        assert_eq!(opts.len(), 1000);
+        let total = price_portfolio(&opts);
+        assert!(total.is_finite() && total > 0.0);
+        // Deterministic across calls.
+        assert_eq!(total, price_portfolio(&synthetic_portfolio(1000)));
+    }
+
+    #[test]
+    fn greeks_match_finite_differences() {
+        let base = atm();
+        let g = greeks(&base);
+        let h = 1e-4;
+        let fd = |bump: &dyn Fn(&OptionData, f64) -> OptionData| {
+            (price(&bump(&base, h)) - price(&bump(&base, -h))) / (2.0 * h)
+        };
+        let delta_fd = fd(&|o, e| OptionData {
+            spot: o.spot + e,
+            ..*o
+        });
+        assert!(
+            (g.delta - delta_fd).abs() < 1e-5,
+            "delta {} vs fd {delta_fd}",
+            g.delta
+        );
+        let vega_fd = fd(&|o, e| OptionData {
+            volatility: o.volatility + e,
+            ..*o
+        });
+        assert!(
+            (g.vega - vega_fd).abs() < 1e-3,
+            "vega {} vs fd {vega_fd}",
+            g.vega
+        );
+        let rho_fd = fd(&|o, e| OptionData {
+            rate: o.rate + e,
+            ..*o
+        });
+        assert!(
+            (g.rho - rho_fd).abs() < 1e-3,
+            "rho {} vs fd {rho_fd}",
+            g.rho
+        );
+        // Theta: price decreases as expiry approaches (−∂V/∂T via time bump).
+        let theta_fd = -fd(&|o, e| OptionData {
+            time: o.time + e,
+            ..*o
+        });
+        assert!(
+            (g.theta - theta_fd).abs() < 1e-3,
+            "theta {} vs fd {theta_fd}",
+            g.theta
+        );
+        // Gamma via second difference.
+        let gamma_fd = (price(&OptionData {
+            spot: base.spot + h,
+            ..base
+        }) - 2.0 * price(&base)
+            + price(&OptionData {
+                spot: base.spot - h,
+                ..base
+            }))
+            / (h * h);
+        assert!(
+            (g.gamma - gamma_fd).abs() < 1e-3,
+            "gamma {} vs fd {gamma_fd}",
+            g.gamma
+        );
+    }
+
+    #[test]
+    fn greeks_domains() {
+        let call = greeks(&atm());
+        assert!((0.0..=1.0).contains(&call.delta));
+        assert!(call.gamma > 0.0);
+        assert!(call.vega > 0.0);
+        assert!(call.theta < 0.0, "long ATM call decays");
+        assert!(call.rho > 0.0);
+        let put = greeks(&OptionData {
+            is_put: true,
+            ..atm()
+        });
+        assert!((-1.0..=0.0).contains(&put.delta));
+        // Put-call delta parity: Δc − Δp = 1.
+        assert!((call.delta - put.delta - 1.0).abs() < 1e-12);
+        // Gamma and vega identical for put and call.
+        assert!((call.gamma - put.gamma).abs() < 1e-15);
+        assert!((call.vega - put.vega).abs() < 1e-15);
+        assert!(put.rho < 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_put_call_parity(
+            spot in 10.0f64..500.0,
+            strike in 10.0f64..500.0,
+            rate in 0.0f64..0.15,
+            vol in 0.01f64..1.0,
+            time in 0.05f64..5.0,
+        ) {
+            let call = price(&OptionData { spot, strike, rate, volatility: vol, time, is_put: false });
+            let put = price(&OptionData { spot, strike, rate, volatility: vol, time, is_put: true });
+            // C − P = S − K·e^{−rT}
+            let parity = spot - strike * (-rate * time).exp();
+            prop_assert!((call - put - parity).abs() < 1e-4 * spot.max(strike),
+                "parity violated: C={call} P={put} S-Ke^-rT={parity}");
+        }
+
+        #[test]
+        fn prop_call_monotone_in_spot(
+            strike in 50.0f64..150.0,
+            s1 in 10.0f64..200.0,
+            bump in 0.1f64..50.0,
+        ) {
+            let base = OptionData { spot: s1, strike, rate: 0.03, volatility: 0.3, time: 1.0, is_put: false };
+            let c1 = price(&base);
+            let c2 = price(&OptionData { spot: s1 + bump, ..base });
+            prop_assert!(c2 >= c1 - 1e-9);
+        }
+
+        #[test]
+        fn prop_prices_nonnegative_and_bounded(
+            spot in 10.0f64..300.0,
+            strike in 10.0f64..300.0,
+            vol in 0.01f64..1.0,
+        ) {
+            let call = price(&OptionData { spot, strike, rate: 0.05, volatility: vol, time: 1.0, is_put: false });
+            prop_assert!(call >= -1e-9);
+            prop_assert!(call <= spot + 1e-9, "call {call} exceeds spot {spot}");
+            let put = price(&OptionData { spot, strike, rate: 0.05, volatility: vol, time: 1.0, is_put: true });
+            prop_assert!(put >= -1e-9);
+            prop_assert!(put <= strike + 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_is_fp_heavy() {
+        let d = BlackScholes::demand();
+        assert!(d.is_valid());
+        assert!(d.fp_ops > d.int_ops);
+        assert_eq!(d.io_bytes, 0.0);
+    }
+}

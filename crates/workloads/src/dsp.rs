@@ -1,0 +1,351 @@
+//! Signal-processing primitives for the speech front-end: a from-scratch
+//! radix-2 FFT, windowing, and the mel filterbank — the computation a real
+//! recognizer like Julius performs on every audio frame before the HMM
+//! search ever sees it.
+
+use std::f64::consts::TAU;
+
+/// A complex number (kept local: the workload needs exactly this much).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, other: Self) -> Self {
+        Self {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, other: Self) -> Self {
+        Self {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -TAU / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT (normalized by `1/n`).
+pub fn ifft(data: &mut [Complex]) {
+    for c in data.iter_mut() {
+        c.im = -c.im;
+    }
+    fft(data);
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.re /= n;
+        c.im = -c.im / n;
+    }
+}
+
+/// Naive DFT, used only to cross-check the FFT in tests.
+#[must_use]
+pub fn dft_reference(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &x) in data.iter().enumerate() {
+                let ang = -TAU * k as f64 * t as f64 / n as f64;
+                acc = acc + x * Complex::new(ang.cos(), ang.sin());
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Hamming window of length `n`.
+#[must_use]
+pub fn hamming(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.54 - 0.46 * (TAU * i as f64 / (n - 1) as f64).cos())
+        .collect()
+}
+
+/// Hz → mel (O'Shaughnessy).
+#[must_use]
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// mel → Hz.
+#[must_use]
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// A triangular mel filterbank over an `n_fft`-point power spectrum.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    /// Per-filter weights over the `n_fft/2 + 1` spectrum bins.
+    pub filters: Vec<Vec<f64>>,
+    /// Sample rate the bank was designed for.
+    pub sample_rate: f64,
+}
+
+impl MelFilterbank {
+    /// Design `n_filters` triangular filters between `f_lo` and `f_hi` Hz.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    #[must_use]
+    pub fn new(n_filters: usize, n_fft: usize, sample_rate: f64, f_lo: f64, f_hi: f64) -> Self {
+        assert!(n_filters >= 1 && n_fft.is_power_of_two());
+        assert!(0.0 <= f_lo && f_lo < f_hi && f_hi <= sample_rate / 2.0);
+        let bins = n_fft / 2 + 1;
+        let mel_lo = hz_to_mel(f_lo);
+        let mel_hi = hz_to_mel(f_hi);
+        // n_filters + 2 equally spaced mel points.
+        let points: Vec<f64> = (0..n_filters + 2)
+            .map(|i| {
+                let mel = mel_lo + (mel_hi - mel_lo) * i as f64 / (n_filters + 1) as f64;
+                mel_to_hz(mel) * n_fft as f64 / sample_rate
+            })
+            .collect();
+        let filters = (0..n_filters)
+            .map(|m| {
+                let (left, center, right) = (points[m], points[m + 1], points[m + 2]);
+                (0..bins)
+                    .map(|b| {
+                        let b = b as f64;
+                        if b < left || b > right {
+                            0.0
+                        } else if b <= center {
+                            (b - left) / (center - left).max(1e-12)
+                        } else {
+                            (right - b) / (right - center).max(1e-12)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            filters,
+            sample_rate,
+        }
+    }
+
+    /// Apply the bank to a power spectrum, returning log filter energies.
+    #[must_use]
+    pub fn apply(&self, power_spectrum: &[f64]) -> Vec<f64> {
+        self.filters
+            .iter()
+            .map(|f| {
+                let e: f64 = f.iter().zip(power_spectrum).map(|(w, p)| w * p).sum();
+                (e + 1e-12).ln()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        for n in [2usize, 8, 64, 256] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, ((i * 17) % 7) as f64 - 3.0))
+                .collect();
+            let mut fast = data.clone();
+            fft(&mut fast);
+            let slow = dft_reference(&data);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!(close(f.re, s.re, 1e-9) && close(f.im, s.im, 1e-9), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_of_pure_tone_peaks_at_its_bin() {
+        let n = 128;
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((TAU * k as f64 * i as f64 / n as f64).cos(), 0.0))
+            .collect();
+        fft(&mut data);
+        let mags: Vec<f64> = data.iter().map(|c| c.norm_sq().sqrt()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(
+            peak == k || peak == n - k,
+            "peak at bin {peak}, expected {k}"
+        );
+        // Energy concentrated: the peak dwarfs the median bin.
+        let mut sorted = mags.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!(mags[k] > 50.0 * sorted[n / 2].max(1e-12));
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 64;
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut rt = data.clone();
+        fft(&mut rt);
+        ifft(&mut rt);
+        for (a, b) in rt.iter().zip(&data) {
+            assert!(close(a.re, b.re, 1e-9) && close(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 256;
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i * 31) % 13) as f64 - 6.0, 0.0))
+            .collect();
+        let time_energy: f64 = data.iter().map(|c| c.norm_sq()).sum();
+        let mut freq = data.clone();
+        fft(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!(close(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    fn hamming_window_shape() {
+        let w = hamming(64);
+        assert_eq!(w.len(), 64);
+        // Endpoints at 0.08, center at ~1.0, symmetric.
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[63] - 0.08).abs() < 1e-9);
+        assert!(w[31] > 0.99 || w[32] > 0.99);
+        for i in 0..32 {
+            assert!((w[i] - w[63 - i]).abs() < 1e-9, "asymmetric at {i}");
+        }
+    }
+
+    #[test]
+    fn mel_scale_roundtrip_and_anchor() {
+        for hz in [0.0, 100.0, 1000.0, 4000.0, 8000.0] {
+            assert!(close(mel_to_hz(hz_to_mel(hz)), hz, 1e-9));
+        }
+        // 1000 Hz ≈ 1000 mel by construction of the scale.
+        assert!((hz_to_mel(1000.0) - 999.99).abs() < 1.0);
+    }
+
+    #[test]
+    fn filterbank_partitions_energy() {
+        let bank = MelFilterbank::new(20, 512, 16_000.0, 100.0, 8000.0);
+        assert_eq!(bank.filters.len(), 20);
+        // Each filter is non-negative with a single triangular peak.
+        for f in &bank.filters {
+            assert!(f.iter().all(|&w| (0.0..=1.0 + 1e-9).contains(&w)));
+            let peak = f.iter().cloned().fold(0.0f64, f64::max);
+            assert!(peak > 0.5, "degenerate filter (peak {peak})");
+        }
+        // A tone lands mostly in one filter's band.
+        let mut spectrum = vec![0.0; 257];
+        spectrum[40] = 100.0; // ≈ 1250 Hz at 16 kHz / 512-pt
+        let energies = bank.apply(&spectrum);
+        let hottest = energies
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let hot = energies[hottest];
+        let others = energies.iter().enumerate().filter(|(i, _)| *i != hottest);
+        let second = others.map(|(_, &e)| e).fold(f64::NEG_INFINITY, f64::max);
+        assert!(hot > second, "tone should concentrate in one mel band");
+    }
+
+    #[test]
+    #[should_panic]
+    fn filterbank_rejects_bad_range() {
+        let _ = MelFilterbank::new(20, 512, 16_000.0, 9000.0, 8000.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! EP — the NAS Parallel Benchmarks "Embarrassingly Parallel" kernel.
+//!
+//! Generates pairs of uniform pseudorandom numbers with the NPB linear
+//! congruential generator (`x_{k+1} = a·x_k mod 2^46`, `a = 5^13`), maps
+//! accepted pairs to independent Gaussians with the Marsaglia polar method,
+//! and tallies them into annuli — exactly the computation the paper uses as
+//! its CPU-bound extreme (Table 3: 2,147,483,648 random numbers, CPU
+//! bottleneck).
+//!
+//! ## Trace derivation
+//!
+//! One work unit = one random number. Per number, the kernel performs the
+//! LCG step (two 64-bit multiplies + mask, amortized), and per *pair* the
+//! square/compare, and on acceptance (~π/4 of pairs) a `ln`, `sqrt`, two
+//! multiplies and the annulus classification. Averaged per number that is
+//! a few tens of integer ops and a similar count of flops with essentially
+//! no memory traffic — the demand constants below. The absolute scale is
+//! chosen so a 10-node AMD cluster services the paper's 50 M-number
+//! analysis job in tens of milliseconds, matching Fig. 4's axis.
+
+use hecmix_sim::{UnitDemand, WorkloadTrace};
+
+use crate::Workload;
+
+/// NPB LCG multiplier `5^13`.
+pub const LCG_A: u64 = 1_220_703_125;
+/// NPB seed.
+pub const LCG_SEED: u64 = 271_828_183;
+/// Modulus `2^46`.
+pub const LCG_MOD_BITS: u32 = 46;
+
+const LCG_MASK: u64 = (1 << LCG_MOD_BITS) - 1;
+
+/// The NPB pseudorandom stream.
+#[derive(Debug, Clone)]
+pub struct NpbRng {
+    state: u64,
+}
+
+impl NpbRng {
+    /// A stream starting from the NPB seed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: LCG_SEED }
+    }
+
+    /// A stream starting from an arbitrary seed (must be odd, < 2^46).
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            state: seed & LCG_MASK,
+        }
+    }
+
+    /// Next uniform value in `(0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.state = mul_mod_2p46(self.state, LCG_A);
+        self.state as f64 / (1u64 << LCG_MOD_BITS) as f64
+    }
+
+    /// Jump the stream ahead by `k` steps in `O(log k)` (NPB's scheme for
+    /// giving each worker a disjoint subsequence: multiply the seed by
+    /// `a^k mod 2^46`).
+    pub fn jump(&mut self, k: u64) {
+        let mut mult: u64 = 1;
+        let mut base = LCG_A;
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                mult = mul_mod_2p46(mult, base);
+            }
+            base = mul_mod_2p46(base, base);
+            k >>= 1;
+        }
+        self.state = mul_mod_2p46(self.state, mult);
+    }
+}
+
+impl Default for NpbRng {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn mul_mod_2p46(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) as u64) & LCG_MASK
+}
+
+/// Result of an EP run: Gaussian-pair tallies per annulus and the sums,
+/// as NPB reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    /// Count of accepted pairs with `l = ⌊max(|X|, |Y|)⌋` for `l in 0..10`.
+    pub counts: [u64; 10],
+    /// Number of accepted pairs.
+    pub accepted: u64,
+    /// Sum of all X deviates.
+    pub sum_x: f64,
+    /// Sum of all Y deviates.
+    pub sum_y: f64,
+}
+
+/// Run the EP kernel over `pairs` pairs (`2 × pairs` random numbers),
+/// starting `offset` pairs into the NPB stream (for distributed
+/// generation).
+#[must_use]
+pub fn run_ep(pairs: u64, offset_pairs: u64) -> EpResult {
+    let mut rng = NpbRng::new();
+    rng.jump(offset_pairs * 2);
+    let mut counts = [0u64; 10];
+    let mut accepted = 0u64;
+    let (mut sum_x, mut sum_y) = (0.0f64, 0.0f64);
+    for _ in 0..pairs {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            let factor = (-2.0 * t.ln() / t).sqrt();
+            let gx = x * factor;
+            let gy = y * factor;
+            accepted += 1;
+            sum_x += gx;
+            sum_y += gy;
+            let l = gx.abs().max(gy.abs()) as usize;
+            if l < counts.len() {
+                counts[l] += 1;
+            }
+        }
+    }
+    EpResult {
+        counts,
+        accepted,
+        sum_x,
+        sum_y,
+    }
+}
+
+/// The EP workload with an NPB problem class.
+#[derive(Debug, Clone)]
+pub struct Ep {
+    class: char,
+    numbers: u64,
+}
+
+impl Ep {
+    /// NPB class A: `2^28` random numbers.
+    #[must_use]
+    pub fn class_a() -> Self {
+        Self {
+            class: 'A',
+            numbers: 1 << 28,
+        }
+    }
+
+    /// NPB class B: `2^30` random numbers.
+    #[must_use]
+    pub fn class_b() -> Self {
+        Self {
+            class: 'B',
+            numbers: 1 << 30,
+        }
+    }
+
+    /// Class C as used in Table 3: 2,147,483,648 = `2^31` random numbers.
+    #[must_use]
+    pub fn class_c() -> Self {
+        Self {
+            class: 'C',
+            numbers: 1 << 31,
+        }
+    }
+
+    /// Problem class letter.
+    #[must_use]
+    pub fn class(&self) -> char {
+        self.class
+    }
+
+    /// The per-unit demand shared by all classes (WPI/SPI are
+    /// size-independent — the paper's Fig. 2 hypothesis).
+    #[must_use]
+    pub fn demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 80.0,
+            fp_ops: 64.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 16.0,
+            llc_miss_rate: 0.005,
+            branch_ops: 16.0,
+            branch_miss_rate: 0.02,
+            io_bytes: 0.0,
+        }
+    }
+}
+
+impl Workload for Ep {
+    fn name(&self) -> &'static str {
+        "ep"
+    }
+
+    fn unit_name(&self) -> &'static str {
+        "random number"
+    }
+
+    fn trace(&self) -> WorkloadTrace {
+        WorkloadTrace::batch("ep", Self::demand())
+    }
+
+    fn validation_units(&self) -> u64 {
+        self.numbers
+    }
+
+    fn analysis_units(&self) -> u64 {
+        50_000_000 // §IV-B: 50 million random numbers per job
+    }
+
+    fn bottleneck(&self) -> &'static str {
+        "CPU"
+    }
+
+    fn ppr_unit(&self) -> &'static str {
+        "(random no./s)/W"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let mut a = NpbRng::new();
+        let mut b = NpbRng::new();
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn jump_matches_sequential() {
+        let mut jumper = NpbRng::new();
+        jumper.jump(1000);
+        let mut stepper = NpbRng::new();
+        for _ in 0..1000 {
+            stepper.next_f64();
+        }
+        assert_eq!(jumper.next_f64(), stepper.next_f64());
+        // Jump by zero is identity.
+        let mut z = NpbRng::new();
+        z.jump(0);
+        assert_eq!(z.next_f64(), NpbRng::new().next_f64());
+    }
+
+    #[test]
+    fn ep_acceptance_near_pi_over_4() {
+        let r = run_ep(200_000, 0);
+        let rate = r.accepted as f64 / 200_000.0;
+        let expect = std::f64::consts::FRAC_PI_4;
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "acceptance {rate} vs π/4 {expect}"
+        );
+    }
+
+    #[test]
+    fn ep_gaussian_sums_near_zero() {
+        let r = run_ep(200_000, 0);
+        // Mean of ~157k standard Gaussians: |sum| ≲ 3·sqrt(n) ≈ 1200.
+        assert!(r.sum_x.abs() < 1200.0, "sum_x {}", r.sum_x);
+        assert!(r.sum_y.abs() < 1200.0, "sum_y {}", r.sum_y);
+        // Counts concentrated in the first annuli.
+        assert!(r.counts[0] > r.counts[1]);
+        assert!(r.counts[1] > r.counts[2]);
+        let tallied: u64 = r.counts.iter().sum();
+        assert_eq!(tallied, r.accepted);
+    }
+
+    #[test]
+    fn distributed_generation_matches_sequential() {
+        // Splitting the pair stream across "nodes" via jump-ahead must
+        // reproduce the sequential tallies exactly (the property that makes
+        // EP embarrassingly parallel).
+        let whole = run_ep(40_000, 0);
+        let mut counts = [0u64; 10];
+        let (mut accepted, mut sx, mut sy) = (0u64, 0.0f64, 0.0f64);
+        for part in 0..4 {
+            let r = run_ep(10_000, part * 10_000);
+            for (acc, c) in counts.iter_mut().zip(&r.counts) {
+                *acc += c;
+            }
+            accepted += r.accepted;
+            sx += r.sum_x;
+            sy += r.sum_y;
+        }
+        assert_eq!(counts, whole.counts);
+        assert_eq!(accepted, whole.accepted);
+        assert!((sx - whole.sum_x).abs() < 1e-6);
+        assert!((sy - whole.sum_y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn classes_match_table3() {
+        assert_eq!(Ep::class_a().validation_units(), 1 << 28);
+        assert_eq!(Ep::class_b().validation_units(), 1 << 30);
+        assert_eq!(Ep::class_c().validation_units(), 2_147_483_648);
+        assert_eq!(Ep::class_c().class(), 'C');
+    }
+
+    #[test]
+    fn trace_is_cpu_bound_shape() {
+        let d = Ep::demand();
+        assert!(d.is_valid());
+        assert_eq!(d.io_bytes, 0.0);
+        assert!(d.llc_miss_rate < 0.01);
+        assert!(d.int_ops + d.fp_ops > 10.0 * d.mem_ops * d.llc_miss_rate);
+    }
+}

@@ -1,0 +1,567 @@
+//! Julius — a hidden-Markov-model speech decoder kernel.
+//!
+//! Julius is an HMM-based large-vocabulary speech recognition engine; its
+//! compute core is frame-synchronous Viterbi decoding against Gaussian
+//! acoustic models. This module implements that core: diagonal-covariance
+//! Gaussian emission scoring and log-space Viterbi decoding with
+//! backtracking, plus a synthetic utterance generator so tests can verify
+//! that planted state sequences are recovered.
+//!
+//! The paper decodes 2,310,559 audio samples (Table 3) as its real-time
+//! speech-processing representative; the workload is CPU-bound.
+//!
+//! ## Trace derivation
+//!
+//! One work unit = one audio sample. Amortized per sample (frames stride
+//! 160 samples at 16 kHz, ~dozens of states, a few Gaussians each): a few
+//! hundred multiply-accumulates for emission scores, a few hundred scalar
+//! ops for the Viterbi recursion and beam bookkeeping, with moderate
+//! locality over the model tables, plus the 2-byte PCM input (amortized to
+//! a few bytes of I/O).
+
+use hecmix_sim::{UnitDemand, WorkloadTrace};
+
+use crate::Workload;
+
+/// Diagonal-covariance Gaussian over feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gaussian {
+    /// Per-dimension means.
+    pub mean: Vec<f64>,
+    /// Per-dimension variances (positive).
+    pub var: Vec<f64>,
+}
+
+impl Gaussian {
+    /// Log-density at `x` (up to the shared normalization constant — it
+    /// cancels in Viterbi comparisons but is included for correctness).
+    #[must_use]
+    pub fn log_density(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.mean.len(), "dimension mismatch");
+        let mut acc = 0.0;
+        for ((&xi, &mu), &v) in x.iter().zip(&self.mean).zip(&self.var) {
+            debug_assert!(v > 0.0);
+            let d = xi - mu;
+            acc += -0.5 * (d * d / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        acc
+    }
+}
+
+/// A hidden Markov model with Gaussian emissions.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    /// Log initial-state probabilities.
+    pub log_pi: Vec<f64>,
+    /// Log transition matrix, row = from-state.
+    pub log_trans: Vec<Vec<f64>>,
+    /// Emission model per state.
+    pub emissions: Vec<Gaussian>,
+}
+
+impl Hmm {
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.log_pi.len()
+    }
+
+    /// Validate shapes and that probability rows sum to ~1.
+    ///
+    /// # Panics
+    /// Panics on inconsistent shapes or non-normalized rows.
+    pub fn validate(&self) {
+        let n = self.n_states();
+        assert_eq!(self.log_trans.len(), n);
+        assert_eq!(self.emissions.len(), n);
+        let sum_pi: f64 = self.log_pi.iter().map(|lp| lp.exp()).sum();
+        assert!(
+            (sum_pi - 1.0).abs() < 1e-6,
+            "initial distribution not normalized"
+        );
+        for row in &self.log_trans {
+            assert_eq!(row.len(), n);
+            let s: f64 = row.iter().map(|lp| lp.exp()).sum();
+            assert!((s - 1.0).abs() < 1e-6, "transition row not normalized");
+        }
+    }
+
+    /// Viterbi decode: the most probable state path for `observations`,
+    /// with its log-probability. Log-space throughout (no underflow).
+    #[must_use]
+    pub fn viterbi(&self, observations: &[Vec<f64>]) -> (Vec<usize>, f64) {
+        let n = self.n_states();
+        assert!(n > 0, "empty model");
+        if observations.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let mut delta: Vec<f64> = (0..n)
+            .map(|s| self.log_pi[s] + self.emissions[s].log_density(&observations[0]))
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(observations.len());
+        back.push(vec![0; n]);
+        let mut next = vec![0.0f64; n];
+        for obs in &observations[1..] {
+            let mut back_t = vec![0usize; n];
+            for s in 0..n {
+                let (mut best_prev, mut best) = (0usize, f64::NEG_INFINITY);
+                for (p, &d) in delta.iter().enumerate() {
+                    let cand = d + self.log_trans[p][s];
+                    if cand > best {
+                        best = cand;
+                        best_prev = p;
+                    }
+                }
+                next[s] = best + self.emissions[s].log_density(obs);
+                back_t[s] = best_prev;
+            }
+            delta.copy_from_slice(&next);
+            back.push(back_t);
+        }
+        // Backtrack.
+        let (mut state, &log_prob) = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("n > 0");
+        let mut path = vec![0usize; observations.len()];
+        for t in (0..observations.len()).rev() {
+            path[t] = state;
+            state = back[t][state];
+        }
+        (path, log_prob)
+    }
+}
+
+/// A small left-to-right phone-like model plus a synthetic utterance with
+/// a known state path (deterministic pseudo-noise).
+#[must_use]
+pub fn synthetic_task(
+    n_states: usize,
+    dim: usize,
+    frames: usize,
+    seed: u64,
+) -> (Hmm, Vec<Vec<f64>>, Vec<usize>) {
+    assert!(n_states >= 2 && dim >= 1 && frames >= n_states);
+    // Left-to-right with self-loops: stay 0.8, advance 0.2 (last state
+    // absorbs).
+    let mut log_trans = vec![vec![f64::NEG_INFINITY; n_states]; n_states];
+    for s in 0..n_states {
+        if s + 1 < n_states {
+            log_trans[s][s] = 0.8f64.ln();
+            log_trans[s][s + 1] = 0.2f64.ln();
+        } else {
+            log_trans[s][s] = 0.0; // ln 1
+        }
+    }
+    let mut log_pi = vec![f64::NEG_INFINITY; n_states];
+    log_pi[0] = 0.0;
+    // Well-separated means so decoding is unambiguous.
+    let emissions: Vec<Gaussian> = (0..n_states)
+        .map(|s| Gaussian {
+            mean: (0..dim).map(|d| (s * 7 + d) as f64).collect(),
+            var: vec![0.25; dim],
+        })
+        .collect();
+    let hmm = Hmm {
+        log_pi,
+        log_trans,
+        emissions,
+    };
+    hmm.validate();
+
+    // Planted path: dwell evenly in each state.
+    let dwell = frames / n_states;
+    let mut truth = Vec::with_capacity(frames);
+    for t in 0..frames {
+        truth.push((t / dwell).min(n_states - 1));
+    }
+    // Observations: state mean + small deterministic noise.
+    let mut x = seed | 1;
+    let mut noise = move || {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((x >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.3
+    };
+    let obs: Vec<Vec<f64>> = truth
+        .iter()
+        .map(|&s| (0..dim).map(|d| (s * 7 + d) as f64 + noise()).collect())
+        .collect();
+    (hmm, obs, truth)
+}
+
+/// The acoustic front-end: raw PCM → MFCC-style feature vectors, the
+/// per-sample signal processing a real recognizer performs before the HMM
+/// search (pre-emphasis, framing, Hamming window, FFT, mel filterbank,
+/// cepstral DCT).
+pub mod frontend {
+    use crate::dsp::{fft, hamming, Complex, MelFilterbank};
+
+    /// Front-end configuration (defaults follow common 16 kHz setups).
+    #[derive(Debug, Clone)]
+    pub struct FrontendConfig {
+        /// Sample rate in Hz.
+        pub sample_rate: f64,
+        /// Samples per analysis frame (25 ms at 16 kHz).
+        pub frame_len: usize,
+        /// Hop between frames (10 ms at 16 kHz).
+        pub hop: usize,
+        /// FFT length (next power of two ≥ frame_len).
+        pub n_fft: usize,
+        /// Mel filters.
+        pub n_filters: usize,
+        /// Cepstral coefficients kept.
+        pub n_ceps: usize,
+        /// Pre-emphasis coefficient.
+        pub preemphasis: f64,
+    }
+
+    impl Default for FrontendConfig {
+        fn default() -> Self {
+            Self {
+                sample_rate: 16_000.0,
+                frame_len: 400,
+                hop: 160,
+                n_fft: 512,
+                n_filters: 20,
+                n_ceps: 12,
+                preemphasis: 0.97,
+            }
+        }
+    }
+
+    /// Extract MFCC feature vectors from 16-bit PCM samples.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configuration (`n_fft < frame_len`, ...).
+    #[must_use]
+    pub fn mfcc(samples: &[i16], cfg: &FrontendConfig) -> Vec<Vec<f64>> {
+        assert!(cfg.n_fft >= cfg.frame_len && cfg.n_fft.is_power_of_two());
+        assert!(cfg.hop > 0 && cfg.n_ceps <= cfg.n_filters);
+        if samples.len() < cfg.frame_len {
+            return Vec::new();
+        }
+        // Pre-emphasis.
+        let mut x: Vec<f64> = Vec::with_capacity(samples.len());
+        x.push(f64::from(samples[0]));
+        for i in 1..samples.len() {
+            x.push(f64::from(samples[i]) - cfg.preemphasis * f64::from(samples[i - 1]));
+        }
+        let window = hamming(cfg.frame_len);
+        let bank = MelFilterbank::new(
+            cfg.n_filters,
+            cfg.n_fft,
+            cfg.sample_rate,
+            100.0,
+            cfg.sample_rate / 2.0 - 100.0,
+        );
+        let mut features = Vec::new();
+        let mut start = 0usize;
+        while start + cfg.frame_len <= x.len() {
+            // Window + zero-pad into the FFT buffer.
+            let mut buf = vec![Complex::default(); cfg.n_fft];
+            for (i, b) in buf.iter_mut().take(cfg.frame_len).enumerate() {
+                b.re = x[start + i] * window[i];
+            }
+            fft(&mut buf);
+            let power: Vec<f64> = buf[..cfg.n_fft / 2 + 1]
+                .iter()
+                .map(|c| c.norm_sq())
+                .collect();
+            let log_mels = bank.apply(&power);
+            // Cepstral DCT-II over the log filter energies.
+            let m = log_mels.len() as f64;
+            let ceps: Vec<f64> = (0..cfg.n_ceps)
+                .map(|k| {
+                    log_mels
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &e)| {
+                            e * ((k as f64) * (j as f64 + 0.5) * std::f64::consts::PI / m).cos()
+                        })
+                        .sum()
+                })
+                .collect();
+            features.push(ceps);
+            start += cfg.hop;
+        }
+        features
+    }
+
+    /// Synthesize a test utterance: segments of pure tones (Hz) with a
+    /// deterministic dither, 16-bit PCM.
+    #[must_use]
+    pub fn synth_tones(segments: &[(f64, usize)], sample_rate: f64) -> Vec<i16> {
+        let mut out = Vec::new();
+        let mut phase = 0.0f64;
+        let mut d = 0x2545_F491_4F6C_DD1Du64;
+        for &(hz, len) in segments {
+            for _ in 0..len {
+                phase += std::f64::consts::TAU * hz / sample_rate;
+                d ^= d << 13;
+                d ^= d >> 7;
+                d ^= d << 17;
+                let dither = (d % 200) as f64 - 100.0;
+                let v = 12_000.0 * phase.sin() + dither;
+                out.push(v.clamp(-32_768.0, 32_767.0) as i16);
+            }
+        }
+        out
+    }
+}
+
+/// The Julius workload as evaluated in the paper.
+#[derive(Debug, Clone)]
+pub struct Julius {
+    samples: u64,
+}
+
+impl Default for Julius {
+    fn default() -> Self {
+        Self { samples: 2_310_559 } // Table 3
+    }
+}
+
+impl Julius {
+    /// Per-sample service demand (see module docs).
+    #[must_use]
+    pub fn demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 400.0,
+            fp_ops: 150.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 200.0,
+            llc_miss_rate: 0.015,
+            branch_ops: 80.0,
+            branch_miss_rate: 0.05,
+            io_bytes: 4.0,
+        }
+    }
+}
+
+impl Workload for Julius {
+    fn name(&self) -> &'static str {
+        "julius"
+    }
+
+    fn unit_name(&self) -> &'static str {
+        "sample"
+    }
+
+    fn trace(&self) -> WorkloadTrace {
+        WorkloadTrace::batch("julius", Self::demand())
+    }
+
+    fn validation_units(&self) -> u64 {
+        self.samples
+    }
+
+    fn analysis_units(&self) -> u64 {
+        2_310_559
+    }
+
+    fn bottleneck(&self) -> &'static str {
+        "CPU"
+    }
+
+    fn ppr_unit(&self) -> &'static str {
+        "(samples/s)/W"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_log_density_peaks_at_mean() {
+        let g = Gaussian {
+            mean: vec![1.0, -2.0],
+            var: vec![0.5, 2.0],
+        };
+        let at_mean = g.log_density(&[1.0, -2.0]);
+        assert!(at_mean > g.log_density(&[1.5, -2.0]));
+        assert!(at_mean > g.log_density(&[1.0, 0.0]));
+        // Known value: −½·Σ ln(2π·v).
+        let expect = -0.5
+            * ((2.0 * std::f64::consts::PI * 0.5).ln() + (2.0 * std::f64::consts::PI * 2.0).ln());
+        assert!((at_mean - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn gaussian_rejects_wrong_dimension() {
+        let g = Gaussian {
+            mean: vec![0.0],
+            var: vec![1.0],
+        };
+        let _ = g.log_density(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn viterbi_recovers_planted_path() {
+        let (hmm, obs, truth) = synthetic_task(5, 8, 200, 42);
+        let (path, log_prob) = hmm.viterbi(&obs);
+        assert!(log_prob.is_finite());
+        let correct = path.iter().zip(&truth).filter(|(a, b)| a == b).count();
+        let accuracy = correct as f64 / truth.len() as f64;
+        assert!(accuracy > 0.95, "accuracy {accuracy}");
+        // Left-to-right: path must be non-decreasing.
+        assert!(path.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn viterbi_empty_observations() {
+        let (hmm, _, _) = synthetic_task(3, 2, 10, 1);
+        let (path, lp) = hmm.viterbi(&[]);
+        assert!(path.is_empty());
+        assert_eq!(lp, 0.0);
+    }
+
+    #[test]
+    fn viterbi_single_frame_picks_best_state() {
+        let (hmm, _, _) = synthetic_task(3, 2, 10, 1);
+        // Observation at state 0's mean with π forcing state 0.
+        let (path, _) = hmm.viterbi(&[vec![0.0, 1.0]]);
+        assert_eq!(path, vec![0]);
+    }
+
+    #[test]
+    fn log_space_is_underflow_proof() {
+        // 2 000 frames would underflow linear-space probabilities
+        // (p ~ 1e-4000); log-space must stay finite.
+        let (hmm, obs, _) = synthetic_task(4, 4, 2000, 9);
+        let (_, log_prob) = hmm.viterbi(&obs);
+        assert!(log_prob.is_finite());
+        assert!(log_prob < 0.0);
+    }
+
+    #[test]
+    fn model_validation_catches_bad_rows() {
+        let (mut hmm, _, _) = synthetic_task(3, 2, 10, 1);
+        hmm.log_trans[0][0] = 0.0; // row now sums to > 1
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hmm.validate()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn paper_sample_count() {
+        assert_eq!(Julius::default().validation_units(), 2_310_559);
+        assert!(Julius::demand().is_valid());
+    }
+
+    #[test]
+    fn frontend_produces_expected_frame_count() {
+        use super::frontend::{mfcc, synth_tones, FrontendConfig};
+        let cfg = FrontendConfig::default();
+        let audio = synth_tones(&[(440.0, 16_000)], cfg.sample_rate); // 1 s
+        let feats = mfcc(&audio, &cfg);
+        // (16000 - 400) / 160 + 1 = 98 frames.
+        assert_eq!(feats.len(), 98);
+        assert!(feats.iter().all(|f| f.len() == cfg.n_ceps));
+        assert!(feats.iter().flatten().all(|v| v.is_finite()));
+        // Too-short audio yields nothing.
+        assert!(mfcc(&audio[..100], &cfg).is_empty());
+    }
+
+    #[test]
+    fn frontend_separates_tones() {
+        use super::frontend::{mfcc, synth_tones, FrontendConfig};
+        let cfg = FrontendConfig::default();
+        let low = mfcc(&synth_tones(&[(300.0, 8000)], cfg.sample_rate), &cfg);
+        let high = mfcc(&synth_tones(&[(3000.0, 8000)], cfg.sample_rate), &cfg);
+        // Mean feature vectors of the two tones must be far apart compared
+        // to the within-tone scatter.
+        let mean = |fs: &[Vec<f64>]| {
+            let mut m = vec![0.0; fs[0].len()];
+            for f in fs {
+                for (mi, &v) in m.iter_mut().zip(f) {
+                    *mi += v;
+                }
+            }
+            for mi in &mut m {
+                *mi /= fs.len() as f64;
+            }
+            m
+        };
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let (ml, mh) = (mean(&low), mean(&high));
+        let between = dist(&ml, &mh);
+        let within: f64 = low.iter().map(|f| dist(f, &ml)).sum::<f64>() / low.len() as f64;
+        assert!(
+            between > 3.0 * within,
+            "tones should separate: between {between:.2}, within {within:.2}"
+        );
+    }
+
+    #[test]
+    fn end_to_end_audio_to_state_path() {
+        // The full recognizer pipeline on synthetic audio: two alternating
+        // tones → MFCCs → a 2-state HMM with Gaussians fitted to each
+        // tone's features → Viterbi recovers the alternation.
+        use super::frontend::{mfcc, synth_tones, FrontendConfig};
+        let cfg = FrontendConfig::default();
+        let seg = 4800; // 0.3 s per segment = 30 frames each
+        let audio = synth_tones(
+            &[(300.0, seg), (3000.0, seg), (300.0, seg), (3000.0, seg)],
+            cfg.sample_rate,
+        );
+        let feats = mfcc(&audio, &cfg);
+        assert!(feats.len() > 100);
+
+        // Fit diagonal Gaussians per tone from held-out pure recordings.
+        let fit = |fs: &[Vec<f64>]| {
+            let dim = fs[0].len();
+            let mut mean = vec![0.0; dim];
+            for f in fs {
+                for (m, &v) in mean.iter_mut().zip(f) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= fs.len() as f64;
+            }
+            let mut var = vec![0.0; dim];
+            for f in fs {
+                for ((v, &x), m) in var.iter_mut().zip(f).zip(&mean) {
+                    *v += (x - m) * (x - m);
+                }
+            }
+            for v in &mut var {
+                *v = (*v / fs.len() as f64).max(1e-3);
+            }
+            Gaussian { mean, var }
+        };
+        let low_feats = mfcc(&synth_tones(&[(300.0, 8000)], cfg.sample_rate), &cfg);
+        let high_feats = mfcc(&synth_tones(&[(3000.0, 8000)], cfg.sample_rate), &cfg);
+        let hmm = Hmm {
+            log_pi: vec![0.5f64.ln(), 0.5f64.ln()],
+            log_trans: vec![
+                vec![0.95f64.ln(), 0.05f64.ln()],
+                vec![0.05f64.ln(), 0.95f64.ln()],
+            ],
+            emissions: vec![fit(&low_feats), fit(&high_feats)],
+        };
+        hmm.validate();
+        let (path, lp) = hmm.viterbi(&feats);
+        assert!(lp.is_finite());
+        // The decoded path must alternate 0→1→0→1 in four blocks; allow
+        // slop at segment boundaries (windows straddle the transition).
+        let frames_per_seg = feats.len() / 4;
+        let mut correct = 0usize;
+        for (t, &s) in path.iter().enumerate() {
+            let expect = (t / frames_per_seg).min(3) % 2;
+            correct += usize::from(s == expect);
+        }
+        let acc = correct as f64 / path.len() as f64;
+        assert!(acc > 0.85, "end-to-end decoding accuracy {acc:.2}");
+    }
+}

@@ -1,0 +1,125 @@
+//! # hecmix-workloads
+//!
+//! The six datacenter workloads of the paper's evaluation (§III-A,
+//! Table 3), each provided in two coupled forms:
+//!
+//! 1. **A real, executable kernel** — the actual computation, implemented
+//!    from scratch and unit-tested for functional correctness: the NPB EP
+//!    Monte-Carlo pair generator, a working key-value store with a
+//!    memslap-style load generator, a block-based video encoder
+//!    (motion search + DCT + quantization), PARSEC-style Black–Scholes
+//!    option pricing, an HMM Viterbi decoder, and RSA-2048
+//!    signature verification on a from-scratch bignum with Montgomery
+//!    multiplication.
+//! 2. **An architecture-neutral service-demand trace** — what one
+//!    *representative phase* `Ps` (one work unit: a random number, a
+//!    request, a frame, an option, a sample, a verification) demands from
+//!    cores, memory and the network, derived from the kernel's structure
+//!    and documented per module. The simulator executes these traces; the
+//!    profiling pipeline characterizes them into model inputs.
+//!
+//! The micro-benchmarks the paper uses for power characterization
+//! (§II-D-2) — a CPU-saturating kernel and a cache-miss/stall generator —
+//! live in [`micro`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bignum;
+pub mod bitcodec;
+pub mod blackscholes;
+pub mod dsp;
+pub mod ep;
+pub mod julius;
+pub mod memcached;
+pub mod micro;
+pub mod protocol;
+pub mod rsa;
+pub mod x264;
+
+use hecmix_sim::WorkloadTrace;
+
+/// A paper workload: its trace plus the evaluation parameters of Table 3
+/// and §IV.
+pub trait Workload {
+    /// Workload name as used in the paper (e.g. `"memcached"`).
+    fn name(&self) -> &'static str;
+    /// What one work unit is (e.g. `"request"`, `"frame"`).
+    fn unit_name(&self) -> &'static str;
+    /// The architecture-neutral service-demand trace.
+    fn trace(&self) -> WorkloadTrace;
+    /// Problem size used for the paper's validation runs (Table 3).
+    fn validation_units(&self) -> u64;
+    /// Job size used for the paper's energy-efficiency analysis (§IV-B:
+    /// 50 000 memcached requests; 50 million EP random numbers; others
+    /// scaled to comparable service times).
+    fn analysis_units(&self) -> u64;
+    /// The dominant bottleneck reported in Table 3.
+    fn bottleneck(&self) -> &'static str;
+    /// The performance unit of Table 5's PPR row (e.g. `"(random no./s)/W"`).
+    fn ppr_unit(&self) -> &'static str;
+}
+
+/// All six paper workloads, in Table 3 order.
+#[must_use]
+pub fn all_workloads() -> Vec<Box<dyn Workload + Send + Sync>> {
+    vec![
+        Box::new(ep::Ep::class_c()),
+        Box::new(memcached::Memcached::default()),
+        Box::new(x264::X264::default()),
+        Box::new(blackscholes::BlackScholes::default()),
+        Box::new(julius::Julius::default()),
+        Box::new(rsa::Rsa2048::default()),
+    ]
+}
+
+/// Look a workload up by its paper name.
+#[must_use]
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload + Send + Sync>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_six_workloads_with_valid_traces() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 6);
+        for w in &all {
+            let t = w.trace();
+            assert!(t.demand.is_valid(), "{} trace invalid", w.name());
+            assert!(w.validation_units() > 0);
+            assert!(w.analysis_units() > 0);
+            assert_eq!(t.name, w.name());
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("ep").is_some());
+        assert!(workload_by_name("memcached").is_some());
+        assert!(workload_by_name("x264").is_some());
+        assert!(workload_by_name("blackscholes").is_some());
+        assert!(workload_by_name("julius").is_some());
+        assert!(workload_by_name("rsa-2048").is_some());
+        assert!(workload_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn names_and_bottlenecks_match_table3() {
+        let expect = [
+            ("ep", "CPU"),
+            ("memcached", "I/O"),
+            ("x264", "Memory"),
+            ("blackscholes", "CPU"),
+            ("julius", "CPU"),
+            ("rsa-2048", "CPU"),
+        ];
+        for (w, (name, bn)) in all_workloads().iter().zip(expect) {
+            assert_eq!(w.name(), name);
+            assert_eq!(w.bottleneck(), bn);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! memcached — an in-memory key-value store with a memslap-style load
+//! generator.
+//!
+//! The store is a real implementation: a hash map with LRU eviction under a
+//! byte-capacity bound, supporting the GET/SET/DELETE command repertoire
+//! the paper characterizes (§II-D-1). The load generator reproduces the
+//! paper's `memslap` setup: fixed key and value sizes, uniform key
+//! popularity, a fixed GET:SET ratio, driven over a network connection.
+//!
+//! ## Trace derivation
+//!
+//! One work unit = one request. CPU work per request is a key hash, a map
+//! probe and an LRU splice (~a thousand scalar ops, a few hundred
+//! dependent memory references with poor locality); the dominant demand is
+//! the network transfer of the key+value payload (~1 KiB per request, the
+//! paper's fixed memslap size), which makes the workload I/O-bound
+//! (Table 3) — on the ARM node's 100 Mbps NIC one node sustains ~12.5 k
+//! requests/s, so 128 ARM nodes service the 50 k-request analysis job in
+//! ≈31 ms, matching the paper's observation that ARM-only configurations
+//! cannot meet deadlines under 30 ms (§IV-C).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use hecmix_sim::{UnitDemand, WorkloadTrace};
+
+use crate::Workload;
+
+/// One memcached command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Fetch a value.
+    Get(String),
+    /// Store a value.
+    Set(String, Bytes),
+    /// Remove a key.
+    Delete(String),
+}
+
+/// Response to a command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET hit.
+    Value(Bytes),
+    /// GET/DELETE miss.
+    NotFound,
+    /// SET acknowledged.
+    Stored,
+    /// DELETE succeeded.
+    Deleted,
+}
+
+/// An LRU entry: value plus intrusive list links (indices into the slab).
+struct Entry {
+    key: String,
+    value: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A byte-capacity-bounded KV store with LRU eviction.
+///
+/// The LRU list is intrusive over a slab of entries, so GET/SET are O(1)
+/// expected: one hash probe plus pointer splices (like memcached's own
+/// design).
+pub struct KvStore {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity_bytes: usize,
+    used_bytes: usize,
+    /// Lifetime eviction count (for tests and stats).
+    pub evictions: u64,
+}
+
+impl KvStore {
+    /// A store bounded at `capacity_bytes` of key+value payload.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity_bytes,
+            used_bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of stored keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently stored.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn entry_bytes(key: &str, value: &Bytes) -> usize {
+        key.len() + value.len()
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "eviction from empty store");
+        let key = self.slab[victim].key.clone();
+        self.remove_key(&key);
+        self.evictions += 1;
+    }
+
+    fn remove_key(&mut self, key: &str) -> Option<Bytes> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let value = std::mem::take(&mut self.slab[idx].value);
+        self.used_bytes -= Self::entry_bytes(key, &value);
+        self.slab[idx].key.clear();
+        self.free.push(idx);
+        Some(value)
+    }
+
+    /// Execute one command.
+    pub fn execute(&mut self, cmd: Command) -> Response {
+        match cmd {
+            Command::Get(key) => match self.map.get(&key).copied() {
+                Some(idx) => {
+                    self.detach(idx);
+                    self.push_front(idx);
+                    Response::Value(self.slab[idx].value.clone())
+                }
+                None => Response::NotFound,
+            },
+            Command::Set(key, value) => {
+                let new_bytes = Self::entry_bytes(&key, &value);
+                assert!(
+                    new_bytes <= self.capacity_bytes,
+                    "single entry larger than store capacity"
+                );
+                self.remove_key(&key);
+                while self.used_bytes + new_bytes > self.capacity_bytes {
+                    self.evict_lru();
+                }
+                self.used_bytes += new_bytes;
+                let idx = match self.free.pop() {
+                    Some(i) => {
+                        self.slab[i] = Entry {
+                            key: key.clone(),
+                            value,
+                            prev: NIL,
+                            next: NIL,
+                        };
+                        i
+                    }
+                    None => {
+                        self.slab.push(Entry {
+                            key: key.clone(),
+                            value,
+                            prev: NIL,
+                            next: NIL,
+                        });
+                        self.slab.len() - 1
+                    }
+                };
+                self.push_front(idx);
+                self.map.insert(key, idx);
+                Response::Stored
+            }
+            Command::Delete(key) => match self.remove_key(&key) {
+                Some(_) => Response::Deleted,
+                None => Response::NotFound,
+            },
+        }
+    }
+}
+
+/// Key-popularity distribution of the load generator.
+#[derive(Debug, Clone)]
+pub enum Popularity {
+    /// Uniform over the key space — the paper's memslap setting.
+    Uniform,
+    /// Zipf(s) — the realistic skew of production key-value traffic the
+    /// paper points to (Atikoglu et al., SIGMETRICS 2012). Sampled by
+    /// inverted-CDF over precomputed cumulative weights.
+    Zipf {
+        /// Skew exponent (≈1 for production caches).
+        s: f64,
+        /// Precomputed cumulative weights (internal).
+        cdf: Vec<f64>,
+    },
+}
+
+impl Popularity {
+    /// Build a Zipf distribution over `n` keys with exponent `s`.
+    #[must_use]
+    pub fn zipf(n: u64, s: f64) -> Self {
+        assert!(
+            n > 0 && s > 0.0,
+            "Zipf needs a positive key space and exponent"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Popularity::Zipf { s, cdf }
+    }
+}
+
+/// memslap-style load generator: fixed key/value sizes, fixed GET:SET
+/// ratio, with uniform popularity by default (the paper notes its memslap
+/// runs use fixed sizes and uniform popularity) or Zipf popularity for
+/// the realistic variant.
+#[derive(Debug, Clone)]
+pub struct Memslap {
+    rng: SmallRng,
+    key_space: u64,
+    key_len: usize,
+    value_len: usize,
+    get_fraction: f64,
+    popularity: Popularity,
+}
+
+impl Memslap {
+    /// A generator over `key_space` distinct keys with memslap's default
+    /// 9:1 GET:SET mix and uniform popularity.
+    #[must_use]
+    pub fn new(seed: u64, key_space: u64, key_len: usize, value_len: usize) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            key_space,
+            key_len,
+            value_len,
+            get_fraction: 0.9,
+            popularity: Popularity::Uniform,
+        }
+    }
+
+    /// Switch to Zipf(s) key popularity.
+    #[must_use]
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        self.popularity = Popularity::zipf(self.key_space, s);
+        self
+    }
+
+    fn key(&self, id: u64) -> String {
+        format!("{:0width$}", id, width = self.key_len)
+    }
+
+    fn next_key_id(&mut self) -> u64 {
+        match &self.popularity {
+            Popularity::Uniform => self.rng.gen_range(0..self.key_space),
+            Popularity::Zipf { cdf, .. } => {
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                cdf.partition_point(|&c| c < u) as u64
+            }
+        }
+    }
+
+    /// Next command in the stream.
+    pub fn next_command(&mut self) -> Command {
+        let id = self.next_key_id();
+        if self.rng.gen_bool(self.get_fraction) {
+            Command::Get(self.key(id))
+        } else {
+            let value = vec![(id % 251) as u8; self.value_len];
+            Command::Set(self.key(id), Bytes::from(value))
+        }
+    }
+
+    /// Pre-populate a store so GETs hit.
+    pub fn warm(&mut self, store: &mut KvStore) {
+        for id in 0..self.key_space {
+            let value = vec![(id % 251) as u8; self.value_len];
+            store.execute(Command::Set(self.key(id), Bytes::from(value)));
+        }
+    }
+}
+
+/// The memcached workload as evaluated in the paper.
+#[derive(Debug, Clone)]
+pub struct Memcached {
+    validation_ops: u64,
+}
+
+impl Default for Memcached {
+    fn default() -> Self {
+        Self {
+            validation_ops: 600_000,
+        } // Table 3: 600 000 GET/SET operations
+    }
+}
+
+impl Memcached {
+    /// Per-request service demand (see module docs for the derivation).
+    #[must_use]
+    pub fn demand() -> UnitDemand {
+        UnitDemand {
+            int_ops: 1200.0,
+            fp_ops: 0.0,
+            simd_ops: 0.0,
+            wide_mul_ops: 0.0,
+            mem_ops: 600.0,
+            llc_miss_rate: 0.02,
+            branch_ops: 200.0,
+            branch_miss_rate: 0.03,
+            io_bytes: 1000.0, // memslap fixed key+value+protocol ≈ 1 KB
+        }
+    }
+}
+
+impl Workload for Memcached {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn unit_name(&self) -> &'static str {
+        "request"
+    }
+
+    fn trace(&self) -> WorkloadTrace {
+        WorkloadTrace::batch("memcached", Self::demand())
+    }
+
+    fn validation_units(&self) -> u64 {
+        self.validation_ops
+    }
+
+    fn analysis_units(&self) -> u64 {
+        50_000 // §IV-B: 50 000 requests per job
+    }
+
+    fn bottleneck(&self) -> &'static str {
+        "I/O"
+    }
+
+    fn ppr_unit(&self) -> &'static str {
+        "(kbytes/s)/W"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KvStore {
+        KvStore::new(1 << 20)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = store();
+        assert_eq!(
+            s.execute(Command::Set("k1".into(), Bytes::from_static(b"hello"))),
+            Response::Stored
+        );
+        assert_eq!(
+            s.execute(Command::Get("k1".into())),
+            Response::Value(Bytes::from_static(b"hello"))
+        );
+        assert_eq!(s.execute(Command::Get("nope".into())), Response::NotFound);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used_bytes(), 7);
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_bytes() {
+        let mut s = store();
+        s.execute(Command::Set("k".into(), Bytes::from_static(b"aaaa")));
+        s.execute(Command::Set("k".into(), Bytes::from_static(b"bb")));
+        assert_eq!(
+            s.execute(Command::Get("k".into())),
+            Response::Value(Bytes::from_static(b"bb"))
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used_bytes(), 3);
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let mut s = store();
+        s.execute(Command::Set("k".into(), Bytes::from_static(b"v")));
+        assert_eq!(s.execute(Command::Delete("k".into())), Response::Deleted);
+        assert_eq!(s.execute(Command::Delete("k".into())), Response::NotFound);
+        assert_eq!(s.execute(Command::Get("k".into())), Response::NotFound);
+        assert!(s.is_empty());
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Capacity for exactly 3 entries of 2 bytes (1-byte key + 1-byte value).
+        let mut s = KvStore::new(6);
+        for k in ["a", "b", "c"] {
+            s.execute(Command::Set(k.into(), Bytes::from_static(b"x")));
+        }
+        // Touch "a" so "b" becomes LRU.
+        s.execute(Command::Get("a".into()));
+        s.execute(Command::Set("d".into(), Bytes::from_static(b"x")));
+        assert_eq!(
+            s.execute(Command::Get("b".into())),
+            Response::NotFound,
+            "b was LRU"
+        );
+        assert_eq!(
+            s.execute(Command::Get("a".into())),
+            Response::Value(Bytes::from_static(b"x"))
+        );
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_under_churn() {
+        let mut s = KvStore::new(1000);
+        let mut gen = Memslap::new(42, 500, 8, 32);
+        for _ in 0..5000 {
+            let cmd = gen.next_command();
+            s.execute(cmd);
+            assert!(s.used_bytes() <= 1000);
+        }
+        assert!(s.evictions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than store capacity")]
+    fn oversized_entry_rejected() {
+        let mut s = KvStore::new(4);
+        s.execute(Command::Set("key".into(), Bytes::from_static(b"toolarge")));
+    }
+
+    #[test]
+    fn memslap_mix_ratio() {
+        let mut gen = Memslap::new(7, 1000, 16, 64);
+        let mut gets = 0;
+        for _ in 0..10_000 {
+            if matches!(gen.next_command(), Command::Get(_)) {
+                gets += 1;
+            }
+        }
+        let frac = f64::from(gets) / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "GET fraction {frac}");
+    }
+
+    #[test]
+    fn warm_store_hits() {
+        let mut s = KvStore::new(1 << 20);
+        let mut gen = Memslap::new(3, 200, 8, 16);
+        gen.warm(&mut s);
+        assert_eq!(s.len(), 200);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if let Command::Get(k) = gen.next_command() {
+                if matches!(s.execute(Command::Get(k)), Response::Value(_)) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 800, "warm store should hit nearly always: {hits}");
+    }
+
+    #[test]
+    fn zipf_popularity_is_skewed_and_ranked() {
+        let mut gen = Memslap::new(11, 1000, 8, 16).with_zipf(1.0);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            if let Command::Get(k) | Command::Delete(k) = gen.next_command() {
+                counts[k.parse::<usize>().unwrap()] += 1;
+            } else if let Command::Set(k, _) = gen.next_command() {
+                counts[k.parse::<usize>().unwrap()] += 1;
+            }
+        }
+        // Rank 0 much hotter than rank 100; top-10 keys carry a large share.
+        assert!(
+            counts[0] > 10 * counts[100].max(1),
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
+        let total: u32 = counts.iter().sum();
+        let top10: u32 = counts[..10].iter().sum();
+        assert!(
+            f64::from(top10) / f64::from(total) > 0.3,
+            "Zipf(1) top-10 share too small: {top10}/{total}"
+        );
+        // Uniform for comparison: top-10 share near 1 %.
+        let mut uni = Memslap::new(11, 1000, 8, 16);
+        let mut ucounts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            if let Command::Get(k) = uni.next_command() {
+                ucounts[k.parse::<usize>().unwrap()] += 1;
+            }
+        }
+        let utotal: u32 = ucounts.iter().sum();
+        let utop10: u32 = ucounts[..10].iter().sum();
+        assert!(f64::from(utop10) / f64::from(utotal) < 0.05);
+    }
+
+    #[test]
+    fn zipf_skew_hits_cache_better_under_eviction() {
+        // With a store smaller than the key space, skewed traffic enjoys a
+        // far better hit rate than uniform traffic — the operational reason
+        // production caches work at all.
+        let hit_rate = |mut gen: Memslap| {
+            let mut store = KvStore::new(6_000); // fits ~250 of 2000 keys
+            let (mut hits, mut gets) = (0u32, 0u32);
+            for _ in 0..30_000 {
+                match gen.next_command() {
+                    Command::Get(k) => {
+                        gets += 1;
+                        match store.execute(Command::Get(k.clone())) {
+                            Response::Value(_) => hits += 1,
+                            _ => {
+                                // Miss: backfill, like a real cache.
+                                store.execute(Command::Set(
+                                    k,
+                                    Bytes::from_static(b"backfill12345678"),
+                                ));
+                            }
+                        }
+                    }
+                    cmd => {
+                        store.execute(cmd);
+                    }
+                }
+            }
+            f64::from(hits) / f64::from(gets)
+        };
+        let zipf = hit_rate(Memslap::new(5, 2_000, 8, 16).with_zipf(1.0));
+        let uniform = hit_rate(Memslap::new(5, 2_000, 8, 16));
+        assert!(
+            zipf > uniform + 0.2,
+            "Zipf hit rate {zipf:.2} should beat uniform {uniform:.2} clearly"
+        );
+    }
+
+    #[test]
+    fn trace_is_io_bound_shape() {
+        let d = Memcached::demand();
+        assert!(d.is_valid());
+        // ~1 KB network payload per request dominates on a 100 Mbps NIC:
+        // 80 µs wire vs a few µs of CPU.
+        assert!(d.io_bytes >= 500.0);
+    }
+}

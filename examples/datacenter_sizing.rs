@@ -1,0 +1,76 @@
+//! Datacenter sizing under a peak-power budget (the paper's §IV-C
+//! question): given 1 kW of rack power, how many high-performance nodes
+//! should be replaced by low-power ones, per workload?
+//!
+//! Walks the substitution ladder (8 ARM per AMD, switch amortized), sweeps
+//! every configuration of each mix, and prints which mix services the job
+//! with minimum energy at several deadlines — the decision a capacity
+//! planner would actually make.
+//!
+//! ```text
+//! cargo run --release --example datacenter_sizing
+//! ```
+
+use hecmix_core::budget::PowerBudget;
+use hecmix_experiments::figures::mix_frontiers;
+use hecmix_experiments::lab::Lab;
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::memcached::Memcached;
+use hecmix_workloads::Workload;
+
+fn main() {
+    let lab = Lab::new();
+    let budget = PowerBudget::new(1000.0);
+    let ladder = budget
+        .substitution_ladder(&lab.arm.platform, &lab.amd.platform, 2)
+        .expect("reference platforms fit 1 kW");
+    println!(
+        "budget: {} W  →  up to {} AMD nodes or {} ARM nodes (substitution 8:1)\n",
+        budget.watts,
+        budget.max_nodes(&lab.amd.platform),
+        budget.max_nodes(&lab.arm.platform),
+    );
+
+    for workload in [
+        &Ep::class_c() as &dyn Workload,
+        &Memcached::default() as &dyn Workload,
+    ] {
+        println!(
+            "== {} ({} {}s per job) ==",
+            workload.name(),
+            workload.analysis_units(),
+            workload.unit_name()
+        );
+        let series = mix_frontiers(&lab, workload, &ladder);
+
+        // For a few deadlines, find the cheapest mix that meets it.
+        for deadline_ms in [25.0, 50.0, 100.0, 400.0] {
+            let deadline = deadline_ms / 1e3;
+            let best = series
+                .iter()
+                .filter_map(|s| {
+                    s.frontier
+                        .min_energy_for_deadline(deadline)
+                        .map(|p| (s.label.clone(), p.energy_j))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match best {
+                Some((label, energy)) => {
+                    println!("  deadline {deadline_ms:>5.0} ms → {label:<16} at {energy:>7.2} J")
+                }
+                None => println!("  deadline {deadline_ms:>5.0} ms → infeasible within the budget"),
+            }
+        }
+
+        // And the overall energy-optimal mix when the deadline is relaxed.
+        let cheapest = series
+            .iter()
+            .filter_map(|s| s.frontier.min_energy_j().map(|e| (s.label.clone(), e)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty ladder");
+        println!(
+            "  relaxed deadline → {} at {:.2} J\n",
+            cheapest.0, cheapest.1
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! A deadline broker: the operational face of the paper's Pareto
+//! frontier. Given a workload and a service-time deadline, it answers with
+//! the minimum-energy cluster configuration — how many nodes of each type,
+//! how many cores, what frequency, and how to split the work — exactly the
+//! output the paper's methodology (Fig. 1) promises.
+//!
+//! ```text
+//! cargo run --release --example deadline_broker [-- workload deadline_ms]
+//! cargo run --release --example deadline_broker -- memcached 40
+//! ```
+
+use hecmix_core::config::ConfigSpace;
+use hecmix_core::mix_match::mix_and_match;
+use hecmix_core::pareto::ParetoFrontier;
+use hecmix_core::sweep::{sweep_space, EvaluatedConfig};
+use hecmix_experiments::lab::Lab;
+use hecmix_workloads::workload_by_name;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--").collect();
+    let workload_name = args.first().map_or("memcached", String::as_str);
+    let deadline_ms: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40.0);
+
+    let workload = workload_by_name(workload_name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{workload_name}`; one of: ep, memcached, x264, blackscholes, julius, rsa-2048");
+        std::process::exit(1);
+    });
+
+    let lab = Lab::new();
+    let models = lab.models(workload.as_ref());
+    let units = workload.analysis_units() as f64;
+
+    println!(
+        "workload: {} — one job = {} {}s, deadline {} ms",
+        workload.name(),
+        workload.analysis_units(),
+        workload.unit_name(),
+        deadline_ms
+    );
+
+    // Sweep the paper's 10 ARM + 10 AMD space and build the frontier.
+    let space = ConfigSpace::two_type(lab.arm.platform.clone(), 10, lab.amd.platform.clone(), 10);
+    let evaluated = sweep_space(&space, &models, units).expect("valid space");
+    let frontier = ParetoFrontier::from_points(
+        evaluated
+            .iter()
+            .map(EvaluatedConfig::to_pareto_point)
+            .collect(),
+    );
+    println!(
+        "searched {} configurations → {} Pareto-optimal",
+        evaluated.len(),
+        frontier.len()
+    );
+
+    let Some(best) = frontier.min_energy_for_deadline(deadline_ms / 1e3) else {
+        let fastest = frontier.min_time_s().unwrap_or(f64::NAN);
+        println!(
+            "no configuration meets {deadline_ms} ms — fastest achievable is {:.1} ms",
+            fastest * 1e3
+        );
+        return;
+    };
+
+    println!("\nrecommended configuration:");
+    println!("  {}", best.config.label(&lab.platforms()));
+    println!("  service time : {:>8.1} ms", best.time_s * 1e3);
+    println!("  energy       : {:>8.2} J per job", best.energy_j);
+
+    // The dispatch plan: the matched split per node type.
+    let split = mix_and_match(&best.config, &models, units).expect("frontier point is valid");
+    for ((cfg, share), model) in best
+        .config
+        .per_type
+        .iter()
+        .zip(&split.shares)
+        .zip(models.iter())
+    {
+        if let Some(cfg) = cfg {
+            println!(
+                "  dispatch     : {:>10.0} {}s to {} × {} ({} cores @ {})",
+                share,
+                workload.unit_name(),
+                cfg.nodes,
+                model.platform.name,
+                cfg.cores,
+                cfg.freq
+            );
+        }
+    }
+
+    // What relaxing the deadline would buy.
+    println!("\nenergy vs deadline along the frontier:");
+    for p in &frontier.points {
+        let marker = if std::ptr::eq(p, best) {
+            "  <-- chosen"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>8.1} ms  {:>8.2} J{}",
+            p.time_s * 1e3,
+            p.energy_j,
+            marker
+        );
+    }
+}

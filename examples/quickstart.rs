@@ -1,0 +1,76 @@
+//! Quickstart: model one job on a small heterogeneous cluster.
+//!
+//! Characterizes the EP benchmark on the two reference node types the way
+//! the paper does (§II-D: counters + power meter on one node of each
+//! type), then uses the analytical model to answer the basic question:
+//! *how long and how many joules does a 50-million-number job take on
+//! 8 ARM + 1 AMD nodes, and how should the work be split?*
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hecmix_core::prelude::*;
+use hecmix_profile::characterize_pair;
+use hecmix_sim::{reference_amd_arch, reference_arm_arch};
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::Workload;
+
+fn main() {
+    // 1. The testbed (paper Table 1).
+    let arm = reference_arm_arch();
+    let amd = reference_amd_arch();
+    println!("platforms: {} and {}", arm.platform.name, amd.platform.name);
+
+    // 2. Characterize the workload on one node of each type — this runs
+    //    the representative phase on the simulated hardware and reads the
+    //    perf-style counters and the power meter (paper §II-D).
+    let ep = Ep::class_c();
+    let models = characterize_pair(&arm, &amd, &ep.trace(), 42);
+    for m in &models {
+        println!(
+            "{:<14} IPs = {:>6.1} instr/number, WPI = {:.2}, SPIcore = {:.2}, idle = {:.1} W",
+            m.platform.name, m.profile.i_ps, m.profile.wpi, m.profile.spi_core, m.power.idle_w
+        );
+    }
+
+    // 3. Deploy 8 ARM + 1 AMD nodes, everything at max cores / max
+    //    frequency, and evaluate one 50-million-number job with the
+    //    mix-and-match split (all nodes finish together).
+    let cluster = ClusterConfig::new(vec![
+        TypeDeployment::maxed(&arm.platform, 8),
+        TypeDeployment::maxed(&amd.platform, 1),
+    ]);
+    let w = 50_000_000.0;
+    let outcome = evaluate(&cluster, &models, w).expect("valid cluster");
+
+    println!("\njob: {:.0} random numbers on 8 ARM + 1 AMD", w);
+    println!("service time : {:>8.1} ms", outcome.time_s * 1e3);
+    println!("energy       : {:>8.2} J", outcome.energy_j);
+    println!(
+        "work split   : ARM {:>4.1} %  /  AMD {:>4.1} %",
+        100.0 * outcome.shares[0] / w,
+        100.0 * outcome.shares[1] / w
+    );
+    let t = &outcome.per_type_times;
+    println!(
+        "finish times : ARM {:.1} ms, AMD {:.1} ms (matched — idle waste minimized)",
+        t[0].unwrap().total * 1e3,
+        t[1].unwrap().total * 1e3
+    );
+
+    // 4. Compare against giving everything to one side.
+    for (label, shares) in [
+        ("all work on the 8 ARM nodes", vec![w, 0.0]),
+        ("all work on the 1 AMD node", vec![0.0, w]),
+    ] {
+        let alt = hecmix_core::mix_match::evaluate_split(&cluster, &models, &shares)
+            .expect("valid split");
+        println!(
+            "{label:<28}: {:>8.1} ms, {:>7.2} J ({:+.0} % energy vs matched)",
+            alt.time_s * 1e3,
+            alt.energy_j,
+            100.0 * (alt.energy_j / outcome.energy_j - 1.0)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Three node types at once: the paper's model is "a generic mix of
+//! heterogeneous nodes" (§II-A) — this example runs it with three ISAs in
+//! the cluster (Cortex-A9, Cortex-A15, AMD K10) and shows where genuinely
+//! three-way mixes land on the energy–deadline frontier.
+//!
+//! ```text
+//! cargo run --release --example threeway_mix [-- workload]
+//! ```
+
+use hecmix_core::config::NodeConfig;
+use hecmix_core::mix_match::{evaluate, ClusterConfig, TypeDeployment};
+use hecmix_experiments::extensions::threeway;
+use hecmix_experiments::lab::Lab;
+use hecmix_workloads::workload_by_name;
+
+fn main() {
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| a != "--")
+        .unwrap_or_else(|| "memcached".to_owned());
+    let Some(workload) = workload_by_name(&name) else {
+        eprintln!("unknown workload {name:?}");
+        std::process::exit(1);
+    };
+    let lab = Lab::new();
+
+    // One explicit three-type evaluation first: 4 A9 + 2 A15 + 1 K10.
+    let models = lab.models3(workload.as_ref());
+    let platforms: Vec<_> = models.iter().map(|m| m.platform.clone()).collect();
+    let cluster = ClusterConfig::new(vec![
+        TypeDeployment::new(NodeConfig::maxed(&platforms[0], 4)),
+        TypeDeployment::new(NodeConfig::maxed(&platforms[1], 2)),
+        TypeDeployment::new(NodeConfig::maxed(&platforms[2], 1)),
+    ]);
+    let units = workload.analysis_units() as f64;
+    let out = evaluate(&cluster, &models, units).expect("valid cluster");
+    println!(
+        "{}: one job ({} {}s) on 4 A9 + 2 A15 + 1 K10:",
+        workload.name(),
+        workload.analysis_units(),
+        workload.unit_name()
+    );
+    println!(
+        "  time {:.1} ms, energy {:.2} J",
+        out.time_s * 1e3,
+        out.energy_j
+    );
+    for (share, m) in out.shares.iter().zip(&models) {
+        println!(
+            "  {:>6.1} % of the work -> {}",
+            100.0 * share / units,
+            m.platform.name
+        );
+    }
+
+    // Then the full three-type frontier study (pruned sweep over ~715k
+    // configurations).
+    println!("\nsweeping the 6 A9 + 4 A15 + 4 K10 configuration space...");
+    let r = threeway(&lab, workload.as_ref());
+    println!(
+        "  {} configurations, {} evaluated after pruning ({:.2} %)",
+        r.stats.full_space,
+        r.stats.evaluated_configs,
+        100.0 * r.stats.evaluated_configs as f64 / r.stats.full_space as f64
+    );
+    println!(
+        "  frontier: {} points, {} of them genuinely three-type",
+        r.frontier.len(),
+        r.three_type_points
+    );
+    println!("  energy-deadline frontier:");
+    for p in &r.frontier.points {
+        println!(
+            "    {:>8.1} ms  {:>8.2} J  ({} types)  {}",
+            p.time_s * 1e3,
+            p.energy_j,
+            p.config.types_used(),
+            p.config.label(&platforms)
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # hecmix — facade crate
+//!
+//! Re-exports the whole hecmix workspace behind one dependency:
+//!
+//! * [`core`] — the ICPP 2014 analytical model: execution
+//!   time, energy, mix-and-match splitting, configuration sweeps, Pareto
+//!   frontiers, power budgets.
+//! * [`sim`] — the discrete-event cluster simulator standing in
+//!   for the paper's ARM/AMD testbed.
+//! * [`workloads`] — the six datacenter workloads and the
+//!   characterization micro-benchmarks.
+//! * [`profile`] — the perf-and-power-meter style
+//!   characterization pipeline that turns simulator runs into model inputs.
+//! * [`queueing`] — the M/D/1 job-arrival extension.
+//!
+//! See the workspace README for a guided tour and `examples/` for runnable
+//! entry points.
+
+pub use hecmix_core as core;
+pub use hecmix_profile as profile;
+pub use hecmix_queueing as queueing;
+pub use hecmix_sim as sim;
+pub use hecmix_workloads as workloads;
+
+pub use hecmix_core::prelude;

@@ -1,0 +1,415 @@
+//! `hecmix` — command-line front door to the heterogeneous-cluster
+//! energy model.
+//!
+//! ```text
+//! hecmix recommend    --workload memcached --deadline-ms 40 [--arm 10] [--amd 10]
+//! hecmix frontier     --workload ep [--arm 10] [--amd 10] [--pruned]
+//! hecmix evaluate     --workload ep --arm-nodes 8 --amd-nodes 1 [--units N]
+//! hecmix characterize --out DIR [--workload NAME]
+//! hecmix queueing     --workload memcached --lambda 2.0 --slo-ms 450
+//! ```
+//!
+//! Everything runs against the simulated reference testbed (see DESIGN.md);
+//! `characterize` exports reusable `.model` bundles.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hecmix_core::config::{ClusterPoint, ConfigSpace};
+use hecmix_core::mix_match::{evaluate, mix_and_match, TypeDeployment};
+use hecmix_core::pareto::ParetoFrontier;
+use hecmix_core::sweep::{sweep_frontier_pruned, sweep_space, EvaluatedConfig};
+use hecmix_experiments::lab::Lab;
+use hecmix_queueing::dispatch::{best_choice, ConfigChoice};
+use hecmix_workloads::{workload_by_name, Workload};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(stripped) = a.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                flags.insert(k, "true".into()); // boolean flag
+            }
+            key = Some(stripped.to_owned());
+        } else if let Some(k) = key.take() {
+            flags.insert(k, a);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(k) = key.take() {
+        flags.insert(k, "true".into());
+    }
+
+    match cmd.as_str() {
+        "recommend" => cmd_recommend(&flags),
+        "frontier" => cmd_frontier(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "characterize" => cmd_characterize(&flags),
+        "queueing" => cmd_queueing(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "hecmix — energy-efficient heterogeneous cluster modeling (ICPP 2014 reproduction)
+
+commands:
+  recommend    --workload NAME --deadline-ms D [--arm N] [--amd N] [--models DIR]
+  frontier     --workload NAME [--arm N] [--amd N] [--pruned]
+  evaluate     --workload NAME --arm-nodes N --amd-nodes M [--units W]
+  characterize --out DIR [--workload NAME]
+  queueing     --workload NAME --lambda JOBS_PER_S --slo-ms R [--window-s S]
+
+workloads: ep memcached x264 blackscholes julius rsa-2048"
+    );
+}
+
+fn get_workload(
+    flags: &HashMap<String, String>,
+) -> Result<Box<dyn Workload + Send + Sync>, ExitCode> {
+    let name = flags.get("workload").map_or("memcached", String::as_str);
+    workload_by_name(name).ok_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; one of: ep memcached x264 blackscholes julius rsa-2048"
+        );
+        ExitCode::FAILURE
+    })
+}
+
+/// Load `[ARM, AMD]` bundles for a workload from a `--models` directory
+/// written by `hecmix characterize` (falls back to `None` when the flag is
+/// absent, in which case callers characterize on the simulated testbed).
+fn load_models(
+    flags: &HashMap<String, String>,
+    workload: &str,
+) -> Result<Option<Vec<hecmix_core::profile::WorkloadModel>>, ExitCode> {
+    let Some(dir) = flags.get("models") else {
+        return Ok(None);
+    };
+    let dir = std::path::Path::new(dir);
+    let mut out = Vec::new();
+    for platform in ["cortex-a9", "k10"] {
+        let path = dir.join(format!("{workload}-{platform}.model"));
+        match hecmix_core::persist::load(&path) {
+            Ok(m) => out.push(m),
+            Err(e) => {
+                eprintln!("cannot load {}: {e}", path.display());
+                eprintln!(
+                    "(generate bundles with: hecmix characterize --out {})",
+                    dir.display()
+                );
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ExitCode> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            eprintln!("--{key} needs a number, got {v:?}");
+            ExitCode::FAILURE
+        }),
+    }
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
+    let w = match get_workload(flags) {
+        Ok(w) => w,
+        Err(c) => return c,
+    };
+    let (Ok(deadline_ms), Ok(arm), Ok(amd)) = (
+        get_num::<f64>(flags, "deadline-ms", 100.0),
+        get_num::<u32>(flags, "arm", 10),
+        get_num::<u32>(flags, "amd", 10),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let lab = Lab::new();
+    let models = match load_models(flags, w.name()) {
+        Ok(Some(m)) => std::sync::Arc::new(m),
+        Ok(None) => lab.models(w.as_ref()),
+        Err(c) => return c,
+    };
+    let units = w.analysis_units() as f64;
+    let space = ConfigSpace::two_type(lab.arm.platform.clone(), arm, lab.amd.platform.clone(), amd);
+    let (frontier, stats) = match sweep_frontier_pruned(&space, &models, units) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: searched {} of {} configurations (pruned), frontier has {} points",
+        w.name(),
+        stats.evaluated_configs,
+        stats.full_space,
+        frontier.len()
+    );
+    match frontier.min_energy_for_deadline(deadline_ms / 1e3) {
+        None => {
+            println!(
+                "no configuration meets {deadline_ms} ms; fastest achievable is {:.1} ms",
+                frontier.min_time_s().unwrap_or(f64::NAN) * 1e3
+            );
+            ExitCode::FAILURE
+        }
+        Some(best) => {
+            println!("recommended: {}", best.config.label(&lab.platforms()));
+            println!(
+                "  service time {:.1} ms, energy {:.2} J/job",
+                best.time_s * 1e3,
+                best.energy_j
+            );
+            if let Ok(split) = mix_and_match(&best.config, &models, units) {
+                for (share, m) in split.shares.iter().zip(models.iter()) {
+                    if *share > 0.0 {
+                        println!(
+                            "  dispatch {:.1} % of the job to {}",
+                            100.0 * share / units,
+                            m.platform.name
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_frontier(flags: &HashMap<String, String>) -> ExitCode {
+    let w = match get_workload(flags) {
+        Ok(w) => w,
+        Err(c) => return c,
+    };
+    let (Ok(arm), Ok(amd)) = (
+        get_num::<u32>(flags, "arm", 10),
+        get_num::<u32>(flags, "amd", 10),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let pruned = flags.contains_key("pruned");
+    let lab = Lab::new();
+    let models = lab.models(w.as_ref());
+    let units = w.analysis_units() as f64;
+    let space = ConfigSpace::two_type(lab.arm.platform.clone(), arm, lab.amd.platform.clone(), amd);
+    let frontier = if pruned {
+        match sweep_frontier_pruned(&space, &models, units) {
+            Ok((f, stats)) => {
+                eprintln!(
+                    "pruned sweep: {} of {} configurations evaluated",
+                    stats.evaluated_configs, stats.full_space
+                );
+                f
+            }
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match sweep_space(&space, &models, units) {
+            Ok(evaluated) => ParetoFrontier::from_points(
+                evaluated
+                    .iter()
+                    .map(EvaluatedConfig::to_pareto_point)
+                    .collect(),
+            ),
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!("deadline_ms,energy_j,config");
+    for p in &frontier.points {
+        println!(
+            "{:.3},{:.4},{}",
+            p.time_s * 1e3,
+            p.energy_j,
+            p.config.label(&lab.platforms()).replace(',', ";")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> ExitCode {
+    let w = match get_workload(flags) {
+        Ok(w) => w,
+        Err(c) => return c,
+    };
+    let (Ok(arm_nodes), Ok(amd_nodes)) = (
+        get_num::<u32>(flags, "arm-nodes", 8),
+        get_num::<u32>(flags, "amd-nodes", 1),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let Ok(units) = get_num::<f64>(flags, "units", w.analysis_units() as f64) else {
+        return ExitCode::FAILURE;
+    };
+    let lab = Lab::new();
+    let models = lab.models(w.as_ref());
+    let point = ClusterPoint::new(vec![
+        TypeDeployment::maxed(&lab.arm.platform, arm_nodes),
+        TypeDeployment::maxed(&lab.amd.platform, amd_nodes),
+    ]);
+    match evaluate(&point, &models, units) {
+        Ok(out) => {
+            println!(
+                "{}: {} units on {}",
+                w.name(),
+                units,
+                point.label(&lab.platforms())
+            );
+            println!("  time   {:.2} ms", out.time_s * 1e3);
+            println!(
+                "  energy {:.3} J  (core {:.3}, mem {:.3}, io {:.3}, idle {:.3})",
+                out.energy_j,
+                out.energy.e_core,
+                out.energy.e_mem,
+                out.energy.e_io,
+                out.energy.e_idle
+            );
+            for (share, m) in out.shares.iter().zip(models.iter()) {
+                if *share > 0.0 {
+                    println!("  split  {:>12.0} units -> {}", share, m.platform.name);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("evaluation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_characterize(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(out_dir) = flags.get("out") else {
+        eprintln!("characterize needs --out DIR");
+        return ExitCode::FAILURE;
+    };
+    let dir = std::path::Path::new(out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let lab = Lab::new();
+    let workloads: Vec<Box<dyn Workload + Send + Sync>> = match flags.get("workload") {
+        Some(name) => match workload_by_name(name) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!("unknown workload {name:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => hecmix_workloads::all_workloads(),
+    };
+    for w in workloads {
+        let models = lab.models(w.as_ref());
+        for m in models.iter() {
+            let short = m.platform.name.split_whitespace().last().unwrap_or("node");
+            let path = dir.join(format!("{}-{}.model", w.name(), short.to_lowercase()));
+            match hecmix_core::persist::save(m, &path) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_queueing(flags: &HashMap<String, String>) -> ExitCode {
+    let w = match get_workload(flags) {
+        Ok(w) => w,
+        Err(c) => return c,
+    };
+    let (Ok(lambda), Ok(slo_ms), Ok(window_s)) = (
+        get_num::<f64>(flags, "lambda", 2.0),
+        get_num::<f64>(flags, "slo-ms", 450.0),
+        get_num::<f64>(flags, "window-s", 20.0),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let lab = Lab::new();
+    let models = lab.models(w.as_ref());
+    let units = w.analysis_units() as f64;
+    let space = ConfigSpace::two_type(lab.arm.platform.clone(), 16, lab.amd.platform.clone(), 14);
+    let (frontier, _) = match sweep_frontier_pruned(&space, &models, units) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let menu: Vec<ConfigChoice> = frontier
+        .points
+        .iter()
+        .map(|p| {
+            let idle_power_w = p
+                .config
+                .per_type
+                .iter()
+                .zip(models.iter())
+                .filter_map(|(cfg, m)| cfg.map(|c| f64::from(c.nodes) * m.power.idle_w))
+                .sum();
+            ConfigChoice {
+                label: p.config.label(&lab.platforms()),
+                service_s: p.time_s,
+                job_energy_j: p.energy_j,
+                idle_power_w,
+            }
+        })
+        .collect();
+    match best_choice(&menu, lambda, window_s, slo_ms / 1e3) {
+        None => {
+            eprintln!("every configuration saturates at λ = {lambda} jobs/s");
+            ExitCode::FAILURE
+        }
+        Some((idx, energy, response, violated)) => {
+            println!(
+                "{}: λ = {lambda} jobs/s over a {window_s} s window, SLO {slo_ms} ms",
+                w.name()
+            );
+            println!("  best configuration : {}", menu[idx].label);
+            println!(
+                "  mean response      : {:.1} ms{}",
+                response * 1e3,
+                if violated { "  (SLO MISSED)" } else { "" }
+            );
+            println!("  window energy      : {energy:.1} J");
+            if violated {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-validate the §IV-E analytics (M/D/1 + window energy, the basis of
+//! Fig. 10) against the full job-stream simulation: Poisson arrivals, each
+//! job serviced by the discrete-event cluster with real run-to-run
+//! variance, idle floors between jobs.
+
+use hecmix_core::config::ClusterPoint;
+use hecmix_core::mix_match::{evaluate, TypeDeployment};
+use hecmix_experiments::lab::Lab;
+use hecmix_queueing::{window_energy, MD1};
+use hecmix_sim::{run_job_stream, JobStreamSpec, TypeAssignment};
+use hecmix_workloads::memcached::Memcached;
+use hecmix_workloads::Workload;
+
+/// Build the simulated cluster matching one model configuration (4 ARM +
+/// 1 AMD at max knobs) and compare analytic vs simulated window energy and
+/// response at a moderate utilization.
+#[test]
+fn analytic_window_energy_matches_job_stream_simulation() {
+    let lab = Lab::new();
+    let w = Memcached::default();
+    let models = lab.models(&w);
+    let units = w.analysis_units();
+
+    // Model side: matched split, service time, per-job energy, idle power.
+    let point = ClusterPoint::new(vec![
+        TypeDeployment::maxed(&lab.arm.platform, 4),
+        TypeDeployment::maxed(&lab.amd.platform, 1),
+    ]);
+    let outcome = evaluate(&point, &models, units as f64).unwrap();
+    let idle_power_w = 4.0 * models[0].power.idle_w + models[1].power.idle_w;
+
+    // Target utilization ~0.4.
+    let lambda = 0.4 / outcome.time_s;
+    let window_s = 60.0 * outcome.time_s.max(0.2); // long enough to average
+    let analytic = window_energy(
+        lambda,
+        window_s,
+        outcome.time_s,
+        outcome.energy_j,
+        idle_power_w,
+    )
+    .unwrap();
+
+    // Simulation side: same hardware, same split, Poisson stream.
+    let arm_units = outcome.shares[0].round() as u64;
+    let mut totals = Vec::new();
+    let mut responses = Vec::new();
+    for seed in 0..4u64 {
+        let sim = run_job_stream(&JobStreamSpec {
+            trace: w.trace(),
+            assignments: vec![
+                TypeAssignment {
+                    arch: lab.arm.clone(),
+                    nodes: 4,
+                    cores: lab.arm.platform.cores,
+                    freq: lab.arm.platform.fmax(),
+                    units: arm_units,
+                },
+                TypeAssignment {
+                    arch: lab.amd.clone(),
+                    nodes: 1,
+                    cores: lab.amd.platform.cores,
+                    freq: lab.amd.platform.fmax(),
+                    units: units - arm_units,
+                },
+            ],
+            lambda,
+            window_s,
+            seed: 0xF1610 + seed,
+        });
+        // Normalize by realized arrivals to cancel Poisson count noise.
+        if sim.jobs_arrived > 0 {
+            totals.push(sim.total_j() * (lambda * window_s) / sim.jobs_arrived as f64);
+            responses.push(sim.mean_response_s);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let sim_energy = mean(&totals);
+    let sim_response = mean(&responses);
+
+    let e_err = (sim_energy - analytic.total_j()).abs() / analytic.total_j();
+    assert!(
+        e_err < 0.25,
+        "window energy: analytic {:.1} J vs simulated {:.1} J ({:.0} % off)",
+        analytic.total_j(),
+        sim_energy,
+        e_err * 100.0
+    );
+    let r_err = (sim_response - analytic.response_s).abs() / analytic.response_s;
+    assert!(
+        r_err < 0.35,
+        "response: analytic {:.1} ms vs simulated {:.1} ms ({:.0} % off)",
+        analytic.response_s * 1e3,
+        sim_response * 1e3,
+        r_err * 100.0
+    );
+}
+
+/// The M/D/1 saturation boundary shows up in the simulation too: offered
+/// load beyond 1/T makes responses blow up relative to the stable regime.
+#[test]
+fn saturation_appears_in_simulation() {
+    let lab = Lab::new();
+    let w = Memcached::default();
+    let models = lab.models(&w);
+    let units = w.analysis_units();
+    let point = ClusterPoint::new(vec![
+        TypeDeployment::maxed(&lab.arm.platform, 4),
+        TypeDeployment::maxed(&lab.amd.platform, 1),
+    ]);
+    let outcome = evaluate(&point, &models, units as f64).unwrap();
+    let arm_units = outcome.shares[0].round() as u64;
+    let assignments = vec![
+        TypeAssignment {
+            arch: lab.arm.clone(),
+            nodes: 4,
+            cores: lab.arm.platform.cores,
+            freq: lab.arm.platform.fmax(),
+            units: arm_units,
+        },
+        TypeAssignment {
+            arch: lab.amd.clone(),
+            nodes: 1,
+            cores: lab.amd.platform.cores,
+            freq: lab.amd.platform.fmax(),
+            units: units - arm_units,
+        },
+    ];
+    let run = |lambda: f64| {
+        run_job_stream(&JobStreamSpec {
+            trace: w.trace(),
+            assignments: assignments.clone(),
+            lambda,
+            window_s: 40.0 * outcome.time_s,
+            seed: 0x5A7,
+        })
+    };
+    let stable = run(0.3 / outcome.time_s);
+    let saturated = run(1.5 / outcome.time_s);
+    assert!(saturated.mean_response_s > 3.0 * stable.mean_response_s);
+    assert!(saturated.utilization > 0.95);
+    // The analytic model refuses saturated input outright.
+    assert!(MD1::new(1.5 / outcome.time_s, outcome.time_s)
+        .unwrap()
+        .mean_wait_s()
+        .is_err());
+}
