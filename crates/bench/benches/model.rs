@@ -43,14 +43,14 @@ fn bench_mix_match(c: &mut Criterion) {
             TypeDeployment::maxed(&models[0].platform, 8),
             TypeDeployment::maxed(&models[1].platform, 2),
         ]);
-        c.bench_function(&format!("model/mix_and_match/{}", w.name()), |b| {
+        c.bench_function(format!("model/mix_and_match/{}", w.name()), |b| {
             b.iter(|| {
                 black_box(
                     mix_and_match(black_box(&point), &models, w.analysis_units() as f64).unwrap(),
                 )
             })
         });
-        c.bench_function(&format!("model/evaluate_full/{}", w.name()), |b| {
+        c.bench_function(format!("model/evaluate_full/{}", w.name()), |b| {
             b.iter(|| {
                 black_box(evaluate(black_box(&point), &models, w.analysis_units() as f64).unwrap())
             })

@@ -3,6 +3,9 @@
 //! `fig4_pareto_ep` / `fig5_pareto_memcached` regenerate the paper's
 //! 36,380-point sweeps end to end; `frontier_only` isolates the Pareto
 //! derivation; `fig6_budget_rung` times one rung of the 1 kW ladder.
+//! The `streaming` group runs the same frontiers through the rate-table
+//! engine (old path vs new path), plus a 128-node space (~740k points)
+//! that the materializing path would need hundreds of MB to hold.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -10,6 +13,7 @@ use hecmix_bench::bundles;
 use hecmix_core::budget::BudgetMix;
 use hecmix_core::config::ConfigSpace;
 use hecmix_core::pareto::ParetoFrontier;
+use hecmix_core::rate_table::{stream_frontier, stream_frontier_pruned};
 use hecmix_core::sweep::{sweep_space, EvaluatedConfig};
 use hecmix_workloads::ep::Ep;
 use hecmix_workloads::memcached::Memcached;
@@ -113,11 +117,59 @@ fn bench_pruned_vs_exhaustive(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_streaming_engine(c: &mut Criterion) {
+    // New rate-table path on the exact workloads the old-path benches
+    // above time, so the groups read as before/after pairs.
+    let w = Ep::class_c();
+    let models = bundles(&w);
+    let units = w.analysis_units() as f64;
+    let space = ConfigSpace::two_type(
+        models[0].platform.clone(),
+        10,
+        models[1].platform.clone(),
+        10,
+    );
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.bench_function("fig4_frontier_36380", |b| {
+        b.iter(|| black_box(stream_frontier(black_box(&space), &models, units).unwrap()))
+    });
+    group.bench_function("fig4_frontier_36380_pruned", |b| {
+        b.iter(|| black_box(stream_frontier_pruned(black_box(&space), &models, units).unwrap()))
+    });
+
+    // Beyond-paper scale: 128 low-power + 16 high-performance nodes,
+    // ~740k configurations. The old path would materialize every point
+    // and outcome; the fold keeps only per-chunk partial frontiers.
+    let mc = Memcached::default();
+    let mc_models = bundles(&mc);
+    let mc_units = mc.analysis_units() as f64;
+    let mix = BudgetMix {
+        low_nodes: 128,
+        high_nodes: 16,
+    };
+    let big = mix.config_space(&mc_models[0].platform, &mc_models[1].platform);
+    group.bench_function(
+        BenchmarkId::new("budget_128_16", format!("{}_pts", big.count())),
+        |b| b.iter(|| black_box(stream_frontier(black_box(&big), &mc_models, mc_units).unwrap())),
+    );
+    group.bench_function(
+        BenchmarkId::new("budget_128_16_pruned", format!("{}_pts", big.count())),
+        |b| {
+            b.iter(|| {
+                black_box(stream_frontier_pruned(black_box(&big), &mc_models, mc_units).unwrap())
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_sweeps,
     bench_frontier_only,
     bench_budget_rung,
-    bench_pruned_vs_exhaustive
+    bench_pruned_vs_exhaustive,
+    bench_streaming_engine
 );
 criterion_main!(benches);

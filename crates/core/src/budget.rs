@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{ConfigSpace, TypeBounds};
 use crate::error::{Error, Result};
+use crate::pareto::ParetoFrontier;
+use crate::profile::WorkloadModel;
+use crate::rate_table::stream_frontier_pruned;
+use crate::sweep::PruneStats;
 use crate::types::Platform;
 
 /// Integer power-substitution ratio between a low-power and a
@@ -90,6 +94,38 @@ impl BudgetMix {
             types.remove(1);
         }
         ConfigSpace::new(types)
+    }
+
+    /// Energy–deadline Pareto frontier of this mix for one workload, via
+    /// the streaming pruned sweep — the path every substitution-ladder and
+    /// cluster-scaling rung goes through. `models` may be in any order and
+    /// may contain extra platforms; they are matched to the mix's types by
+    /// platform name (a dropped zero side needs no model).
+    pub fn frontier(
+        &self,
+        low: &Platform,
+        high: &Platform,
+        models: &[WorkloadModel],
+        w_units: f64,
+    ) -> Result<(ParetoFrontier, PruneStats)> {
+        let space = self.config_space(low, high);
+        let space_models: Vec<WorkloadModel> = space
+            .types
+            .iter()
+            .map(|t| {
+                models
+                    .iter()
+                    .find(|m| m.platform.name == t.platform.name)
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::InvalidInput(format!(
+                            "no workload model for platform `{}`",
+                            t.platform.name
+                        ))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        stream_frontier_pruned(&space, &space_models, w_units)
     }
 
     /// Human-readable label in the paper's style, e.g. `ARM 16:AMD 14`.
@@ -265,6 +301,35 @@ mod tests {
         let mixes = scaled_mixes(8, 1, 4);
         let pairs: Vec<(u32, u32)> = mixes.iter().map(|m| (m.low_nodes, m.high_nodes)).collect();
         assert_eq!(pairs, vec![(8, 1), (16, 2), (32, 4), (64, 8), (128, 16)]);
+    }
+
+    #[test]
+    fn mix_frontier_streams_the_pruned_space() {
+        use crate::profile::WorkloadModel;
+
+        let (arm, amd) = platforms();
+        // Models deliberately in reverse order and with a surplus entry:
+        // frontier() must match them to the mix's types by platform name.
+        let models = vec![
+            WorkloadModel::synthetic_cpu_bound(&amd, "ep", 40.0),
+            WorkloadModel::synthetic_cpu_bound(&arm, "ep", 60.0),
+        ];
+        let mix = BudgetMix {
+            low_nodes: 4,
+            high_nodes: 3,
+        };
+        let (frontier, stats) = mix.frontier(&arm, &amd, &models, 1e6).unwrap();
+        assert!(!frontier.is_empty());
+        assert!(stats.evaluated_configs < stats.full_space);
+        // A zero side drops its type and needs no model for it.
+        let arm_only = BudgetMix {
+            low_nodes: 4,
+            high_nodes: 0,
+        };
+        let (f, _) = arm_only.frontier(&arm, &amd, &models[1..], 1e6).unwrap();
+        assert!(f.points.iter().all(|p| p.config.types_used() == 1));
+        // A missing model is an error, not a panic.
+        assert!(mix.frontier(&arm, &amd, &models[..1], 1e6).is_err());
     }
 
     #[test]

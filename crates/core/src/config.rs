@@ -102,6 +102,40 @@ pub struct TypeBounds {
     pub max_nodes: u32,
 }
 
+impl TypeBounds {
+    /// Number of per-type choices when the type participates:
+    /// `n · |f| · |c|`.
+    #[must_use]
+    pub fn option_count(&self) -> u64 {
+        u64::from(self.max_nodes) * self.platform.freqs.len() as u64 * u64::from(self.platform.cores)
+    }
+
+    /// Decode option index `idx ∈ [0, option_count)` into its
+    /// [`NodeConfig`]. The index order is fixed — nodes outermost, then
+    /// frequency, then cores — and shared by every space-enumeration path
+    /// (the lazy [`ConfigSpace::iter`] odometer and the
+    /// [`crate::rate_table::RateTable`] flat indexing), so an option index
+    /// means the same configuration everywhere.
+    ///
+    /// # Panics
+    /// Panics if `idx >= option_count()`.
+    #[must_use]
+    pub fn decode_option(&self, idx: u64) -> NodeConfig {
+        assert!(idx < self.option_count(), "option index out of range");
+        let nf = self.platform.freqs.len() as u64;
+        let nc = u64::from(self.platform.cores);
+        let n = idx / (nf * nc);
+        let rem = idx % (nf * nc);
+        let f = rem / nc;
+        let c = rem % nc;
+        NodeConfig {
+            nodes: n as u32 + 1,
+            cores: c as u32 + 1,
+            freq: self.platform.freqs[f as usize],
+        }
+    }
+}
+
 /// The enumerable configuration space over a set of node types.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfigSpace {
@@ -131,12 +165,6 @@ impl ConfigSpace {
         ])
     }
 
-    /// Number of per-type choices when the type participates:
-    /// `n · |f| · |c|`.
-    fn per_type_choices(t: &TypeBounds) -> u64 {
-        u64::from(t.max_nodes) * t.platform.freqs.len() as u64 * u64::from(t.platform.cores)
-    }
-
     /// Exact size of the space: `Σ over non-empty subsets S of
     /// Π_{t∈S} n_t·|f_t|·|c_t|` — equivalently `Π (choices_t + 1) − 1`.
     ///
@@ -145,7 +173,7 @@ impl ConfigSpace {
     pub fn count(&self) -> u64 {
         self.types
             .iter()
-            .map(|t| Self::per_type_choices(t) + 1)
+            .map(|t| t.option_count() + 1)
             .product::<u64>()
             .saturating_sub(1)
     }
@@ -178,11 +206,7 @@ struct SpaceIter<'a> {
 
 impl<'a> SpaceIter<'a> {
     fn new(space: &'a ConfigSpace) -> Self {
-        let choices = space
-            .types
-            .iter()
-            .map(ConfigSpace::per_type_choices)
-            .collect();
+        let choices = space.types.iter().map(TypeBounds::option_count).collect();
         let mut it = Self {
             space,
             digits: vec![0; space.types.len()],
@@ -209,19 +233,7 @@ impl<'a> SpaceIter<'a> {
         if digit == 0 {
             return None;
         }
-        let t = &self.space.types[type_idx];
-        let idx = digit - 1;
-        let nf = t.platform.freqs.len() as u64;
-        let nc = u64::from(t.platform.cores);
-        let n = idx / (nf * nc);
-        let rem = idx % (nf * nc);
-        let f = rem / nc;
-        let c = rem % nc;
-        Some(NodeConfig {
-            nodes: n as u32 + 1,
-            cores: c as u32 + 1,
-            freq: t.platform.freqs[f as usize],
-        })
+        Some(self.space.types[type_idx].decode_option(digit - 1))
     }
 }
 

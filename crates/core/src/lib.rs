@@ -29,7 +29,11 @@
 //!   classification (§IV-B).
 //! * [`budget`] — peak-power budgets and the ARM:AMD substitution ladder
 //!   (§IV-C/D, 8:1 ratio with switch power amortization).
-//! * [`sweep`] — rayon-parallel evaluation of whole configuration spaces.
+//! * [`sweep`] — rayon-parallel exhaustive evaluation of whole
+//!   configuration spaces (the reference path, full per-point outcomes).
+//! * [`rate_table`] — the streaming sweep engine: per-type `(r, b)` rate
+//!   tables, a lean time/energy kernel, and a chunked parallel fold that
+//!   derives frontiers of million-point spaces without materializing them.
 //!
 //! The *measured* quantities the model consumes are produced by the
 //! `hecmix-profile` crate, which characterizes workloads on the simulated
@@ -78,6 +82,7 @@ pub mod mix_match;
 pub mod pareto;
 pub mod persist;
 pub mod profile;
+pub mod rate_table;
 pub mod stats;
 pub mod sweep;
 pub mod types;
@@ -97,6 +102,9 @@ pub mod prelude {
     pub use crate::pareto::{ParetoFrontier, ParetoPoint, Region, RegionKind};
     pub use crate::profile::{
         IoProfile, LinearFit, PowerProfile, SpiMemFit, WorkloadModel, WorkloadProfile,
+    };
+    pub use crate::rate_table::{
+        stream_frontier, stream_frontier_pruned, RateOption, RateTable, SweepOutcome,
     };
     pub use crate::sweep::{sweep_frontier_pruned, sweep_space, EvaluatedConfig, PruneStats};
     pub use crate::types::{Frequency, Platform, PlatformId};

@@ -107,12 +107,42 @@ impl ParetoFrontier {
     }
 
     /// Merge two frontiers (e.g. per-subset frontiers computed in
-    /// parallel): the frontier of the union.
+    /// parallel): the frontier of the union, in `O(n + m)`.
+    ///
+    /// Both inputs already satisfy the frontier invariant (ascending time,
+    /// strictly descending energy), so a single sorted merge with the same
+    /// strictly-improving-energy pass as [`Self::from_points`] suffices —
+    /// no re-sort of the union. Ties on `(time, energy)` keep `self`'s
+    /// point, matching `from_points` on `self ++ other`.
     #[must_use]
     pub fn merge(&self, other: &ParetoFrontier) -> ParetoFrontier {
-        let mut pts = self.points.clone();
-        pts.extend(other.points.iter().cloned());
-        ParetoFrontier::from_points(pts)
+        let (a, b) = (&self.points, &other.points);
+        let mut points = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        let mut best = f64::INFINITY;
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(p), Some(q)) => p
+                    .time_s
+                    .total_cmp(&q.time_s)
+                    .then(p.energy_j.total_cmp(&q.energy_j))
+                    .is_le(),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let p = if take_a {
+                i += 1;
+                &a[i - 1]
+            } else {
+                j += 1;
+                &b[j - 1]
+            };
+            if p.energy_j < best {
+                best = p.energy_j;
+                points.push(p.clone());
+            }
+        }
+        ParetoFrontier { points }
     }
 
     /// Classify the frontier into contiguous sweet (heterogeneous) and
@@ -297,6 +327,23 @@ mod tests {
         all.extend(b);
         let direct = ParetoFrontier::from_points(all);
         assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn merge_identity_ties_and_empty() {
+        let f = ParetoFrontier::from_points(vec![pt(1.0, 10.0, true), pt(2.0, 8.0, false)]);
+        // Merging with itself or with an empty frontier is the identity.
+        assert_eq!(f.merge(&f), f);
+        assert_eq!(f.merge(&ParetoFrontier::default()), f);
+        assert_eq!(ParetoFrontier::default().merge(&f), f);
+        // A frontier that dominates everywhere wins outright.
+        let better = ParetoFrontier::from_points(vec![pt(0.5, 9.0, true), pt(1.5, 7.0, true)]);
+        assert_eq!(f.merge(&better), better);
+        // Interleaved case agrees with from_points on the union.
+        let g = ParetoFrontier::from_points(vec![pt(1.5, 9.0, true), pt(3.0, 5.0, false)]);
+        let mut union = f.points.clone();
+        union.extend(g.points.iter().cloned());
+        assert_eq!(f.merge(&g), ParetoFrontier::from_points(union));
     }
 
     #[test]

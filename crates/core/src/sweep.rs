@@ -5,6 +5,19 @@
 //! power-budget studies — and then derives the Pareto frontier. Each point
 //! is independent (one mix-and-match solve plus the time/energy equations),
 //! which is exactly the data-parallel shape rayon is built for.
+//!
+//! Two tiers of machinery live here and in [`crate::rate_table`]:
+//!
+//! * [`sweep_space`] / [`sweep_points`] / [`sweep_frontier`] — the
+//!   *exhaustive reference path*: every point gets the full
+//!   [`ClusterOutcome`] (shares, per-type breakdowns). Use it for reports,
+//!   scatter plots, and validation.
+//! * [`crate::rate_table::stream_frontier`] and [`sweep_frontier_pruned`]
+//!   — the *streaming production path*: per-type `(r, b)` rate tables are
+//!   precomputed once, every configuration folds through a lean
+//!   time/energy kernel, and only partial Pareto frontiers are ever held
+//!   in memory. Equivalent to the reference path on the energy–deadline
+//!   plane (property-tested to 1e-9), and orders of magnitude faster.
 
 use rayon::prelude::*;
 
@@ -110,108 +123,23 @@ pub struct PruneStats {
 ///
 /// Soundness: under the paper's model, a type's contribution to a matched
 /// cluster is fully captured by two numbers — its execution rate `r` and
-/// its *energy rate* `b = E_alone · r / W` (joule-seconds normalized),
-/// because `T = W/Σr` and `E = W·(Σb)/(Σr)`. Replacing a per-type option
-/// with one of `r' ≥ r` and `b' ≤ b` therefore never worsens either axis,
-/// so options dominated *within their type* cannot appear on the frontier
-/// except as exact ties. Pruning them and sweeping the (much smaller)
-/// product preserves the frontier as an energy-per-deadline curve —
-/// property-tested against the exhaustive sweep.
+/// its *energy rate* `b = E_alone · r / W` (watts), because `T = W/Σr` and
+/// `E = W·(Σb)/(Σr)`. Replacing a per-type option with one of `r' ≥ r` and
+/// `b' ≤ b` therefore never worsens either axis, so options dominated
+/// *within their type* cannot appear on the frontier except as exact ties.
+/// Pruning them and streaming the (much smaller) product through the lean
+/// `(Σr, Σb)` kernel preserves the frontier as an energy-per-deadline
+/// curve — property-tested against the exhaustive sweep.
+///
+/// This is a thin wrapper over
+/// [`crate::rate_table::stream_frontier_pruned`]; see [`crate::rate_table`]
+/// for the engine.
 pub fn sweep_frontier_pruned(
     space: &ConfigSpace,
     models: &[WorkloadModel],
     w_units: f64,
 ) -> Result<(ParetoFrontier, PruneStats)> {
-    use crate::config::NodeConfig;
-
-    // 1. Per-type options with their (r, b) aggregates.
-    struct Option_ {
-        cfg: std::option::Option<NodeConfig>,
-        r: f64,
-        b: f64,
-    }
-    let mut per_type: Vec<Vec<Option_>> = Vec::with_capacity(space.types.len());
-    let mut total_options = 0usize;
-    for (t_idx, t) in space.types.iter().enumerate() {
-        let mut opts = vec![Option_ {
-            cfg: None,
-            r: 0.0,
-            b: 0.0,
-        }];
-        for n in 1..=t.max_nodes {
-            for c in 1..=t.platform.cores {
-                for &f in &t.platform.freqs {
-                    let cfg = NodeConfig::new(n, c, f);
-                    // Evaluate the type alone on one unit of work.
-                    let mut point_types = vec![None; space.types.len()];
-                    point_types[t_idx] = Some(cfg);
-                    let point = ClusterPoint {
-                        per_type: point_types,
-                    };
-                    let out = evaluate(&point, models, 1.0)?;
-                    let r = 1.0 / out.time_s;
-                    let b = out.energy_j * r; // E_alone(1) · r / 1
-                    opts.push(Option_ {
-                        cfg: Some(cfg),
-                        r,
-                        b,
-                    });
-                }
-            }
-        }
-        total_options += opts.len();
-        // 2. Dominance pruning within the type: keep the (max r, min b)
-        // Pareto set.
-        opts.sort_by(|a, c| c.r.total_cmp(&a.r).then(a.b.total_cmp(&c.b)));
-        let mut kept: Vec<Option_> = Vec::new();
-        let mut best_b = f64::INFINITY;
-        for o in opts {
-            if o.b < best_b {
-                best_b = o.b;
-                kept.push(o);
-            }
-        }
-        per_type.push(kept);
-    }
-    let kept_options = per_type.iter().map(Vec::len).sum();
-
-    // 3. Sweep the pruned product.
-    let mut points: Vec<ClusterPoint> = Vec::new();
-    let mut idx = vec![0usize; per_type.len()];
-    'outer: loop {
-        let cfgs: Vec<std::option::Option<NodeConfig>> = idx
-            .iter()
-            .zip(&per_type)
-            .map(|(&i, opts)| opts[i].cfg)
-            .collect();
-        if cfgs.iter().any(std::option::Option::is_some) {
-            points.push(ClusterPoint { per_type: cfgs });
-        }
-        for k in 0..idx.len() {
-            idx[k] += 1;
-            if idx[k] < per_type[k].len() {
-                continue 'outer;
-            }
-            idx[k] = 0;
-        }
-        break;
-    }
-    let evaluated = sweep_points(&points, models, w_units)?;
-    let frontier = ParetoFrontier::from_points(
-        evaluated
-            .iter()
-            .map(EvaluatedConfig::to_pareto_point)
-            .collect(),
-    );
-    Ok((
-        frontier,
-        PruneStats {
-            total_options,
-            kept_options,
-            evaluated_configs: points.len() as u64,
-            full_space: space.count(),
-        },
-    ))
+    crate::rate_table::stream_frontier_pruned(space, models, w_units)
 }
 
 /// Restrict evaluated configurations to those using *only* the given type

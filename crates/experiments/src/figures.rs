@@ -218,27 +218,13 @@ pub fn mix_frontiers(lab: &Lab, w: &dyn Workload, mixes: &[BudgetMix]) -> Vec<Mi
 }
 
 fn mix_frontier(lab: &Lab, models: &[WorkloadModel], mix: BudgetMix, units: f64) -> ParetoFrontier {
-    let space = mix.config_space(&lab.arm.platform, &lab.amd.platform);
-    // The mix space may drop a type; models must line up with the space's
-    // type order.
-    let space_models: Vec<WorkloadModel> = space
-        .types
-        .iter()
-        .map(|t| {
-            models
-                .iter()
-                .find(|m| m.platform.name == t.platform.name)
-                .expect("model for every type")
-                .clone()
-        })
-        .collect();
-    let evaluated = sweep_space(&space, &space_models, units).expect("valid space");
-    ParetoFrontier::from_points(
-        evaluated
-            .iter()
-            .map(EvaluatedConfig::to_pareto_point)
-            .collect(),
-    )
+    // Streaming pruned sweep: the 128-node rungs cover hundreds of
+    // thousands of configurations, which the rate-table engine folds
+    // without materializing.
+    let (frontier, _) = mix
+        .frontier(&lab.arm.platform, &lab.amd.platform, models, units)
+        .expect("valid mix space with a model per type");
+    frontier
 }
 
 /// The paper's Fig. 6/7 mix ladder for a 1 kW budget:

@@ -1,0 +1,351 @@
+//! criterion stand-in (see vendor/README.md).
+//!
+//! Implements the harness surface the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` / `throughput`, `BenchmarkId`,
+//! `Bencher::iter` / `iter_batched`, and `black_box`.
+//!
+//! Measurement is a calibrated wall-clock loop reporting the mean time per
+//! iteration (plus derived throughput) — no statistical analysis, plots, or
+//! saved baselines. CLI: `--test` runs every routine exactly once (smoke
+//! mode, used by CI), `--bench` is accepted and ignored, and any bare
+//! argument is a substring filter on benchmark names.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stub times every batch
+/// individually, so the hint is accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Two-part benchmark identifier, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for &String {
+    fn into_id(self) -> String {
+        self.clone()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+pub struct Bencher<'a> {
+    mode: Mode,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Run the routine once, no timing (`--test`).
+    Smoke,
+    /// Calibrate then measure for roughly this long.
+    Measure(Duration),
+}
+
+struct Sample {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` called back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure(target) => {
+                // Calibrate: double the batch until it runs long enough to
+                // trust the clock.
+                let mut batch = 1u64;
+                let per_iter = loop {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let dt = t0.elapsed();
+                    if dt >= Duration::from_millis(10) || batch >= 1 << 30 {
+                        break dt / batch as u32;
+                    }
+                    batch *= 2;
+                };
+                let iters = (target.as_nanos() / per_iter.as_nanos().max(1))
+                    .clamp(1, u128::from(u32::MAX)) as u64;
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                *self.result = Some(Sample {
+                    mean: t0.elapsed() / iters as u32,
+                    iters,
+                });
+            }
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, timing only the
+    /// routine.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure(target) => {
+                let mut timed = Duration::ZERO;
+                let mut iters = 0u64;
+                while timed < target && iters < u64::from(u32::MAX) {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    timed += t0.elapsed();
+                    iters += 1;
+                }
+                *self.result = Some(Sample {
+                    mean: timed / iters.max(1) as u32,
+                    iters,
+                });
+            }
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure(Duration::from_millis(700)),
+            filter: None,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a runner from the process arguments (see module docs).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Smoke,
+                s if s.starts_with('-') => {} // harness flags (e.g. --bench)
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn skipped(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if self.skipped(id) {
+            return;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.ran += 1;
+        match result {
+            None => println!("{id:<44} ok (smoke)"),
+            Some(s) => {
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  {:>14}/s", si(n as f64 / s.mean.as_secs_f64(), "elem"))
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  {:>14}/s", si(n as f64 / s.mean.as_secs_f64(), "B"))
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "{id:<44} time: {:>12}/iter ({} iters){rate}",
+                    fmt_duration(s.mean),
+                    s.iters
+                );
+            }
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(&id.into_id(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing line (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!(
+            "criterion stub: {} benchmark(s) {}",
+            self.ran,
+            match self.mode {
+                Mode::Smoke => "smoke-tested",
+                Mode::Measure(_) => "measured",
+            }
+        );
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's measurement time is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<N: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(v: f64, unit: &str) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G{unit}", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M{unit}", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k{unit}", v / 1e3)
+    } else {
+        format!("{v:.1} {unit}")
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built from `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

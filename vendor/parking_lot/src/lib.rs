@@ -1,0 +1,32 @@
+//! `parking_lot::Mutex` stand-in over `std::sync::Mutex` (see vendor/README.md).
+
+use std::sync::MutexGuard;
+
+/// Mutex with parking_lot's panic-free `lock()` API.
+///
+/// Poisoning is ignored (parking_lot mutexes never poison): if a holder
+/// panicked, the data is handed out as-is.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex wrapping `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}

@@ -1,0 +1,559 @@
+//! proptest stand-in (see vendor/README.md).
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_filter_map`, range / tuple / `Just` / `any` / `collection::vec` /
+//! `option::of` / `prop_oneof!` strategies, the `prop_assert*` /
+//! `prop_assume!` macros, and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate: sampling is deterministically seeded
+//! from the test name (runs are reproducible, there is no `PROPTEST_*`
+//! environment handling), and failing inputs are **not shrunk** — the
+//! panic message reports the failing case index instead of a minimal
+//! counterexample.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// Deterministic RNG handed to strategies (concrete so strategies stay
+    /// object-safe for [`Union`]).
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng(SmallRng::seed_from_u64(seed))
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.gen()
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.0.gen_range(0.0..1.0)
+        }
+
+        /// Uniform draw from `[lo, hi)` (as `u64`).
+        pub fn in_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            self.0.gen_range(lo..hi)
+        }
+    }
+
+    /// A generator of test inputs. `sample` returns `None` when the drawn
+    /// value is rejected (e.g. by `prop_filter_map`); the runner resamples.
+    pub trait Strategy {
+        /// Type of value this strategy generates.
+        type Value;
+
+        /// Draws one value, or `None` on local rejection.
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `Some`, resampling
+        /// otherwise. `_reason` is reported by the real crate's statistics
+        /// machinery and ignored here.
+        fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+            self,
+            _reason: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.sample(rng).and_then(&self.f)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Types with a canonical full-range strategy, used by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    /// Full-range strategy marker returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Strategy over the full range of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    Some((self.start as i128 + i128::from(rng.in_range_u64(0, span))) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    Some((lo as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t)
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                    let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                    Some((self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            Some(self.start + (self.end - self.start) * rng.unit_f64())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> Option<f64> {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty inclusive f64 range strategy");
+            // Sampling the closed interval: the open-interval draw already
+            // reaches both endpoints up to rounding, which is what the real
+            // crate provides in practice.
+            Some(lo + (hi - lo) * rng.unit_f64())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    }
+
+    /// Object-safe strategy view, used by [`Union`] to mix strategy types
+    /// with a common `Value` (what `prop_oneof!` builds).
+    pub trait DynStrategy<T> {
+        /// Draws one value, or `None` on local rejection.
+        fn sample_dyn(&self, rng: &mut TestRng) -> Option<T>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.sample(rng)
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies over one value type.
+    pub struct Union<T> {
+        options: Vec<Box<dyn DynStrategy<T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; `options` must be non-empty.
+        pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let idx = rng.in_range_u64(0, self.options.len() as u64) as usize;
+            self.options[idx].sample_dyn(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Lengths acceptable to [`vec()`]: an exact size or a size range.
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec-length range");
+            rng.in_range_u64(self.start as u64, self.end as u64) as usize
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.in_range_u64(*self.start() as u64, *self.end() as u64 + 1) as usize
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Vector of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding `None` half the time and `Some(inner)` otherwise.
+    pub struct OptionStrategy<S>(S);
+
+    /// Optional values of `inner`'s type.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.next_u64() & 1 == 0 {
+                Some(None)
+            } else {
+                self.0.sample(rng).map(Some)
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner.
+
+    use super::strategy::{Strategy, TestRng};
+
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the stub's suites
+            // fast while still exercising the input space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Input rejected (e.g. `prop_assume!`); resample, not a failure.
+        Reject,
+        /// Property violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+
+        /// An input rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Stable 64-bit FNV-1a over the test name, so each property gets a
+    /// fixed, distinct seed.
+    fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `property` against `config.cases` accepted samples of `strategy`.
+    ///
+    /// Panics on the first failing case; rejections (strategy-level or
+    /// `prop_assume!`) are resampled within a global budget.
+    pub fn run<S: Strategy>(
+        name: &str,
+        config: &ProptestConfig,
+        strategy: &S,
+        property: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::seed_from_u64(seed_for(name));
+        let mut rejections_left = 256u64 * u64::from(config.cases).max(1);
+        let mut case = 0u32;
+        while case < config.cases {
+            let Some(input) = strategy.sample(&mut rng) else {
+                rejections_left = rejections_left.checked_sub(1).unwrap_or_else(|| {
+                    panic!("proptest stub: {name} rejected too many inputs (strategy too narrow)")
+                });
+                continue;
+            };
+            match property(input) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject) => {
+                    rejections_left = rejections_left.checked_sub(1).unwrap_or_else(|| {
+                        panic!(
+                            "proptest stub: {name} rejected too many inputs (assumption too narrow)"
+                        )
+                    });
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest stub: property {name} failed at case {case}/{}: {msg} \
+                         (deterministic seed {:#x}; rerun reproduces it)",
+                        config.cases,
+                        seed_for(name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($parm:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($parm,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Rejects (resamples) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::DynStrategy<_>>),+
+        ])
+    };
+}

@@ -1,0 +1,135 @@
+//! rayon stand-in (see vendor/README.md).
+//!
+//! Supports the `par_iter()`/`into_par_iter()` → `map` → `collect` pipelines
+//! the workspace uses. Work is genuinely parallel: the input is split into
+//! one contiguous chunk per available core and mapped on scoped threads,
+//! preserving input order. There is no work stealing, which is adequate for
+//! the workspace's uniform-cost batch maps.
+
+use std::thread;
+
+/// Parallel iterator over an owned sequence of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A [`ParIter`] with a pending map stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Executes the pipeline and gathers results in input order.
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_vec(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Maps `items` in parallel with one chunk per core, preserving order.
+fn par_map_vec<T: Send, U: Send, F: Fn(T) -> U + Sync>(mut items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk_len));
+        chunks.push(tail);
+    }
+    chunks.reverse();
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stub: worker panicked"));
+        }
+        out
+    })
+}
+
+/// Collections a parallel pipeline can gather into.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Conversion into a [`ParIter`] over references.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type produced by the iterator (a reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}

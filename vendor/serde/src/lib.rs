@@ -1,0 +1,14 @@
+//! Marker-trait stand-in for serde (see vendor/README.md).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model structs for
+//! downstream consumers but never serializes through serde itself, so the
+//! traits carry no methods and the derives are no-ops.
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives (see vendor/README.md).
+//!
+//! Nothing in the workspace serializes data through serde — the derives only
+//! need to exist so `#[derive(Serialize, Deserialize)]` compiles — so both
+//! expand to nothing.
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
