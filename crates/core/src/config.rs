@@ -107,7 +107,9 @@ impl TypeBounds {
     /// `n · |f| · |c|`.
     #[must_use]
     pub fn option_count(&self) -> u64 {
-        u64::from(self.max_nodes) * self.platform.freqs.len() as u64 * u64::from(self.platform.cores)
+        u64::from(self.max_nodes)
+            * self.platform.freqs.len() as u64
+            * u64::from(self.platform.cores)
     }
 
     /// Decode option index `idx ∈ [0, option_count)` into its

@@ -39,6 +39,9 @@ pub enum Error {
         /// Offered utilization.
         utilization: f64,
     },
+    /// A parallel sweep worker panicked; the payload message is preserved
+    /// so the caller's thread survives and can report the failure.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for Error {
@@ -63,6 +66,7 @@ impl fmt::Display for Error {
             Error::Saturated { utilization } => {
                 write!(f, "queueing system saturated: utilization {utilization} >= 1")
             }
+            Error::WorkerPanic(msg) => write!(f, "sweep worker panicked: {msg}"),
         }
     }
 }

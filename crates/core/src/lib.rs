@@ -83,6 +83,7 @@ pub mod pareto;
 pub mod persist;
 pub mod profile;
 pub mod rate_table;
+pub mod resilience;
 pub mod stats;
 pub mod sweep;
 pub mod types;
@@ -105,6 +106,10 @@ pub mod prelude {
     };
     pub use crate::rate_table::{
         stream_frontier, stream_frontier_pruned, RateOption, RateTable, SweepOutcome,
+    };
+    pub use crate::resilience::{
+        predict_crash_run, resilient_frontier, CrashPlan, DegradedPrediction, ResilientTable,
+        TypeRate,
     };
     pub use crate::sweep::{sweep_frontier_pruned, sweep_space, EvaluatedConfig, PruneStats};
     pub use crate::types::{Frequency, Platform, PlatformId};

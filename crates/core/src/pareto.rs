@@ -113,7 +113,9 @@ impl ParetoFrontier {
     /// strictly descending energy), so a single sorted merge with the same
     /// strictly-improving-energy pass as [`Self::from_points`] suffices —
     /// no re-sort of the union. Ties on `(time, energy)` keep `self`'s
-    /// point, matching `from_points` on `self ++ other`.
+    /// point, matching `from_points` on `self ++ other`. Non-finite points
+    /// are dropped, also matching `from_points` — inputs built by hand (the
+    /// `points` field is public) may violate the invariant.
     #[must_use]
     pub fn merge(&self, other: &ParetoFrontier) -> ParetoFrontier {
         let (a, b) = (&self.points, &other.points);
@@ -137,7 +139,7 @@ impl ParetoFrontier {
                 j += 1;
                 &b[j - 1]
             };
-            if p.energy_j < best {
+            if p.time_s.is_finite() && p.energy_j.is_finite() && p.energy_j < best {
                 best = p.energy_j;
                 points.push(p.clone());
             }
@@ -395,6 +397,26 @@ mod tests {
             pt(1.0, 2.0, true),
         ]);
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn merge_drops_non_finite_points() {
+        // Hand-built frontiers (the `points` field is public) can carry
+        // non-finite entries that `from_points` would have filtered. A NaN
+        // time sorts *after* +inf under total_cmp, and an infinite-time
+        // point with low energy would poison `best` and shadow every later
+        // real point — the merge must drop both.
+        let poisoned = ParetoFrontier {
+            points: vec![
+                pt(f64::NAN, 0.5, true),
+                pt(f64::INFINITY, 0.25, true),
+                pt(1.0, f64::NAN, true),
+            ],
+        };
+        let clean = ParetoFrontier::from_points(vec![pt(2.0, 10.0, true), pt(3.0, 4.0, false)]);
+        assert_eq!(poisoned.merge(&clean), clean);
+        assert_eq!(clean.merge(&poisoned), clean);
+        assert!(poisoned.merge(&poisoned).is_empty());
     }
 
     #[test]

@@ -94,6 +94,7 @@ impl RateTable {
     /// [`crate::config::TypeBounds::decode_option`] order, so flat index
     /// `k` decodes to the `k`-th point of [`ConfigSpace::iter`].
     pub fn build(space: &ConfigSpace, models: &[WorkloadModel]) -> Result<Self> {
+        check_space(space)?;
         let per_type = Self::type_options(space, models)?;
         let unpruned_options = per_type.iter().map(|o| o.len() + 1).sum();
         Ok(Self {
@@ -109,10 +110,15 @@ impl RateTable {
     /// axis, so the pruned product preserves the frontier as an
     /// energy-per-deadline curve.
     pub fn build_pruned(space: &ConfigSpace, models: &[WorkloadModel]) -> Result<Self> {
+        check_space(space)?;
         let mut per_type = Self::type_options(space, models)?;
         let unpruned_options = per_type.iter().map(|o| o.len() + 1).sum();
         for opts in &mut per_type {
-            opts.sort_by(|a, c| c.rate.total_cmp(&a.rate).then(a.power_w.total_cmp(&c.power_w)));
+            opts.sort_by(|a, c| {
+                c.rate
+                    .total_cmp(&a.rate)
+                    .then(a.power_w.total_cmp(&c.power_w))
+            });
             let mut best_b = f64::INFINITY;
             opts.retain(|o| {
                 if o.power_w < best_b {
@@ -129,10 +135,7 @@ impl RateTable {
         })
     }
 
-    fn type_options(
-        space: &ConfigSpace,
-        models: &[WorkloadModel],
-    ) -> Result<Vec<Vec<RateOption>>> {
+    fn type_options(space: &ConfigSpace, models: &[WorkloadModel]) -> Result<Vec<Vec<RateOption>>> {
         if space.types.len() != models.len() {
             return Err(Error::ProfileMismatch {
                 deployments: space.types.len(),
@@ -164,11 +167,13 @@ impl RateTable {
                     let time_s = 1.0 / rate;
                     let tb = etm.predict(&cfg, 1.0);
                     let power_w = enm.energy(&cfg, &tb, time_s).total() * rate;
-                    opts.push(RateOption {
-                        cfg,
-                        rate,
-                        power_w,
-                    });
+                    if !(power_w > 0.0) || !power_w.is_finite() {
+                        return Err(Error::InvalidInput(format!(
+                            "option {cfg:?} of `{}` has lone-run power {power_w} W",
+                            t.platform.name
+                        )));
+                    }
+                    opts.push(RateOption { cfg, rate, power_w });
                 }
                 Ok(opts)
             })
@@ -257,12 +262,8 @@ impl RateTable {
     /// smallest flat index, so the result is independent of thread count
     /// and chunk scheduling.
     pub fn frontier(&self, w_units: f64) -> Result<ParetoFrontier> {
-        if !(w_units > 0.0) || !w_units.is_finite() {
-            return Err(Error::InvalidInput(format!(
-                "work must be positive and finite, got {w_units}"
-            )));
-        }
-        let entries = self.stream_entries(w_units);
+        validate_work(w_units)?;
+        let entries = stream_fold(self.count(), |flat| Some(self.entry(flat, w_units)))?;
         Ok(ParetoFrontier {
             points: entries
                 .into_iter()
@@ -272,50 +273,6 @@ impl RateTable {
                     config: self.decode(e.flat),
                 })
                 .collect(),
-        })
-    }
-
-    fn stream_entries(&self, w_units: f64) -> Vec<Entry> {
-        let count = self.count();
-        if count == 0 {
-            return Vec::new();
-        }
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(count.div_ceil(MIN_CHUNK) as usize);
-        if threads <= 1 {
-            let mut partial = PartialFrontier::default();
-            for flat in 1..=count {
-                partial.push(self.entry(flat, w_units));
-            }
-            return partial.entries;
-        }
-        let chunk = (count / (threads as u64 * 8)).clamp(MIN_CHUNK, 1 << 16);
-        let cursor = AtomicU64::new(1);
-        std::thread::scope(|s| {
-            let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut partial = PartialFrontier::default();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start > count {
-                                break;
-                            }
-                            let end = count.min(start + chunk - 1);
-                            for flat in start..=end {
-                                partial.push(self.entry(flat, w_units));
-                            }
-                        }
-                        partial.entries
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("sweep worker panicked"))
-                .fold(Vec::new(), |acc, part| merge_entries(&acc, &part))
         })
     }
 
@@ -333,13 +290,120 @@ impl RateTable {
 /// Below this many configurations per thread, spawning is not worth it.
 const MIN_CHUNK: u64 = 4096;
 
+/// Shared work-size validation for every public sweep entry point.
+pub(crate) fn validate_work(w_units: f64) -> Result<()> {
+    if !(w_units > 0.0) || !w_units.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "work must be positive and finite, got {w_units}"
+        )));
+    }
+    Ok(())
+}
+
+/// Reject configuration spaces that cannot produce a single configuration.
+pub(crate) fn check_space(space: &ConfigSpace) -> Result<()> {
+    if space.types.is_empty() || space.count() == 0 {
+        return Err(Error::InvalidInput(
+            "configuration space is empty (no node types or no deployable options)".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Stream flat indices `1..=count` through `eval`, folding survivors into
+/// sorted frontier entries — the chunked parallel core shared by
+/// [`RateTable::frontier`] and the degraded-mode sweeps in
+/// [`crate::resilience`]. `eval` returning `None` skips the index (e.g. a
+/// configuration that cannot tolerate the requested failures).
+///
+/// Worker panics are captured and surfaced as [`Error::WorkerPanic`]
+/// instead of aborting the caller's thread; every worker is still joined
+/// before returning, so no detached thread outlives the call.
+pub(crate) fn stream_fold<F>(count: u64, eval: F) -> Result<Vec<Entry>>
+where
+    F: Fn(u64) -> Option<Entry> + Sync,
+{
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(count.div_ceil(MIN_CHUNK) as usize);
+    if threads <= 1 {
+        // Same capture contract as the threaded path, so callers see
+        // `WorkerPanic` regardless of how the fold was scheduled.
+        return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut partial = PartialFrontier::default();
+            for flat in 1..=count {
+                if let Some(e) = eval(flat) {
+                    partial.push(e);
+                }
+            }
+            partial.entries
+        }))
+        .map_err(|payload| Error::WorkerPanic(panic_message(&*payload)));
+    }
+    let chunk = (count / (threads as u64 * 8)).clamp(MIN_CHUNK, 1 << 16);
+    let cursor = AtomicU64::new(1);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut partial = PartialFrontier::default();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start > count {
+                            break;
+                        }
+                        let end = count.min(start + chunk - 1);
+                        for flat in start..=end {
+                            if let Some(e) = eval(flat) {
+                                partial.push(e);
+                            }
+                        }
+                    }
+                    partial.entries
+                })
+            })
+            .collect();
+        // Join every worker even after a panic: leaving handles for the
+        // scope to auto-join would re-raise the panic we mean to capture.
+        let mut acc = Vec::new();
+        let mut panic_msg: Option<String> = None;
+        for w in workers {
+            match w.join() {
+                Ok(part) => acc = merge_entries(&acc, &part),
+                Err(payload) => {
+                    panic_msg.get_or_insert_with(|| panic_message(&*payload));
+                }
+            }
+        }
+        match panic_msg {
+            Some(msg) => Err(Error::WorkerPanic(msg)),
+            None => Ok(acc),
+        }
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Compact frontier candidate: no configuration, just the two axes and the
 /// flat index it decodes from.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    time_s: f64,
-    energy_j: f64,
-    flat: u64,
+pub(crate) struct Entry {
+    pub(crate) time_s: f64,
+    pub(crate) energy_j: f64,
+    pub(crate) flat: u64,
 }
 
 /// Lexicographic `(time, energy, flat)` order — a strict total order over
@@ -416,6 +480,7 @@ pub fn stream_frontier(
     models: &[WorkloadModel],
     w_units: f64,
 ) -> Result<ParetoFrontier> {
+    validate_work(w_units)?;
     RateTable::build(space, models)?.frontier(w_units)
 }
 
@@ -428,6 +493,7 @@ pub fn stream_frontier_pruned(
     models: &[WorkloadModel],
     w_units: f64,
 ) -> Result<(ParetoFrontier, PruneStats)> {
+    validate_work(w_units)?;
     let table = RateTable::build_pruned(space, models)?;
     let frontier = table.frontier(w_units)?;
     Ok((frontier, table.prune_stats(space)))
@@ -602,6 +668,68 @@ mod tests {
         assert!(table.frontier(0.0).is_err());
         assert!(table.frontier(f64::NAN).is_err());
         assert!(stream_frontier(&space, &models, -1.0).is_err());
+        assert!(stream_frontier(&space, &models, f64::INFINITY).is_err());
+        assert!(stream_frontier_pruned(&space, &models, 0.0).is_err());
+    }
+
+    #[test]
+    fn empty_spaces_rejected() {
+        let empty = ConfigSpace::new(Vec::new());
+        assert!(matches!(
+            RateTable::build(&empty, &[]),
+            Err(Error::InvalidInput(_))
+        ));
+        // A space whose only type deploys zero nodes has no configurations.
+        let zero = ConfigSpace::new(vec![crate::config::TypeBounds {
+            platform: Platform::reference_arm(),
+            max_nodes: 0,
+        }]);
+        let models = vec![WorkloadModel::synthetic_cpu_bound(
+            &Platform::reference_arm(),
+            "ep",
+            60.0,
+        )];
+        assert!(matches!(
+            RateTable::build_pruned(&zero, &models),
+            Err(Error::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error() {
+        // Sequential path (count below the spawn threshold).
+        let got = stream_fold(16, |flat| {
+            if flat == 7 {
+                panic!("boom at {flat}");
+            }
+            None
+        });
+        assert!(
+            matches!(&got, Err(Error::WorkerPanic(msg)) if msg.contains("boom at 7")),
+            "{got:?}"
+        );
+        // Threaded path: enough indices that workers are spawned (when the
+        // host has more than one CPU; otherwise this re-checks sequential).
+        let got = stream_fold(MIN_CHUNK * 64, |flat| {
+            if flat % (MIN_CHUNK + 1) == 0 {
+                panic!("threaded boom");
+            }
+            None
+        });
+        assert!(
+            matches!(&got, Err(Error::WorkerPanic(msg)) if msg.contains("threaded boom")),
+            "{got:?}"
+        );
+        // And a clean fold still works after the captured panics.
+        let ok = stream_fold(8, |flat| {
+            Some(Entry {
+                time_s: flat as f64,
+                energy_j: -(flat as f64),
+                flat,
+            })
+        })
+        .unwrap();
+        assert_eq!(ok.len(), 8);
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub fn sweep_space(
     models: &[WorkloadModel],
     w_units: f64,
 ) -> Result<Vec<EvaluatedConfig>> {
+    crate::rate_table::check_space(space)?;
+    crate::rate_table::validate_work(w_units)?;
     // Enumerate lazily but collect points first so rayon can split the
     // workload evenly; a ClusterPoint is a few dozen bytes.
     let points: Vec<ClusterPoint> = space.iter().collect();
@@ -301,6 +303,16 @@ mod tests {
             let got = pruned.min_energy_for_deadline(p.time_s).unwrap();
             assert!((got.energy_j - p.energy_j).abs() <= 1e-9 * p.energy_j);
         }
+    }
+
+    #[test]
+    fn empty_space_and_bad_work_are_rejected_like_the_streaming_path() {
+        let (space, models) = setup();
+        let empty = ConfigSpace::new(vec![]);
+        assert!(sweep_space(&empty, &models, 1e6).is_err());
+        assert!(sweep_frontier(&empty, &models, 1e6).is_err());
+        assert!(sweep_space(&space, &models, 0.0).is_err());
+        assert!(sweep_space(&space, &models, f64::NAN).is_err());
     }
 
     #[test]

@@ -29,7 +29,8 @@ fn space_and_models() -> impl Strategy<Value = (ConfigSpace, Vec<WorkloadModel>,
         any::<bool>(),
         1e4f64..1e7,
     )
-        .prop_filter_map("space too large for the exhaustive reference",
+        .prop_filter_map(
+            "space too large for the exhaustive reference",
             |(ntypes, raw, io_bound, w)| {
                 let arm = Platform::reference_arm();
                 let amd = Platform::reference_amd();
@@ -49,7 +50,8 @@ fn space_and_models() -> impl Strategy<Value = (ConfigSpace, Vec<WorkloadModel>,
                 }
                 let space = ConfigSpace::new(types);
                 (space.count() <= MAX_SPACE).then_some((space, models, w))
-            })
+            },
+        )
 }
 
 fn exhaustive_frontier(

@@ -18,6 +18,7 @@
 //! | Fig. 8/9 | [`figures`] | cluster-size scaling |
 //! | Fig. 10 | [`figures`] | M/D/1 queueing-delay window energy |
 //! | §IV headline | [`headline`] | up-to-44 % / 58 % energy savings |
+//! | degraded mode | [`resilience`] | crash-run validation, k-failure frontiers, failure-aware dispatch |
 //!
 //! The design-choice ablations of DESIGN.md §4 live in [`ablation`].
 //!
@@ -34,6 +35,7 @@ pub mod headline;
 pub mod lab;
 pub mod ppr;
 pub mod report;
+pub mod resilience;
 pub mod validation;
 
 pub use lab::Lab;

@@ -90,6 +90,7 @@ fn main() -> ExitCode {
             "export-models",
             "governor",
             "fig10des",
+            "resilience",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -147,6 +148,7 @@ fn main() -> ExitCode {
             "sensitivity" => run_sensitivity(&csv),
             "governor" => run_governor(&lab, &csv),
             "fig10des" => run_fig10des(&lab, &csv),
+            "resilience" => run_resilience(&lab, &csv),
             other => {
                 eprintln!("unknown artifact: --{other}");
                 return ExitCode::FAILURE;
@@ -726,6 +728,103 @@ fn run_governor(lab: &Lab, csv: &CsvWriter) {
     println!("(CPU-bound rows converge to the pinned behaviour — the model's assumption;");
     println!(" I/O-bound rows show the energy a governor saves that a pinned fmax would waste.)");
     let _ = csv.write("governor", &header, &table);
+}
+
+fn run_resilience(lab: &Lab, csv: &CsvWriter) {
+    use hecmix_experiments::resilience::{
+        crash_validation, resilient_dispatch, resilient_frontier_levels,
+    };
+
+    println!("== Extension: degraded-mode validation (crash at 35 % of nominal, 8 ARM + 1 AMD) ==");
+    let rows = crash_validation(lab);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.units.to_string(),
+                fmt_f(r.crash_s * 1e3),
+                fmt_f(r.predicted_time_s * 1e3),
+                fmt_f(r.measured_time_s * 1e3),
+                format!("{:.1}", r.time_err_pct),
+                fmt_f(r.predicted_energy_j),
+                fmt_f(r.measured_energy_j),
+                format!("{:.1}", r.energy_err_pct),
+                format!("{:.0}", r.predicted_lost_units),
+                r.measured_lost_units.to_string(),
+            ]
+        })
+        .collect();
+    let header = [
+        "workload",
+        "units",
+        "crash_ms",
+        "pred_ms",
+        "meas_ms",
+        "time_err_%",
+        "pred_J",
+        "meas_J",
+        "energy_err_%",
+        "pred_lost",
+        "meas_lost",
+    ];
+    println!("{}", render_table(&header, &table));
+    let _ = csv.write("resilience_validation", &header, &table);
+
+    println!("== k-failure resilient frontiers (8 ARM + 2 AMD space, memcached) ==");
+    let w = Memcached::default();
+    let levels = resilient_frontier_levels(lab, &w, w.analysis_units() as f64, 2);
+    let mut level_rows: Vec<Vec<String>> = Vec::new();
+    for l in &levels {
+        println!(
+            "k = {}: {:>3} frontier points, fastest worst-case {:>8.1} ms, cheapest {:>8.2} J",
+            l.k,
+            l.points,
+            l.min_time_s * 1e3,
+            l.min_energy_j
+        );
+        level_rows.push(vec![
+            l.k.to_string(),
+            l.points.to_string(),
+            fmt_f(l.min_time_s * 1e3),
+            fmt_f(l.min_energy_j),
+        ]);
+    }
+    let _ = csv.write(
+        "resilience_frontiers",
+        &["k", "points", "min_time_ms", "min_energy_j"],
+        &level_rows,
+    );
+
+    println!("== Failure-aware dispatch premium (memcached diurnal day) ==");
+    let profile = DiurnalProfile::new(1.0, 0.6, 24, 3600.0).expect("valid profile");
+    let slo = 2.0;
+    let cmp = resilient_dispatch(lab, &w, w.analysis_units() as f64, &profile, slo);
+    println!(
+        "naive     : {:>10.0} J/day, {:>2} violations",
+        cmp.naive.energy_j, cmp.naive.violations
+    );
+    println!(
+        "resilient : {:>10.0} J/day, {:>2} violations (1-failure SLO insurance)",
+        cmp.resilient.energy_j, cmp.resilient.violations
+    );
+    println!("premium   : {:+.1} % fault-free energy", cmp.premium_pct);
+    let _ = csv.write(
+        "resilience_dispatch",
+        &["policy", "energy_j", "violations"],
+        &[
+            vec![
+                "naive".into(),
+                fmt_f(cmp.naive.energy_j),
+                cmp.naive.violations.to_string(),
+            ],
+            vec![
+                "resilient".into(),
+                fmt_f(cmp.resilient.energy_j),
+                cmp.resilient.violations.to_string(),
+            ],
+        ],
+    );
 }
 
 fn run_fig10des(lab: &Lab, csv: &CsvWriter) {

@@ -191,6 +191,127 @@ pub fn run_day(menu: &[ConfigChoice], profile: &DiurnalProfile, slo_response_s: 
     }
 }
 
+/// A menu entry annotated with its worst-case `k`-failure behaviour: the
+/// degraded service time and per-job energy of the same deployment after
+/// losing its `k` most valuable nodes (from
+/// `hecmix_core::resilience::ResilientTable::degraded_outcome`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilientChoice {
+    /// The configuration as it runs when nothing fails.
+    pub nominal: ConfigChoice,
+    /// Job service time after the worst-case `k` node losses, seconds
+    /// (`≥ nominal.service_s`).
+    pub degraded_service_s: f64,
+    /// Per-job energy in the degraded deployment, joules.
+    pub degraded_job_energy_j: f64,
+}
+
+/// Failure-aware slot choice: feasibility (queue stability and the SLO)
+/// is judged against the *degraded* service time — the slot must still
+/// meet its SLO after the worst-case `k` node losses — while the reported
+/// energy is the *nominal* one, since that is what the cluster spends in
+/// the (overwhelmingly common) fault-free slot.
+///
+/// Returns `(index, nominal energy, degraded response, violated)`;
+/// `None` only when every entry is saturated at `lambda` even nominally.
+#[must_use]
+pub fn best_choice_resilient(
+    menu: &[ResilientChoice],
+    lambda: f64,
+    window_s: f64,
+    slo_response_s: f64,
+) -> Option<(usize, f64, f64, bool)> {
+    let mut best_ok: Option<(usize, f64, f64)> = None; // (idx, energy, degraded response)
+    let mut best_fallback: Option<(usize, f64, f64)> = None; // fastest degraded response
+    for (idx, c) in menu.iter().enumerate() {
+        let Ok(nominal) = window_energy(
+            lambda,
+            window_s,
+            c.nominal.service_s,
+            c.nominal.job_energy_j,
+            c.nominal.idle_power_w,
+        ) else {
+            continue; // saturated even with every node up
+        };
+        let e = nominal.total_j();
+        // The degraded queue may be saturated where the nominal one is
+        // not; such an entry survives only as a (violating) fallback,
+        // ranked by its nominal response.
+        let degraded_response = window_energy(
+            lambda,
+            window_s,
+            c.degraded_service_s,
+            c.degraded_job_energy_j,
+            c.nominal.idle_power_w,
+        )
+        .map_or(f64::INFINITY, |we| we.response_s);
+        if degraded_response <= slo_response_s && best_ok.as_ref().is_none_or(|(_, be, _)| e < *be)
+        {
+            best_ok = Some((idx, e, degraded_response));
+        }
+        let rank = if degraded_response.is_finite() {
+            degraded_response
+        } else {
+            nominal.response_s
+        };
+        if best_fallback.as_ref().is_none_or(|(_, _, br)| rank < *br) {
+            best_fallback = Some((idx, e, rank));
+        }
+    }
+    match (best_ok, best_fallback) {
+        (Some((i, e, r)), _) => Some((i, e, r, false)),
+        (None, Some((i, e, r))) => Some((i, e, r, true)),
+        (None, None) => None,
+    }
+}
+
+/// Run a whole day under a failure-aware menu: every slot is provisioned
+/// so that it would still meet the SLO after the worst-case node losses
+/// its menu entries were annotated with. Reported energy is nominal.
+#[must_use]
+pub fn run_day_resilient(
+    menu: &[ResilientChoice],
+    profile: &DiurnalProfile,
+    slo_response_s: f64,
+) -> DayOutcome {
+    let mut slots = Vec::with_capacity(profile.slots as usize);
+    let mut energy_j = 0.0;
+    let mut violations = 0;
+    for slot in 0..profile.slots {
+        let lambda = profile.lambda_at(slot);
+        match best_choice_resilient(menu, lambda, profile.slot_s, slo_response_s) {
+            Some((choice, e, response_s, violated)) => {
+                energy_j += e;
+                violations += u32::from(violated);
+                slots.push(SlotOutcome {
+                    slot,
+                    lambda,
+                    choice,
+                    energy_j: e,
+                    response_s,
+                    violated,
+                });
+            }
+            None => {
+                violations += 1;
+                slots.push(SlotOutcome {
+                    slot,
+                    lambda,
+                    choice: usize::MAX,
+                    energy_j: 0.0,
+                    response_s: f64::INFINITY,
+                    violated: true,
+                });
+            }
+        }
+    }
+    DayOutcome {
+        energy_j,
+        violations,
+        slots,
+    }
+}
+
 /// Convenience: the highest arrival rate any menu entry can stabilize
 /// (`max_i 1/T_i`, exclusive).
 #[must_use]
@@ -297,6 +418,64 @@ mod tests {
         let day_big = run_day(&big, &p, 0.5);
         assert!(day_big.energy_j <= day_small.energy_j + 1e-9);
         assert!(day_big.violations <= day_small.violations);
+    }
+
+    fn resilient_menu() -> Vec<ResilientChoice> {
+        // Degraded service times: the fast entry barely degrades (big
+        // cluster), the cheap one doubles (a one-node loss hurts).
+        vec![
+            ResilientChoice {
+                nominal: menu()[0].clone(),
+                degraded_service_s: 0.030,
+                degraded_job_energy_j: 22.0,
+            },
+            ResilientChoice {
+                nominal: menu()[1].clone(),
+                degraded_service_s: 0.80,
+                degraded_job_energy_j: 8.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn resilient_choice_provisions_against_degraded_service() {
+        let m = resilient_menu();
+        // At an SLO of 1.5 s both degraded queues are fine at low λ (the
+        // cheap entry's degraded response is ≈ 1.07 s): the cheap entry
+        // still wins, and energy is the nominal one.
+        let (idx, e, _, violated) = best_choice_resilient(&m, 0.5, 3600.0, 1.5).unwrap();
+        assert_eq!(idx, 1);
+        assert!(!violated);
+        let (nidx, ne, _, _) = best_choice(&menu(), 0.5, 3600.0, 1.5).unwrap();
+        assert_eq!(nidx, 1);
+        assert!((e - ne).abs() < 1e-9, "resilient energy must be nominal");
+
+        // An SLO of 0.9 s passes nominally for the cheap entry but fails
+        // after a failure (degraded response > 0.9): the resilient policy
+        // must pay for the fast entry where the naive one would not.
+        let (idx, _, _, violated) = best_choice_resilient(&m, 1.1, 3600.0, 0.9).unwrap();
+        assert_eq!(idx, 0);
+        assert!(!violated);
+        let (nidx, _, _, _) = best_choice(&menu(), 1.1, 3600.0, 0.9).unwrap();
+        assert_eq!(nidx, 1, "nominal policy is happy with the cheap entry");
+
+        // Whole-day: provisioning for failures can only cost more energy.
+        let p = DiurnalProfile::new(1.0, 0.6, 24, 600.0).unwrap();
+        let naive = run_day(&menu(), &p, 0.5);
+        let resilient = run_day_resilient(&m, &p, 0.5);
+        assert!(resilient.energy_j >= naive.energy_j - 1e-9);
+        assert_eq!(resilient.violations, 0);
+    }
+
+    #[test]
+    fn resilient_fallback_prefers_surviving_entries() {
+        // λ saturates the cheap entry's degraded queue (1/0.8 = 1.25) but
+        // not its nominal one; SLO impossible for everyone. The fallback
+        // must rank the fast entry first (finite degraded response).
+        let m = resilient_menu();
+        let (idx, _, _, violated) = best_choice_resilient(&m, 2.0, 3600.0, 1e-4).unwrap();
+        assert_eq!(idx, 0);
+        assert!(violated);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod calibration;
 pub mod cluster;
 pub mod counters;
 pub mod engine;
+pub mod faults;
 pub mod jobs;
 pub mod node;
 pub mod noise;
@@ -50,6 +51,12 @@ pub use arch::{ArchPower, IsaModel, MemoryModel, NodeArch};
 pub use calibration::{reference_a15_arch, reference_amd_arch, reference_arm_arch};
 pub use cluster::{run_cluster, ClusterMeasurement, ClusterSpec, TypeAssignment};
 pub use counters::{CoreCounters, NodeCounters};
+pub use faults::{
+    run_cluster_faulted, CrashRecord, FaultEvent, FaultKind, FaultSchedule,
+    FaultedClusterMeasurement, NodeFault, RecoveryPolicy, WorkInjection,
+};
 pub use jobs::{run_job_stream, JobStreamMeasurement, JobStreamSpec};
-pub use node::{run_node, Governor, NodeMeasurement, NodeRunSpec};
+pub use node::{
+    run_node, run_node_faulted, FaultedNodeMeasurement, Governor, NodeMeasurement, NodeRunSpec,
+};
 pub use trace::{ArrivalProcess, UnitDemand, WorkloadTrace};

@@ -19,6 +19,7 @@ use hecmix_core::types::Frequency;
 use crate::arch::NodeArch;
 use crate::counters::NodeCounters;
 use crate::engine::EventQueue;
+use crate::faults::{FaultKind, NodeFault, WorkInjection};
 use crate::noise::Noise;
 use crate::power::{EnergyAccount, PowerMeter};
 use crate::trace::{ArrivalProcess, WorkloadTrace};
@@ -110,12 +111,55 @@ pub struct NodeMeasurement {
     pub duration_s: f64,
 }
 
+/// One node run under fault injection: the plain measurement plus the
+/// recovery-relevant facts.
+#[derive(Debug, Clone)]
+pub struct FaultedNodeMeasurement {
+    /// Counters/energy/duration of the run. For a crashed node the
+    /// duration (and its idle floor) covers only useful work — the cluster
+    /// layer charges the idle window between last work and the crash.
+    pub measurement: NodeMeasurement,
+    /// Time the last work event (chunk or NIC transfer) completed.
+    pub work_end_s: f64,
+    /// Crash time, when a crash fault fired.
+    pub crashed_at_s: Option<f64>,
+    /// Units left undone at the crash: still queued plus rolled-back
+    /// in-flight chunks. Zero for nodes that did not crash.
+    pub leftover_units: u64,
+    /// Of the leftover, units that were mid-execution when the node died.
+    pub lost_in_flight_units: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     CoreDone(u32),
     NicDone,
     WakeArrival,
     GovernorTick,
+    /// Index into the fault list.
+    Fault(usize),
+    /// Index into the injection list.
+    Inject(usize),
+}
+
+/// Exact deltas one chunk added to the counters and energy account,
+/// recorded (in fault mode only) so a crash can roll back in-flight work.
+/// The noise draws are consumed at chunk start, so the deltas cannot be
+/// recomputed after the fact — they must be remembered.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkCharge {
+    instructions: f64,
+    cycles: f64,
+    work_cycles: f64,
+    core_stall_cycles: f64,
+    mem_stall_cycles: f64,
+    llc_misses: f64,
+    busy_s: f64,
+    units_done: f64,
+    core_work_j: f64,
+    core_stall_j: f64,
+    mem_j: f64,
+    mem_busy_s: f64,
 }
 
 /// NIC backlog (in chunks of pending transfer) above which cores stop
@@ -156,10 +200,47 @@ struct NodeSim<'a> {
     /// Busy core-seconds accumulated since the last governor tick.
     busy_since_tick: f64,
     last_tick: f64,
+    // ---- Fault-injection state (inert on the plain path). ----
+    /// Scheduled faults for this node, sorted by time.
+    faults: &'a [NodeFault],
+    /// Work re-delivered by the recovery protocol.
+    injections: &'a [WorkInjection],
+    /// True when faults or injections are present: enables charge
+    /// recording and work-end bookkeeping.
+    fault_mode: bool,
+    /// Chunk-duration multiplier from straggler faults (compounding).
+    slow_factor: f64,
+    /// NIC bandwidth multiplier from degradation faults (compounding).
+    nic_bandwidth_factor: f64,
+    /// Highest P-state index a power cap allows.
+    freq_cap_idx: usize,
+    /// Set when a crash fault fired; stops the run loop.
+    crashed: bool,
+    /// Time of the last completed work event (chunk or NIC transfer).
+    last_activity: f64,
+    /// Units rolled back out of in-flight chunks at the crash.
+    lost_in_flight: u64,
+    /// Per-core charge of the chunk currently executing (fault mode only).
+    charges: Vec<Option<ChunkCharge>>,
+    /// Units injected so far (consumed by `arrived_by`).
+    injected_units: u64,
+    /// Start/duration of the in-flight NIC transfer, for crash rollback.
+    nic_start_s: f64,
+    nic_dur_s: f64,
 }
 
 impl<'a> NodeSim<'a> {
     fn new(arch: &'a NodeArch, trace: &'a WorkloadTrace, spec: NodeRunSpec) -> Self {
+        Self::new_faulted(arch, trace, spec, &[], &[])
+    }
+
+    fn new_faulted(
+        arch: &'a NodeArch,
+        trace: &'a WorkloadTrace,
+        spec: NodeRunSpec,
+        faults: &'a [NodeFault],
+        injections: &'a [WorkInjection],
+    ) -> Self {
         assert!(
             spec.cores >= 1 && spec.cores <= arch.platform.cores,
             "core count {} out of range for {}",
@@ -173,10 +254,26 @@ impl<'a> NodeSim<'a> {
             arch.platform.name
         );
         assert!(trace.demand.is_valid(), "invalid workload demand");
+        for f in faults {
+            assert!(
+                f.at_s.is_finite() && f.at_s >= 0.0,
+                "fault time must be finite and non-negative"
+            );
+        }
+        for inj in injections {
+            assert!(
+                inj.at_s.is_finite() && inj.at_s >= 0.0,
+                "injection time must be finite and non-negative"
+            );
+        }
+        // Chunking covers all work the node may ever see, so a node that
+        // starts empty and receives redistributed units later does not end
+        // up with degenerate one-unit chunks.
+        let total_units = spec.units + injections.iter().map(|i| i.units).sum::<u64>();
         let chunk = spec.chunk_units.unwrap_or_else(|| {
             // A few hundred chunks per core keeps event counts low while
             // letting contention and backpressure interleave.
-            (spec.units / (u64::from(spec.cores) * 256)).max(1)
+            (total_units / (u64::from(spec.cores) * 256)).max(1)
         });
         let mut noise = Noise::new(spec.seed);
         let run_factor = noise.factor(arch.run_sigma);
@@ -209,6 +306,19 @@ impl<'a> NodeSim<'a> {
             freq_idx,
             busy_since_tick: 0.0,
             last_tick: 0.0,
+            faults,
+            injections,
+            fault_mode: !faults.is_empty() || !injections.is_empty(),
+            slow_factor: 1.0,
+            nic_bandwidth_factor: 1.0,
+            freq_cap_idx: arch.platform.freqs.len() - 1,
+            crashed: false,
+            last_activity: 0.0,
+            lost_in_flight: 0,
+            charges: vec![None; spec.cores as usize],
+            injected_units: 0,
+            nic_start_s: 0.0,
+            nic_dur_s: 0.0,
         }
     }
 
@@ -245,6 +355,8 @@ impl<'a> NodeSim<'a> {
         } else if util < down_threshold && self.freq_idx > 0 {
             self.freq_idx -= 1;
         }
+        // A power-cap fault bounds what the governor may pick.
+        self.freq_idx = self.freq_idx.min(self.freq_cap_idx);
         let active = self.pending_units > 0
             || self.busy_cores > 0
             || self.nic_busy
@@ -255,11 +367,13 @@ impl<'a> NodeSim<'a> {
     }
 
     /// Units that have arrived by time `t` under the arrival process.
+    /// Redistributed units arrive in full at their injection event.
     fn arrived_by(&self, t: f64) -> f64 {
+        let injected = self.injected_units as f64;
         match self.trace.arrivals {
-            ArrivalProcess::Saturated => self.spec.units as f64,
+            ArrivalProcess::Saturated => self.spec.units as f64 + injected,
             ArrivalProcess::Open { rate_per_node } => {
-                (rate_per_node * t).min(self.spec.units as f64)
+                (rate_per_node * t).min(self.spec.units as f64) + injected
             }
         }
     }
@@ -344,7 +458,16 @@ impl<'a> NodeSim<'a> {
         // Out-of-order overlap: the chunk takes the slower of the two paths.
         let core_path = work + core_stall;
         let mem_path = work + mem_stall_cycles_raw;
-        let cycles = core_path.max(mem_path);
+        let mut cycles = core_path.max(mem_path);
+        // Straggler fault: the whole chunk stretches; the extra cycles are
+        // stalls (the architectural work is unchanged), which keeps the
+        // counters' conservation bracket intact.
+        let mut core_stall_recorded = core_stall;
+        if self.slow_factor > 1.0 {
+            let extra = cycles * (self.slow_factor - 1.0);
+            cycles += extra;
+            core_stall_recorded += extra;
+        }
         let dur = cycles / f_hz;
 
         // PMU view: stall-event counters record the *raw* stall cycles of
@@ -357,7 +480,7 @@ impl<'a> NodeSim<'a> {
         c.instructions += cost.instructions;
         c.cycles += cycles;
         c.work_cycles += work;
-        c.core_stall_cycles += core_stall;
+        c.core_stall_cycles += core_stall_recorded;
         c.mem_stall_cycles += mem_stall_recorded;
         c.llc_misses += cost.llc_misses;
         c.busy_s += dur;
@@ -366,12 +489,33 @@ impl<'a> NodeSim<'a> {
         // Energy: active power for work cycles, stall power for the rest.
         let p_act = self.arch.power.core_active_w(freq, self.arch.f_nom());
         let p_stall = self.arch.power.core_stall_w(freq, self.arch.f_nom());
-        self.energy.core_work_j += p_act * (work / f_hz);
-        self.energy.core_stall_j += p_stall * ((cycles - work) / f_hz);
+        let core_work_j = p_act * (work / f_hz);
+        let core_stall_j = p_stall * ((cycles - work) / f_hz);
+        let mem_j = self.arch.power.mem_w * mem_service_s;
+        self.energy.core_work_j += core_work_j;
+        self.energy.core_stall_j += core_stall_j;
         // DRAM active while servicing this chunk's misses.
-        self.energy.mem_j += self.arch.power.mem_w * mem_service_s;
+        self.energy.mem_j += mem_j;
         self.counters.mem_busy_s += mem_service_s;
         self.busy_since_tick += dur;
+
+        if self.fault_mode {
+            // Remember the exact deltas so a crash can roll this chunk back.
+            self.charges[core as usize] = Some(ChunkCharge {
+                instructions: cost.instructions,
+                cycles,
+                work_cycles: work,
+                core_stall_cycles: core_stall_recorded,
+                mem_stall_cycles: mem_stall_recorded,
+                llc_misses: cost.llc_misses,
+                busy_s: dur,
+                units_done: units as f64,
+                core_work_j,
+                core_stall_j,
+                mem_j,
+                mem_busy_s: mem_service_s,
+            });
+        }
 
         let _ = f_ghz;
         dur
@@ -396,28 +540,39 @@ impl<'a> NodeSim<'a> {
         // Drain one chunk's worth per NIC service event.
         let per_chunk = self.nic_queue_bytes / self.nic_chunk_backlog.max(1.0);
         let bytes = per_chunk.min(self.nic_queue_bytes);
-        let dur = bytes * 8.0 / self.arch.platform.io_bandwidth_bps;
+        let dur = bytes * 8.0 / (self.arch.platform.io_bandwidth_bps * self.nic_bandwidth_factor);
         self.nic_pending_bytes = bytes;
+        self.nic_start_s = self.queue.now();
+        self.nic_dur_s = dur;
         self.queue.schedule_in(dur, Ev::NicDone);
         self.counters.io_busy_s += dur;
         self.energy.io_j += self.arch.power.io_w * dur;
     }
 
-    fn run(mut self) -> NodeMeasurement {
+    /// Schedule the initial events and drive the queue dry (or to a crash).
+    fn run_loop(&mut self) {
         if let Governor::Ondemand { interval_s, .. } = self.spec.governor {
             self.queue.schedule(interval_s, Ev::GovernorTick);
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            self.queue.schedule(f.at_s, Ev::Fault(i));
+        }
+        for (i, inj) in self.injections.iter().enumerate() {
+            self.queue.schedule(inj.at_s, Ev::Inject(i));
         }
         // Kick all cores at t = 0.
         for core in 0..self.spec.cores {
             self.try_start(core);
         }
-        while let Some((_t, ev)) = self.queue.pop() {
+        while let Some((t, ev)) = self.queue.pop() {
             match ev {
                 Ev::CoreDone(core) => {
                     let units = self.core_busy[core as usize]
                         .take()
                         .expect("completion for an idle core");
+                    self.charges[core as usize] = None;
                     self.busy_cores -= 1;
+                    self.last_activity = t;
                     self.enqueue_io(units);
                     if !self.try_start(core) && self.pending_units > 0 {
                         // parked (or could not start): handled via events.
@@ -429,6 +584,7 @@ impl<'a> NodeSim<'a> {
                     self.nic_chunk_backlog = (self.nic_chunk_backlog - 1.0).max(0.0);
                     self.counters.io_bytes += self.nic_pending_bytes;
                     self.nic_pending_bytes = 0.0;
+                    self.last_activity = t;
                     if self.nic_queue_bytes > 0.0 {
                         self.start_nic();
                     }
@@ -440,12 +596,108 @@ impl<'a> NodeSim<'a> {
                     self.unpark_all();
                 }
                 Ev::GovernorTick => self.governor_tick(),
+                Ev::Fault(i) => {
+                    self.apply_fault(self.faults[i]);
+                    if self.crashed {
+                        break;
+                    }
+                }
+                Ev::Inject(i) => {
+                    let units = self.injections[i].units;
+                    self.pending_units += units;
+                    self.injected_units += units;
+                    self.kick_all_idle();
+                }
             }
         }
-        debug_assert_eq!(self.pending_units, 0, "work left but no events pending");
-        debug_assert!(!self.nic_busy && self.nic_queue_bytes <= 1e-9);
+        if !self.crashed {
+            debug_assert_eq!(self.pending_units, 0, "work left but no events pending");
+            debug_assert!(!self.nic_busy && self.nic_queue_bytes <= 1e-9);
+        }
+    }
 
-        let duration = self.queue.now();
+    fn apply_fault(&mut self, fault: NodeFault) {
+        match fault.kind {
+            FaultKind::Crash => self.crash(),
+            FaultKind::Straggler { slowdown } => self.slow_factor *= slowdown,
+            FaultKind::NicDegrade { bandwidth_factor } => {
+                self.nic_bandwidth_factor *= bandwidth_factor;
+            }
+            FaultKind::PowerCap { max_freq_ghz } => {
+                // Highest P-state at or below the cap (lowest if none fit).
+                let cap = self
+                    .arch
+                    .platform
+                    .freqs
+                    .iter()
+                    .rposition(|f| f.ghz() <= max_freq_ghz + 1e-9)
+                    .unwrap_or(0);
+                self.freq_cap_idx = self.freq_cap_idx.min(cap);
+                self.freq_idx = self.freq_idx.min(self.freq_cap_idx);
+            }
+        }
+    }
+
+    /// The node dies right now: in-flight chunks are rolled back (their
+    /// noise draws are spent, but the recorded charges restore counters and
+    /// energy exactly), a partial NIC transfer is refunded pro rata, and
+    /// the rolled-back units join the queue as lost work to re-deliver.
+    fn crash(&mut self) {
+        self.crashed = true;
+        let now = self.queue.now();
+        for core in 0..self.core_busy.len() {
+            if self.core_busy[core].take().is_some() {
+                let ch = self.charges[core]
+                    .take()
+                    .expect("in-flight chunk without a recorded charge");
+                self.busy_cores -= 1;
+                self.lost_in_flight += ch.units_done as u64;
+                let c = &mut self.counters.cores[core];
+                c.instructions -= ch.instructions;
+                c.cycles -= ch.cycles;
+                c.work_cycles -= ch.work_cycles;
+                c.core_stall_cycles -= ch.core_stall_cycles;
+                c.mem_stall_cycles -= ch.mem_stall_cycles;
+                c.llc_misses -= ch.llc_misses;
+                c.busy_s -= ch.busy_s;
+                c.units_done -= ch.units_done;
+                self.energy.core_work_j -= ch.core_work_j;
+                self.energy.core_stall_j -= ch.core_stall_j;
+                self.energy.mem_j -= ch.mem_j;
+                self.counters.mem_busy_s -= ch.mem_busy_s;
+            }
+        }
+        if self.nic_busy {
+            // Refund the untransferred tail of the in-flight NIC transfer;
+            // its bytes were never counted (that happens at NicDone).
+            let elapsed = now - self.nic_start_s;
+            let remaining = (self.nic_dur_s - elapsed).clamp(0.0, self.nic_dur_s);
+            self.counters.io_busy_s -= remaining;
+            self.energy.io_j -= self.arch.power.io_w * remaining;
+            self.nic_busy = false;
+        }
+    }
+
+    /// Restart every idle core (used after a work injection; parked cores
+    /// are retried too and will re-park themselves if still blocked).
+    fn kick_all_idle(&mut self) {
+        self.parked.clear();
+        for core in 0..self.spec.cores {
+            if self.core_busy[core as usize].is_none() {
+                self.try_start(core);
+            }
+        }
+    }
+
+    fn finalize(mut self) -> NodeMeasurement {
+        // The plain path keeps its historical duration (queue drain time,
+        // including a trailing governor tick); under faults stray events
+        // must not inflate it, so work-end time is used instead.
+        let duration = if self.fault_mode {
+            self.last_activity
+        } else {
+            self.queue.now()
+        };
         self.counters.duration_s = duration;
         self.energy.idle_j = self.arch.power.idle_w * duration;
 
@@ -461,6 +713,26 @@ impl<'a> NodeSim<'a> {
             duration_s: duration,
         }
     }
+
+    fn run(mut self) -> NodeMeasurement {
+        self.run_loop();
+        self.finalize()
+    }
+
+    fn run_faulted(mut self) -> FaultedNodeMeasurement {
+        self.run_loop();
+        let work_end_s = self.last_activity;
+        let crashed_at_s = self.crashed.then(|| self.queue.now());
+        let leftover_units = self.pending_units + self.lost_in_flight;
+        let lost_in_flight_units = self.lost_in_flight;
+        FaultedNodeMeasurement {
+            measurement: self.finalize(),
+            work_end_s,
+            crashed_at_s,
+            leftover_units,
+            lost_in_flight_units,
+        }
+    }
 }
 
 /// Run one node to completion.
@@ -471,6 +743,40 @@ impl<'a> NodeSim<'a> {
 #[must_use]
 pub fn run_node(arch: &NodeArch, trace: &WorkloadTrace, spec: &NodeRunSpec) -> NodeMeasurement {
     NodeSim::new(arch, trace, *spec).run()
+}
+
+/// Run one node under a fault schedule, with extra work injected mid-run.
+///
+/// With empty `faults` and `injections` this delegates to the plain
+/// [`run_node`] path, so the measurement is bit-identical to an unfaulted
+/// run (only the fault-mode extras differ: `work_end_s` then equals the
+/// plain duration only up to trailing governor-tick drain, so it is taken
+/// from the measurement itself).
+///
+/// # Panics
+/// Panics when the spec is inconsistent with the archetype, the trace
+/// demand is invalid, or any fault/injection time is negative or
+/// non-finite.
+#[must_use]
+pub fn run_node_faulted(
+    arch: &NodeArch,
+    trace: &WorkloadTrace,
+    spec: &NodeRunSpec,
+    faults: &[NodeFault],
+    injections: &[WorkInjection],
+) -> FaultedNodeMeasurement {
+    if faults.is_empty() && injections.is_empty() {
+        let measurement = run_node(arch, trace, spec);
+        let work_end_s = measurement.duration_s;
+        return FaultedNodeMeasurement {
+            measurement,
+            work_end_s,
+            crashed_at_s: None,
+            leftover_units: 0,
+            lost_in_flight_units: 0,
+        };
+    }
+    NodeSim::new_faulted(arch, trace, *spec, faults, injections).run_faulted()
 }
 
 #[cfg(test)]
