@@ -330,6 +330,17 @@ where
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(count.div_ceil(MIN_CHUNK) as usize);
+    // Telemetry granularity is per chunk / per worker, never per point:
+    // the `outcome` kernel stays untouched and the disabled cost of the
+    // whole fold is this one flag read.
+    let tracing = hecmix_obs::enabled();
+    let sweep_t0 = tracing.then(std::time::Instant::now);
+    if tracing {
+        hecmix_obs::emit(|| hecmix_obs::Event::SweepStart {
+            points: count,
+            workers: threads.max(1),
+        });
+    }
     if threads <= 1 {
         // Same capture contract as the threaded path, so callers see
         // `WorkerPanic` regardless of how the fold was scheduled.
@@ -340,6 +351,15 @@ where
                     partial.push(e);
                 }
             }
+            if tracing {
+                hecmix_obs::emit(|| hecmix_obs::Event::SweepWorker {
+                    worker: 0,
+                    chunks: 1,
+                    scanned: count,
+                    kept: partial.entries.len(),
+                });
+                emit_sweep_end(count, partial.entries.len(), sweep_t0);
+            }
             partial.entries
         }))
         .map_err(|payload| Error::WorkerPanic(panic_message(&*payload)));
@@ -348,9 +368,13 @@ where
     let cursor = AtomicU64::new(1);
     std::thread::scope(|s| {
         let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|worker| {
+                // Move only copies and references into the worker: `eval`
+                // itself stays owned by the caller.
+                let (eval, cursor) = (&eval, &cursor);
+                s.spawn(move || {
                     let mut partial = PartialFrontier::default();
+                    let (mut chunks, mut scanned) = (0u64, 0u64);
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start > count {
@@ -362,6 +386,18 @@ where
                                 partial.push(e);
                             }
                         }
+                        if tracing {
+                            chunks += 1;
+                            scanned += end - start + 1;
+                        }
+                    }
+                    if tracing {
+                        hecmix_obs::emit(|| hecmix_obs::Event::SweepWorker {
+                            worker,
+                            chunks,
+                            scanned,
+                            kept: partial.entries.len(),
+                        });
                     }
                     partial.entries
                 })
@@ -373,7 +409,17 @@ where
         let mut panic_msg: Option<String> = None;
         for w in workers {
             match w.join() {
-                Ok(part) => acc = merge_entries(&acc, &part),
+                Ok(part) => {
+                    let merged = merge_entries(&acc, &part);
+                    if tracing {
+                        hecmix_obs::emit(|| hecmix_obs::Event::SweepMerge {
+                            left: acc.len(),
+                            right: part.len(),
+                            merged: merged.len(),
+                        });
+                    }
+                    acc = merged;
+                }
                 Err(payload) => {
                     panic_msg.get_or_insert_with(|| panic_message(&*payload));
                 }
@@ -381,9 +427,25 @@ where
         }
         match panic_msg {
             Some(msg) => Err(Error::WorkerPanic(msg)),
-            None => Ok(acc),
+            None => {
+                if tracing {
+                    emit_sweep_end(count, acc.len(), sweep_t0);
+                }
+                Ok(acc)
+            }
         }
     })
+}
+
+/// Emit the end-of-sweep summary (points scanned, frontier size, wall
+/// time). `t0` is `Some` only when telemetry was enabled at sweep start.
+fn emit_sweep_end(points: u64, frontier: usize, t0: Option<std::time::Instant>) {
+    let wall_s = t0.map_or(0.0, |t| t.elapsed().as_secs_f64());
+    hecmix_obs::emit(|| hecmix_obs::Event::SweepEnd {
+        points,
+        frontier,
+        wall_s,
+    });
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -495,6 +557,10 @@ pub fn stream_frontier_pruned(
 ) -> Result<(ParetoFrontier, PruneStats)> {
     validate_work(w_units)?;
     let table = RateTable::build_pruned(space, models)?;
+    hecmix_obs::emit(|| hecmix_obs::Event::SweepPruned {
+        total_points: space.count(),
+        kept_points: table.count(),
+    });
     let frontier = table.frontier(w_units)?;
     Ok((frontier, table.prune_stats(space)))
 }

@@ -8,6 +8,44 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why [`LinearFit::try_fit`] could not produce a well-posed fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// The x and y slices have different lengths.
+    LengthMismatch {
+        /// Number of x samples.
+        xs: usize,
+        /// Number of y samples.
+        ys: usize,
+    },
+    /// Fewer than two samples — a line is not identifiable.
+    TooFewPoints {
+        /// Number of samples provided.
+        n: usize,
+    },
+    /// All x values are equal (zero variance in the predictor) while y
+    /// varies: the slope is not identifiable and no line explains the data.
+    Degenerate,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "x/y length mismatch ({xs} vs {ys})")
+            }
+            FitError::TooFewPoints { n } => {
+                write!(f, "need at least two points to fit a line, got {n}")
+            }
+            FitError::Degenerate => {
+                write!(f, "degenerate fit: constant x with varying y")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
 /// An ordinary-least-squares fit `y ≈ intercept + slope · x` with its
 /// coefficient of determination.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,7 +55,8 @@ pub struct LinearFit {
     /// Slope `b` of `y = a + b x`.
     pub slope: f64,
     /// Coefficient of determination `r²` of the fit, in `[0, 1]`.
-    /// For a perfect fit or a degenerate (constant-x) input this is 1.
+    /// A degenerate constant-x fit over varying y has `r² = 0`: the
+    /// mean-fallback line explains none of the variance.
     pub r2: f64,
 }
 
@@ -30,24 +69,41 @@ impl LinearFit {
 
     /// Fit `y = a + b x` by ordinary least squares.
     ///
-    /// # Panics
-    /// Panics if the slices have different lengths or fewer than two points.
-    #[must_use]
-    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
-        assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
-        assert!(xs.len() >= 2, "need at least two points to fit a line");
-        let n = xs.len() as f64;
+    /// Production callers (the `hecmix-profile` characterization pipeline)
+    /// should prefer this over [`LinearFit::fit`]: bad measurement input is
+    /// reported as a [`FitError`] instead of panicking or silently claiming
+    /// a perfect fit.
+    ///
+    /// # Errors
+    /// [`FitError::LengthMismatch`] or [`FitError::TooFewPoints`] for
+    /// ill-shaped input; [`FitError::Degenerate`] when all x are equal but
+    /// y varies (the slope is unidentifiable).
+    pub fn try_fit(xs: &[f64], ys: &[f64]) -> Result<Self, FitError> {
+        if xs.len() != ys.len() {
+            return Err(FitError::LengthMismatch {
+                xs: xs.len(),
+                ys: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(FitError::TooFewPoints { n: xs.len() });
+        }
         let mx = mean(xs);
         let my = mean(ys);
         let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
         let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
         let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
         if sxx == 0.0 {
-            // Degenerate: all x equal. Fall back to the mean.
-            return Self {
-                intercept: my,
-                slope: 0.0,
-                r2: 1.0,
+            return if syy == 0.0 {
+                // All points coincide in x *and* y: the horizontal line
+                // through the common y value reproduces every sample.
+                Ok(Self {
+                    intercept: my,
+                    slope: 0.0,
+                    r2: 1.0,
+                })
+            } else {
+                Err(FitError::Degenerate)
             };
         }
         let slope = sxy / sxx;
@@ -65,11 +121,31 @@ impl LinearFit {
                 .sum();
             (1.0 - ss_res / syy).clamp(0.0, 1.0)
         };
-        let _ = n;
-        Self {
+        Ok(Self {
             intercept,
             slope,
             r2,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`LinearFit::try_fit`] for
+    /// internal helpers and tests whose inputs are well-formed by
+    /// construction. A degenerate constant-x input falls back to the mean
+    /// with `r² = 0` (it used to claim `r² = 1`, which let broken
+    /// characterization sweeps masquerade as perfect fits).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or fewer than two points.
+    #[must_use]
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Self {
+        match Self::try_fit(xs, ys) {
+            Ok(fit) => fit,
+            Err(FitError::Degenerate) => Self {
+                intercept: mean(ys),
+                slope: 0.0,
+                r2: 0.0,
+            },
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -155,9 +231,41 @@ mod tests {
 
     #[test]
     fn degenerate_constant_x() {
+        // Regression: constant x with varying y used to report r² = 1.0,
+        // letting a broken frequency sweep pass for a perfect fit. The
+        // panicking wrapper now falls back to the mean with r² = 0, and
+        // `try_fit` reports the degeneracy explicitly.
         let fit = LinearFit::fit(&[1.0, 1.0, 1.0], &[2.0, 4.0, 6.0]);
         assert_eq!(fit.slope, 0.0);
         assert!((fit.intercept - 4.0).abs() < 1e-12);
+        assert_eq!(fit.r2, 0.0);
+        assert_eq!(
+            LinearFit::try_fit(&[1.0, 1.0, 1.0], &[2.0, 4.0, 6.0]),
+            Err(FitError::Degenerate)
+        );
+    }
+
+    #[test]
+    fn coincident_points_are_a_perfect_constant_fit() {
+        // Constant x *and* constant y is not degenerate: the horizontal
+        // line through the shared value reproduces every sample.
+        let fit = LinearFit::try_fit(&[2.0, 2.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert!((fit.intercept - 5.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_fit_rejects_ill_shaped_input() {
+        assert_eq!(
+            LinearFit::try_fit(&[1.0], &[2.0]),
+            Err(FitError::TooFewPoints { n: 1 })
+        );
+        assert_eq!(
+            LinearFit::try_fit(&[1.0, 2.0], &[2.0]),
+            Err(FitError::LengthMismatch { xs: 2, ys: 1 })
+        );
+        assert!(LinearFit::try_fit(&[1.0, 2.0], &[3.0, 4.0]).is_ok());
     }
 
     #[test]

@@ -175,19 +175,23 @@ pub fn diurnal_study(
     vec![
         PolicyDay {
             policy: "AMD pool",
-            outcome: run_day(&amd_menu, profile, slo_response_s),
+            outcome: run_day(&amd_menu, profile, slo_response_s)
+                .expect("diurnal study menus and SLO are well-formed"),
         },
         PolicyDay {
             policy: "ARM pool",
-            outcome: run_day(&arm_menu, profile, slo_response_s),
+            outcome: run_day(&arm_menu, profile, slo_response_s)
+                .expect("diurnal study menus and SLO are well-formed"),
         },
         PolicyDay {
             policy: "switching",
-            outcome: run_day(&switching_menu, profile, slo_response_s),
+            outcome: run_day(&switching_menu, profile, slo_response_s)
+                .expect("diurnal study menus and SLO are well-formed"),
         },
         PolicyDay {
             policy: "mix-and-match",
-            outcome: run_day(&mix_menu, profile, slo_response_s),
+            outcome: run_day(&mix_menu, profile, slo_response_s)
+                .expect("diurnal study menus and SLO are well-formed"),
         },
     ]
 }

@@ -1,14 +1,17 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--results-dir DIR] [--seed N] ARTIFACT...
+//! experiments [--results-dir DIR] [--seed N] [--trace FILE] ARTIFACT...
 //!   ARTIFACT: --table1 --table3 --table4 --table5
 //!             --fig2 --fig3 --fig4 --fig5 --fig6 --fig7 --fig8 --fig9 --fig10
 //!             --headline --all
 //! ```
 //!
 //! Prints paper-style rows to stdout and writes CSV series under the
-//! results directory (default `results/`).
+//! results directory (default `results/`), each with a
+//! `<name>.manifest.json` reproducibility sidecar. `--trace FILE` streams
+//! every telemetry event of the run (sweep counters, dispatch decisions,
+//! fault lifecycle, CSV warnings) to `FILE` as JSONL.
 
 use std::process::ExitCode;
 
@@ -25,7 +28,7 @@ use hecmix_experiments::figures::{
 use hecmix_experiments::headline::headline;
 use hecmix_experiments::lab::{table1_rows, Lab};
 use hecmix_experiments::ppr::table5;
-use hecmix_experiments::report::{ascii_scatter, fmt_f, render_table, CsvWriter};
+use hecmix_experiments::report::{ascii_scatter, fmt_f, render_table, CsvWriter, RunContext};
 use hecmix_experiments::validation::{table3, table4};
 use hecmix_queueing::dispatch::DiurnalProfile;
 use hecmix_workloads::ep::Ep;
@@ -35,11 +38,12 @@ use hecmix_workloads::Workload;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments [--results-dir DIR] [--seed N] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--all ...");
+        eprintln!("usage: experiments [--results-dir DIR] [--seed N] [--trace FILE] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--all ...");
         return ExitCode::FAILURE;
     }
     let mut results_dir = "results".to_owned();
     let mut seed = 0x1CC9_2014u64;
+    let mut trace_path: Option<String> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -48,6 +52,13 @@ fn main() -> ExitCode {
                 Some(d) => results_dir = d,
                 None => {
                     eprintln!("--results-dir needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace needs a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -97,8 +108,19 @@ fn main() -> ExitCode {
         .collect();
     }
 
+    if let Some(path) = &trace_path {
+        match hecmix_obs::JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => hecmix_obs::install(std::sync::Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let lab = Lab::with_seed(seed);
-    let csv = match CsvWriter::new(&results_dir) {
+    let context = RunContext::capture(seed, std::path::Path::new("."));
+    let csv = match CsvWriter::with_context(&results_dir, context) {
         Ok(w) => w,
         Err(e) => {
             eprintln!("cannot create results dir {results_dir}: {e}");
@@ -159,6 +181,8 @@ fn main() -> ExitCode {
             started.elapsed().as_secs_f64()
         );
     }
+    // Flush the JSONL trace (if any) before exiting.
+    hecmix_obs::uninstall();
     ExitCode::SUCCESS
 }
 

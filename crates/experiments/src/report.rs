@@ -5,6 +5,9 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hecmix_obs::RunManifest;
 
 /// Render rows as an aligned console table. `header` supplies the column
 /// names; every row must have the same arity.
@@ -45,23 +48,71 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Reproducibility context shared by every artifact a run writes: what
+/// the manifest sidecars record besides per-artifact shape and timing.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Full argv of the generating process.
+    pub argv: Vec<String>,
+    /// Git revision of the working tree, or `"unknown"`.
+    pub git_rev: String,
+    /// When the run started — manifests record the wall time from here to
+    /// the moment their artifact was written.
+    pub started: Instant,
+}
+
+impl RunContext {
+    /// Capture the current process: argv, the git revision of `repo_dir`,
+    /// and the run start time.
+    #[must_use]
+    pub fn capture(seed: u64, repo_dir: &Path) -> Self {
+        Self {
+            seed,
+            argv: std::env::args().collect(),
+            git_rev: hecmix_obs::manifest::git_rev(repo_dir),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// The sentinel written in place of a non-finite numeric cell. Bare `NaN`
+/// or `inf` breaks downstream parsing of `results/*.csv`; `NA` is what R
+/// and pandas both read as a missing value.
+pub const NON_FINITE_SENTINEL: &str = "NA";
+
 /// A CSV writer for result series. Writes under a results directory;
 /// quoting is minimal (fields must not contain commas/newlines — ours are
-/// numbers and simple labels, asserted).
+/// numbers and simple labels, asserted). Non-finite numeric cells are
+/// replaced by [`NON_FINITE_SENTINEL`] with a telemetry warning. With a
+/// [`RunContext`] attached, every CSV gains a `<name>.manifest.json`
+/// reproducibility sidecar.
 pub struct CsvWriter {
     dir: PathBuf,
+    context: Option<RunContext>,
 }
 
 impl CsvWriter {
-    /// Writer rooted at `dir` (created if missing).
+    /// Writer rooted at `dir` (created if missing), without manifests.
     pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
         Ok(Self {
             dir: dir.as_ref().to_owned(),
+            context: None,
         })
     }
 
-    /// Write `rows` with `header` to `<dir>/<name>.csv`. Returns the path.
+    /// Writer rooted at `dir` that writes a manifest sidecar next to every
+    /// CSV, stamped from `context`.
+    pub fn with_context(dir: impl AsRef<Path>, context: RunContext) -> io::Result<Self> {
+        let mut w = Self::new(dir)?;
+        w.context = Some(context);
+        Ok(w)
+    }
+
+    /// Write `rows` with `header` to `<dir>/<name>.csv` (plus the manifest
+    /// sidecar when a [`RunContext`] is attached). Returns the CSV path.
     pub fn write(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
         let mut body = String::new();
         let check = |s: &str| {
@@ -73,16 +124,66 @@ impl CsvWriter {
         header.iter().for_each(|h| check(h));
         body.push_str(&header.join(","));
         body.push('\n');
-        for row in rows {
+        for (row_idx, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), header.len(), "row arity mismatch");
-            row.iter().for_each(|c| check(c));
-            body.push_str(&row.join(","));
+            for (col_idx, cell) in row.iter().enumerate() {
+                check(cell);
+                if col_idx > 0 {
+                    body.push(',');
+                }
+                if cell_is_non_finite(cell) {
+                    hecmix_obs::emit(|| hecmix_obs::Event::CsvNonFinite {
+                        artifact: name.to_owned(),
+                        row: row_idx,
+                        column: header[col_idx].to_owned(),
+                    });
+                    body.push_str(NON_FINITE_SENTINEL);
+                } else {
+                    body.push_str(cell);
+                }
+            }
             body.push('\n');
         }
         let path = self.dir.join(format!("{name}.csv"));
         fs::write(&path, body)?;
+        if let Some(ctx) = &self.context {
+            RunManifest {
+                artifact: name.to_owned(),
+                seed: ctx.seed,
+                argv: ctx.argv.clone(),
+                git_rev: ctx.git_rev.clone(),
+                wall_s: ctx.started.elapsed().as_secs_f64(),
+                rows: rows.len(),
+                columns: header.iter().map(|h| (*h).to_owned()).collect(),
+            }
+            .write_beside(&path)?;
+        }
+        hecmix_obs::emit(|| hecmix_obs::Event::ArtifactWritten {
+            artifact: name.to_owned(),
+            rows: rows.len(),
+        });
         Ok(path)
     }
+}
+
+/// Whether a cell holds a non-finite number. Matches only the values the
+/// float formatter could have produced (`NaN`, `inf`, `-inf` and their
+/// case variants) — labels like `infeasible` must pass through untouched.
+fn cell_is_non_finite(cell: &str) -> bool {
+    matches!(
+        cell.trim(),
+        "NaN"
+            | "nan"
+            | "NAN"
+            | "inf"
+            | "-inf"
+            | "Inf"
+            | "-Inf"
+            | "infinity"
+            | "-infinity"
+            | "Infinity"
+            | "-Infinity"
+    )
 }
 
 /// A minimal ASCII scatter plot (log-x optional), for quick terminal
@@ -130,8 +231,13 @@ pub fn ascii_scatter(
 }
 
 /// Format a float compactly for tables (3 significant-ish digits).
+/// Non-finite values become [`NON_FINITE_SENTINEL`] — bare `NaN`/`inf`
+/// must never reach a results file.
 #[must_use]
 pub fn fmt_f(v: f64) -> String {
+    if !v.is_finite() {
+        return NON_FINITE_SENTINEL.to_owned();
+    }
     if v == 0.0 {
         return "0".to_owned();
     }
@@ -211,5 +317,45 @@ mod tests {
         assert_eq!(fmt_f(12.345), "12.35");
         assert_eq!(fmt_f(0.0123), "0.0123");
         assert_eq!(fmt_f(0.0000123), "1.230e-5");
+        assert_eq!(fmt_f(f64::NAN), "NA");
+        assert_eq!(fmt_f(f64::INFINITY), "NA");
+        assert_eq!(fmt_f(f64::NEG_INFINITY), "NA");
+    }
+
+    #[test]
+    fn csv_replaces_non_finite_cells_with_sentinel() {
+        let dir = std::env::temp_dir().join("hecmix-report-nonfinite");
+        let w = CsvWriter::new(&dir).unwrap();
+        let path = w
+            .write(
+                "t",
+                &["x", "y"],
+                &[
+                    vec!["NaN".into(), "2".into()],
+                    vec!["1".into(), "inf".into()],
+                    vec!["infeasible".into(), "-inf".into()],
+                ],
+            )
+            .unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "x,y\nNA,2\n1,NA\ninfeasible,NA\n");
+    }
+
+    #[test]
+    fn csv_with_context_writes_manifest_sidecar() {
+        let dir = std::env::temp_dir().join("hecmix-report-manifest");
+        let ctx = RunContext {
+            seed: 7,
+            argv: vec!["experiments".into(), "--all".into()],
+            git_rev: "deadbee".into(),
+            started: Instant::now(),
+        };
+        let w = CsvWriter::with_context(&dir, ctx).unwrap();
+        w.write("m", &["a"], &[vec!["1".into()]]).unwrap();
+        let side = std::fs::read_to_string(dir.join("m.manifest.json")).unwrap();
+        assert!(side.contains("\"artifact\":\"m\""), "{side}");
+        assert!(side.contains("\"seed\":7"));
+        assert!(side.contains("\"git_rev\":\"deadbee\""));
+        assert!(side.contains("\"columns\":[\"a\"]"));
     }
 }

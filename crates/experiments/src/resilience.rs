@@ -277,8 +277,10 @@ pub fn resilient_dispatch(
         })
         .collect();
 
-    let naive = run_day(&naive_menu, profile, slo_response_s);
-    let resilient = run_day_resilient(&resilient_menu, profile, slo_response_s);
+    let naive =
+        run_day(&naive_menu, profile, slo_response_s).expect("naive dispatch menu is well-formed");
+    let resilient = run_day_resilient(&resilient_menu, profile, slo_response_s)
+        .expect("resilient dispatch menu is well-formed");
     let premium_pct = if naive.energy_j > 0.0 {
         100.0 * (resilient.energy_j / naive.energy_j - 1.0)
     } else {

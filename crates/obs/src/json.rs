@@ -1,0 +1,145 @@
+//! Minimal JSON *encoding* (no parsing) for flat telemetry records.
+//!
+//! The offline workspace has no `serde_json`; the events and manifests this
+//! crate emits only need objects of strings, numbers, bools, and arrays of
+//! strings — which this module hand-rolls with correct string escaping and
+//! deterministic (insertion) key order.
+
+use std::fmt::Write as _;
+
+/// Escape `s` per JSON string rules into `out` (without surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Quote and escape `s` as a JSON string.
+#[must_use]
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// Encode a finite `f64` as a JSON number; non-finite values (which JSON
+/// cannot represent) become `null`.
+#[must_use]
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly (shortest representation).
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental builder for a flat JSON object with insertion-ordered keys.
+#[derive(Debug, Default)]
+pub struct Object {
+    body: String,
+}
+
+impl Object {
+    /// Start an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        escape_into(&mut self.body, k);
+        self.body.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.body.push('"');
+        escape_into(&mut self.body, v);
+        self.body.push('"');
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        let _ = write!(self.body, "{v}");
+    }
+
+    /// Add a float field (`null` if non-finite).
+    pub fn f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.body.push_str(&number(v));
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.body.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Add an array-of-strings field.
+    pub fn str_array<S: AsRef<str>>(&mut self, k: &str, vs: &[S]) {
+        self.key(k);
+        self.body.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.body.push(',');
+            }
+            self.body.push('"');
+            escape_into(&mut self.body, v.as_ref());
+            self.body.push('"');
+        }
+        self.body.push(']');
+    }
+
+    /// Finish: the complete `{...}` text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nan_is_null() {
+        assert_eq!(number(0.1), "0.1");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builds_in_insertion_order() {
+        let mut o = Object::new();
+        o.str("b", "x");
+        o.u64("a", 3);
+        o.bool("c", true);
+        o.str_array("d", &["p", "q"]);
+        assert_eq!(o.finish(), r#"{"b":"x","a":3,"c":true,"d":["p","q"]}"#);
+    }
+}

@@ -1,0 +1,824 @@
+//! Structured observability for the hecmix stack.
+//!
+//! The paper's argument rests on *measured* quantities — per-phase cycle
+//! counts, power-state residency, model-vs-measurement error bands — yet
+//! without a telemetry layer the discrete-event engine, the streaming sweep,
+//! and the diurnal dispatcher all compute invisibly. This crate provides:
+//!
+//! - [`Event`]: a closed schema of structured events emitted by the
+//!   simulator (phase transitions, memory contention, DVFS switches, fault
+//!   lifecycle), the sweep engine (chunk/scan/merge counters, timers), the
+//!   dispatcher (per-slot decisions), and the experiment runner (CSV
+//!   warnings, artifact manifests).
+//! - [`Sink`]: where events go. [`JsonlSink`] appends one JSON object per
+//!   line to a file; [`RingSink`] keeps the last N events in memory for
+//!   tests; the default is no sink at all.
+//! - A process-global registry ([`install`]/[`uninstall`]/[`emit`]) guarded
+//!   by a single relaxed [`AtomicBool`] so that the disabled path costs one
+//!   predictable branch — event construction is behind a closure and never
+//!   runs unless a sink is installed.
+//! - [`ScopedTimer`]: wall-clock spans emitted on drop.
+//! - [`RunManifest`]: the reproducibility sidecar written next to every
+//!   experiment CSV (seed, argv, git revision, wall time, shape).
+//!
+//! JSON encoding is hand-rolled (the offline workspace has no serde_json);
+//! the subset emitted here is flat objects of strings, numbers, bools, and
+//! arrays thereof, which [`json`] covers.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+pub mod json;
+pub mod manifest;
+
+pub use manifest::RunManifest;
+
+/// One structured telemetry event. Variants group by emitting subsystem;
+/// every variant serializes to a flat JSON object with a `"kind"` tag (see
+/// [`Event::to_json`], the schema documented in DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // ---- hecmix-sim: node engine ----
+    /// A core parked (left the active set) or a node-level phase stalled.
+    /// `reason` is one of `"nic-backpressure"`, `"starved"`.
+    CorePark {
+        /// Node RNG seed (identifies the node within a cluster run).
+        seed: u64,
+        /// Core index that parked.
+        core: u32,
+        /// Simulated time of the transition, seconds.
+        t_s: f64,
+        /// Why the core parked.
+        reason: &'static str,
+    },
+    /// A parked core resumed execution.
+    CoreResume {
+        /// Node RNG seed.
+        seed: u64,
+        /// Core index that resumed.
+        core: u32,
+        /// Simulated time, seconds.
+        t_s: f64,
+    },
+    /// Memory-contention stall accounting for one executed chunk.
+    MemContention {
+        /// Node RNG seed.
+        seed: u64,
+        /// Simulated start time of the chunk, seconds.
+        t_s: f64,
+        /// Cores contending for the memory controller during the chunk.
+        contending: u32,
+        /// Total stall attributed to the chunk, nanoseconds.
+        stall_ns: u64,
+    },
+    /// The ondemand governor switched the operating frequency.
+    DvfsSwitch {
+        /// Node RNG seed.
+        seed: u64,
+        /// Simulated time of the switch, seconds.
+        t_s: f64,
+        /// Frequency before the switch, GHz.
+        from_ghz: f64,
+        /// Frequency after the switch, GHz.
+        to_ghz: f64,
+    },
+
+    // ---- hecmix-sim: fault lifecycle ----
+    /// A faulted cluster run started.
+    FaultedRunStart {
+        /// Total work units across the cluster.
+        total_units: u64,
+        /// Number of scheduled crashes.
+        crashes: usize,
+    },
+    /// A node crashed.
+    Crash {
+        /// Node type index in the cluster spec.
+        type_idx: usize,
+        /// Node index within its type.
+        node_idx: usize,
+        /// Simulated crash time, seconds.
+        crash_s: f64,
+        /// Units the node had not completed at the crash.
+        leftover_units: u64,
+        /// Units in flight (charged but rolled back) at the crash.
+        lost_in_flight_units: u64,
+    },
+    /// The heartbeat monitor detected a crash.
+    HeartbeatTimeout {
+        /// Crashed node type index.
+        type_idx: usize,
+        /// Crashed node index within its type.
+        node_idx: usize,
+        /// Simulated detection time, seconds.
+        detected_s: f64,
+    },
+    /// Leftover work was redistributed (or abandoned) after detection.
+    Redistribution {
+        /// Crashed node type index.
+        type_idx: usize,
+        /// Crashed node index within its type.
+        node_idx: usize,
+        /// Simulated redistribution time, seconds.
+        redistributed_s: f64,
+        /// Units moved to survivors.
+        moved_units: u64,
+        /// Units abandoned (no capacity to absorb them).
+        abandoned_units: u64,
+    },
+    /// One survivor's share of a redistribution.
+    RedistributionShare {
+        /// Receiving node type index.
+        to_type: usize,
+        /// Receiving node index within its type.
+        to_node: usize,
+        /// Units received.
+        units: u64,
+    },
+    /// A faulted cluster run completed.
+    FaultedRunEnd {
+        /// Makespan, seconds.
+        duration_s: f64,
+        /// Units actually completed.
+        completed_units: u64,
+        /// Units abandoned across all crashes.
+        abandoned_units: u64,
+    },
+
+    // ---- hecmix-core: streaming sweep ----
+    /// Per-type dominance pruning shrank the configuration space before a
+    /// sweep.
+    SweepPruned {
+        /// Points in the unpruned space.
+        total_points: u64,
+        /// Points surviving the pruning.
+        kept_points: u64,
+    },
+    /// A streaming frontier sweep started.
+    SweepStart {
+        /// Points in the (possibly pruned) configuration space.
+        points: u64,
+        /// Worker threads (1 = sequential path).
+        workers: usize,
+    },
+    /// One worker's totals for a sweep.
+    SweepWorker {
+        /// Worker index.
+        worker: usize,
+        /// Chunks claimed from the shared cursor.
+        chunks: u64,
+        /// Points scanned.
+        scanned: u64,
+        /// Points kept in the worker's partial frontier.
+        kept: usize,
+    },
+    /// One pairwise merge of partial frontiers.
+    SweepMerge {
+        /// Entries on the left input.
+        left: usize,
+        /// Entries on the right input.
+        right: usize,
+        /// Entries surviving the merge.
+        merged: usize,
+    },
+    /// A streaming frontier sweep finished.
+    SweepEnd {
+        /// Points scanned in total.
+        points: u64,
+        /// Frontier size.
+        frontier: usize,
+        /// Wall time of the sweep, seconds.
+        wall_s: f64,
+    },
+
+    // ---- hecmix-queueing: dispatch ----
+    /// One slot's provisioning decision in a diurnal dispatch run.
+    DispatchDecision {
+        /// Slot index within the day.
+        slot: usize,
+        /// Offered load for the slot, jobs/s.
+        lambda: f64,
+        /// Chosen configuration index in the menu.
+        choice: usize,
+        /// Slot energy, joules.
+        energy_j: f64,
+        /// Mean response time under the choice, seconds.
+        response_s: f64,
+        /// Whether the SLO was violated.
+        violated: bool,
+        /// True when chosen from the resilient (degraded-capacity) menu.
+        resilient: bool,
+    },
+
+    // ---- hecmix-experiments ----
+    /// A CSV cell held a non-finite value and was replaced by the `NA`
+    /// sentinel.
+    CsvNonFinite {
+        /// Artifact (CSV stem) being written.
+        artifact: String,
+        /// Row index (0-based, excluding header).
+        row: usize,
+        /// Column name.
+        column: String,
+    },
+    /// An artifact (CSV + manifest sidecar) was written.
+    ArtifactWritten {
+        /// Artifact (CSV stem).
+        artifact: String,
+        /// Data rows written.
+        rows: usize,
+    },
+
+    // ---- generic ----
+    /// A named wall-clock span measured by [`ScopedTimer`].
+    Timer {
+        /// Span name.
+        name: &'static str,
+        /// Wall time, seconds.
+        wall_s: f64,
+    },
+    /// A human-directed warning that is part of normal (degraded) operation.
+    Warning {
+        /// Message text.
+        message: String,
+    },
+}
+
+impl Event {
+    /// The `"kind"` tag used in the JSON encoding.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CorePark { .. } => "core_park",
+            Event::CoreResume { .. } => "core_resume",
+            Event::MemContention { .. } => "mem_contention",
+            Event::DvfsSwitch { .. } => "dvfs_switch",
+            Event::FaultedRunStart { .. } => "faulted_run_start",
+            Event::Crash { .. } => "crash",
+            Event::HeartbeatTimeout { .. } => "heartbeat_timeout",
+            Event::Redistribution { .. } => "redistribution",
+            Event::RedistributionShare { .. } => "redistribution_share",
+            Event::FaultedRunEnd { .. } => "faulted_run_end",
+            Event::SweepPruned { .. } => "sweep_pruned",
+            Event::SweepStart { .. } => "sweep_start",
+            Event::SweepWorker { .. } => "sweep_worker",
+            Event::SweepMerge { .. } => "sweep_merge",
+            Event::SweepEnd { .. } => "sweep_end",
+            Event::DispatchDecision { .. } => "dispatch_decision",
+            Event::CsvNonFinite { .. } => "csv_non_finite",
+            Event::ArtifactWritten { .. } => "artifact_written",
+            Event::Timer { .. } => "timer",
+            Event::Warning { .. } => "warning",
+        }
+    }
+
+    /// Encode as a single-line JSON object (the JSONL record format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = json::Object::new();
+        o.str("kind", self.kind());
+        match self {
+            Event::CorePark {
+                seed,
+                core,
+                t_s,
+                reason,
+            } => {
+                o.u64("seed", *seed);
+                o.u64("core", u64::from(*core));
+                o.f64("t_s", *t_s);
+                o.str("reason", reason);
+            }
+            Event::CoreResume { seed, core, t_s } => {
+                o.u64("seed", *seed);
+                o.u64("core", u64::from(*core));
+                o.f64("t_s", *t_s);
+            }
+            Event::MemContention {
+                seed,
+                t_s,
+                contending,
+                stall_ns,
+            } => {
+                o.u64("seed", *seed);
+                o.f64("t_s", *t_s);
+                o.u64("contending", u64::from(*contending));
+                o.u64("stall_ns", *stall_ns);
+            }
+            Event::DvfsSwitch {
+                seed,
+                t_s,
+                from_ghz,
+                to_ghz,
+            } => {
+                o.u64("seed", *seed);
+                o.f64("t_s", *t_s);
+                o.f64("from_ghz", *from_ghz);
+                o.f64("to_ghz", *to_ghz);
+            }
+            Event::FaultedRunStart {
+                total_units,
+                crashes,
+            } => {
+                o.u64("total_units", *total_units);
+                o.u64("crashes", *crashes as u64);
+            }
+            Event::Crash {
+                type_idx,
+                node_idx,
+                crash_s,
+                leftover_units,
+                lost_in_flight_units,
+            } => {
+                o.u64("type_idx", *type_idx as u64);
+                o.u64("node_idx", *node_idx as u64);
+                o.f64("crash_s", *crash_s);
+                o.u64("leftover_units", *leftover_units);
+                o.u64("lost_in_flight_units", *lost_in_flight_units);
+            }
+            Event::HeartbeatTimeout {
+                type_idx,
+                node_idx,
+                detected_s,
+            } => {
+                o.u64("type_idx", *type_idx as u64);
+                o.u64("node_idx", *node_idx as u64);
+                o.f64("detected_s", *detected_s);
+            }
+            Event::Redistribution {
+                type_idx,
+                node_idx,
+                redistributed_s,
+                moved_units,
+                abandoned_units,
+            } => {
+                o.u64("type_idx", *type_idx as u64);
+                o.u64("node_idx", *node_idx as u64);
+                o.f64("redistributed_s", *redistributed_s);
+                o.u64("moved_units", *moved_units);
+                o.u64("abandoned_units", *abandoned_units);
+            }
+            Event::RedistributionShare {
+                to_type,
+                to_node,
+                units,
+            } => {
+                o.u64("to_type", *to_type as u64);
+                o.u64("to_node", *to_node as u64);
+                o.u64("units", *units);
+            }
+            Event::FaultedRunEnd {
+                duration_s,
+                completed_units,
+                abandoned_units,
+            } => {
+                o.f64("duration_s", *duration_s);
+                o.u64("completed_units", *completed_units);
+                o.u64("abandoned_units", *abandoned_units);
+            }
+            Event::SweepPruned {
+                total_points,
+                kept_points,
+            } => {
+                o.u64("total_points", *total_points);
+                o.u64("kept_points", *kept_points);
+            }
+            Event::SweepStart { points, workers } => {
+                o.u64("points", *points);
+                o.u64("workers", *workers as u64);
+            }
+            Event::SweepWorker {
+                worker,
+                chunks,
+                scanned,
+                kept,
+            } => {
+                o.u64("worker", *worker as u64);
+                o.u64("chunks", *chunks);
+                o.u64("scanned", *scanned);
+                o.u64("kept", *kept as u64);
+            }
+            Event::SweepMerge {
+                left,
+                right,
+                merged,
+            } => {
+                o.u64("left", *left as u64);
+                o.u64("right", *right as u64);
+                o.u64("merged", *merged as u64);
+            }
+            Event::SweepEnd {
+                points,
+                frontier,
+                wall_s,
+            } => {
+                o.u64("points", *points);
+                o.u64("frontier", *frontier as u64);
+                o.f64("wall_s", *wall_s);
+            }
+            Event::DispatchDecision {
+                slot,
+                lambda,
+                choice,
+                energy_j,
+                response_s,
+                violated,
+                resilient,
+            } => {
+                o.u64("slot", *slot as u64);
+                o.f64("lambda", *lambda);
+                o.u64("choice", *choice as u64);
+                o.f64("energy_j", *energy_j);
+                o.f64("response_s", *response_s);
+                o.bool("violated", *violated);
+                o.bool("resilient", *resilient);
+            }
+            Event::CsvNonFinite {
+                artifact,
+                row,
+                column,
+            } => {
+                o.str("artifact", artifact);
+                o.u64("row", *row as u64);
+                o.str("column", column);
+            }
+            Event::ArtifactWritten { artifact, rows } => {
+                o.str("artifact", artifact);
+                o.u64("rows", *rows as u64);
+            }
+            Event::Timer { name, wall_s } => {
+                o.str("name", name);
+                o.f64("wall_s", *wall_s);
+            }
+            Event::Warning { message } => {
+                o.str("message", message);
+            }
+        }
+        o.finish()
+    }
+}
+
+/// Destination for [`Event`]s. Implementations must be `Send + Sync`: the
+/// sweep engine records from scoped worker threads concurrently.
+pub trait Sink: Send + Sync {
+    /// Record one event. Must be cheap enough to call from hot-ish paths;
+    /// the engine only calls it when a sink is installed.
+    fn record(&self, event: &Event);
+
+    /// Flush any buffered output. Called by [`uninstall`] and available to
+    /// callers that need durable output mid-run.
+    fn flush(&self) {}
+}
+
+/// Sink that discards everything. Installing it still flips the enabled
+/// flag — useful for measuring instrumentation overhead in benches.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Sink that appends one JSON object per line to a file.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and return a sink writing JSONL to it.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Telemetry is best-effort: an I/O error here must not abort the run.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Sink that keeps the most recent `capacity` events in memory. Intended
+/// for tests asserting on emitted telemetry.
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (older events are dropped).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring sink capacity must be positive");
+        Self {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("ring sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&self) {
+        self.buf.lock().expect("ring sink poisoned").clear();
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let mut buf = self.buf.lock().expect("ring sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Fast-path gate: `false` means [`emit`]'s closure is never run. Relaxed
+/// ordering is deliberate — a stale read merely delays the first events of
+/// a freshly installed sink by one check, it cannot corrupt anything.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Whether a sink is currently installed. Inlined single relaxed atomic
+/// load — this is the only cost instrumentation adds when tracing is off.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `sink` as the process-global event destination, replacing any
+/// previous sink (the replaced sink is flushed).
+pub fn install(sink: Arc<dyn Sink>) {
+    let mut slot = SINK.write().expect("sink registry poisoned");
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Remove and flush the installed sink, returning it (if any). Telemetry
+/// is disabled until the next [`install`].
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    let mut slot = SINK.write().expect("sink registry poisoned");
+    ENABLED.store(false, Ordering::Relaxed);
+    let old = slot.take();
+    if let Some(ref sink) = old {
+        sink.flush();
+    }
+    old
+}
+
+/// Emit an event. `build` runs only when a sink is installed, so callers
+/// may close over hot-loop state freely: the disabled cost is the
+/// [`enabled`] branch, nothing else.
+#[inline]
+pub fn emit<F: FnOnce() -> Event>(build: F) {
+    if !enabled() {
+        return;
+    }
+    emit_cold(build());
+}
+
+#[cold]
+fn emit_cold(event: Event) {
+    if let Some(sink) = SINK.read().expect("sink registry poisoned").as_ref() {
+        sink.record(&event);
+    }
+}
+
+/// Wall-clock span that emits [`Event::Timer`] on drop. The [`Instant`] is
+/// only captured when telemetry is enabled; a disabled timer is a `None`
+/// and drops for free.
+#[must_use = "a scoped timer measures until it is dropped"]
+pub struct ScopedTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl ScopedTimer {
+    /// Start a span named `name` (no-op when telemetry is disabled).
+    pub fn start(name: &'static str) -> Self {
+        Self {
+            name,
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Elapsed seconds so far, if the timer is live.
+    #[must_use]
+    pub fn elapsed_s(&self) -> Option<f64> {
+        self.start.map(|s| s.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let wall_s = start.elapsed().as_secs_f64();
+            emit(|| Event::Timer {
+                name: self.name,
+                wall_s,
+            });
+        }
+    }
+}
+
+// NOTE on testing: the registry is process-global, so tests that install a
+// sink live in dedicated integration-test binaries (one installing test per
+// process) rather than in this module, where the harness would interleave
+// them with unrelated unit tests. Pure-value tests are fine here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_is_single_line_and_tagged() {
+        let e = Event::Crash {
+            type_idx: 1,
+            node_idx: 3,
+            crash_s: 12.5,
+            leftover_units: 400,
+            lost_in_flight_units: 7,
+        };
+        let j = e.to_json();
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"kind\":\"crash\""), "{j}");
+        assert!(j.contains("\"leftover_units\":400"), "{j}");
+    }
+
+    #[test]
+    fn every_variant_kind_is_unique() {
+        let variants = [
+            Event::CorePark {
+                seed: 0,
+                core: 0,
+                t_s: 0.0,
+                reason: "starved",
+            },
+            Event::CoreResume {
+                seed: 0,
+                core: 0,
+                t_s: 0.0,
+            },
+            Event::MemContention {
+                seed: 0,
+                t_s: 0.0,
+                contending: 1,
+                stall_ns: 0,
+            },
+            Event::DvfsSwitch {
+                seed: 0,
+                t_s: 0.0,
+                from_ghz: 1.0,
+                to_ghz: 2.0,
+            },
+            Event::FaultedRunStart {
+                total_units: 0,
+                crashes: 0,
+            },
+            Event::Crash {
+                type_idx: 0,
+                node_idx: 0,
+                crash_s: 0.0,
+                leftover_units: 0,
+                lost_in_flight_units: 0,
+            },
+            Event::HeartbeatTimeout {
+                type_idx: 0,
+                node_idx: 0,
+                detected_s: 0.0,
+            },
+            Event::Redistribution {
+                type_idx: 0,
+                node_idx: 0,
+                redistributed_s: 0.0,
+                moved_units: 0,
+                abandoned_units: 0,
+            },
+            Event::RedistributionShare {
+                to_type: 0,
+                to_node: 0,
+                units: 0,
+            },
+            Event::FaultedRunEnd {
+                duration_s: 0.0,
+                completed_units: 0,
+                abandoned_units: 0,
+            },
+            Event::SweepPruned {
+                total_points: 0,
+                kept_points: 0,
+            },
+            Event::SweepStart {
+                points: 0,
+                workers: 1,
+            },
+            Event::SweepWorker {
+                worker: 0,
+                chunks: 0,
+                scanned: 0,
+                kept: 0,
+            },
+            Event::SweepMerge {
+                left: 0,
+                right: 0,
+                merged: 0,
+            },
+            Event::SweepEnd {
+                points: 0,
+                frontier: 0,
+                wall_s: 0.0,
+            },
+            Event::DispatchDecision {
+                slot: 0,
+                lambda: 1.0,
+                choice: 0,
+                energy_j: 0.0,
+                response_s: 0.0,
+                violated: false,
+                resilient: false,
+            },
+            Event::CsvNonFinite {
+                artifact: String::new(),
+                row: 0,
+                column: String::new(),
+            },
+            Event::ArtifactWritten {
+                artifact: String::new(),
+                rows: 0,
+            },
+            Event::Timer {
+                name: "x",
+                wall_s: 0.0,
+            },
+            Event::Warning {
+                message: String::new(),
+            },
+        ];
+        let mut kinds: Vec<&str> = variants.iter().map(Event::kind).collect();
+        let n = kinds.len();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), n, "duplicate kind tags");
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest() {
+        let ring = RingSink::new(2);
+        for i in 0..3u64 {
+            ring.record(&Event::Timer {
+                name: "t",
+                wall_s: i as f64,
+            });
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0],
+            Event::Timer {
+                name: "t",
+                wall_s: 1.0
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_emit_never_builds() {
+        // No sink is installed in this process; the closure must not run.
+        assert!(!enabled());
+        emit(|| unreachable!("event built while telemetry disabled"));
+        let t = ScopedTimer::start("idle");
+        assert!(t.elapsed_s().is_none());
+    }
+}

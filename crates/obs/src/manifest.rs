@@ -1,0 +1,118 @@
+//! Per-run manifests: the reproducibility sidecar written next to every
+//! experiment artifact.
+//!
+//! A manifest records everything needed to regenerate its CSV from a clean
+//! checkout: the RNG seed, the exact command line, the git revision the
+//! binary was built from, the wall time the artifact took, and the shape of
+//! the table that was written. See DESIGN.md §9.
+
+use std::path::Path;
+
+use crate::json;
+
+/// Reproducibility record for one written artifact. Serialized to
+/// `<artifact>.manifest.json` next to the CSV by `hecmix-experiments`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Artifact stem (CSV file name without extension).
+    pub artifact: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Full argv of the generating process.
+    pub argv: Vec<String>,
+    /// Git revision (`git rev-parse --short HEAD`) or `"unknown"`.
+    pub git_rev: String,
+    /// Wall-clock seconds spent producing the artifact.
+    pub wall_s: f64,
+    /// Data rows written (excluding the header).
+    pub rows: usize,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+}
+
+impl RunManifest {
+    /// Encode as a single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = json::Object::new();
+        o.str("artifact", &self.artifact);
+        o.u64("seed", self.seed);
+        o.str_array("argv", &self.argv);
+        o.str("git_rev", &self.git_rev);
+        o.f64("wall_s", self.wall_s);
+        o.u64("rows", self.rows as u64);
+        o.str_array("columns", &self.columns);
+        o.finish()
+    }
+
+    /// Write the manifest next to `csv_path` as
+    /// `<stem>.manifest.json`.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-write error.
+    pub fn write_beside(&self, csv_path: &Path) -> std::io::Result<()> {
+        let side = csv_path.with_extension("manifest.json");
+        std::fs::write(side, self.to_json() + "\n")
+    }
+}
+
+/// Best-effort short git revision of the working tree at `dir`, or
+/// `"unknown"` when git (or the repository) is unavailable.
+#[must_use]
+pub fn git_rev(dir: &Path) -> String {
+    std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_shape() {
+        let m = RunManifest {
+            artifact: "table3".to_string(),
+            seed: 42,
+            argv: vec!["hecmix-experiments".to_string(), "--all".to_string()],
+            git_rev: "abc1234".to_string(),
+            wall_s: 0.25,
+            rows: 10,
+            columns: vec!["workload".to_string(), "err_pct".to_string()],
+        };
+        let j = m.to_json();
+        assert!(j.starts_with("{\"artifact\":\"table3\""), "{j}");
+        assert!(j.contains("\"argv\":[\"hecmix-experiments\",\"--all\"]"));
+        assert!(j.contains("\"columns\":[\"workload\",\"err_pct\"]"));
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn write_beside_uses_manifest_extension() {
+        let dir = std::env::temp_dir().join("hecmix_obs_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("fig2.csv");
+        let m = RunManifest {
+            artifact: "fig2".to_string(),
+            seed: 1,
+            argv: vec![],
+            git_rev: "unknown".to_string(),
+            wall_s: 0.0,
+            rows: 0,
+            columns: vec![],
+        };
+        m.write_beside(&csv).unwrap();
+        let side = dir.join("fig2.manifest.json");
+        let text = std::fs::read_to_string(&side).unwrap();
+        assert!(text.trim_end().ends_with('}'));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

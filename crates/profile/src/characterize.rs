@@ -3,7 +3,7 @@
 use rayon::prelude::*;
 
 use hecmix_core::profile::{IoProfile, SpiMemFit, WorkloadProfile};
-use hecmix_core::stats::LinearFit;
+use hecmix_core::stats::{FitError, LinearFit};
 use hecmix_core::types::Frequency;
 use hecmix_sim::{run_node, ArrivalProcess, NodeArch, NodeRunSpec, WorkloadTrace};
 
@@ -105,6 +105,16 @@ pub fn spi_mem_grid(
 
 /// Fit `SPI_mem` linearly over frequency (GHz) for each core count of a
 /// measured grid (§III-C; Fig. 3 reports `r² ≥ 0.94`).
+///
+/// Uses the fallible [`LinearFit::try_fit`]: a degenerate grid (a platform
+/// exposing a single frequency, or a core count with one measured cell)
+/// falls back to the frequency-independent mean with `r² = 0` and a
+/// [`hecmix_obs::Event::Warning`] instead of panicking — or, worse,
+/// claiming a perfect fit as the old `fit` path did.
+///
+/// # Panics
+/// Panics if `grid` has no cell at all for some entry of `cores_list` —
+/// that is a malformed grid, not a measurement degeneracy.
 #[must_use]
 pub fn fit_spi_mem(grid: &[GridCell], cores_list: &[u32]) -> SpiMemFit {
     let fits = cores_list
@@ -115,7 +125,22 @@ pub fn fit_spi_mem(grid: &[GridCell], cores_list: &[u32]) -> SpiMemFit {
                 .filter(|cell| cell.cores == c)
                 .map(|cell| (cell.freq.ghz(), cell.spi_mem))
                 .unzip();
-            (c, LinearFit::fit(&xs, &ys))
+            assert!(!xs.is_empty(), "no grid cells measured for {c} cores");
+            let fit = match LinearFit::try_fit(&xs, &ys) {
+                Ok(fit) => fit,
+                Err(e @ (FitError::Degenerate | FitError::TooFewPoints { .. })) => {
+                    hecmix_obs::emit(|| hecmix_obs::Event::Warning {
+                        message: format!("SPI_mem fit at {c} cores fell back to the mean: {e}"),
+                    });
+                    LinearFit {
+                        intercept: hecmix_core::stats::mean(&ys),
+                        slope: 0.0,
+                        r2: 0.0,
+                    }
+                }
+                Err(e) => panic!("{e}"),
+            };
+            (c, fit)
         })
         .collect();
     SpiMemFit::new(fits)

@@ -107,17 +107,73 @@ pub struct DayOutcome {
     pub slots: Vec<SlotOutcome>,
 }
 
+/// Validate the per-slot scalars every dispatch entry point shares: a
+/// non-finite or non-positive `λ`, window, or SLO must be rejected up
+/// front — a NaN deadline compares false against every response time and
+/// would silently select an arbitrary configuration (the same hardening
+/// PR 2 applied to the `rate_table` sweep entry points).
+fn validate_slot_inputs(lambda: f64, window_s: f64, slo_response_s: f64) -> Result<()> {
+    if !(lambda > 0.0) || !lambda.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "arrival rate must be finite and positive, got {lambda}"
+        )));
+    }
+    if !(window_s > 0.0) || !window_s.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "window length must be finite and positive, got {window_s}"
+        )));
+    }
+    if !(slo_response_s > 0.0) || !slo_response_s.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "SLO response time must be finite and positive, got {slo_response_s}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validate one menu entry (`what` names it in errors): service time must
+/// be finite and positive, energies and idle power finite and non-negative.
+fn validate_choice(what: &str, c: &ConfigChoice) -> Result<()> {
+    if !(c.service_s > 0.0) || !c.service_s.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "{what} `{}`: service time must be finite and positive, got {}",
+            c.label, c.service_s
+        )));
+    }
+    if !(c.job_energy_j >= 0.0) || !c.job_energy_j.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "{what} `{}`: job energy must be finite and non-negative, got {}",
+            c.label, c.job_energy_j
+        )));
+    }
+    if !(c.idle_power_w >= 0.0) || !c.idle_power_w.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "{what} `{}`: idle power must be finite and non-negative, got {}",
+            c.label, c.idle_power_w
+        )));
+    }
+    Ok(())
+}
+
 /// For one slot, pick the cheapest menu entry whose mean response meets
 /// the SLO; fall back to the fastest-response feasible entry (counted as
-/// a violation) when none does. Returns `None` only when every entry is
-/// saturated at this `λ`.
-#[must_use]
+/// a violation) when none does. Returns `Ok(None)` only when every entry
+/// is saturated at this `λ`.
+///
+/// # Errors
+/// [`Error::InvalidInput`] when `lambda`, `window_s`, or `slo_response_s`
+/// is non-finite or non-positive, or a menu entry carries a non-finite or
+/// negative parameter.
 pub fn best_choice(
     menu: &[ConfigChoice],
     lambda: f64,
     window_s: f64,
     slo_response_s: f64,
-) -> Option<(usize, f64, f64, bool)> {
+) -> Result<Option<(usize, f64, f64, bool)>> {
+    validate_slot_inputs(lambda, window_s, slo_response_s)?;
+    for c in menu {
+        validate_choice("menu entry", c)?;
+    }
     let mut best_ok: Option<(usize, f64, f64)> = None; // (idx, energy, response)
     let mut best_fallback: Option<(usize, f64, f64)> = None; // fastest response
     for (idx, c) in menu.iter().enumerate() {
@@ -141,25 +197,40 @@ pub fn best_choice(
             best_fallback = Some((idx, e, we.response_s));
         }
     }
-    match (best_ok, best_fallback) {
+    Ok(match (best_ok, best_fallback) {
         (Some((i, e, r)), _) => Some((i, e, r, false)),
         (None, Some((i, e, r))) => Some((i, e, r, true)),
         (None, None) => None,
-    }
+    })
 }
 
 /// Run a whole day under one menu. A slot where even the fastest
 /// configuration is saturated contributes zero energy but counts as a
 /// violation (the queue is unstable — energy accounting is moot).
-#[must_use]
-pub fn run_day(menu: &[ConfigChoice], profile: &DiurnalProfile, slo_response_s: f64) -> DayOutcome {
+///
+/// # Errors
+/// [`Error::InvalidInput`] from [`best_choice`] for a bad SLO or menu.
+pub fn run_day(
+    menu: &[ConfigChoice],
+    profile: &DiurnalProfile,
+    slo_response_s: f64,
+) -> Result<DayOutcome> {
     let mut slots = Vec::with_capacity(profile.slots as usize);
     let mut energy_j = 0.0;
     let mut violations = 0;
     for slot in 0..profile.slots {
         let lambda = profile.lambda_at(slot);
-        match best_choice(menu, lambda, profile.slot_s, slo_response_s) {
+        match best_choice(menu, lambda, profile.slot_s, slo_response_s)? {
             Some((choice, e, response_s, violated)) => {
+                hecmix_obs::emit(|| hecmix_obs::Event::DispatchDecision {
+                    slot: slot as usize,
+                    lambda,
+                    choice,
+                    energy_j: e,
+                    response_s,
+                    violated,
+                    resilient: false,
+                });
                 energy_j += e;
                 violations += u32::from(violated);
                 slots.push(SlotOutcome {
@@ -184,11 +255,11 @@ pub fn run_day(menu: &[ConfigChoice], profile: &DiurnalProfile, slo_response_s: 
             }
         }
     }
-    DayOutcome {
+    Ok(DayOutcome {
         energy_j,
         violations,
         slots,
-    }
+    })
 }
 
 /// A menu entry annotated with its worst-case `k`-failure behaviour: the
@@ -212,15 +283,36 @@ pub struct ResilientChoice {
 /// energy is the *nominal* one, since that is what the cluster spends in
 /// the (overwhelmingly common) fault-free slot.
 ///
-/// Returns `(index, nominal energy, degraded response, violated)`;
-/// `None` only when every entry is saturated at `lambda` even nominally.
-#[must_use]
+/// Returns `Ok((index, nominal energy, degraded response, violated))`;
+/// `Ok(None)` only when every entry is saturated at `lambda` even
+/// nominally.
+///
+/// # Errors
+/// [`Error::InvalidInput`] when `lambda`, `window_s`, or `slo_response_s`
+/// is non-finite or non-positive, or a menu entry carries a non-finite or
+/// negative parameter (nominal or degraded).
 pub fn best_choice_resilient(
     menu: &[ResilientChoice],
     lambda: f64,
     window_s: f64,
     slo_response_s: f64,
-) -> Option<(usize, f64, f64, bool)> {
+) -> Result<Option<(usize, f64, f64, bool)>> {
+    validate_slot_inputs(lambda, window_s, slo_response_s)?;
+    for c in menu {
+        validate_choice("resilient menu entry", &c.nominal)?;
+        if !(c.degraded_service_s >= c.nominal.service_s) || !c.degraded_service_s.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "resilient menu entry `{}`: degraded service time must be finite and ≥ nominal ({}), got {}",
+                c.nominal.label, c.nominal.service_s, c.degraded_service_s
+            )));
+        }
+        if !(c.degraded_job_energy_j >= 0.0) || !c.degraded_job_energy_j.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "resilient menu entry `{}`: degraded job energy must be finite and non-negative, got {}",
+                c.nominal.label, c.degraded_job_energy_j
+            )));
+        }
+    }
     let mut best_ok: Option<(usize, f64, f64)> = None; // (idx, energy, degraded response)
     let mut best_fallback: Option<(usize, f64, f64)> = None; // fastest degraded response
     for (idx, c) in menu.iter().enumerate() {
@@ -258,29 +350,41 @@ pub fn best_choice_resilient(
             best_fallback = Some((idx, e, rank));
         }
     }
-    match (best_ok, best_fallback) {
+    Ok(match (best_ok, best_fallback) {
         (Some((i, e, r)), _) => Some((i, e, r, false)),
         (None, Some((i, e, r))) => Some((i, e, r, true)),
         (None, None) => None,
-    }
+    })
 }
 
 /// Run a whole day under a failure-aware menu: every slot is provisioned
 /// so that it would still meet the SLO after the worst-case node losses
 /// its menu entries were annotated with. Reported energy is nominal.
-#[must_use]
+///
+/// # Errors
+/// [`Error::InvalidInput`] from [`best_choice_resilient`] for a bad SLO
+/// or menu.
 pub fn run_day_resilient(
     menu: &[ResilientChoice],
     profile: &DiurnalProfile,
     slo_response_s: f64,
-) -> DayOutcome {
+) -> Result<DayOutcome> {
     let mut slots = Vec::with_capacity(profile.slots as usize);
     let mut energy_j = 0.0;
     let mut violations = 0;
     for slot in 0..profile.slots {
         let lambda = profile.lambda_at(slot);
-        match best_choice_resilient(menu, lambda, profile.slot_s, slo_response_s) {
+        match best_choice_resilient(menu, lambda, profile.slot_s, slo_response_s)? {
             Some((choice, e, response_s, violated)) => {
+                hecmix_obs::emit(|| hecmix_obs::Event::DispatchDecision {
+                    slot: slot as usize,
+                    lambda,
+                    choice,
+                    energy_j: e,
+                    response_s,
+                    violated,
+                    resilient: true,
+                });
                 energy_j += e;
                 violations += u32::from(violated);
                 slots.push(SlotOutcome {
@@ -305,11 +409,11 @@ pub fn run_day_resilient(
             }
         }
     }
-    DayOutcome {
+    Ok(DayOutcome {
         energy_j,
         violations,
         slots,
-    }
+    })
 }
 
 /// Convenience: the highest arrival rate any menu entry can stabilize
@@ -373,11 +477,11 @@ mod tests {
     fn best_choice_prefers_cheap_when_slack() {
         let m = menu();
         // λ low, SLO loose: the cheap configuration wins.
-        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 1.0).unwrap();
+        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 1.0).unwrap().unwrap();
         assert_eq!(idx, 1);
         assert!(!violated);
         // SLO tight (50 ms): only the fast configuration qualifies.
-        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 0.05).unwrap();
+        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 0.05).unwrap().unwrap();
         assert_eq!(idx, 0);
         assert!(!violated);
     }
@@ -386,18 +490,18 @@ mod tests {
     fn best_choice_falls_back_and_flags_violation() {
         let m = menu();
         // SLO impossible (1 ms): fastest config chosen, violation flagged.
-        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 0.001).unwrap();
+        let (idx, _, _, violated) = best_choice(&m, 0.5, 3600.0, 0.001).unwrap().unwrap();
         assert_eq!(idx, 0);
         assert!(violated);
         // λ beyond every config's saturation: nothing to pick.
-        assert!(best_choice(&m, 1000.0, 3600.0, 1.0).is_none());
+        assert!(best_choice(&m, 1000.0, 3600.0, 1.0).unwrap().is_none());
     }
 
     #[test]
     fn day_accounting() {
         let m = menu();
         let p = DiurnalProfile::new(1.0, 0.8, 24, 600.0).unwrap();
-        let day = run_day(&m, &p, 0.5);
+        let day = run_day(&m, &p, 0.5).unwrap();
         assert_eq!(day.slots.len(), 24);
         assert_eq!(day.violations, 0);
         assert!(day.energy_j > 0.0);
@@ -414,8 +518,8 @@ mod tests {
         let small = vec![menu()[0].clone()];
         let big = menu();
         let p = DiurnalProfile::new(1.0, 0.6, 24, 600.0).unwrap();
-        let day_small = run_day(&small, &p, 0.5);
-        let day_big = run_day(&big, &p, 0.5);
+        let day_small = run_day(&small, &p, 0.5).unwrap();
+        let day_big = run_day(&big, &p, 0.5).unwrap();
         assert!(day_big.energy_j <= day_small.energy_j + 1e-9);
         assert!(day_big.violations <= day_small.violations);
     }
@@ -443,26 +547,30 @@ mod tests {
         // At an SLO of 1.5 s both degraded queues are fine at low λ (the
         // cheap entry's degraded response is ≈ 1.07 s): the cheap entry
         // still wins, and energy is the nominal one.
-        let (idx, e, _, violated) = best_choice_resilient(&m, 0.5, 3600.0, 1.5).unwrap();
+        let (idx, e, _, violated) = best_choice_resilient(&m, 0.5, 3600.0, 1.5)
+            .unwrap()
+            .unwrap();
         assert_eq!(idx, 1);
         assert!(!violated);
-        let (nidx, ne, _, _) = best_choice(&menu(), 0.5, 3600.0, 1.5).unwrap();
+        let (nidx, ne, _, _) = best_choice(&menu(), 0.5, 3600.0, 1.5).unwrap().unwrap();
         assert_eq!(nidx, 1);
         assert!((e - ne).abs() < 1e-9, "resilient energy must be nominal");
 
         // An SLO of 0.9 s passes nominally for the cheap entry but fails
         // after a failure (degraded response > 0.9): the resilient policy
         // must pay for the fast entry where the naive one would not.
-        let (idx, _, _, violated) = best_choice_resilient(&m, 1.1, 3600.0, 0.9).unwrap();
+        let (idx, _, _, violated) = best_choice_resilient(&m, 1.1, 3600.0, 0.9)
+            .unwrap()
+            .unwrap();
         assert_eq!(idx, 0);
         assert!(!violated);
-        let (nidx, _, _, _) = best_choice(&menu(), 1.1, 3600.0, 0.9).unwrap();
+        let (nidx, _, _, _) = best_choice(&menu(), 1.1, 3600.0, 0.9).unwrap().unwrap();
         assert_eq!(nidx, 1, "nominal policy is happy with the cheap entry");
 
         // Whole-day: provisioning for failures can only cost more energy.
         let p = DiurnalProfile::new(1.0, 0.6, 24, 600.0).unwrap();
-        let naive = run_day(&menu(), &p, 0.5);
-        let resilient = run_day_resilient(&m, &p, 0.5);
+        let naive = run_day(&menu(), &p, 0.5).unwrap();
+        let resilient = run_day_resilient(&m, &p, 0.5).unwrap();
         assert!(resilient.energy_j >= naive.energy_j - 1e-9);
         assert_eq!(resilient.violations, 0);
     }
@@ -473,7 +581,9 @@ mod tests {
         // not its nominal one; SLO impossible for everyone. The fallback
         // must rank the fast entry first (finite degraded response).
         let m = resilient_menu();
-        let (idx, _, _, violated) = best_choice_resilient(&m, 2.0, 3600.0, 1e-4).unwrap();
+        let (idx, _, _, violated) = best_choice_resilient(&m, 2.0, 3600.0, 1e-4)
+            .unwrap()
+            .unwrap();
         assert_eq!(idx, 0);
         assert!(violated);
     }

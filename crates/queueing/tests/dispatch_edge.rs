@@ -27,11 +27,13 @@ fn cheap() -> ConfigChoice {
 
 #[test]
 fn empty_menu_yields_no_choice_and_all_violations() {
-    assert!(best_choice(&[], 1.0, 600.0, 0.5).is_none());
-    assert!(best_choice_resilient(&[], 1.0, 600.0, 0.5).is_none());
+    assert!(best_choice(&[], 1.0, 600.0, 0.5).unwrap().is_none());
+    assert!(best_choice_resilient(&[], 1.0, 600.0, 0.5)
+        .unwrap()
+        .is_none());
 
     let p = DiurnalProfile::new(1.0, 0.5, 24, 600.0).unwrap();
-    let day = run_day(&[], &p, 0.5);
+    let day = run_day(&[], &p, 0.5).unwrap();
     assert_eq!(day.violations, 24);
     assert_eq!(day.energy_j, 0.0);
     assert!(day
@@ -39,7 +41,7 @@ fn empty_menu_yields_no_choice_and_all_violations() {
         .iter()
         .all(|s| s.choice == usize::MAX && s.violated && s.energy_j == 0.0));
 
-    let day = run_day_resilient(&[], &p, 0.5);
+    let day = run_day_resilient(&[], &p, 0.5).unwrap();
     assert_eq!(day.violations, 24);
     assert_eq!(day.energy_j, 0.0);
 }
@@ -50,7 +52,7 @@ fn saturated_slots_are_flagged_not_served() {
     // slot a violation with the sentinel choice and zero energy.
     let menu = vec![cheap()];
     let p = DiurnalProfile::new(100.0, 0.1, 12, 600.0).unwrap();
-    let day = run_day(&menu, &p, 0.5);
+    let day = run_day(&menu, &p, 0.5).unwrap();
     assert_eq!(day.violations, 12);
     assert_eq!(day.energy_j, 0.0);
     assert!(day.slots.iter().all(|s| s.choice == usize::MAX));
@@ -63,7 +65,7 @@ fn infeasible_slo_falls_back_to_fastest_and_counts_violations() {
     // for every slot and every slot is flagged.
     let menu = vec![fast(), cheap()];
     let p = DiurnalProfile::new(1.0, 0.5, 24, 600.0).unwrap();
-    let day = run_day(&menu, &p, 0.001);
+    let day = run_day(&menu, &p, 0.001).unwrap();
     assert_eq!(day.violations, 24);
     assert!(day.slots.iter().all(|s| s.choice == 0 && s.violated));
     // Energy is still accounted: the operator runs the fast pool and eats
@@ -78,7 +80,7 @@ fn near_zero_arrivals_cost_idle_energy_only() {
     let menu = vec![fast(), cheap()];
     let window_s = 600.0;
     let lambda = 1e-9;
-    let (idx, energy, _, violated) = best_choice(&menu, lambda, window_s, 1.0).unwrap();
+    let (idx, energy, _, violated) = best_choice(&menu, lambda, window_s, 1.0).unwrap().unwrap();
     assert_eq!(idx, 1, "cheap idle floor must win");
     assert!(!violated);
     let idle_floor = cheap().idle_power_w * window_s;
@@ -92,11 +94,11 @@ fn near_zero_arrivals_cost_idle_energy_only() {
 fn single_entry_menu_is_always_that_entry_or_nothing() {
     let menu = vec![fast()];
     // Feasible λ: entry 0, no violation at a sane SLO.
-    let (idx, _, _, violated) = best_choice(&menu, 1.0, 600.0, 0.5).unwrap();
+    let (idx, _, _, violated) = best_choice(&menu, 1.0, 600.0, 0.5).unwrap().unwrap();
     assert_eq!(idx, 0);
     assert!(!violated);
     // Beyond saturation (1/0.025 = 40/s): nothing.
-    assert!(best_choice(&menu, 41.0, 600.0, 0.5).is_none());
+    assert!(best_choice(&menu, 41.0, 600.0, 0.5).unwrap().is_none());
 }
 
 #[test]
@@ -109,8 +111,63 @@ fn resilient_entry_with_saturated_degraded_queue_survives_as_fallback() {
         degraded_service_s: 2.0, // saturation at λ = 0.5
         degraded_job_energy_j: 9.0,
     }];
-    let (idx, energy, _, violated) = best_choice_resilient(&menu, 1.0, 600.0, 1.0).unwrap();
+    let (idx, energy, _, violated) = best_choice_resilient(&menu, 1.0, 600.0, 1.0)
+        .unwrap()
+        .unwrap();
     assert_eq!(idx, 0);
     assert!(violated, "degraded saturation cannot meet any SLO");
     assert!(energy > 0.0);
+}
+
+#[test]
+fn non_finite_or_non_positive_slot_inputs_are_rejected() {
+    // Regression: a NaN deadline used to compare false against every
+    // response time and silently select the fastest entry as a
+    // "violation"; it is now an InvalidInput error, like the rate_table
+    // sweep entry points.
+    let menu = vec![fast(), cheap()];
+    for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+        assert!(best_choice(&menu, bad, 600.0, 0.5).is_err(), "λ = {bad}");
+        assert!(best_choice(&menu, 1.0, bad, 0.5).is_err(), "window = {bad}");
+        assert!(best_choice(&menu, 1.0, 600.0, bad).is_err(), "slo = {bad}");
+        let rmenu = vec![ResilientChoice {
+            nominal: cheap(),
+            degraded_service_s: 0.8,
+            degraded_job_energy_j: 9.0,
+        }];
+        assert!(best_choice_resilient(&rmenu, bad, 600.0, 0.5).is_err());
+        assert!(best_choice_resilient(&rmenu, 1.0, 600.0, bad).is_err());
+    }
+    let p = DiurnalProfile::new(1.0, 0.5, 24, 600.0).unwrap();
+    assert!(run_day(&menu, &p, f64::NAN).is_err());
+    assert!(run_day_resilient(&[], &p, -0.5).is_err());
+}
+
+#[test]
+fn corrupt_menu_entries_are_rejected() {
+    let mut broken = fast();
+    broken.service_s = f64::NAN;
+    assert!(best_choice(&[broken], 1.0, 600.0, 0.5).is_err());
+
+    let mut broken = cheap();
+    broken.job_energy_j = f64::NEG_INFINITY;
+    assert!(best_choice(&[broken], 1.0, 600.0, 0.5).is_err());
+
+    let mut broken = cheap();
+    broken.idle_power_w = -5.0;
+    assert!(best_choice(&[broken], 1.0, 600.0, 0.5).is_err());
+
+    // Resilient entries additionally require degraded ≥ nominal service.
+    let shrunk = ResilientChoice {
+        nominal: cheap(),
+        degraded_service_s: 0.1, // faster after losing a node: nonsense
+        degraded_job_energy_j: 9.0,
+    };
+    assert!(best_choice_resilient(&[shrunk], 1.0, 600.0, 0.5).is_err());
+    let nan_degraded = ResilientChoice {
+        nominal: cheap(),
+        degraded_service_s: f64::NAN,
+        degraded_job_energy_j: 9.0,
+    };
+    assert!(best_choice_resilient(&[nan_degraded], 1.0, 600.0, 0.5).is_err());
 }

@@ -316,6 +316,43 @@ struct NodeJob {
     crash_s: Option<f64>,
 }
 
+/// Emit the telemetry lifecycle of one finalized [`CrashRecord`]: the
+/// crash itself, its heartbeat detection, the redistribution summary, and
+/// one share event per receiver. A record with nothing left to move still
+/// gets its redistribution event (`moved = abandoned = 0`), so a JSONL
+/// trace replays to exactly the run's totals.
+fn emit_crash_events(rec: &CrashRecord) {
+    if !hecmix_obs::enabled() {
+        return;
+    }
+    hecmix_obs::emit(|| hecmix_obs::Event::Crash {
+        type_idx: rec.type_idx,
+        node_idx: rec.node_idx as usize,
+        crash_s: rec.crash_s,
+        leftover_units: rec.leftover_units,
+        lost_in_flight_units: rec.lost_in_flight_units,
+    });
+    hecmix_obs::emit(|| hecmix_obs::Event::HeartbeatTimeout {
+        type_idx: rec.type_idx,
+        node_idx: rec.node_idx as usize,
+        detected_s: rec.detected_s,
+    });
+    hecmix_obs::emit(|| hecmix_obs::Event::Redistribution {
+        type_idx: rec.type_idx,
+        node_idx: rec.node_idx as usize,
+        redistributed_s: rec.redistributed_s,
+        moved_units: rec.receivers.iter().map(|r| r.2).sum(),
+        abandoned_units: rec.abandoned_units,
+    });
+    for &(to_type, to_node, units) in &rec.receivers {
+        hecmix_obs::emit(|| hecmix_obs::Event::RedistributionShare {
+            to_type,
+            to_node: to_node as usize,
+            units,
+        });
+    }
+}
+
 /// Run a heterogeneous cluster job under a fault schedule.
 ///
 /// Deterministic: the same spec, schedule and policy reproduce identical
@@ -427,6 +464,10 @@ pub fn run_cluster_faulted(
             .then(jobs[a].node_idx.cmp(&jobs[b].node_idx))
     });
 
+    hecmix_obs::emit(|| hecmix_obs::Event::FaultedRunStart {
+        total_units: spec.assignments.iter().map(|a| a.units).sum(),
+        crashes: crash_order.len(),
+    });
     let mut results = run_all(&jobs);
     let mut crashes: Vec<CrashRecord> = Vec::new();
     let mut abandoned_total: u64 = 0;
@@ -459,12 +500,14 @@ pub fn run_cluster_faulted(
         if leftover == 0 {
             // Nothing to redistribute: the current round's results remain
             // valid for every other node — keep processing.
+            emit_crash_events(&record);
             crashes.push(record);
             continue;
         }
         if receivers_idx.is_empty() {
             record.abandoned_units = leftover;
             abandoned_total += leftover;
+            emit_crash_events(&record);
             crashes.push(record);
             continue;
         }
@@ -519,6 +562,7 @@ pub fn run_cluster_faulted(
                 .receivers
                 .push((jobs[i].type_idx, jobs[i].node_idx, share));
         }
+        emit_crash_events(&record);
         crashes.push(record);
         // Injections changed the downstream runs: re-simulate.
         results = run_all(&jobs);
@@ -571,7 +615,12 @@ pub fn run_cluster_faulted(
         .zip(&type_topup)
         .map(|(t, topup)| t.energy.total_j() + topup)
         .sum();
-    let completed_units = per_type.iter().map(|t| t.counters.units_done()).sum();
+    let completed_units: f64 = per_type.iter().map(|t| t.counters.units_done()).sum();
+    hecmix_obs::emit(|| hecmix_obs::Event::FaultedRunEnd {
+        duration_s,
+        completed_units: completed_units as u64,
+        abandoned_units: abandoned_total,
+    });
 
     FaultedClusterMeasurement {
         duration_s,

@@ -59,4 +59,5 @@ pub use jobs::{run_job_stream, JobStreamMeasurement, JobStreamSpec};
 pub use node::{
     run_node, run_node_faulted, FaultedNodeMeasurement, Governor, NodeMeasurement, NodeRunSpec,
 };
+pub use noise::Noise;
 pub use trace::{ArrivalProcess, UnitDemand, WorkloadTrace};

@@ -350,6 +350,7 @@ impl<'a> NodeSim<'a> {
         let util = completed.max(instantaneous);
         self.busy_since_tick = 0.0;
         self.last_tick = now;
+        let prev_idx = self.freq_idx;
         if util > up_threshold && self.freq_idx + 1 < self.arch.platform.freqs.len() {
             self.freq_idx += 1;
         } else if util < down_threshold && self.freq_idx > 0 {
@@ -357,6 +358,14 @@ impl<'a> NodeSim<'a> {
         }
         // A power-cap fault bounds what the governor may pick.
         self.freq_idx = self.freq_idx.min(self.freq_cap_idx);
+        if self.freq_idx != prev_idx {
+            hecmix_obs::emit(|| hecmix_obs::Event::DvfsSwitch {
+                seed: self.spec.seed,
+                t_s: now,
+                from_ghz: self.arch.platform.freqs[prev_idx].ghz(),
+                to_ghz: self.arch.platform.freqs[self.freq_idx].ghz(),
+            });
+        }
         let active = self.pending_units > 0
             || self.busy_cores > 0
             || self.nic_busy
@@ -386,7 +395,7 @@ impl<'a> NodeSim<'a> {
         }
         // Backpressure: too many un-sent responses.
         if self.nic_chunk_backlog >= NIC_BACKLOG_CHUNKS {
-            self.park(core);
+            self.park(core, "nic-backpressure");
             return false;
         }
         let now = self.queue.now();
@@ -405,7 +414,7 @@ impl<'a> NodeSim<'a> {
                     self.wake_scheduled = true;
                 }
             }
-            self.park(core);
+            self.park(core, "starved");
             return false;
         }
 
@@ -420,16 +429,28 @@ impl<'a> NodeSim<'a> {
         true
     }
 
-    fn park(&mut self, core: u32) {
+    fn park(&mut self, core: u32, reason: &'static str) {
         if !self.parked.contains(&core) {
             self.parked.push(core);
+            hecmix_obs::emit(|| hecmix_obs::Event::CorePark {
+                seed: self.spec.seed,
+                core,
+                t_s: self.queue.now(),
+                reason,
+            });
         }
     }
 
     fn unpark_all(&mut self) {
         let parked = std::mem::take(&mut self.parked);
         for core in parked {
-            self.try_start(core);
+            if self.try_start(core) {
+                hecmix_obs::emit(|| hecmix_obs::Event::CoreResume {
+                    seed: self.spec.seed,
+                    core,
+                    t_s: self.queue.now(),
+                });
+            }
         }
     }
 
@@ -453,6 +474,12 @@ impl<'a> NodeSim<'a> {
         let contending = f64::from(self.busy_cores.max(1));
         let stall_ns = self.arch.mem.stall_ns_per_miss(contending);
         let mem_service_s = cost.llc_misses * stall_ns * 1e-9 * jm;
+        hecmix_obs::emit(|| hecmix_obs::Event::MemContention {
+            seed: self.spec.seed,
+            t_s: self.queue.now(),
+            contending: self.busy_cores.max(1),
+            stall_ns: (mem_service_s * 1e9) as u64,
+        });
         let mem_stall_cycles_raw = mem_service_s * f_hz;
 
         // Out-of-order overlap: the chunk takes the slower of the two paths.

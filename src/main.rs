@@ -389,11 +389,15 @@ fn cmd_queueing(flags: &HashMap<String, String>) -> ExitCode {
         })
         .collect();
     match best_choice(&menu, lambda, window_s, slo_ms / 1e3) {
-        None => {
+        Err(e) => {
+            eprintln!("invalid dispatch input: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(None) => {
             eprintln!("every configuration saturates at λ = {lambda} jobs/s");
             ExitCode::FAILURE
         }
-        Some((idx, energy, response, violated)) => {
+        Ok(Some((idx, energy, response, violated))) => {
             println!(
                 "{}: λ = {lambda} jobs/s over a {window_s} s window, SLO {slo_ms} ms",
                 w.name()
