@@ -1,0 +1,383 @@
+//! Differential oracles: two independent implementations of the same
+//! quantity are run on the same input and any disagreement beyond an
+//! explicitly justified tolerance is reported as a violation.
+//!
+//! Every function returns the list of violations it found (empty = the
+//! oracle held). None of them panic on disagreement — the harness keeps
+//! going so one broken layer does not mask another.
+
+use hecmix_core::config::{ClusterPoint, ConfigSpace, NodeConfig};
+use hecmix_core::exec_time::ExecTimeModel;
+use hecmix_core::mix_match::{evaluate, match_two_numeric, mix_and_match, TypeDeployment};
+use hecmix_core::profile::WorkloadModel;
+use hecmix_core::rate_table::{stream_frontier, RateTable};
+use hecmix_core::resilience::ResilientTable;
+use hecmix_core::sweep::sweep_frontier;
+use hecmix_queueing::{simulate_md1, MD1};
+use hecmix_sim::{
+    reference_amd_arch, reference_arm_arch, run_cluster, run_cluster_faulted, ClusterSpec,
+    FaultSchedule, RecoveryPolicy, TypeAssignment,
+};
+use hecmix_workloads::ep::Ep;
+use hecmix_workloads::Workload;
+
+/// Deterministic sample of cluster points from a two-type space: every
+/// `(n_a, n_b)` combination up to two nodes per type (skipping the empty
+/// cluster), all at maxed cores/frequency, plus one throttled singleton.
+#[must_use]
+pub fn sample_points(space: &ConfigSpace) -> Vec<ClusterPoint> {
+    let a = &space.types[0];
+    let b = &space.types[1];
+    let mut pts = Vec::new();
+    for na in 0..=a.max_nodes.min(2) {
+        for nb in 0..=b.max_nodes.min(2) {
+            if na == 0 && nb == 0 {
+                continue;
+            }
+            pts.push(ClusterPoint::new(vec![
+                TypeDeployment::maxed(&a.platform, na),
+                TypeDeployment::maxed(&b.platform, nb),
+            ]));
+        }
+    }
+    // Lowest frequency, single core: exercises the slow end of the model.
+    pts.push(ClusterPoint::new(vec![
+        Some(NodeConfig::new(1, 1, a.platform.freqs[0])),
+        TypeDeployment::unused(),
+    ]));
+    pts
+}
+
+/// Closed-form mix-and-match split (shares proportional to rates, Eq. 4)
+/// vs the bisection solver [`match_two_numeric`] on every two-type sample
+/// point. The execution-time model is linear in the share, so both must
+/// land on the same split; `1e-3 · w` absolute slack covers the bisection
+/// bracket at `tol = 1e-12`.
+#[must_use]
+pub fn closed_form_vs_numeric(
+    space: &ConfigSpace,
+    models: &[WorkloadModel],
+    w_units: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for point in sample_points(space) {
+        let (Some(cfg_a), Some(cfg_b)) = (point.per_type[0], point.per_type[1]) else {
+            continue;
+        };
+        let split = match mix_and_match(&point, models, w_units) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(format!("closed form failed on {point:?}: {e}"));
+                continue;
+            }
+        };
+        let em_a = ExecTimeModel::new(&models[0]);
+        let em_b = ExecTimeModel::new(&models[1]);
+        let numeric = match_two_numeric(
+            |x| em_a.predict(&cfg_a, x).total,
+            |x| em_b.predict(&cfg_b, x).total,
+            w_units,
+            1e-12,
+        );
+        match numeric {
+            Ok((wa, wb)) => {
+                if (wa - split.shares[0]).abs() > 1e-3 * w_units
+                    || (wb - split.shares[1]).abs() > 1e-3 * w_units
+                {
+                    violations.push(format!(
+                        "split disagreement on {point:?}: closed form ({:.6e}, {:.6e}) vs numeric ({wa:.6e}, {wb:.6e})",
+                        split.shares[0], split.shares[1]
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("bisection failed on {point:?}: {e}")),
+        }
+    }
+    violations
+}
+
+/// Exhaustive sweep frontier vs the streaming rate-table frontier.
+/// Frontier *membership* can differ at exact ties (the lean kernel and the
+/// full evaluator round energy differently in the last bits), so the
+/// energy-per-deadline curves are compared both ways at `1e-9` relative.
+#[must_use]
+pub fn exhaustive_vs_streaming(
+    space: &ConfigSpace,
+    models: &[WorkloadModel],
+    w_units: f64,
+) -> Vec<String> {
+    let exhaustive = match sweep_frontier(space, models, w_units) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("exhaustive sweep failed: {e}")],
+    };
+    let streamed = match stream_frontier(space, models, w_units) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("streaming sweep failed: {e}")],
+    };
+    let mut violations = Vec::new();
+    for p in &exhaustive.points {
+        match streamed.min_energy_for_deadline(p.time_s) {
+            Some(got) if (got.energy_j - p.energy_j).abs() <= 1e-9 * p.energy_j => {}
+            Some(got) => violations.push(format!(
+                "streamed curve off at deadline {:.6e} s: {:.12e} J vs exhaustive {:.12e} J",
+                p.time_s, got.energy_j, p.energy_j
+            )),
+            None => violations.push(format!(
+                "streamed frontier has no point at deadline {:.6e} s",
+                p.time_s
+            )),
+        }
+    }
+    for p in &streamed.points {
+        match exhaustive.min_energy_for_deadline(p.time_s) {
+            Some(got) if got.energy_j <= p.energy_j + 1e-9 * p.energy_j => {}
+            Some(got) => violations.push(format!(
+                "streamed point ({:.6e} s, {:.12e} J) beats the exhaustive curve ({:.12e} J)",
+                p.time_s, p.energy_j, got.energy_j
+            )),
+            None => violations.push(format!(
+                "exhaustive frontier has no point at deadline {:.6e} s",
+                p.time_s
+            )),
+        }
+    }
+    violations
+}
+
+/// Analytical model prediction vs direct cluster simulation, on the
+/// paper's 8 ARM + 1 AMD validation configuration for EP class A. The
+/// model is calibrated to land within single-digit percent of the
+/// simulator (Table 4); a 15 % band flags genuine divergence without
+/// tripping on characterization noise.
+#[must_use]
+pub fn model_vs_sim(seed: u64) -> Vec<String> {
+    let arm = reference_arm_arch();
+    let amd = reference_amd_arch();
+    let workload = Ep::class_a();
+    let trace = workload.trace();
+    let models = hecmix_profile::characterize_pair(&arm, &amd, &trace, seed);
+    let units = workload.validation_units();
+    let point = ClusterPoint::new(vec![
+        TypeDeployment::maxed(&arm.platform, 8),
+        TypeDeployment::maxed(&amd.platform, 1),
+    ]);
+    let predicted = match evaluate(&point, &models, units as f64) {
+        Ok(p) => p,
+        Err(e) => return vec![format!("model evaluation failed: {e}")],
+    };
+    let arm_units = predicted.shares[0].round() as u64;
+    let spec = ClusterSpec {
+        trace,
+        assignments: vec![
+            TypeAssignment {
+                arch: arm.clone(),
+                nodes: 8,
+                cores: arm.platform.cores,
+                freq: arm.platform.fmax(),
+                units: arm_units.min(units),
+            },
+            TypeAssignment {
+                arch: amd.clone(),
+                nodes: 1,
+                cores: amd.platform.cores,
+                freq: amd.platform.fmax(),
+                units: units - arm_units.min(units),
+            },
+        ],
+        seed,
+    };
+    let measured = run_cluster(&spec);
+    let mut violations = Vec::new();
+    let time_err = rel_diff(predicted.time_s, measured.duration_s);
+    if time_err > 0.15 {
+        violations.push(format!(
+            "time prediction off by {:.1} %: model {:.4e} s vs sim {:.4e} s",
+            100.0 * time_err,
+            predicted.time_s,
+            measured.duration_s
+        ));
+    }
+    let energy_err = rel_diff(predicted.energy_j, measured.measured_energy_j);
+    if energy_err > 0.15 {
+        violations.push(format!(
+            "energy prediction off by {:.1} %: model {:.4e} J vs sim {:.4e} J",
+            100.0 * energy_err,
+            predicted.energy_j,
+            measured.measured_energy_j
+        ));
+    }
+    violations
+}
+
+/// A faulted cluster run with an *empty* fault schedule must be
+/// bit-identical to the plain cluster run: the fault machinery may not
+/// perturb the nominal path at all.
+#[must_use]
+pub fn faulted_empty_vs_plain(seed: u64) -> Vec<String> {
+    let arm = reference_arm_arch();
+    let amd = reference_amd_arch();
+    let spec = ClusterSpec {
+        trace: Ep::class_a().trace(),
+        assignments: vec![
+            TypeAssignment {
+                arch: arm.clone(),
+                nodes: 2,
+                cores: arm.platform.cores,
+                freq: arm.platform.fmax(),
+                units: 3 << 16,
+            },
+            TypeAssignment {
+                arch: amd.clone(),
+                nodes: 1,
+                cores: amd.platform.cores,
+                freq: amd.platform.fmax(),
+                units: 1 << 16,
+            },
+        ],
+        seed,
+    };
+    let schedule = FaultSchedule::new();
+    if !schedule.is_empty() {
+        return vec!["FaultSchedule::new() is not empty".into()];
+    }
+    let plain = run_cluster(&spec);
+    let faulted = run_cluster_faulted(&spec, &schedule, &RecoveryPolicy::default());
+    let mut violations = Vec::new();
+    // Bit-identity, not a tolerance: both paths must execute the same code.
+    if faulted.duration_s != plain.duration_s {
+        violations.push(format!(
+            "duration drifts with empty schedule: {:.17e} vs {:.17e}",
+            faulted.duration_s, plain.duration_s
+        ));
+    }
+    if faulted.measured_energy_j != plain.measured_energy_j {
+        violations.push(format!(
+            "measured energy drifts with empty schedule: {:.17e} vs {:.17e}",
+            faulted.measured_energy_j, plain.measured_energy_j
+        ));
+    }
+    if faulted.true_energy_j != plain.true_energy_j {
+        violations.push(format!(
+            "true energy drifts with empty schedule: {:.17e} vs {:.17e}",
+            faulted.true_energy_j, plain.true_energy_j
+        ));
+    }
+    if faulted.per_type.len() != plain.per_type.len() {
+        violations.push(format!(
+            "per-type shape drifts with empty schedule: {} vs {}",
+            faulted.per_type.len(),
+            plain.per_type.len()
+        ));
+    }
+    violations
+}
+
+/// Pollaczek–Khinchine M/D/1 mean wait vs a discrete-event simulation of
+/// the same queue, at light (ρ = 0.2) and heavy (ρ = 0.8) load. 400 k
+/// jobs bound the DES standard error well under the 5 % acceptance band.
+#[must_use]
+pub fn md1_formula_vs_des(seed: u64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, (lambda, service_s)) in [(2.0, 0.1), (8.0, 0.1)].into_iter().enumerate() {
+        let formula = match MD1::new(lambda, service_s).and_then(|q| q.mean_wait_s()) {
+            Ok(wq) => wq,
+            Err(e) => {
+                violations.push(format!("M/D/1 formula failed at λ={lambda}: {e}"));
+                continue;
+            }
+        };
+        let sim = simulate_md1(lambda, service_s, 400_000, seed ^ i as u64);
+        let err = rel_diff(formula, sim.mean_wait_s);
+        if err > 0.05 {
+            violations.push(format!(
+                "M/D/1 wait off by {:.1} % at λ={lambda}: formula {:.4e} s vs DES {:.4e} s",
+                100.0 * err,
+                formula,
+                sim.mean_wait_s
+            ));
+        }
+    }
+    violations
+}
+
+/// A resilient frontier with `k = 0` losses must equal the plain
+/// streaming frontier exactly — zero degradation is the nominal table.
+#[must_use]
+pub fn resilient_k0_vs_plain(
+    space: &ConfigSpace,
+    models: &[WorkloadModel],
+    w_units: f64,
+) -> Vec<String> {
+    let resilient = match ResilientTable::build(space, models) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("resilient table build failed: {e}")],
+    };
+    let k0 = match resilient.frontier(w_units, 0) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("k=0 frontier failed: {e}")],
+    };
+    let plain = match RateTable::build(space, models).and_then(|t| t.frontier(w_units)) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("plain frontier failed: {e}")],
+    };
+    if k0 == plain {
+        Vec::new()
+    } else {
+        vec![format!(
+            "k=0 resilient frontier diverges from the plain frontier: {} vs {} points",
+            k0.len(),
+            plain.len()
+        )]
+    }
+}
+
+/// Symmetric relative difference, safe at zero.
+#[must_use]
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_scenario;
+
+    #[test]
+    fn sample_points_cover_both_shapes() {
+        let (space, _, _) = reference_scenario();
+        let pts = sample_points(&space);
+        assert!(pts.iter().any(|p| p.types_used() == 1));
+        assert!(pts.iter().any(|p| p.types_used() == 2));
+        assert!(pts.iter().all(|p| p.types_used() >= 1));
+    }
+
+    #[test]
+    fn rel_diff_basics() {
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert!((rel_diff(1.0, 1.1) - 0.1 / 1.1).abs() < 1e-12);
+        assert_eq!(rel_diff(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn cheap_oracles_hold_on_reference_scenario() {
+        let (space, models, w) = reference_scenario();
+        assert_eq!(
+            closed_form_vs_numeric(&space, &models, w),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            exhaustive_vs_streaming(&space, &models, w),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            resilient_k0_vs_plain(&space, &models, w),
+            Vec::<String>::new()
+        );
+        assert_eq!(md1_formula_vs_des(42), Vec::<String>::new());
+    }
+}

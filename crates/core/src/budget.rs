@@ -174,6 +174,14 @@ impl PowerBudget {
         if step_high == 0 {
             return Err(Error::InvalidInput("step_high must be >= 1".into()));
         }
+        if !(self.watts > 0.0) || !self.watts.is_finite() {
+            // A NaN budget would silently floor to zero nodes; reject it
+            // with a typed error instead (the CLI accepts `--budget`).
+            return Err(Error::InvalidInput(format!(
+                "power budget must be finite and positive, got {} W",
+                self.watts
+            )));
+        }
         let ratio = SubstitutionRatio::derive(high, low)?;
         let max_high = self.max_nodes(high);
         if max_high == 0 {
@@ -339,6 +347,14 @@ mod tests {
         assert!(tiny.substitution_ladder(&arm, &amd, 1).is_err());
         let budget = PowerBudget::new(1000.0);
         assert!(budget.substitution_ladder(&arm, &amd, 0).is_err());
+        // Non-finite and non-positive budgets are typed errors, not a
+        // silent zero-node ladder.
+        for watts in [f64::NAN, f64::INFINITY, -100.0, 0.0] {
+            assert!(matches!(
+                PowerBudget::new(watts).substitution_ladder(&arm, &amd, 1),
+                Err(Error::InvalidInput(_))
+            ));
+        }
         // Substituting the wrong way round fails.
         assert!(SubstitutionRatio::derive(&arm, &amd).is_err());
     }

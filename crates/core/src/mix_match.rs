@@ -257,6 +257,14 @@ fn price_split(
 /// `tol`. Provided for time models that are *not* linear in work (the
 /// closed form above covers the paper's model); cross-checked against the
 /// closed form in tests.
+///
+/// # Errors
+/// [`Error::InvalidInput`] when `w` or `tol` is non-positive or non-finite,
+/// or a time function violates `t(0) = 0` (zero work must take zero time —
+/// a non-zero offset would make the split depend on which side carries it).
+/// [`Error::MatchingFailed`] when a time function returns a non-finite
+/// value, or the bisection fails to bracket the root to `tol · w` within
+/// its iteration budget.
 pub fn match_two_numeric(
     t_a: impl Fn(f64) -> f64,
     t_b: impl Fn(f64) -> f64,
@@ -266,6 +274,19 @@ pub fn match_two_numeric(
     if !(w > 0.0) || !w.is_finite() {
         return Err(Error::InvalidInput(format!(
             "work must be positive, got {w}"
+        )));
+    }
+    if !(tol > 0.0) || !tol.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "tolerance must be positive and finite, got {tol}"
+        )));
+    }
+    // The bracketing below assumes t(0) = 0: a function with a non-zero
+    // (or NaN) offset at zero work would silently shift the split.
+    let (ta0, tb0) = (t_a(0.0), t_b(0.0));
+    if ta0 != 0.0 || tb0 != 0.0 {
+        return Err(Error::InvalidInput(format!(
+            "time functions must satisfy t(0) = 0, got t_a(0)={ta0}, t_b(0)={tb0}"
         )));
     }
     // g(x) = t_a(x) - t_b(w - x) is monotone non-decreasing in x;
@@ -291,11 +312,15 @@ pub fn match_two_numeric(
             hi = mid;
         }
         if (hi - lo) <= tol * w {
-            break;
+            let x = 0.5 * (lo + hi);
+            return Ok((x, w - x));
         }
     }
-    let x = 0.5 * (lo + hi);
-    Ok((x, w - x))
+    Err(Error::MatchingFailed(format!(
+        "bisection did not converge: bracket {:.3e} > tol·w {:.3e} after 200 iterations",
+        hi - lo,
+        tol * w
+    )))
 }
 
 #[cfg(test)]
@@ -430,6 +455,46 @@ mod tests {
             match_two_numeric(|x| x * f64::MAX.sqrt(), |x| x * 1e-9, 100.0, 1e-9).unwrap();
         assert!(wa < 1e-4);
         assert!((wb - 100.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn numeric_reports_non_convergence() {
+        // A tolerance below one ulp of the split point can never be met:
+        // the bracket stalls at machine precision. Pre-fix this silently
+        // returned the midpoint as if it had converged.
+        let r = match_two_numeric(|x| x, |x| x, 100.0, 1e-30);
+        assert!(
+            matches!(r, Err(Error::MatchingFailed(_))),
+            "expected MatchingFailed, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn numeric_rejects_nonzero_origin() {
+        // t(0) != 0 breaks the bracketing argument; pre-fix the solver
+        // silently mis-split. Both offset and NaN-at-zero must be rejected.
+        assert!(matches!(
+            match_two_numeric(|x| x + 1.0, |x| x, 10.0, 1e-9),
+            Err(Error::InvalidInput(_))
+        ));
+        assert!(matches!(
+            match_two_numeric(|x| x, |x| x + 5.0, 10.0, 1e-9),
+            Err(Error::InvalidInput(_))
+        ));
+        assert!(matches!(
+            match_two_numeric(|x| x / x, |x| x, 10.0, 1e-9), // NaN at 0
+            Err(Error::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn numeric_rejects_bad_tolerance() {
+        for tol in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                match_two_numeric(|x| x, |x| x, 10.0, tol),
+                Err(Error::InvalidInput(_))
+            ));
+        }
     }
 
     #[test]

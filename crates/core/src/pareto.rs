@@ -16,9 +16,37 @@
 //!   for compute-bound workloads (shrinking cores/frequency still trades
 //!   time for energy there; I/O-bound workloads go flat instead).
 
+use std::cmp::Ordering;
+
 use serde::{Deserialize, Serialize};
 
-use crate::config::ClusterPoint;
+use crate::config::{ClusterPoint, NodeConfig};
+
+/// Canonical total order on cluster configurations, used to break exact
+/// `(time, energy)` ties deterministically: per-type, an unused slot sorts
+/// before a used one, then by node count, core count, and frequency. Both
+/// [`ParetoFrontier::from_points`] and [`ParetoFrontier::merge`] keep the
+/// configuration that sorts *first* under this order, so the surviving
+/// point of a tie is independent of input order — exhaustive and streaming
+/// sweeps dedupe identically.
+fn cmp_config(a: &ClusterPoint, b: &ClusterPoint) -> Ordering {
+    let slot = |x: &Option<NodeConfig>, y: &Option<NodeConfig>| match (x, y) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(p), Some(q)) => p
+            .nodes
+            .cmp(&q.nodes)
+            .then(p.cores.cmp(&q.cores))
+            .then(p.freq.hz().total_cmp(&q.freq.hz())),
+    };
+    a.per_type
+        .iter()
+        .zip(&b.per_type)
+        .map(|(x, y)| slot(x, y))
+        .find(|o| *o != Ordering::Equal)
+        .unwrap_or_else(|| a.per_type.len().cmp(&b.per_type.len()))
+}
 
 /// An evaluated configuration in the energy–deadline plane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,7 +80,10 @@ impl ParetoFrontier {
     ///
     /// Standard sweep: sort by `(time, energy)`, keep each point that
     /// strictly improves the best energy seen so far. Non-finite points are
-    /// dropped (they cannot meet any deadline).
+    /// dropped (they cannot meet any deadline). Points that tie exactly on
+    /// `(time, energy)` are deduplicated to the configuration that sorts
+    /// first in the canonical config order, so the result is independent of
+    /// input order.
     #[must_use]
     pub fn from_points(mut pts: Vec<ParetoPoint>) -> Self {
         pts.retain(|p| p.time_s.is_finite() && p.energy_j.is_finite());
@@ -60,6 +91,7 @@ impl ParetoFrontier {
             a.time_s
                 .total_cmp(&b.time_s)
                 .then(a.energy_j.total_cmp(&b.energy_j))
+                .then_with(|| cmp_config(&a.config, &b.config))
         });
         let mut points: Vec<ParetoPoint> = Vec::new();
         let mut best = f64::INFINITY;
@@ -112,10 +144,12 @@ impl ParetoFrontier {
     /// Both inputs already satisfy the frontier invariant (ascending time,
     /// strictly descending energy), so a single sorted merge with the same
     /// strictly-improving-energy pass as [`Self::from_points`] suffices —
-    /// no re-sort of the union. Ties on `(time, energy)` keep `self`'s
-    /// point, matching `from_points` on `self ++ other`. Non-finite points
-    /// are dropped, also matching `from_points` — inputs built by hand (the
-    /// `points` field is public) may violate the invariant.
+    /// no re-sort of the union. Ties on `(time, energy)` keep whichever
+    /// configuration sorts first in the canonical config order — the same
+    /// rule `from_points` applies — so `merge` is commutative and matches
+    /// `from_points` on the union regardless of operand order. Non-finite
+    /// points are dropped, also matching `from_points` — inputs built by
+    /// hand (the `points` field is public) may violate the invariant.
     #[must_use]
     pub fn merge(&self, other: &ParetoFrontier) -> ParetoFrontier {
         let (a, b) = (&self.points, &other.points);
@@ -128,6 +162,7 @@ impl ParetoFrontier {
                     .time_s
                     .total_cmp(&q.time_s)
                     .then(p.energy_j.total_cmp(&q.energy_j))
+                    .then_with(|| cmp_config(&p.config, &q.config))
                     .is_le(),
                 (Some(_), None) => true,
                 _ => false,
@@ -346,6 +381,49 @@ mod tests {
         let mut union = f.points.clone();
         union.extend(g.points.iter().cloned());
         assert_eq!(f.merge(&g), ParetoFrontier::from_points(union));
+    }
+
+    /// A point with an explicit node count, for tie-dedup tests where the
+    /// winning config must be identifiable.
+    fn pt_nodes(time_s: f64, energy_j: f64, nodes: u32) -> ParetoPoint {
+        let arm = Platform::reference_arm();
+        ParetoPoint {
+            time_s,
+            energy_j,
+            config: ClusterPoint {
+                per_type: vec![Some(NodeConfig::maxed(&arm, nodes)), None],
+            },
+        }
+    }
+
+    #[test]
+    fn tie_dedup_is_order_independent() {
+        // Two different configs landing on the exact same (time, energy)
+        // must dedupe to the same survivor whichever order they arrive in.
+        // Pre-fix, the stable sort kept whichever came first.
+        let a = pt_nodes(2.0, 8.0, 3);
+        let b = pt_nodes(2.0, 8.0, 1);
+        let fwd = ParetoFrontier::from_points(vec![a.clone(), b.clone()]);
+        let rev = ParetoFrontier::from_points(vec![b.clone(), a.clone()]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 1);
+        // Canonical order prefers the smaller deployment.
+        assert_eq!(fwd.points[0].config.per_type[0].as_ref().unwrap().nodes, 1);
+    }
+
+    #[test]
+    fn merge_ties_are_commutative_and_match_from_points() {
+        let a = ParetoFrontier::from_points(vec![pt_nodes(1.0, 10.0, 4), pt_nodes(2.0, 8.0, 5)]);
+        let b = ParetoFrontier::from_points(vec![pt_nodes(2.0, 8.0, 2), pt_nodes(3.0, 6.0, 1)]);
+        let ab = a.merge(&b);
+        let ba = b.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative at exact ties");
+        let mut union = a.points.clone();
+        union.extend(b.points.iter().cloned());
+        assert_eq!(ab, ParetoFrontier::from_points(union));
+        // The tied (2.0, 8.0) slot resolves to the canonical (2-node) config.
+        let tied = ab.points.iter().find(|p| p.time_s == 2.0).unwrap();
+        assert_eq!(tied.config.per_type[0].as_ref().unwrap().nodes, 2);
     }
 
     #[test]

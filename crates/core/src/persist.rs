@@ -142,7 +142,7 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
         cores: parse_u32(&take(f, "platform.cores")?)?,
         freqs: take(f, "platform.freqs_ghz")?
             .split_whitespace()
-            .map(|x| Ok(Frequency::from_ghz(parse_f64(x)?)))
+            .map(|x| Frequency::try_from_ghz(parse_f64(x)?))
             .collect::<Result<Vec<_>>>()?,
         io_bandwidth_bps: parse_f64(&take(f, "platform.io_bandwidth_bps")?)?,
         peak_power_w: parse_f64(&take(f, "platform.peak_power_w")?)?,
@@ -150,7 +150,7 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
         infra_power_w: parse_f64(&take(f, "platform.infra_power_w")?)?,
     };
 
-    let spi_mem = SpiMemFit::new(
+    let spi_mem = SpiMemFit::try_new(
         take(f, "profile.spi_mem")?
             .split_whitespace()
             .map(|entry| {
@@ -171,7 +171,7 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
                 ))
             })
             .collect::<Result<Vec<_>>>()?,
-    );
+    )?;
 
     let profile = WorkloadProfile {
         i_ps: parse_f64(&take(f, "profile.i_ps")?)?,
@@ -179,7 +179,7 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
         spi_core: parse_f64(&take(f, "profile.spi_core")?)?,
         spi_mem,
         active_cores: parse_f64(&take(f, "profile.active_cores")?)?,
-        baseline_freq: Frequency::from_ghz(parse_f64(&take(f, "profile.baseline_freq_ghz")?)?),
+        baseline_freq: Frequency::try_from_ghz(parse_f64(&take(f, "profile.baseline_freq_ghz")?)?)?,
         io: IoProfile {
             bytes_per_unit: parse_f64(&take(f, "profile.io_bytes_per_unit")?)?,
             lambda_io: parse_f64(&take(f, "profile.io_lambda")?)?,
@@ -197,7 +197,7 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
                     .split_once(',')
                     .ok_or_else(|| bad("core_w needs act,stall"))?;
                 Ok((
-                    Frequency::from_ghz(parse_f64(freq)?),
+                    Frequency::try_from_ghz(parse_f64(freq)?)?,
                     parse_f64(act)?,
                     parse_f64(stall)?,
                 ))
@@ -331,6 +331,53 @@ mod tests {
         // Malformed number.
         let text = to_string(&sample()).replace("wpi = ", "wpi = abc ");
         assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_spi_mem_without_panicking() {
+        // Pre-fix, an empty `spi_mem = ` line hit SpiMemFit::new's assert
+        // and aborted the process instead of returning a parse error.
+        let text = to_string(&sample());
+        let broken = replace_line(&text, "spi_mem = ", "spi_mem = ");
+        assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+    }
+
+    #[test]
+    fn rejects_bad_frequencies_without_panicking() {
+        // Pre-fix, NaN/zero/negative frequencies in a model file hit
+        // Frequency::from_ghz's assert — a panic reachable from user input.
+        for bad_freq in ["NaN", "0", "-1.4", "inf"] {
+            let text = to_string(&sample());
+            let broken = replace_line(&text, "freqs_ghz = ", &format!("freqs_ghz = {bad_freq}"));
+            assert!(
+                matches!(from_str(&broken), Err(Error::InvalidInput(_))),
+                "freqs_ghz = {bad_freq} must be a parse error"
+            );
+            let text = to_string(&sample());
+            let broken = replace_line(
+                &text,
+                "baseline_freq_ghz = ",
+                &format!("baseline_freq_ghz = {bad_freq}"),
+            );
+            assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+            let text = to_string(&sample());
+            let broken = replace_line(&text, "core_w = ", &format!("core_w = {bad_freq}:0.1,0.05"));
+            assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+        }
+    }
+
+    /// Replace the whole line starting with `prefix` by `replacement`.
+    fn replace_line(text: &str, prefix: &str, replacement: &str) -> String {
+        text.lines()
+            .map(|l| {
+                if l.starts_with(prefix) {
+                    replacement.to_owned()
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]

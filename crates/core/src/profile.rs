@@ -37,12 +37,26 @@ impl SpiMemFit {
     /// Build from per-core-count fits. Sorts by core count.
     ///
     /// # Panics
-    /// Panics if `per_cores` is empty.
+    /// Panics if `per_cores` is empty. Use [`Self::try_new`] when the fits
+    /// come from user input (e.g. a model file).
     #[must_use]
-    pub fn new(mut per_cores: Vec<(u32, LinearFit)>) -> Self {
-        assert!(!per_cores.is_empty(), "SpiMemFit needs at least one fit");
+    pub fn new(per_cores: Vec<(u32, LinearFit)>) -> Self {
+        Self::try_new(per_cores).expect("SpiMemFit needs at least one fit")
+    }
+
+    /// Fallible constructor for fits sourced from user input: an empty fit
+    /// list is an [`Error::InvalidInput`], not a panic.
+    ///
+    /// # Errors
+    /// [`Error::InvalidInput`] when `per_cores` is empty.
+    pub fn try_new(mut per_cores: Vec<(u32, LinearFit)>) -> Result<Self> {
+        if per_cores.is_empty() {
+            return Err(Error::InvalidInput(
+                "SpiMemFit needs at least one per-core fit".into(),
+            ));
+        }
         per_cores.sort_by_key(|(c, _)| *c);
-        Self { per_cores }
+        Ok(Self { per_cores })
     }
 
     /// A frequency-independent, contention-free constant `SPI_mem`.
@@ -186,8 +200,22 @@ impl WorkloadProfile {
         if !(self.active_cores > 0.0) || !self.active_cores.is_finite() {
             return bad("active_cores must be positive and finite");
         }
-        if self.io.bytes_per_unit < 0.0 {
-            return bad("I/O bytes per unit must be non-negative");
+        if self.spi_mem.per_cores.is_empty() {
+            return bad("SPI_mem needs at least one per-core fit");
+        }
+        if self
+            .spi_mem
+            .per_cores
+            .iter()
+            .any(|(_, fit)| !fit.intercept.is_finite() || !fit.slope.is_finite())
+        {
+            return bad("SPI_mem fit coefficients must be finite");
+        }
+        if !(self.baseline_freq.hz() > 0.0) || !self.baseline_freq.hz().is_finite() {
+            return bad("baseline frequency must be positive and finite");
+        }
+        if !(self.io.bytes_per_unit >= 0.0) || !self.io.bytes_per_unit.is_finite() {
+            return bad("I/O bytes per unit must be non-negative and finite");
         }
         if !(self.io.lambda_io > 0.0) {
             return bad("lambda_io must be positive (use +inf for unconstrained)");
@@ -235,15 +263,30 @@ impl PowerProfile {
         if self
             .core_w
             .iter()
-            .any(|(_, a, s)| !(*a >= 0.0) || !(*s >= 0.0))
+            .any(|(f, _, _)| !(f.hz() > 0.0) || !f.hz().is_finite())
         {
             return Err(Error::InvalidInput(
-                "PowerProfile: negative core power".into(),
+                "PowerProfile: core power frequencies must be positive and finite".into(),
             ));
         }
-        if self.mem_w < 0.0 || self.io_w < 0.0 || self.idle_w < 0.0 {
+        if self
+            .core_w
+            .iter()
+            .any(|(_, a, s)| !(*a >= 0.0) || !a.is_finite() || !(*s >= 0.0) || !s.is_finite())
+        {
             return Err(Error::InvalidInput(
-                "PowerProfile: negative device/idle power".into(),
+                "PowerProfile: core powers must be non-negative and finite".into(),
+            ));
+        }
+        if !(self.mem_w >= 0.0)
+            || !self.mem_w.is_finite()
+            || !(self.io_w >= 0.0)
+            || !self.io_w.is_finite()
+            || !(self.idle_w >= 0.0)
+            || !self.idle_w.is_finite()
+        {
+            return Err(Error::InvalidInput(
+                "PowerProfile: device/idle powers must be non-negative and finite".into(),
             ));
         }
         Ok(())
@@ -262,13 +305,16 @@ impl PowerProfile {
     }
 
     fn nearest(&self, f: Frequency) -> (Frequency, f64, f64) {
+        // total_cmp keeps the lookup panic-free even if an unvalidated
+        // profile carries a NaN frequency (validate() rejects those, but
+        // the `core_w` field is public).
         *self
             .core_w
             .iter()
             .min_by(|a, b| {
                 let da = (a.0.hz() - f.hz()).abs();
                 let db = (b.0.hz() - f.hz()).abs();
-                da.partial_cmp(&db).expect("frequencies are finite")
+                da.total_cmp(&db)
             })
             .expect("validated power profile is non-empty")
     }
@@ -486,6 +532,57 @@ mod tests {
         let mut wl = WorkloadModel::synthetic_cpu_bound(&arm(), "ep", 60.0).profile;
         wl.wpi = f64::NAN;
         assert!(wl.validate().is_err());
+    }
+
+    #[test]
+    fn spi_mem_try_new_rejects_empty() {
+        assert!(matches!(
+            SpiMemFit::try_new(vec![]),
+            Err(Error::InvalidInput(_))
+        ));
+        assert!(SpiMemFit::try_new(vec![(
+            1,
+            LinearFit {
+                intercept: 0.1,
+                slope: 0.0,
+                r2: 1.0,
+            },
+        )])
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_profile_fields() {
+        // NaN fit coefficients must not survive validation (pre-fix they
+        // flowed into SPI_mem evaluation as NaN stall counts).
+        let mut wl = WorkloadModel::synthetic_cpu_bound(&arm(), "ep", 60.0).profile;
+        wl.spi_mem.per_cores[0].1.intercept = f64::NAN;
+        assert!(wl.validate().is_err());
+        let mut wl = WorkloadModel::synthetic_cpu_bound(&arm(), "ep", 60.0).profile;
+        wl.io.bytes_per_unit = f64::NAN;
+        assert!(wl.validate().is_err());
+        // Frequencies themselves cannot be NaN: the fallible constructor
+        // rejects them before a profile can ever hold one.
+        assert!(Frequency::try_from_ghz(f64::NAN).is_err());
+        assert!(Frequency::try_from_ghz(0.0).is_err());
+        assert!(Frequency::try_from_ghz(f64::INFINITY).is_err());
+        assert!(Frequency::try_from_ghz(1.4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_power_fields() {
+        let mut p = PowerProfile::synthetic(&arm());
+        p.mem_w = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = PowerProfile::synthetic(&arm());
+        p.idle_w = f64::INFINITY;
+        assert!(p.validate().is_err());
+        let mut p = PowerProfile::synthetic(&arm());
+        p.core_w[0].1 = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = PowerProfile::synthetic(&arm());
+        p.core_w[0].2 = f64::INFINITY;
+        assert!(p.validate().is_err());
     }
 
     #[test]

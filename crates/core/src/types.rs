@@ -19,14 +19,27 @@ pub struct Frequency {
 }
 
 impl Frequency {
-    /// Build a frequency from GHz. Panics on non-finite or non-positive input.
+    /// Build a frequency from GHz. Panics on non-finite or non-positive
+    /// input; use [`Self::try_from_ghz`] for values sourced from user input.
     #[must_use]
     pub fn from_ghz(ghz: f64) -> Self {
-        assert!(
-            ghz.is_finite() && ghz > 0.0,
-            "frequency must be finite and positive, got {ghz} GHz"
-        );
-        Self { hz: ghz * 1e9 }
+        Self::try_from_ghz(ghz)
+            .unwrap_or_else(|_| panic!("frequency must be finite and positive, got {ghz} GHz"))
+    }
+
+    /// Fallible constructor for frequencies sourced from user input (e.g.
+    /// a persisted model file): a NaN, infinite, zero, or negative value is
+    /// an [`Error::InvalidInput`], not a panic.
+    ///
+    /// # Errors
+    /// [`Error::InvalidInput`] when `ghz` is non-finite or non-positive.
+    pub fn try_from_ghz(ghz: f64) -> Result<Self> {
+        if !ghz.is_finite() || !(ghz > 0.0) {
+            return Err(Error::InvalidInput(format!(
+                "frequency must be finite and positive, got {ghz} GHz"
+            )));
+        }
+        Ok(Self { hz: ghz * 1e9 })
     }
 
     /// Frequency in Hz.

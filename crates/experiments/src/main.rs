@@ -102,6 +102,7 @@ fn main() -> ExitCode {
             "governor",
             "fig10des",
             "resilience",
+            "selfcheck",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -171,6 +172,7 @@ fn main() -> ExitCode {
             "governor" => run_governor(&lab, &csv),
             "fig10des" => run_fig10des(&lab, &csv),
             "resilience" => run_resilience(&lab, &csv),
+            "selfcheck" => run_selfcheck(&lab, &csv),
             other => {
                 eprintln!("unknown artifact: --{other}");
                 return ExitCode::FAILURE;
@@ -875,4 +877,54 @@ fn run_fig10des(lab: &Lab, csv: &CsvWriter) {
     ];
     println!("{}", render_table(&header, &table));
     let _ = csv.write("fig10des", &header, &table);
+}
+
+fn run_selfcheck(lab: &Lab, csv: &CsvWriter) {
+    println!("== Self-check: differential oracles, invariants, and fuzz ==");
+    let report = hecmix_check::run_all(lab.seed());
+    let (space, models, _) = hecmix_check::reference_scenario();
+    let fuzz_cfg = hecmix_check::fuzz::FuzzConfig {
+        seed: lab.seed(),
+        ..hecmix_check::fuzz::FuzzConfig::default()
+    };
+    let fuzz_failure = hecmix_check::fuzz::fuzz(&space, &models, &fuzz_cfg);
+
+    let mut table: Vec<Vec<String>> = report
+        .results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_owned(),
+                r.violations.len().to_string(),
+                if r.passed() { "pass" } else { "FAIL" }.to_owned(),
+            ]
+        })
+        .collect();
+    table.push(vec![
+        "fuzz".to_owned(),
+        u64::from(fuzz_failure.is_some()).to_string(),
+        if fuzz_failure.is_none() {
+            "pass"
+        } else {
+            "FAIL"
+        }
+        .to_owned(),
+    ]);
+    let header = ["check", "violations", "status"];
+    println!("{}", render_table(&header, &table));
+    for r in &report.results {
+        for v in &r.violations {
+            println!("  {}: {v}", r.name);
+        }
+    }
+    if let Some(d) = &fuzz_failure {
+        println!("  fuzz reproducer: {}", d.to_json(lab.seed()));
+    }
+    // Recorded before writing so the CSV's manifest embeds the summary —
+    // the artifact attests the oracles held when it was produced.
+    csv.record_selfcheck(hecmix_obs::SelfCheckOutcome {
+        checks: report.checks() + 1,
+        violations: report.violation_count() + u64::from(fuzz_failure.is_some()),
+    });
+    let _ = csv.write("selfcheck", &header, &table);
 }

@@ -91,6 +91,7 @@ pub const NON_FINITE_SENTINEL: &str = "NA";
 pub struct CsvWriter {
     dir: PathBuf,
     context: Option<RunContext>,
+    selfcheck: parking_lot::Mutex<Option<hecmix_obs::SelfCheckOutcome>>,
 }
 
 impl CsvWriter {
@@ -100,7 +101,15 @@ impl CsvWriter {
         Ok(Self {
             dir: dir.as_ref().to_owned(),
             context: None,
+            selfcheck: parking_lot::Mutex::new(None),
         })
+    }
+
+    /// Attach a self-check outcome: every manifest written afterwards
+    /// carries the summary, so artifacts can attest the differential
+    /// oracles held for the run that produced them (DESIGN.md §10).
+    pub fn record_selfcheck(&self, outcome: hecmix_obs::SelfCheckOutcome) {
+        *self.selfcheck.lock() = Some(outcome);
     }
 
     /// Writer rooted at `dir` that writes a manifest sidecar next to every
@@ -155,6 +164,7 @@ impl CsvWriter {
                 wall_s: ctx.started.elapsed().as_secs_f64(),
                 rows: rows.len(),
                 columns: header.iter().map(|h| (*h).to_owned()).collect(),
+                selfcheck: *self.selfcheck.lock(),
             }
             .write_beside(&path)?;
         }

@@ -36,7 +36,7 @@ use std::time::Instant;
 pub mod json;
 pub mod manifest;
 
-pub use manifest::RunManifest;
+pub use manifest::{RunManifest, SelfCheckOutcome};
 
 /// One structured telemetry event. Variants group by emitting subsystem;
 /// every variant serializes to a flat JSON object with a `"kind"` tag (see
@@ -234,6 +234,30 @@ pub enum Event {
         rows: usize,
     },
 
+    // ---- self-check (hecmix-check) ----
+    /// A differential oracle or metamorphic invariant found a disagreement
+    /// between two computational paths that must agree.
+    CheckViolation {
+        /// Oracle or invariant name (e.g. `closed_form_vs_numeric`).
+        check: String,
+        /// Seed of the self-check run that found it.
+        seed: u64,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// Summary of one self-check run: how many checks ran and how many
+    /// violations they reported.
+    CheckSummary {
+        /// Seed of the self-check run.
+        seed: u64,
+        /// Number of oracle/invariant checks executed.
+        checks: u64,
+        /// Number of violations found across all checks.
+        violations: u64,
+        /// Wall time of the whole self-check run, seconds.
+        wall_s: f64,
+    },
+
     // ---- generic ----
     /// A named wall-clock span measured by [`ScopedTimer`].
     Timer {
@@ -272,6 +296,8 @@ impl Event {
             Event::DispatchDecision { .. } => "dispatch_decision",
             Event::CsvNonFinite { .. } => "csv_non_finite",
             Event::ArtifactWritten { .. } => "artifact_written",
+            Event::CheckViolation { .. } => "check_violation",
+            Event::CheckSummary { .. } => "check_summary",
             Event::Timer { .. } => "timer",
             Event::Warning { .. } => "warning",
         }
@@ -450,6 +476,26 @@ impl Event {
             Event::ArtifactWritten { artifact, rows } => {
                 o.str("artifact", artifact);
                 o.u64("rows", *rows as u64);
+            }
+            Event::CheckViolation {
+                check,
+                seed,
+                detail,
+            } => {
+                o.str("check", check);
+                o.u64("seed", *seed);
+                o.str("detail", detail);
+            }
+            Event::CheckSummary {
+                seed,
+                checks,
+                violations,
+                wall_s,
+            } => {
+                o.u64("seed", *seed);
+                o.u64("checks", *checks);
+                o.u64("violations", *violations);
+                o.f64("wall_s", *wall_s);
             }
             Event::Timer { name, wall_s } => {
                 o.str("name", name);
@@ -777,6 +823,17 @@ mod tests {
             Event::ArtifactWritten {
                 artifact: String::new(),
                 rows: 0,
+            },
+            Event::CheckViolation {
+                check: String::new(),
+                seed: 0,
+                detail: String::new(),
+            },
+            Event::CheckSummary {
+                seed: 0,
+                checks: 0,
+                violations: 0,
+                wall_s: 0.0,
             },
             Event::Timer {
                 name: "x",

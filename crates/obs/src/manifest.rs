@@ -10,6 +10,17 @@ use std::path::Path;
 
 use crate::json;
 
+/// Outcome of a `hecmix-check` self-check run, embedded in manifests so an
+/// artifact can attest that the differential oracles held when it was
+/// produced. See DESIGN.md §10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfCheckOutcome {
+    /// Oracle/invariant checks executed.
+    pub checks: u64,
+    /// Violations reported across all checks (0 = clean).
+    pub violations: u64,
+}
+
 /// Reproducibility record for one written artifact. Serialized to
 /// `<artifact>.manifest.json` next to the CSV by `hecmix-experiments`.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +39,8 @@ pub struct RunManifest {
     pub rows: usize,
     /// Column names, in order.
     pub columns: Vec<String>,
+    /// Self-check summary of the run, when one was executed.
+    pub selfcheck: Option<SelfCheckOutcome>,
 }
 
 impl RunManifest {
@@ -42,6 +55,10 @@ impl RunManifest {
         o.f64("wall_s", self.wall_s);
         o.u64("rows", self.rows as u64);
         o.str_array("columns", &self.columns);
+        if let Some(sc) = &self.selfcheck {
+            o.u64("selfcheck_checks", sc.checks);
+            o.u64("selfcheck_violations", sc.violations);
+        }
         o.finish()
     }
 
@@ -87,12 +104,25 @@ mod tests {
             wall_s: 0.25,
             rows: 10,
             columns: vec!["workload".to_string(), "err_pct".to_string()],
+            selfcheck: None,
         };
         let j = m.to_json();
         assert!(j.starts_with("{\"artifact\":\"table3\""), "{j}");
         assert!(j.contains("\"argv\":[\"hecmix-experiments\",\"--all\"]"));
         assert!(j.contains("\"columns\":[\"workload\",\"err_pct\"]"));
+        assert!(!j.contains("selfcheck"), "absent outcome must be omitted");
         assert!(!j.contains('\n'));
+        // With a self-check outcome attached, the summary keys appear.
+        let with = RunManifest {
+            selfcheck: Some(SelfCheckOutcome {
+                checks: 11,
+                violations: 0,
+            }),
+            ..m
+        };
+        let j = with.to_json();
+        assert!(j.contains("\"selfcheck_checks\":11"), "{j}");
+        assert!(j.contains("\"selfcheck_violations\":0"), "{j}");
     }
 
     #[test]
@@ -108,6 +138,7 @@ mod tests {
             wall_s: 0.0,
             rows: 0,
             columns: vec![],
+            selfcheck: None,
         };
         m.write_beside(&csv).unwrap();
         let side = dir.join("fig2.manifest.json");

@@ -55,9 +55,20 @@ pub struct DiurnalProfile {
 }
 
 impl DiurnalProfile {
-    /// Validate and construct.
+    /// Validate and construct. `base_lambda` and `slot_s` must be finite
+    /// and positive — an infinite slot length would pass a `> 0` check but
+    /// poison the per-slot window-energy accounting downstream.
+    ///
+    /// # Errors
+    /// [`Error::InvalidInput`] on a non-finite or non-positive rate or
+    /// slot length, an amplitude outside `[0, 1)`, or zero slots.
     pub fn new(base_lambda: f64, amplitude: f64, slots: u32, slot_s: f64) -> Result<Self> {
-        if !(base_lambda > 0.0) || !(0.0..1.0).contains(&amplitude) || slots == 0 || !(slot_s > 0.0)
+        if !(base_lambda > 0.0)
+            || !base_lambda.is_finite()
+            || !(0.0..1.0).contains(&amplitude)
+            || slots == 0
+            || !(slot_s > 0.0)
+            || !slot_s.is_finite()
         {
             return Err(Error::InvalidInput(format!(
                 "bad diurnal profile: λ={base_lambda}, amp={amplitude}, slots={slots}, slot_s={slot_s}"
@@ -471,6 +482,12 @@ mod tests {
         assert!(DiurnalProfile::new(0.0, 0.5, 24, 3600.0).is_err());
         assert!(DiurnalProfile::new(1.0, 1.0, 24, 3600.0).is_err());
         assert!(DiurnalProfile::new(1.0, 0.5, 0, 3600.0).is_err());
+        // Non-finite rate/slot length must be rejected at construction,
+        // not only when a run_day* entry point later touches them.
+        assert!(DiurnalProfile::new(f64::INFINITY, 0.5, 24, 3600.0).is_err());
+        assert!(DiurnalProfile::new(f64::NAN, 0.5, 24, 3600.0).is_err());
+        assert!(DiurnalProfile::new(1.0, 0.5, 24, f64::INFINITY).is_err());
+        assert!(DiurnalProfile::new(1.0, 0.5, 24, f64::NAN).is_err());
     }
 
     #[test]

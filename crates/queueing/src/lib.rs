@@ -234,6 +234,11 @@ impl WindowEnergy {
 /// nodes' idle floor *during* service), and total idle power
 /// `idle_power_w` of the powered nodes, under Poisson arrivals `lambda`
 /// over `window_s` seconds.
+///
+/// The window must be finite and positive, and energy/power finite and
+/// non-negative: a zero-length or infinite window, or a NaN parameter,
+/// would otherwise leak into the accounting as NaN (e.g.
+/// `0 W · ∞ s · (1 − ρ)`) or negative idle energy.
 pub fn window_energy(
     lambda: f64,
     window_s: f64,
@@ -241,10 +246,18 @@ pub fn window_energy(
     job_energy_j: f64,
     idle_power_w: f64,
 ) -> Result<WindowEnergy> {
-    if !(window_s > 0.0) || job_energy_j < 0.0 || idle_power_w < 0.0 {
-        return Err(Error::InvalidInput(
-            "window_energy needs positive window and non-negative energy/power".into(),
-        ));
+    if !(window_s > 0.0)
+        || !window_s.is_finite()
+        || !(job_energy_j >= 0.0)
+        || !job_energy_j.is_finite()
+        || !(idle_power_w >= 0.0)
+        || !idle_power_w.is_finite()
+    {
+        return Err(Error::InvalidInput(format!(
+            "window_energy needs a finite positive window and finite non-negative \
+             energy/power, got window_s={window_s}, job_energy_j={job_energy_j}, \
+             idle_power_w={idle_power_w}"
+        )));
     }
     let q = MD1::new(lambda, service_s)?;
     let rho = q.utilization();
@@ -376,6 +389,29 @@ mod tests {
         ));
         assert!(window_energy(1.0, 0.0, 0.1, 1.0, 1.0).is_err());
         assert!(window_energy(1.0, 20.0, 0.1, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn window_energy_rejects_non_finite_inputs() {
+        // Pre-fix regressions: NaN energy/power passed the `< 0.0` guard
+        // and an infinite window produced `0 W · ∞ s = NaN` idle energy.
+        assert!(window_energy(1.0, f64::INFINITY, 0.1, 1.0, 0.0).is_err());
+        assert!(window_energy(1.0, f64::NAN, 0.1, 1.0, 1.0).is_err());
+        assert!(window_energy(1.0, 20.0, 0.1, f64::NAN, 1.0).is_err());
+        assert!(window_energy(1.0, 20.0, 0.1, 1.0, f64::NAN).is_err());
+        assert!(window_energy(1.0, 20.0, 0.1, f64::INFINITY, 1.0).is_err());
+        assert!(window_energy(1.0, 20.0, 0.1, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn window_energy_fractional_jobs_stay_non_negative() {
+        // λ·L < 1 expected jobs: every component must still be finite and
+        // non-negative (no negative idle energy from rounding tricks).
+        let w = window_energy(0.01, 10.0, 0.1, 5.0, 2.0).unwrap();
+        assert!((w.jobs - 0.1).abs() < 1e-12);
+        assert!(w.busy_energy_j >= 0.0 && w.busy_energy_j.is_finite());
+        assert!(w.idle_energy_j >= 0.0 && w.idle_energy_j.is_finite());
+        assert!(w.total_j().is_finite() && w.total_j() >= 0.0);
     }
 
     #[test]

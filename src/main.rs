@@ -7,6 +7,7 @@
 //! hecmix evaluate     --workload ep --arm-nodes 8 --amd-nodes 1 [--units N]
 //! hecmix characterize --out DIR [--workload NAME]
 //! hecmix queueing     --workload memcached --lambda 2.0 --slo-ms 450
+//! hecmix selfcheck    [--seed 42] [--fuzz-iters 200]
 //! ```
 //!
 //! Everything runs against the simulated reference testbed (see DESIGN.md);
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags),
         "characterize" => cmd_characterize(&flags),
         "queueing" => cmd_queueing(&flags),
+        "selfcheck" => cmd_selfcheck(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -76,6 +78,7 @@ commands:
   evaluate     --workload NAME --arm-nodes N --amd-nodes M [--units W]
   characterize --out DIR [--workload NAME]
   queueing     --workload NAME --lambda JOBS_PER_S --slo-ms R [--window-s S]
+  selfcheck    [--seed N] [--fuzz-iters N]
 
 workloads: ep memcached x264 blackscholes julius rsa-2048"
     );
@@ -344,6 +347,52 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_selfcheck(flags: &HashMap<String, String>) -> ExitCode {
+    let (Ok(seed), Ok(fuzz_iters)) = (
+        get_num::<u64>(flags, "seed", 42),
+        get_num::<u32>(flags, "fuzz-iters", 200),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    println!("self-check (seed {seed})");
+    let report = hecmix_check::run_all(seed);
+    for r in &report.results {
+        if r.passed() {
+            println!("  PASS {}", r.name);
+        } else {
+            println!("  FAIL {} ({} violations)", r.name, r.violations.len());
+            for v in &r.violations {
+                println!("       {v}");
+            }
+        }
+    }
+    let (space, models, _) = hecmix_check::reference_scenario();
+    let fuzz_cfg = hecmix_check::fuzz::FuzzConfig {
+        seed,
+        iters: fuzz_iters,
+        ..hecmix_check::fuzz::FuzzConfig::default()
+    };
+    let fuzz_failure = hecmix_check::fuzz::fuzz(&space, &models, &fuzz_cfg);
+    match &fuzz_failure {
+        None => println!("  PASS fuzz ({fuzz_iters} random configurations)"),
+        Some(d) => {
+            println!("  FAIL fuzz: {} — {}", d.check, d.detail);
+            println!("       minimal reproducer: {}", d.to_json(seed));
+        }
+    }
+    println!(
+        "{} checks, {} violations in {:.2} s",
+        report.checks() + 1,
+        report.violation_count() + u64::from(fuzz_failure.is_some()),
+        report.wall_s
+    );
+    if report.is_clean() && fuzz_failure.is_none() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_queueing(flags: &HashMap<String, String>) -> ExitCode {
