@@ -222,6 +222,49 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
     Ok(model)
 }
 
+/// FNV-1a over `bytes` — the workspace's canonical cheap content hash
+/// (no cryptographic claims; collision resistance is "good enough to key
+/// a cache and spot a changed file").
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl WorkloadModel {
+    /// Content hash of the bundle: FNV-1a over the canonical v1 serialized
+    /// form ([`to_string`]). Two models hash equal iff their persisted
+    /// files are byte-identical, so the hash survives a save/load
+    /// round-trip — which is what lets the `hecmix-serve` plan cache and
+    /// experiment manifest sidecars both record it and be compared.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(to_string(self).as_bytes())
+    }
+}
+
+/// Combined content hash of an ordered model set (e.g. the `[ARM, AMD]`
+/// pair a sweep consumes). Order-sensitive by design: the sweep's type
+/// order is part of the query shape.
+#[must_use]
+pub fn models_hash(models: &[WorkloadModel]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for m in models {
+        // Mix each bundle hash in with one FNV round over its bytes.
+        for b in m.content_hash().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Write a bundle to a file.
 pub fn save(model: &WorkloadModel, path: &std::path::Path) -> Result<()> {
     std::fs::write(path, to_string(model))
@@ -378,6 +421,27 @@ mod tests {
             })
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    #[test]
+    fn content_hash_survives_roundtrip_and_detects_change() {
+        let m = sample();
+        let h = m.content_hash();
+        // Known FNV-1a vectors pin the hash function itself.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Round-trip through the v1 format preserves the hash exactly.
+        let back = from_str(&to_string(&m)).unwrap();
+        assert_eq!(back.content_hash(), h);
+        // Any semantic change moves it.
+        let mut changed = m.clone();
+        changed.power.mem_w += 0.001;
+        assert_ne!(changed.content_hash(), h);
+        // The set hash is order-sensitive (type order is query shape).
+        let a = sample();
+        let mut b = sample();
+        b.workload = "other".to_owned();
+        assert_ne!(models_hash(&[a.clone(), b.clone()]), models_hash(&[b, a]));
     }
 
     #[test]

@@ -105,6 +105,26 @@ impl Lab {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Manifest lines `"<workload>-<platform>:<16-hex-fnv1a>"` for every
+    /// model characterized so far, sorted. Feeds the reproducibility
+    /// sidecars so an artifact records exactly which model contents
+    /// produced it.
+    #[must_use]
+    pub fn model_hash_lines(&self) -> Vec<String> {
+        let cache = self.cache.lock();
+        let mut lines: Vec<String> = cache
+            .iter()
+            .flat_map(|(name, models)| {
+                models.iter().map(move |m| {
+                    let short = m.platform.name.split_whitespace().last().unwrap_or("node");
+                    format!("{name}-{}:{:016x}", short.to_lowercase(), m.content_hash())
+                })
+            })
+            .collect();
+        lines.sort();
+        lines
+    }
 }
 
 impl Default for Lab {

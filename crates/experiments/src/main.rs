@@ -119,7 +119,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let lab = Lab::with_seed(seed);
+    let lab = std::sync::Arc::new(Lab::with_seed(seed));
     let context = RunContext::capture(seed, std::path::Path::new("."));
     let csv = match CsvWriter::with_context(&results_dir, context) {
         Ok(w) => w,
@@ -128,6 +128,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Manifests attest the exact model contents behind each artifact; the
+    // lab's cache is polled lazily because models are characterized on
+    // first use, after this point.
+    let hash_lab = std::sync::Arc::clone(&lab);
+    csv.set_model_hash_source(Box::new(move || hash_lab.model_hash_lines()));
 
     for artifact in &artifacts {
         let started = std::time::Instant::now();

@@ -258,6 +258,48 @@ pub enum Event {
         wall_s: f64,
     },
 
+    // ---- hecmix-serve: planning daemon ----
+    /// A request was dequeued by a worker and its handler started.
+    RequestStart {
+        /// Request path (e.g. `/plan`).
+        path: String,
+        /// Queue depth observed when the request was dequeued.
+        queue_depth: usize,
+    },
+    /// A request finished and its response was written.
+    RequestDone {
+        /// Request path.
+        path: String,
+        /// HTTP status code of the response.
+        status: u16,
+        /// Handler wall time, seconds.
+        wall_s: f64,
+        /// Whether the hot computation was served from the plan cache.
+        cached: bool,
+    },
+    /// Admission control rejected a connection (bounded queue full).
+    RequestRejected {
+        /// Queue depth at rejection (== capacity).
+        queue_depth: usize,
+        /// `Retry-After` value sent with the 503, seconds.
+        retry_after_s: u64,
+    },
+    /// A plan-cache lookup hit.
+    CacheHit {
+        /// Cache key (content hash of models + query shape).
+        key: u64,
+    },
+    /// A plan-cache lookup missed and the value was computed.
+    CacheMiss {
+        /// Cache key.
+        key: u64,
+    },
+    /// A plan-cache entry was evicted (LRU capacity pressure).
+    CacheEvict {
+        /// Evicted entry's key.
+        key: u64,
+    },
+
     // ---- generic ----
     /// A named wall-clock span measured by [`ScopedTimer`].
     Timer {
@@ -298,6 +340,12 @@ impl Event {
             Event::ArtifactWritten { .. } => "artifact_written",
             Event::CheckViolation { .. } => "check_violation",
             Event::CheckSummary { .. } => "check_summary",
+            Event::RequestStart { .. } => "request_start",
+            Event::RequestDone { .. } => "request_done",
+            Event::RequestRejected { .. } => "request_rejected",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::CacheEvict { .. } => "cache_evict",
             Event::Timer { .. } => "timer",
             Event::Warning { .. } => "warning",
         }
@@ -497,6 +545,37 @@ impl Event {
                 o.u64("violations", *violations);
                 o.f64("wall_s", *wall_s);
             }
+            Event::RequestStart { path, queue_depth } => {
+                o.str("path", path);
+                o.u64("queue_depth", *queue_depth as u64);
+            }
+            Event::RequestDone {
+                path,
+                status,
+                wall_s,
+                cached,
+            } => {
+                o.str("path", path);
+                o.u64("status", u64::from(*status));
+                o.f64("wall_s", *wall_s);
+                o.bool("cached", *cached);
+            }
+            Event::RequestRejected {
+                queue_depth,
+                retry_after_s,
+            } => {
+                o.u64("queue_depth", *queue_depth as u64);
+                o.u64("retry_after_s", *retry_after_s);
+            }
+            Event::CacheHit { key } => {
+                o.u64("key", *key);
+            }
+            Event::CacheMiss { key } => {
+                o.u64("key", *key);
+            }
+            Event::CacheEvict { key } => {
+                o.u64("key", *key);
+            }
             Event::Timer { name, wall_s } => {
                 o.str("name", name);
                 o.f64("wall_s", *wall_s);
@@ -550,9 +629,19 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, event: &Event) {
+        // Format the complete line (newline included) *before* taking the
+        // lock, then emit it as a single `write_all`. Formatting inside a
+        // `writeln!` would issue several smaller writes; if one of them
+        // errored or the process died mid-call, a torn partial line could
+        // reach the file. One buffered `write_all` of a finished line keeps
+        // every record atomic and shrinks the critical section to a memcpy
+        // — with many server workers recording concurrently, the lock is
+        // held for nanoseconds, not for the formatting.
+        let mut line = event.to_json();
+        line.push('\n');
         let mut out = self.out.lock().expect("jsonl sink poisoned");
         // Telemetry is best-effort: an I/O error here must not abort the run.
-        let _ = writeln!(out, "{}", event.to_json());
+        let _ = out.write_all(line.as_bytes());
     }
 
     fn flush(&self) {
@@ -835,6 +924,23 @@ mod tests {
                 violations: 0,
                 wall_s: 0.0,
             },
+            Event::RequestStart {
+                path: String::new(),
+                queue_depth: 0,
+            },
+            Event::RequestDone {
+                path: String::new(),
+                status: 200,
+                wall_s: 0.0,
+                cached: false,
+            },
+            Event::RequestRejected {
+                queue_depth: 0,
+                retry_after_s: 1,
+            },
+            Event::CacheHit { key: 0 },
+            Event::CacheMiss { key: 0 },
+            Event::CacheEvict { key: 0 },
             Event::Timer {
                 name: "x",
                 wall_s: 0.0,

@@ -41,6 +41,12 @@ pub struct RunManifest {
     pub columns: Vec<String>,
     /// Self-check summary of the run, when one was executed.
     pub selfcheck: Option<SelfCheckOutcome>,
+    /// Content hashes of the model bundles the run characterized or
+    /// loaded, as `"<workload>-<platform>:<16-hex-digit FNV-1a>"` entries
+    /// (empty = not recorded). The same hash keys the `hecmix-serve` plan
+    /// cache, so an artifact and a serving deployment can attest they were
+    /// computed from identical model inputs.
+    pub model_hashes: Vec<String>,
 }
 
 impl RunManifest {
@@ -58,6 +64,9 @@ impl RunManifest {
         if let Some(sc) = &self.selfcheck {
             o.u64("selfcheck_checks", sc.checks);
             o.u64("selfcheck_violations", sc.violations);
+        }
+        if !self.model_hashes.is_empty() {
+            o.str_array("model_hashes", &self.model_hashes);
         }
         o.finish()
     }
@@ -105,12 +114,14 @@ mod tests {
             rows: 10,
             columns: vec!["workload".to_string(), "err_pct".to_string()],
             selfcheck: None,
+            model_hashes: Vec::new(),
         };
         let j = m.to_json();
         assert!(j.starts_with("{\"artifact\":\"table3\""), "{j}");
         assert!(j.contains("\"argv\":[\"hecmix-experiments\",\"--all\"]"));
         assert!(j.contains("\"columns\":[\"workload\",\"err_pct\"]"));
         assert!(!j.contains("selfcheck"), "absent outcome must be omitted");
+        assert!(!j.contains("model_hashes"), "empty hashes must be omitted");
         assert!(!j.contains('\n'));
         // With a self-check outcome attached, the summary keys appear.
         let with = RunManifest {
@@ -118,11 +129,16 @@ mod tests {
                 checks: 11,
                 violations: 0,
             }),
+            model_hashes: vec!["ep-k10:00000000deadbeef".to_string()],
             ..m
         };
         let j = with.to_json();
         assert!(j.contains("\"selfcheck_checks\":11"), "{j}");
         assert!(j.contains("\"selfcheck_violations\":0"), "{j}");
+        assert!(
+            j.contains("\"model_hashes\":[\"ep-k10:00000000deadbeef\"]"),
+            "{j}"
+        );
     }
 
     #[test]
@@ -139,6 +155,7 @@ mod tests {
             rows: 0,
             columns: vec![],
             selfcheck: None,
+            model_hashes: vec![],
         };
         m.write_beside(&csv).unwrap();
         let side = dir.join("fig2.manifest.json");

@@ -1,0 +1,69 @@
+//! Regression test for concurrent-writer line atomicity in [`JsonlSink`].
+//!
+//! Many `hecmix-serve` workers record telemetry into one sink at once.
+//! Every line of the resulting JSONL file must parse on its own: a torn or
+//! interleaved line would corrupt replay tooling silently. The sink is
+//! exercised directly (not through the process-global registry) so this
+//! test composes with the rest of the suite.
+
+use std::sync::Arc;
+
+use hecmix_obs::{json, Event, JsonlSink, Sink};
+
+#[test]
+fn concurrent_writers_never_tear_lines() {
+    const THREADS: usize = 8;
+    const EVENTS_PER_THREAD: u64 = 500;
+
+    let path = std::env::temp_dir().join(format!(
+        "hecmix-jsonl-concurrent-{}.jsonl",
+        std::process::id()
+    ));
+    let sink = Arc::new(JsonlSink::create(&path).expect("create sink"));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let sink = Arc::clone(&sink);
+            s.spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    // Mix event shapes, including strings needing escapes,
+                    // so a torn line is overwhelmingly likely to misparse.
+                    let event = match i % 3 {
+                        0 => Event::RequestDone {
+                            path: format!("/plan?\"t{t}\"\\{i}"),
+                            status: 200,
+                            wall_s: i as f64 * 1e-6,
+                            cached: i % 2 == 0,
+                        },
+                        1 => Event::CacheHit { key: t << 32 | i },
+                        _ => Event::Warning {
+                            message: format!("thread {t} event {i}\nsecond line"),
+                        },
+                    };
+                    sink.record(&event);
+                }
+            });
+        }
+    });
+    sink.flush();
+
+    let text = std::fs::read_to_string(&path).expect("read jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let mut parsed = 0u64;
+    for (n, line) in text.lines().enumerate() {
+        let v = json::parse(line)
+            .unwrap_or_else(|e| panic!("line {} does not parse ({e}): {line:?}", n + 1));
+        assert!(
+            v.get("kind").and_then(json::Value::as_str).is_some(),
+            "line {} lacks a kind tag: {line:?}",
+            n + 1
+        );
+        parsed += 1;
+    }
+    assert_eq!(
+        parsed,
+        (THREADS as u64) * EVENTS_PER_THREAD,
+        "every recorded event must appear exactly once"
+    );
+}

@@ -1,0 +1,651 @@
+//! Request dispatch: the planning endpoints and their shared state.
+//!
+//! Six endpoints over the model machinery in `hecmix-core`:
+//!
+//! | Endpoint         | Answers                                            |
+//! |------------------|----------------------------------------------------|
+//! | `POST /plan`     | cheapest feasible config for a workload + deadline |
+//! | `POST /frontier` | the energy–deadline Pareto frontier (optionally the `resilient_k` degraded frontier) |
+//! | `POST /whatif`   | the power-budget substitution ladder               |
+//! | `POST /reload`   | swap the model inventory, invalidate the cache     |
+//! | `GET /healthz`   | liveness                                           |
+//! | `GET /statz`     | uptime, queue, cache, latency percentiles          |
+//!
+//! Every computed answer is memoized in the sharded LRU ([`crate::cache`])
+//! under a key mixing the **content hash of the model bundle** with the
+//! query shape, so identical questions after the first are answered
+//! without touching the sweep engine. Responses always carry two fields
+//! the load harness relies on: `"cached"` and `"compute_us"` (server-side
+//! compute time, free of network jitter — the honest number for the
+//! cold-vs-warm speedup claim).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use hecmix_core::budget::PowerBudget;
+use hecmix_core::config::ConfigSpace;
+use hecmix_core::mix_match::mix_and_match;
+use hecmix_core::pareto::ParetoFrontier;
+use hecmix_core::persist::fnv1a;
+use hecmix_core::rate_table::RateTable;
+use hecmix_core::resilience::ResilientTable;
+use hecmix_core::types::Platform;
+use hecmix_obs::json::{self, Object, Value};
+use hecmix_obs::{emit, Event};
+
+use crate::cache::ShardedLru;
+use crate::hist::{self, Histogram};
+use crate::http::{Request, Response};
+use crate::store::{ModelEntry, ModelStore};
+
+/// Query-shape tags mixed into cache keys so different derivations from
+/// the same model bundle can never alias.
+mod tag {
+    /// Pareto frontier of a two-type space.
+    pub const FRONTIER: u64 = 1;
+    /// Resilient (k-degraded) frontier.
+    pub const RESILIENT: u64 = 3;
+    /// Power-budget substitution ladder.
+    pub const WHATIF: u64 = 4;
+}
+
+/// One memoized computation.
+pub enum CachedCompute {
+    /// An energy–deadline frontier (plain or k-degraded).
+    Frontier(ParetoFrontier),
+    /// A full substitution ladder with per-rung frontiers (kept so any
+    /// deadline can be evaluated against a cached ladder).
+    Whatif(WhatifResult),
+}
+
+/// Cached result of a `/whatif` ladder computation.
+pub struct WhatifResult {
+    /// Ladder rungs, all-high first, all-low last.
+    pub rungs: Vec<WhatifRung>,
+}
+
+/// One substitution-ladder rung and its frontier.
+pub struct WhatifRung {
+    /// Human-readable mix label (`ARM 16:AMD 14`).
+    pub label: String,
+    /// Low-power node count.
+    pub low_nodes: u32,
+    /// High-performance node count.
+    pub high_nodes: u32,
+    /// Peak power draw of the mix, watts.
+    pub peak_w: f64,
+    /// The rung's energy–deadline frontier.
+    pub frontier: ParetoFrontier,
+}
+
+/// Source for `POST /reload`: rebuilds a fresh [`ModelStore`].
+pub type ReloadFn = dyn Fn() -> Result<ModelStore, String> + Send + Sync;
+
+/// Per-daemon counters and per-worker latency histograms.
+pub struct Metrics {
+    /// One histogram per worker (indexed by worker id; lock-free writes).
+    pub hists: Vec<Histogram>,
+    /// Requests answered (any status except accept-queue rejections).
+    pub served: AtomicU64,
+    /// Connections rejected by admission control.
+    pub rejected: AtomicU64,
+    /// Last observed accept-queue depth.
+    pub queue_depth: AtomicUsize,
+    started: Instant,
+}
+
+impl Metrics {
+    fn new(workers: usize) -> Self {
+        Self {
+            hists: (0..workers.max(1)).map(|_| Histogram::new()).collect(),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since the daemon started.
+    #[must_use]
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Everything a worker needs to answer a request.
+pub struct AppState {
+    store: RwLock<Arc<ModelStore>>,
+    cache: ShardedLru<CachedCompute>,
+    reload: RwLock<Option<Arc<ReloadFn>>>,
+    /// Counters and histograms, updated by workers and the accept thread.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// State over `store`, with `workers` latency histograms and a plan
+    /// cache of `cache_capacity` entries.
+    #[must_use]
+    pub fn new(store: ModelStore, workers: usize, cache_capacity: usize) -> Self {
+        Self {
+            store: RwLock::new(Arc::new(store)),
+            cache: ShardedLru::new(cache_capacity.max(1)),
+            reload: RwLock::new(None),
+            metrics: Metrics::new(workers),
+        }
+    }
+
+    /// Configure what `POST /reload` does (rebuild from a directory, a
+    /// lab, …). Without one, `/reload` answers 400.
+    pub fn set_reload(&self, f: Arc<ReloadFn>) {
+        *self.reload.write().expect("reload slot poisoned") = Some(f);
+    }
+
+    /// Snapshot of the current model inventory.
+    #[must_use]
+    pub fn store(&self) -> Arc<ModelStore> {
+        Arc::clone(&self.store.read().expect("model store poisoned"))
+    }
+
+    /// Handle one request end to end: dispatch, record latency into
+    /// `worker`'s histogram, emit request telemetry.
+    #[must_use]
+    pub fn handle(&self, worker: usize, req: &Request) -> Response {
+        let t0 = Instant::now();
+        emit(|| Event::RequestStart {
+            path: req.path.clone(),
+            queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
+        });
+        let (resp, cached) = self.dispatch(req);
+        let wall = t0.elapsed();
+        self.metrics.served.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = self.metrics.hists.get(worker) {
+            h.record(wall.as_nanos() as u64);
+        }
+        emit(|| Event::RequestDone {
+            path: req.path.clone(),
+            status: resp.status,
+            wall_s: wall.as_secs_f64(),
+            cached,
+        });
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> (Response, bool) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => (self.healthz(), false),
+            ("GET", "/statz") => (self.statz(), false),
+            ("POST", "/plan") => self.with_body(req, Self::plan),
+            ("POST", "/frontier") => self.with_body(req, Self::frontier),
+            ("POST", "/whatif") => self.with_body(req, Self::whatif),
+            ("POST", "/reload") => (self.reload_models(), false),
+            (_, "/healthz" | "/statz" | "/plan" | "/frontier" | "/whatif" | "/reload") => {
+                (Response::error(405, "method not allowed"), false)
+            }
+            _ => (Response::error(404, "no such endpoint"), false),
+        }
+    }
+
+    fn with_body(
+        &self,
+        req: &Request,
+        f: fn(&Self, &Value) -> (Response, bool),
+    ) -> (Response, bool) {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t.trim(),
+            Err(_) => return (Response::error(400, "body is not UTF-8"), false),
+        };
+        let value = if text.is_empty() {
+            Value::Object(Vec::new())
+        } else {
+            match json::parse(text) {
+                Ok(v) => v,
+                Err(e) => return (Response::error(400, &format!("bad JSON: {e}")), false),
+            }
+        };
+        f(self, &value)
+    }
+
+    // ---- endpoints ----
+
+    fn healthz(&self) -> Response {
+        let store = self.store();
+        let mut o = Object::new();
+        o.bool("ok", true);
+        o.u64("workloads", store.len() as u64);
+        o.f64("uptime_s", self.metrics.uptime_s());
+        Response::json(200, o.finish())
+    }
+
+    fn statz(&self) -> Response {
+        let store = self.store();
+        let cache = self.cache.stats();
+        let lat = hist::summarize(&self.metrics.hists);
+        let mut o = Object::new();
+        o.str("schema", "hecmix-statz-v1");
+        o.f64("uptime_s", self.metrics.uptime_s());
+        o.u64("served", self.metrics.served.load(Ordering::Relaxed));
+        o.u64("rejected", self.metrics.rejected.load(Ordering::Relaxed));
+        o.u64(
+            "queue_depth",
+            self.metrics.queue_depth.load(Ordering::Relaxed) as u64,
+        );
+        let mut c = Object::new();
+        c.u64("hits", cache.hits);
+        c.u64("misses", cache.misses);
+        c.u64("evictions", cache.evictions);
+        c.u64("entries", cache.entries as u64);
+        c.f64("hit_rate", cache.hit_rate());
+        o.raw("cache", &c.finish());
+        let ns_to_us = |v: u64| v as f64 / 1e3;
+        let mut l = Object::new();
+        l.u64("count", lat.count);
+        l.f64("p50", ns_to_us(lat.p50));
+        l.f64("p90", ns_to_us(lat.p90));
+        l.f64("p99", ns_to_us(lat.p99));
+        l.f64("p999", ns_to_us(lat.p999));
+        l.f64("max", ns_to_us(lat.max));
+        l.f64("mean", lat.mean / 1e3);
+        o.raw("latency_us", &l.finish());
+        o.str_array("workloads", &store.names());
+        o.str_array("model_hashes", &store.hashes());
+        Response::json(200, o.finish())
+    }
+
+    fn plan(&self, v: &Value) -> (Response, bool) {
+        let store = self.store();
+        let (entry, name, arm, amd, units) = match parse_common(&store, v) {
+            Ok(p) => p,
+            Err(resp) => return (resp, false),
+        };
+        let Some(deadline_ms) = v.get("deadline_ms").and_then(Value::as_f64) else {
+            return (Response::error(400, "missing deadline_ms"), false);
+        };
+        if deadline_ms <= 0.0 || !deadline_ms.is_finite() {
+            return (
+                Response::error(422, "deadline_ms must be finite and positive"),
+                false,
+            );
+        }
+
+        let t0 = Instant::now();
+        let (computed, cached) = match self.frontier_for(entry, arm, amd, units) {
+            Ok(x) => x,
+            Err(resp) => return (resp, false),
+        };
+        // Planning compute only: response serialization costs the same on
+        // hits and misses, so including it would mask the cache win.
+        let compute_us = t0.elapsed().as_micros() as u64;
+        let CachedCompute::Frontier(frontier) = &*computed else {
+            return (Response::error(500, "cache type confusion"), false);
+        };
+        let platforms = platform_pair(entry);
+
+        let mut o = Object::new();
+        o.str("workload", name);
+        o.u64("arm", u64::from(arm));
+        o.u64("amd", u64::from(amd));
+        o.f64("units", units);
+        o.f64("deadline_ms", deadline_ms);
+        match frontier.min_energy_for_deadline(deadline_ms / 1e3) {
+            Some(point) => {
+                o.bool("feasible", true);
+                o.str("config", &point.config.label(&platforms));
+                o.f64("time_ms", point.time_s * 1e3);
+                o.f64("energy_j", point.energy_j);
+                if let Ok(split) = mix_and_match(&point.config, &entry.models, units) {
+                    // `MatchedSplit::shares` are absolute work units summing
+                    // to `units`; the wire format reports fractions.
+                    let mut s = Object::new();
+                    s.f64("low", split.shares.first().copied().unwrap_or(0.0) / units);
+                    s.f64("high", split.shares.get(1).copied().unwrap_or(0.0) / units);
+                    o.raw("shares", &s.finish());
+                }
+            }
+            None => {
+                o.bool("feasible", false);
+                if let Some(t) = frontier.min_time_s() {
+                    o.f64("fastest_ms", t * 1e3);
+                }
+            }
+        }
+        o.bool("cached", cached);
+        o.u64("compute_us", compute_us);
+        (Response::json(200, o.finish()), cached)
+    }
+
+    fn frontier(&self, v: &Value) -> (Response, bool) {
+        let store = self.store();
+        let (entry, name, arm, amd, units) = match parse_common(&store, v) {
+            Ok(p) => p,
+            Err(resp) => return (resp, false),
+        };
+        let resilient_k = match v.get("resilient_k") {
+            None => None,
+            Some(k) => match k.as_u64() {
+                Some(k) if k >= 1 => Some(k as u32),
+                _ => {
+                    return (
+                        Response::error(422, "resilient_k must be an integer >= 1"),
+                        false,
+                    )
+                }
+            },
+        };
+
+        let t0 = Instant::now();
+        let result = match resilient_k {
+            None => self.frontier_for(entry, arm, amd, units),
+            Some(k) => self.resilient_frontier_for(entry, arm, amd, units, k),
+        };
+        let (computed, cached) = match result {
+            Ok(x) => x,
+            Err(resp) => return (resp, false),
+        };
+        let compute_us = t0.elapsed().as_micros() as u64;
+        let CachedCompute::Frontier(frontier) = &*computed else {
+            return (Response::error(500, "cache type confusion"), false);
+        };
+        let platforms = platform_pair(entry);
+
+        let mut o = Object::new();
+        o.str("workload", name);
+        o.u64("arm", u64::from(arm));
+        o.u64("amd", u64::from(amd));
+        o.f64("units", units);
+        if let Some(k) = resilient_k {
+            o.u64("resilient_k", u64::from(k));
+        }
+        o.u64("count", frontier.len() as u64);
+        let mut points = String::from("[");
+        for (i, p) in frontier.points.iter().enumerate() {
+            if i > 0 {
+                points.push(',');
+            }
+            let mut po = Object::new();
+            po.f64("time_ms", p.time_s * 1e3);
+            po.f64("energy_j", p.energy_j);
+            po.str("config", &p.config.label(&platforms));
+            points.push_str(&po.finish());
+        }
+        points.push(']');
+        o.raw("points", &points);
+        o.bool("cached", cached);
+        o.u64("compute_us", compute_us);
+        (Response::json(200, o.finish()), cached)
+    }
+
+    fn whatif(&self, v: &Value) -> (Response, bool) {
+        let store = self.store();
+        let Some(name) = v.get("workload").and_then(Value::as_str) else {
+            return (Response::error(400, "missing workload"), false);
+        };
+        let Some(entry) = store.get(name) else {
+            return (
+                Response::error(404, &format!("unknown workload `{name}`")),
+                false,
+            );
+        };
+        let Some(budget_w) = v.get("budget_w").and_then(Value::as_f64) else {
+            return (Response::error(400, "missing budget_w"), false);
+        };
+        let units = match optional_f64(v, "units", entry.default_units) {
+            Ok(u) => u,
+            Err(resp) => return (resp, false),
+        };
+        let step_high = v
+            .get("step_high")
+            .and_then(Value::as_u64)
+            .unwrap_or(2)
+            .clamp(1, 64) as u32;
+        let deadline_ms = v.get("deadline_ms").and_then(Value::as_f64);
+
+        let t0 = Instant::now();
+        let (computed, cached) = match self.whatif_for(entry, budget_w, units, step_high) {
+            Ok(x) => x,
+            Err(resp) => return (resp, false),
+        };
+        let compute_us = t0.elapsed().as_micros() as u64;
+        let CachedCompute::Whatif(result) = &*computed else {
+            return (Response::error(500, "cache type confusion"), false);
+        };
+
+        let mut o = Object::new();
+        o.str("workload", name);
+        o.f64("budget_w", budget_w);
+        o.f64("units", units);
+        o.u64("step_high", u64::from(step_high));
+        let mut best: Option<(usize, f64)> = None;
+        let mut rungs = String::from("[");
+        for (i, rung) in result.rungs.iter().enumerate() {
+            if i > 0 {
+                rungs.push(',');
+            }
+            let mut ro = Object::new();
+            ro.str("mix", &rung.label);
+            ro.u64("arm", u64::from(rung.low_nodes));
+            ro.u64("amd", u64::from(rung.high_nodes));
+            ro.f64("peak_w", rung.peak_w);
+            if let Some(t) = rung.frontier.min_time_s() {
+                ro.f64("min_time_ms", t * 1e3);
+            }
+            if let Some(e) = rung.frontier.min_energy_j() {
+                ro.f64("min_energy_j", e);
+            }
+            if let Some(d) = deadline_ms {
+                match rung.frontier.min_energy_for_deadline(d / 1e3) {
+                    Some(p) => {
+                        ro.f64("deadline_energy_j", p.energy_j);
+                        if best.is_none_or(|(_, e)| p.energy_j < e) {
+                            best = Some((i, p.energy_j));
+                        }
+                    }
+                    None => ro.bool("deadline_feasible", false),
+                }
+            }
+            rungs.push_str(&ro.finish());
+        }
+        rungs.push(']');
+        o.raw("rungs", &rungs);
+        if let Some(d) = deadline_ms {
+            o.f64("deadline_ms", d);
+            if let Some((i, e)) = best {
+                o.str("best_mix", &result.rungs[i].label);
+                o.f64("best_energy_j", e);
+            }
+        }
+        o.bool("cached", cached);
+        o.u64("compute_us", compute_us);
+        (Response::json(200, o.finish()), cached)
+    }
+
+    fn reload_models(&self) -> Response {
+        let reload = self
+            .reload
+            .read()
+            .expect("reload slot poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        let Some(reload) = reload else {
+            return Response::error(400, "no reload source configured");
+        };
+        match reload() {
+            Ok(new_store) => {
+                let mut o = Object::new();
+                o.bool("reloaded", true);
+                o.u64("workloads", new_store.len() as u64);
+                o.str_array("model_hashes", &new_store.hashes());
+                *self.store.write().expect("model store poisoned") = Arc::new(new_store);
+                self.cache.invalidate_all();
+                Response::json(200, o.finish())
+            }
+            Err(e) => Response::error(500, &format!("reload failed: {e}")),
+        }
+    }
+
+    // ---- memoized computations ----
+
+    fn frontier_for(
+        &self,
+        entry: &ModelEntry,
+        arm: u32,
+        amd: u32,
+        units: f64,
+    ) -> Result<(Arc<CachedCompute>, bool), Response> {
+        let key = cache_key(&[
+            entry.hash,
+            tag::FRONTIER,
+            u64::from(arm),
+            u64::from(amd),
+            units.to_bits(),
+        ]);
+        if let Some(hit) = self.cache.get(key) {
+            return Ok((hit, true));
+        }
+        let [low, high] = platform_pair(entry);
+        let space = ConfigSpace::two_type(low, arm, high, amd);
+        let table = RateTable::build_pruned(&space, &entry.models)
+            .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
+        let frontier = table
+            .frontier(units)
+            .map_err(|e| Response::error(422, &format!("sweep failed: {e}")))?;
+        let value = Arc::new(CachedCompute::Frontier(frontier));
+        self.cache.insert(key, Arc::clone(&value));
+        Ok((value, false))
+    }
+
+    fn resilient_frontier_for(
+        &self,
+        entry: &ModelEntry,
+        arm: u32,
+        amd: u32,
+        units: f64,
+        k: u32,
+    ) -> Result<(Arc<CachedCompute>, bool), Response> {
+        let key = cache_key(&[
+            entry.hash,
+            tag::RESILIENT,
+            u64::from(arm),
+            u64::from(amd),
+            units.to_bits(),
+            u64::from(k),
+        ]);
+        if let Some(hit) = self.cache.get(key) {
+            return Ok((hit, true));
+        }
+        let [low, high] = platform_pair(entry);
+        let space = ConfigSpace::two_type(low, arm, high, amd);
+        let table = ResilientTable::build(&space, &entry.models)
+            .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
+        let frontier = table
+            .frontier(units, k)
+            .map_err(|e| Response::error(422, &format!("resilient sweep failed: {e}")))?;
+        let value = Arc::new(CachedCompute::Frontier(frontier));
+        self.cache.insert(key, Arc::clone(&value));
+        Ok((value, false))
+    }
+
+    fn whatif_for(
+        &self,
+        entry: &ModelEntry,
+        budget_w: f64,
+        units: f64,
+        step_high: u32,
+    ) -> Result<(Arc<CachedCompute>, bool), Response> {
+        let key = cache_key(&[
+            entry.hash,
+            tag::WHATIF,
+            budget_w.to_bits(),
+            units.to_bits(),
+            u64::from(step_high),
+        ]);
+        if let Some(hit) = self.cache.get(key) {
+            return Ok((hit, true));
+        }
+        let [low, high] = platform_pair(entry);
+        let ladder = PowerBudget::new(budget_w)
+            .substitution_ladder(&low, &high, step_high)
+            .map_err(|e| Response::error(422, &format!("bad budget: {e}")))?;
+        let mut rungs = Vec::with_capacity(ladder.len());
+        for mix in ladder {
+            let (frontier, _prune) = mix
+                .frontier(&low, &high, &entry.models, units)
+                .map_err(|e| Response::error(422, &format!("rung sweep failed: {e}")))?;
+            rungs.push(WhatifRung {
+                label: mix.label(&low, &high),
+                low_nodes: mix.low_nodes,
+                high_nodes: mix.high_nodes,
+                peak_w: mix.peak_power_w(&low, &high),
+                frontier,
+            });
+        }
+        let value = Arc::new(CachedCompute::Whatif(WhatifResult { rungs }));
+        self.cache.insert(key, Arc::clone(&value));
+        Ok((value, false))
+    }
+}
+
+/// The `[low, high]` platform pair of a bundle (cloned; labels and spaces
+/// need owned platforms).
+fn platform_pair(entry: &ModelEntry) -> [Platform; 2] {
+    [
+        entry.models[0].platform.clone(),
+        entry.models[1].platform.clone(),
+    ]
+}
+
+/// FNV-1a over the little-endian concatenation of `parts`.
+#[must_use]
+pub fn cache_key(parts: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(parts.len() * 8);
+    for p in parts {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+type Common<'a> = (&'a ModelEntry, &'a str, u32, u32, f64);
+
+/// Parse the fields `/plan` and `/frontier` share: workload (required),
+/// arm/amd node caps (default 10), units (default: the workload's
+/// analysis size).
+fn parse_common<'a>(store: &'a ModelStore, v: &'a Value) -> Result<Common<'a>, Response> {
+    let Some(name) = v.get("workload").and_then(Value::as_str) else {
+        return Err(Response::error(400, "missing workload"));
+    };
+    let Some(entry) = store.get(name) else {
+        return Err(Response::error(404, &format!("unknown workload `{name}`")));
+    };
+    let node_cap = |field: &str| -> Result<u32, Response> {
+        match v.get(field) {
+            None => Ok(10),
+            Some(x) => match x.as_u64() {
+                Some(n) if n <= 512 => Ok(n as u32),
+                _ => Err(Response::error(
+                    422,
+                    &format!("{field} must be an integer in 0..=512"),
+                )),
+            },
+        }
+    };
+    let arm = node_cap("arm")?;
+    let amd = node_cap("amd")?;
+    if arm == 0 && amd == 0 {
+        return Err(Response::error(422, "arm and amd cannot both be 0"));
+    }
+    let units = optional_f64(v, "units", entry.default_units)?;
+    Ok((entry, name, arm, amd, units))
+}
+
+fn optional_f64(v: &Value, field: &str, default: f64) -> Result<f64, Response> {
+    match v.get(field) {
+        None => Ok(default),
+        Some(x) => match x.as_f64() {
+            Some(u) if u > 0.0 && u.is_finite() => Ok(u),
+            _ => Err(Response::error(
+                422,
+                &format!("{field} must be finite and positive"),
+            )),
+        },
+    }
+}

@@ -1,0 +1,239 @@
+//! Sharded LRU plan cache.
+//!
+//! The daemon's hot path — building a pruned rate table and folding it
+//! into a Pareto frontier — is pure: its output depends only on the model
+//! bundle and the query shape. Both are hashable, so repeated queries are
+//! served from this cache. Sixteen shards keep lock contention negligible
+//! at the daemon's worker counts; each shard is an independent LRU over
+//! its slice of the key space.
+//!
+//! Keys are produced by [`crate::api`] from the FNV-1a content hash of the
+//! model bundle mixed with a query-shape tag and parameters, so a model
+//! reload (new hash) can never alias a stale entry — and `POST /reload`
+//! additionally calls [`ShardedLru::invalidate_all`] to free the memory.
+//!
+//! Hits, misses, and evictions are counted with atomics and emitted as
+//! [`Event::CacheHit`]/[`Event::CacheMiss`]/[`Event::CacheEvict`]
+//! telemetry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hecmix_obs::{emit, Event};
+
+/// Number of independent shards. Power of two; the shard is chosen from
+/// the top bits of a Fibonacci-mixed key so sequential keys spread evenly.
+pub const SHARDS: usize = 16;
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<u64, Entry<V>>,
+    tick: u64,
+}
+
+/// A sharded least-recently-used cache from `u64` keys to shared values.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Counter snapshot for `GET /statz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries removed under capacity pressure.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, 0.0 when nothing has been looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl<V> ShardedLru<V> {
+    /// A cache holding at most `capacity` entries (split evenly across
+    /// shards; each shard holds at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let per_shard_cap = (capacity / SHARDS).max(1);
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
+        // Fibonacci hashing: multiply by 2^64/φ and take the top 4 bits.
+        let idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize;
+        &self.shards[idx]
+    }
+
+    /// Look `key` up, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let mut guard = self.shard(key).lock().expect("cache shard poisoned");
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = Arc::clone(&entry.value);
+                drop(guard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                emit(|| Event::CacheHit { key });
+                Some(value)
+            }
+            None => {
+                drop(guard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                emit(|| Event::CacheMiss { key });
+                None
+            }
+        }
+    }
+
+    /// Insert `value` under `key`, evicting the shard's least-recently-used
+    /// entry if the shard is full. Re-inserting an existing key refreshes
+    /// its value and recency without evicting.
+    pub fn insert(&self, key: u64, value: Arc<V>) {
+        let mut evicted = None;
+        {
+            let mut guard = self.shard(key).lock().expect("cache shard poisoned");
+            let shard = &mut *guard;
+            shard.tick += 1;
+            let tick = shard.tick;
+            if shard.map.len() >= self.per_shard_cap && !shard.map.contains_key(&key) {
+                if let Some((&victim, _)) =
+                    shard.map.iter().min_by_key(|(_, entry)| entry.last_used)
+                {
+                    shard.map.remove(&victim);
+                    evicted = Some(victim);
+                }
+            }
+            shard.map.insert(
+                key,
+                Entry {
+                    value,
+                    last_used: tick,
+                },
+            );
+        }
+        if let Some(victim) = evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            emit(|| Event::CacheEvict { key: victim });
+        }
+    }
+
+    /// Drop every entry (counters are kept). Called on model reload: the
+    /// model content hash in the key already prevents stale reads, this
+    /// frees the memory behind them.
+    pub fn invalidate_all(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").map.clear();
+        }
+    }
+
+    /// Current counters and live-entry count.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache: ShardedLru<u32> = ShardedLru::new(64);
+        assert!(cache.get(7).is_none());
+        cache.insert(7, Arc::new(42));
+        assert_eq!(*cache.get(7).expect("hit"), 42);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_within_shard() {
+        // Capacity 16 → one slot per shard: any two distinct keys landing
+        // in the same shard must evict the older one.
+        let cache: ShardedLru<u64> = ShardedLru::new(SHARDS);
+        // Find two keys that share a shard.
+        let base = 1u64;
+        let mut other = 2u64;
+        let shard_of = |k: u64| (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize;
+        while shard_of(other) != shard_of(base) {
+            other += 1;
+        }
+        cache.insert(base, Arc::new(base));
+        cache.insert(other, Arc::new(other));
+        assert!(cache.get(base).is_none(), "older entry must be evicted");
+        assert_eq!(*cache.get(other).expect("newer entry stays"), other);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_evict() {
+        let cache: ShardedLru<u64> = ShardedLru::new(SHARDS);
+        cache.insert(3, Arc::new(1));
+        cache.insert(3, Arc::new(2));
+        assert_eq!(*cache.get(3).expect("hit"), 2);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_all_empties_every_shard() {
+        let cache: ShardedLru<u64> = ShardedLru::new(256);
+        for k in 0..100u64 {
+            cache.insert(k, Arc::new(k));
+        }
+        assert!(cache.stats().entries > 0);
+        cache.invalidate_all();
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get(5).is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Lock-free latency histograms, one per worker thread.
+//!
+//! Each worker owns a [`Histogram`] and records into it with relaxed
+//! atomic adds — no locks, no contention with other workers. `GET /statz`
+//! merges all per-worker histograms on demand, which is the cheap
+//! direction: reads are rare, writes are per-request.
+//!
+//! Bucketing follows the HdrHistogram idea at fixed size: values below
+//! [`LINEAR_MAX`] get exact buckets; above that, each power-of-two octave
+//! is split into 16 sub-buckets, giving a worst-case relative error of
+//! 1/16 ≈ 6% across the full `u64` range in [`NBUCKETS`] slots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this are counted exactly (one bucket per value).
+pub const LINEAR_MAX: u64 = 32;
+/// Sub-buckets per octave above the linear range.
+const SUB_BUCKETS: usize = 16;
+/// Total bucket count: 32 linear + 59 octaves (2^5..2^63) × 16 sub-buckets.
+pub const NBUCKETS: usize = LINEAR_MAX as usize + 59 * SUB_BUCKETS;
+
+/// A fixed-size log-linear histogram of `u64` samples (nanoseconds, by
+/// convention). All operations are wait-free relaxed atomics.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value (see the module docs for the scheme).
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let oct = 63 - v.leading_zeros() as usize; // >= 5 here
+    let sub = ((v >> (oct - 4)) & 0xF) as usize;
+    LINEAR_MAX as usize + (oct - 5) * SUB_BUCKETS + sub
+}
+
+/// Smallest value that lands in bucket `idx` (inverse of
+/// [`bucket_index`]); used when reporting quantiles.
+#[must_use]
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < LINEAR_MAX as usize {
+        return idx as u64;
+    }
+    let rel = idx - LINEAR_MAX as usize;
+    let oct = 5 + rel / SUB_BUCKETS;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    (1u64 << oct) + (sub << (oct - 4))
+}
+
+/// Merged summary of one or more histograms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Total samples.
+    pub count: u64,
+    /// Median, in the recorded unit (bucket lower bound).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Mean sample (exact: running sum / count).
+    pub mean: f64,
+}
+
+/// Merge `hists` and compute the summary quantiles. Relaxed reads: the
+/// result is a consistent-enough snapshot for monitoring, not an exact
+/// point-in-time cut.
+#[must_use]
+pub fn summarize(hists: &[Histogram]) -> Summary {
+    let mut merged = [0u64; NBUCKETS];
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for h in hists {
+        for (m, b) in merged.iter_mut().zip(h.buckets.iter()) {
+            *m += b.load(Ordering::Relaxed);
+        }
+        count += h.count.load(Ordering::Relaxed);
+        sum += h.sum.load(Ordering::Relaxed);
+        max = max.max(h.max.load(Ordering::Relaxed));
+    }
+    let quantile = |q: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in merged.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(idx);
+            }
+        }
+        max
+    };
+    Summary {
+        count,
+        p50: quantile(0.50),
+        p90: quantile(0.90),
+        p99: quantile(0.99),
+        p999: quantile(0.999),
+        max,
+        mean: if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_monotonic_and_invert() {
+        let mut prev = 0u64;
+        for idx in 0..NBUCKETS {
+            let lo = bucket_lower_bound(idx);
+            assert!(idx == 0 || lo > prev, "bucket {idx} not monotonic");
+            assert_eq!(bucket_index(lo), idx, "lower bound of {idx} maps back");
+            prev = lo;
+        }
+        // Extremes.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_above_linear_range() {
+        for v in [100u64, 1_000, 123_456, 7_000_000, u64::MAX / 3] {
+            let lo = bucket_lower_bound(bucket_index(v));
+            assert!(lo <= v);
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err < 1.0 / 16.0 + 1e-12, "error {err} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn summary_quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms in ns
+        }
+        let s = summarize(std::slice::from_ref(&h));
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1_000_000);
+        // p50 ≈ 500µs within one sub-bucket (6.25%).
+        assert!(
+            (s.p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07,
+            "{}",
+            s.p50
+        );
+        assert!(
+            (s.p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07,
+            "{}",
+            s.p99
+        );
+        assert!((s.mean - 500_500.0).abs() < 1.0, "{}", s.mean);
+    }
+
+    #[test]
+    fn merge_across_histograms_sums_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..10 {
+            a.record(100);
+            b.record(1_000_000);
+        }
+        let s = summarize(&[a, b]);
+        assert_eq!(s.count, 20);
+        assert_eq!(s.p50, bucket_lower_bound(bucket_index(100)));
+        assert!(s.p99 >= 900_000);
+    }
+}

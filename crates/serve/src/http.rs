@@ -1,0 +1,305 @@
+//! Minimal HTTP/1.1 framing over blocking TCP streams.
+//!
+//! This is not a general HTTP implementation — it is the smallest subset
+//! the planning daemon and its load generator need: request-line + header
+//! parsing, `Content-Length`-framed bodies, keep-alive by default with
+//! `Connection: close` honored, and single-`write_all` responses (one
+//! syscall per response keeps worker critical sections short and makes
+//! responses atomic from the peer's perspective). Chunked encoding,
+//! trailers, pipelining, and TLS are deliberately out of scope.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`, `POST`.
+    pub method: String,
+    /// Request path (query strings are not split off; the API does not use
+    /// them).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with lowercased name `name`.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should close after this request
+    /// (`Connection: close`, or an HTTP/1.0 peer without keep-alive).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending any bytes — the
+    /// normal end of a keep-alive session, not an error.
+    Closed,
+    /// The socket read timed out (idle keep-alive connection or a stalled
+    /// sender).
+    TimedOut,
+    /// The bytes on the wire were not a well-formed request, or exceeded
+    /// the head/body caps.
+    Malformed(String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+/// Read and parse one request from `stream`. Blocking; honors the stream's
+/// configured read timeout.
+///
+/// # Errors
+/// See [`ReadError`]; `Closed` on clean EOF before the first byte.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(ReadError::Closed);
+            }
+            return Err(ReadError::Malformed("EOF inside request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header {line:?}")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Malformed("request body too large".into()));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("EOF inside request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn classify_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::TimedOut,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// One response to write. Always JSON-bodied (the API speaks nothing
+/// else).
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+    /// Optional `Retry-After` header (seconds) — set on 503 rejections.
+    pub retry_after_s: Option<u64>,
+    /// Whether to advertise and perform connection close.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response with `status`.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            retry_after_s: None,
+            close: false,
+        }
+    }
+
+    /// A JSON error response `{"error": message}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut o = hecmix_obs::json::Object::new();
+        o.str("error", message);
+        Self::json(status, o.finish())
+    }
+
+    /// Serialize and send the whole response as a single `write_all`.
+    ///
+    /// # Errors
+    /// Propagates the underlying socket error.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let mut out = String::with_capacity(self.body.len() + 128);
+        out.push_str(&format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_text(self.status)
+        ));
+        out.push_str("Content-Type: application/json\r\n");
+        out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        if let Some(s) = self.retry_after_s {
+            out.push_str(&format!("Retry-After: {s}\r\n"));
+        }
+        out.push_str(if self.close {
+            "Connection: close\r\n"
+        } else {
+            "Connection: keep-alive\r\n"
+        });
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes the daemon emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A parsed client-side response: status, lowercased headers, body.
+pub type ClientResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Client-side half: read one response, returning `(status, headers,
+/// body)`. Used by the load generator and the integration tests.
+///
+/// # Errors
+/// I/O errors and malformed responses surface as `io::Error`.
+pub fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(bad("response head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("EOF inside response head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("EOF inside response body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((status, headers, body))
+}
+
+/// Format a request the way the load generator sends them.
+#[must_use]
+pub fn format_request(method: &str, path: &str, body: &str) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: hecmix\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}

@@ -1,0 +1,47 @@
+//! # hecmix-serve
+//!
+//! The online face of the configuration-space model: a long-running
+//! planning daemon that answers the operator question — *"given this
+//! workload, deadline, and power budget, which heterogeneous mix do I
+//! provision?"* — over plain HTTP, at interactive latency, from a warm
+//! plan cache.
+//!
+//! Everything in this crate is `std`-only, consistent with the workspace's
+//! vendored-stubs rule: no tokio, no hyper, no serde_json. The protocol is
+//! a deliberately minimal hand-rolled HTTP/1.1 + JSON subset ([`http`],
+//! with JSON encoding/decoding from `hecmix-obs::json`), served by a fixed
+//! pool of worker threads behind a **bounded accept queue with admission
+//! control** — when the queue is full the accept loop answers
+//! `503 Service Unavailable` with a `Retry-After` header instead of
+//! building an invisible backlog ([`server`]).
+//!
+//! The hot path is memoized: rate tables and Pareto frontiers live in a
+//! **sharded LRU keyed by the FNV-1a content hash of the model bundles
+//! plus the query shape** ([`cache`]), so a repeated `/frontier` query
+//! skips the sweep entirely; `POST /reload` swaps the model set and
+//! invalidates every cached plan. Per-worker lock-free latency histograms
+//! ([`hist`]) are merged on demand by `GET /statz`.
+//!
+//! Endpoints (see [`api`]): `POST /plan`, `POST /frontier` (optional
+//! `resilient_k`), `POST /whatif`, `POST /reload`, `GET /healthz`,
+//! `GET /statz`.
+//!
+//! [`loadgen`] is the closed-loop load harness that drives the daemon over
+//! real sockets — it doubles as the serving-path benchmark (cold vs warm
+//! cache) and as the end-to-end test.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod cache;
+pub mod hist;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+pub mod store;
+
+pub use api::AppState;
+pub use server::{start, ServeConfig, ServerHandle};
+pub use store::ModelStore;

@@ -1,0 +1,529 @@
+//! Closed-loop load generator for the planning daemon.
+//!
+//! *Closed-loop*: a fixed number of client threads each keep exactly one
+//! request in flight over a keep-alive connection, so offered load adapts
+//! to the daemon's service rate instead of burying it (the right harness
+//! for measuring latency percentiles under a concurrency level, as
+//! opposed to an open-loop arrival process for overload studies — which
+//! the bounded-queue admission path already covers via 503 retries).
+//!
+//! The endpoint mix is deterministic: a global ticket counter assigns each
+//! request its endpoint by `ticket % (plan+frontier+whatif)`, so a run of
+//! 500 requests at mix `2:2:1` issues exactly the same request sequence
+//! every time, regardless of thread interleaving.
+//!
+//! Besides client-observed wall latency, the harness parses the
+//! `compute_us`/`cached` fields the daemon embeds in every response and
+//! reports the cold-vs-warm `/frontier` compute medians — the honest basis
+//! for the plan cache's speedup claim, immune to loopback RTT noise.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use hecmix_obs::json::{self, Object, Value};
+
+use crate::http;
+
+/// Relative request frequencies per endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixRatio {
+    /// Weight of `POST /plan`.
+    pub plan: u32,
+    /// Weight of `POST /frontier`.
+    pub frontier: u32,
+    /// Weight of `POST /whatif`.
+    pub whatif: u32,
+}
+
+impl MixRatio {
+    /// Parse `"P:F:W"` (e.g. `"2:2:1"`).
+    ///
+    /// # Errors
+    /// Malformed syntax or an all-zero mix.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("mix must be plan:frontier:whatif, got `{s}`"));
+        }
+        let num = |p: &str| -> Result<u32, String> {
+            p.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad mix weight `{p}`"))
+        };
+        let mix = Self {
+            plan: num(parts[0])?,
+            frontier: num(parts[1])?,
+            whatif: num(parts[2])?,
+        };
+        if mix.total() == 0 {
+            return Err("mix weights cannot all be zero".into());
+        }
+        Ok(mix)
+    }
+
+    fn total(self) -> u64 {
+        u64::from(self.plan) + u64::from(self.frontier) + u64::from(self.whatif)
+    }
+}
+
+impl Default for MixRatio {
+    fn default() -> Self {
+        Self {
+            plan: 2,
+            frontier: 2,
+            whatif: 1,
+        }
+    }
+}
+
+/// One load run's parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, `HOST:PORT`.
+    pub addr: String,
+    /// Concurrent client threads (each with one request in flight).
+    pub concurrency: usize,
+    /// Total requests to issue across all threads.
+    pub requests: u64,
+    /// Endpoint mix.
+    pub mix: MixRatio,
+    /// Workload name sent in every request.
+    pub workload: String,
+    /// ARM node cap for `/plan` and `/frontier`.
+    pub arm: u32,
+    /// AMD node cap for `/plan` and `/frontier`.
+    pub amd: u32,
+    /// Power budget for `/whatif`, watts.
+    pub budget_w: f64,
+    /// Deadline for `/plan` and `/whatif`, milliseconds.
+    pub deadline_ms: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7077".to_owned(),
+            concurrency: 8,
+            requests: 500,
+            mix: MixRatio::default(),
+            workload: "ep".to_owned(),
+            arm: 10,
+            amd: 10,
+            budget_w: 400.0,
+            deadline_ms: 120_000.0,
+        }
+    }
+}
+
+/// Aggregated outcome of one run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub sent: u64,
+    /// `200 OK` responses.
+    pub ok: u64,
+    /// 503 admission rejections absorbed by retry (the requests still
+    /// completed; this counts the extra attempts).
+    pub rejected_retries: u64,
+    /// Requests that never completed successfully.
+    pub errors: u64,
+    /// Wall time of the whole run, seconds.
+    pub wall_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Client-observed latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_us: u64,
+    /// Maximum, microseconds.
+    pub max_us: u64,
+    /// Median server-side compute of **uncached** `/frontier` answers, µs.
+    pub frontier_cold_us: u64,
+    /// Median server-side compute of **cached** `/frontier` answers, µs,
+    /// floored at 1 when any samples exist (hits often round to 0 µs).
+    pub frontier_warm_us: u64,
+    /// `frontier_cold_us / frontier_warm_us` (0 when either is missing).
+    pub cache_speedup: f64,
+}
+
+struct WorkerOut {
+    ok: u64,
+    rejected_retries: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    frontier_cold_us: Vec<u64>,
+    frontier_warm_us: Vec<u64>,
+}
+
+enum Endpoint {
+    Plan,
+    Frontier,
+    Whatif,
+}
+
+fn endpoint_for(ticket: u64, mix: MixRatio) -> Endpoint {
+    let m = ticket % mix.total();
+    if m < u64::from(mix.plan) {
+        Endpoint::Plan
+    } else if m < u64::from(mix.plan) + u64::from(mix.frontier) {
+        Endpoint::Frontier
+    } else {
+        Endpoint::Whatif
+    }
+}
+
+fn request_for(cfg: &LoadgenConfig, ticket: u64) -> (&'static str, String) {
+    match endpoint_for(ticket, cfg.mix) {
+        Endpoint::Plan => {
+            let mut o = Object::new();
+            o.str("workload", &cfg.workload);
+            o.u64("arm", u64::from(cfg.arm));
+            o.u64("amd", u64::from(cfg.amd));
+            o.f64("deadline_ms", cfg.deadline_ms);
+            ("/plan", o.finish())
+        }
+        Endpoint::Frontier => {
+            let mut o = Object::new();
+            o.str("workload", &cfg.workload);
+            o.u64("arm", u64::from(cfg.arm));
+            o.u64("amd", u64::from(cfg.amd));
+            ("/frontier", o.finish())
+        }
+        Endpoint::Whatif => {
+            let mut o = Object::new();
+            o.str("workload", &cfg.workload);
+            o.f64("budget_w", cfg.budget_w);
+            o.f64("deadline_ms", cfg.deadline_ms);
+            ("/whatif", o.finish())
+        }
+    }
+}
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    Ok(stream)
+}
+
+/// One request/response exchange; returns `(status, retry_after_s, body)`.
+fn exchange(
+    conn: &mut TcpStream,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, Option<u64>, Vec<u8>)> {
+    use std::io::Write as _;
+    let wire = http::format_request("POST", path, body);
+    conn.write_all(wire.as_bytes())?;
+    let (status, headers, resp_body) = http::read_response(conn)?;
+    let retry_after = headers
+        .iter()
+        .find(|(k, _)| k == "retry-after")
+        .and_then(|(_, v)| v.parse().ok());
+    Ok((status, retry_after, resp_body))
+}
+
+fn worker(cfg: &LoadgenConfig, tickets: &AtomicU64) -> WorkerOut {
+    let mut out = WorkerOut {
+        ok: 0,
+        rejected_retries: 0,
+        errors: 0,
+        latencies_us: Vec::new(),
+        frontier_cold_us: Vec::new(),
+        frontier_warm_us: Vec::new(),
+    };
+    let mut conn = connect(&cfg.addr).ok();
+    'tickets: loop {
+        let ticket = tickets.fetch_add(1, Ordering::Relaxed);
+        if ticket >= cfg.requests {
+            break;
+        }
+        let (path, body) = request_for(cfg, ticket);
+        let mut reconnects = 0u32;
+        let mut backoffs = 0u32;
+        loop {
+            let Some(c) = conn.as_mut() else {
+                match connect(&cfg.addr) {
+                    Ok(c) => {
+                        conn = Some(c);
+                        continue;
+                    }
+                    Err(_) => {
+                        out.errors += 1;
+                        // The daemon is unreachable; stop burning tickets.
+                        if reconnects >= 3 {
+                            break 'tickets;
+                        }
+                        reconnects += 1;
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                }
+            };
+            let start = Instant::now();
+            match exchange(c, path, &body) {
+                Ok((200, _, resp_body)) => {
+                    out.ok += 1;
+                    out.latencies_us.push(start.elapsed().as_micros() as u64);
+                    // `/plan` answers come off the same memoized frontier,
+                    // so both endpoints sample the cold/warm compute clock
+                    // (whichever arrives first takes the cold hit).
+                    if path == "/frontier" || path == "/plan" {
+                        record_frontier_compute(&resp_body, &mut out);
+                    }
+                    break;
+                }
+                Ok((503, retry_after, _)) => {
+                    // Admission control asked us to back off; honor it
+                    // (capped — Retry-After is in whole seconds) and retry
+                    // the same ticket. 503 closes the connection.
+                    out.rejected_retries += 1;
+                    conn = None;
+                    backoffs += 1;
+                    if backoffs > 200 {
+                        out.errors += 1;
+                        break;
+                    }
+                    let wait = retry_after.map_or(10, |s| (s * 1000).min(100));
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+                Ok((_status, _, _)) => {
+                    out.errors += 1;
+                    break;
+                }
+                Err(_) => {
+                    // Connection died (e.g. server drain closed it); one
+                    // reconnect retry per request before counting an error.
+                    conn = None;
+                    reconnects += 1;
+                    if reconnects > 3 {
+                        out.errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn record_frontier_compute(resp_body: &[u8], out: &mut WorkerOut) {
+    let Ok(text) = std::str::from_utf8(resp_body) else {
+        return;
+    };
+    let Ok(v) = json::parse(text) else { return };
+    let Some(compute_us) = v.get("compute_us").and_then(Value::as_u64) else {
+        return;
+    };
+    match v.get("cached").and_then(Value::as_bool) {
+        Some(true) => out.frontier_warm_us.push(compute_us),
+        Some(false) => out.frontier_cold_us.push(compute_us),
+        None => {}
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Run the closed loop against a live daemon and aggregate the report.
+#[must_use]
+pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    let tickets = AtomicU64::new(0);
+    let start = Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|_| s.spawn(|| worker(cfg, &tickets)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut report = LoadReport {
+        sent: tickets.load(Ordering::Relaxed).min(cfg.requests),
+        wall_s,
+        ..LoadReport::default()
+    };
+    let mut latencies = Vec::new();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for o in outs {
+        report.ok += o.ok;
+        report.rejected_retries += o.rejected_retries;
+        report.errors += o.errors;
+        latencies.extend(o.latencies_us);
+        cold.extend(o.frontier_cold_us);
+        warm.extend(o.frontier_warm_us);
+    }
+    latencies.sort_unstable();
+    report.throughput_rps = if wall_s > 0.0 {
+        report.ok as f64 / wall_s
+    } else {
+        0.0
+    };
+    report.p50_us = percentile(&latencies, 0.50);
+    report.p90_us = percentile(&latencies, 0.90);
+    report.p99_us = percentile(&latencies, 0.99);
+    report.p999_us = percentile(&latencies, 0.999);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    report.frontier_cold_us = median(cold);
+    // Release-build cache hits routinely round to 0 µs; floor the median at
+    // 1 µs so the reported ratio stays finite (and conservative).
+    report.frontier_warm_us = if warm.is_empty() {
+        0
+    } else {
+        median(warm).max(1)
+    };
+    report.cache_speedup = if report.frontier_warm_us > 0 && report.frontier_cold_us > 0 {
+        report.frontier_cold_us as f64 / report.frontier_warm_us as f64
+    } else {
+        0.0
+    };
+    report
+}
+
+impl LoadReport {
+    /// Encode as the `BENCH_serve.json` artifact schema.
+    #[must_use]
+    pub fn to_json(&self, cfg: &LoadgenConfig) -> String {
+        let mut o = Object::new();
+        o.str("schema", "hecmix-bench-serve-v1");
+        o.str("workload", &cfg.workload);
+        o.u64("concurrency", cfg.concurrency as u64);
+        o.str(
+            "mix_plan_frontier_whatif",
+            &format!("{}:{}:{}", cfg.mix.plan, cfg.mix.frontier, cfg.mix.whatif),
+        );
+        o.u64("sent", self.sent);
+        o.u64("ok", self.ok);
+        o.u64("rejected_retries", self.rejected_retries);
+        o.u64("errors", self.errors);
+        o.f64("wall_s", self.wall_s);
+        o.f64("throughput_rps", self.throughput_rps);
+        let mut l = Object::new();
+        l.u64("p50", self.p50_us);
+        l.u64("p90", self.p90_us);
+        l.u64("p99", self.p99_us);
+        l.u64("p999", self.p999_us);
+        l.u64("max", self.max_us);
+        o.raw("latency_us", &l.finish());
+        let mut f = Object::new();
+        f.u64("cold_us", self.frontier_cold_us);
+        f.u64("warm_us", self.frontier_warm_us);
+        f.f64("speedup", self.cache_speedup);
+        o.raw("frontier_compute", &f.finish());
+        o.finish()
+    }
+
+    /// Human-readable multi-line rendering for the CLI.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "sent {}  ok {}  503-retries {}  errors {}\n",
+            self.sent, self.ok, self.rejected_retries, self.errors
+        ));
+        s.push_str(&format!(
+            "wall {:.2} s  throughput {:.1} req/s\n",
+            self.wall_s, self.throughput_rps
+        ));
+        s.push_str(&format!(
+            "latency µs  p50 {}  p90 {}  p99 {}  p99.9 {}  max {}\n",
+            self.p50_us, self.p90_us, self.p99_us, self.p999_us, self.max_us
+        ));
+        if self.frontier_cold_us > 0 {
+            s.push_str(&format!(
+                "frontier compute  cold {} µs  warm {} µs  speedup {:.1}x\n",
+                self.frontier_cold_us, self.frontier_warm_us, self.cache_speedup
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parse_and_deterministic_schedule() {
+        let mix = MixRatio::parse("2:2:1").expect("parse");
+        assert_eq!(
+            mix,
+            MixRatio {
+                plan: 2,
+                frontier: 2,
+                whatif: 1
+            }
+        );
+        // Over one period: exactly the declared weights.
+        let mut counts = [0u32; 3];
+        for t in 0..5 {
+            match endpoint_for(t, mix) {
+                Endpoint::Plan => counts[0] += 1,
+                Endpoint::Frontier => counts[1] += 1,
+                Endpoint::Whatif => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts, [2, 2, 1]);
+        assert!(MixRatio::parse("0:0:0").is_err());
+        assert!(MixRatio::parse("1:2").is_err());
+        assert!(MixRatio::parse("a:b:c").is_err());
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_small_samples() {
+        let sorted = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.90), 90);
+        assert_eq!(percentile(&sorted, 0.99), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(median(vec![3, 1, 2]), 2);
+    }
+
+    #[test]
+    fn report_json_has_schema_and_counts() {
+        let cfg = LoadgenConfig::default();
+        let report = LoadReport {
+            sent: 10,
+            ok: 10,
+            frontier_cold_us: 8000,
+            frontier_warm_us: 40,
+            cache_speedup: 200.0,
+            ..LoadReport::default()
+        };
+        let j = report.to_json(&cfg);
+        let v = json::parse(&j).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("hecmix-bench-serve-v1")
+        );
+        assert_eq!(v.get("ok").and_then(Value::as_u64), Some(10));
+        assert!(v
+            .get("frontier_compute")
+            .and_then(|f| f.get("speedup"))
+            .and_then(Value::as_f64)
+            .is_some());
+        assert!(!report.render().is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! The daemon: accept loop, bounded queue, worker pool, graceful drain.
+//!
+//! Threading model (one picture):
+//!
+//! ```text
+//!             ┌──────────┐   bounded VecDeque + Condvar   ┌──────────┐
+//!  TCP ──────▶│  accept  │ ─────────────────────────────▶ │ worker 0 │
+//!  clients    │  thread  │   full? → 503 + Retry-After    │    …     │
+//!             └──────────┘                                │ worker N │
+//!                                                         └──────────┘
+//! ```
+//!
+//! * The accept thread is the **admission controller**: when the queue is
+//!   at capacity it answers `503 Service Unavailable` with a `Retry-After`
+//!   header itself, so overload is visible to clients immediately instead
+//!   of accumulating as an invisible backlog.
+//! * Workers own connections for their keep-alive lifetime. Per-request
+//!   socket read timeouts bound how long an idle or stalled peer can hold
+//!   a worker; a **queue deadline** sheds connections that waited too long
+//!   to be worth serving.
+//! * Shutdown is a relaxed [`AtomicBool`]: the accept thread stops
+//!   admitting and closes the listener, workers finish their in-flight
+//!   request (answering it with `Connection: close`), drain what is
+//!   already queued, and exit. [`ServerHandle::join`] returns when every
+//!   thread is gone — no in-flight response is ever dropped.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hecmix_obs::{emit, Event};
+
+use crate::api::AppState;
+use crate::http::{self, ReadError, Request, Response};
+
+/// Tunables for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `HOST:PORT` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Bounded accept-queue capacity; beyond it, admission control rejects.
+    pub queue_capacity: usize,
+    /// Per-read socket timeout: bounds idle keep-alive connections and
+    /// stalled senders.
+    pub read_timeout: Duration,
+    /// Connections that waited longer than this in the queue are shed with
+    /// a 503 instead of served (their client has likely timed out anyway).
+    pub queue_deadline: Duration,
+    /// `Retry-After` seconds advertised on 503 rejections.
+    pub retry_after_s: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: cpus.min(8),
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            queue_deadline: Duration::from_secs(2),
+            retry_after_s: 1,
+        }
+    }
+}
+
+struct Queued {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Queued>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+    state: Arc<AppState>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently waiting in the bounded queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("accept queue poisoned")
+            .len()
+    }
+
+    /// Begin graceful shutdown: stop admitting, drain queued and in-flight
+    /// work. Returns immediately; pair with [`ServerHandle::join`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+    }
+
+    /// Block until every thread has drained and exited. Implies
+    /// [`ServerHandle::shutdown`].
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind, spawn the worker pool and accept thread, and return the handle.
+///
+/// # Errors
+/// Propagates bind/configuration I/O errors.
+pub fn start(config: ServeConfig, state: Arc<AppState>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        config: config.clone(),
+        state,
+    });
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for worker in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("hecmix-worker-{worker}"))
+                .spawn(move || worker_loop(&shared, worker))?,
+        );
+    }
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("hecmix-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Nonblocking accept doubles as the shutdown poll point.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Listener drops here: new connects are refused while workers drain.
+    shared.cv.notify_all();
+}
+
+fn admit(stream: TcpStream, shared: &Shared) {
+    // Accepted sockets may inherit the listener's nonblocking mode.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let capacity = shared.config.queue_capacity;
+    let mut queue = shared.queue.lock().expect("accept queue poisoned");
+    if queue.len() >= capacity {
+        drop(queue);
+        reject(stream, shared);
+        return;
+    }
+    queue.push_back(Queued {
+        stream,
+        enqueued: Instant::now(),
+    });
+    let depth = queue.len();
+    drop(queue);
+    shared
+        .state
+        .metrics
+        .queue_depth
+        .store(depth, Ordering::Relaxed);
+    shared.cv.notify_one();
+}
+
+/// Admission-control rejection: written by the accept thread itself so the
+/// client learns about overload with zero queueing delay.
+fn reject(mut stream: TcpStream, shared: &Shared) {
+    let capacity = shared.config.queue_capacity;
+    let retry_after_s = shared.config.retry_after_s;
+    shared
+        .state
+        .metrics
+        .rejected
+        .fetch_add(1, Ordering::Relaxed);
+    emit(|| Event::RequestRejected {
+        queue_depth: capacity,
+        retry_after_s,
+    });
+    let mut resp = Response::error(503, "accept queue full");
+    resp.retry_after_s = Some(retry_after_s);
+    resp.close = true;
+    let _ = resp.write_to(&mut stream);
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        let queued = {
+            let mut queue = shared.queue.lock().expect("accept queue poisoned");
+            loop {
+                if let Some(q) = queue.pop_front() {
+                    shared
+                        .state
+                        .metrics
+                        .queue_depth
+                        .store(queue.len(), Ordering::Relaxed);
+                    break Some(q);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                // The timeout is a liveness backstop against a lost
+                // notification; the condvar is the fast path.
+                let (guard, _timeout) = shared
+                    .cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("accept queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(queued) = queued else { break };
+        if queued.enqueued.elapsed() > shared.config.queue_deadline {
+            // Stale work: the client has waited past the deadline, shed it
+            // like an admission rejection rather than burn compute on it.
+            reject(queued.stream, shared);
+            continue;
+        }
+        handle_connection(queued.stream, shared, worker);
+    }
+}
+
+/// Serve one keep-alive connection until the peer closes, errors, idles
+/// past the read timeout, or the daemon begins draining.
+fn handle_connection(mut stream: TcpStream, shared: &Shared, worker: usize) {
+    loop {
+        let req: Request = match http::read_request(&mut stream) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => break,
+            Err(ReadError::TimedOut) => break,
+            Err(ReadError::Malformed(msg)) => {
+                let mut resp = Response::error(400, &msg);
+                resp.close = true;
+                let _ = resp.write_to(&mut stream);
+                break;
+            }
+            Err(ReadError::Io(_)) => break,
+        };
+        let mut resp = shared.state.handle(worker, &req);
+        // Draining: answer the in-flight request, then close so the peer
+        // reconnects elsewhere (or gives up) instead of idling on us.
+        if shared.shutting_down() || req.wants_close() {
+            resp.close = true;
+        }
+        if resp.write_to(&mut stream).is_err() {
+            break;
+        }
+        if resp.close {
+            break;
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal SIGINT/SIGTERM latch for graceful shutdown.
+//!
+//! The workspace is `std`-only (no `ctrlc`, no `signal-hook`), but `std`
+//! already links libc, so the classic `signal(2)` registration is one
+//! `extern "C"` declaration away. The handler does the only
+//! async-signal-safe thing it needs to: set a relaxed [`AtomicBool`] that
+//! the daemon's main loop polls to begin draining.
+//!
+//! On non-Unix targets installation is a no-op and [`interrupted`] is
+//! always `false`; the daemon then only stops via its programmatic
+//! [`crate::ServerHandle::shutdown`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one relaxed store.
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal` with a handler that only touches an AtomicBool
+        // is the textbook-safe use; the previous disposition is discarded
+        // deliberately (the daemon owns these signals).
+        unsafe {
+            let handler = on_signal as *const () as usize;
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handler (idempotent; no-op off Unix).
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has been received since [`install`].
+#[must_use]
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Reset the latch. Exists for tests; the daemon exits after one signal.
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_resets() {
+        // Cannot portably raise a real signal in the test harness without
+        // killing the process group; exercise the latch directly.
+        reset();
+        assert!(!interrupted());
+        INTERRUPTED.store(true, Ordering::Relaxed);
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+}

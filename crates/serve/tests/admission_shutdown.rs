@@ -1,0 +1,136 @@
+//! Admission control and graceful shutdown, over real sockets.
+//!
+//! Both tests run their own daemon instance with `workers: 1` so queue
+//! occupancy is fully deterministic: the single worker is parked on one
+//! held connection while the tests arrange the accept queue behind it.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hecmix_serve::http;
+use hecmix_serve::{start, AppState, ModelStore, ServeConfig, ServerHandle};
+
+fn small_daemon(queue_capacity: usize) -> (ServerHandle, Arc<AppState>) {
+    let state = Arc::new(AppState::new(ModelStore::new(), 1, 16));
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity,
+        read_timeout: Duration::from_secs(2),
+        queue_deadline: Duration::from_secs(30),
+        retry_after_s: 7,
+        ..ServeConfig::default()
+    };
+    let handle = start(config, Arc::clone(&state)).expect("daemon starts");
+    (handle, state)
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    let conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    conn
+}
+
+/// Send `GET /healthz` on `conn` and return `(status, retry_after,
+/// connection_header)`.
+fn healthz(conn: &mut TcpStream) -> (u16, Option<String>, Option<String>) {
+    conn.write_all(http::format_request("GET", "/healthz", "").as_bytes())
+        .expect("send");
+    let (status, headers, _body) = http::read_response(conn).expect("response");
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    };
+    (status, find("retry-after"), find("connection"))
+}
+
+fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !f() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn full_queue_gets_503_with_retry_after() {
+    let (handle, state) = small_daemon(1);
+
+    // Occupy the single worker: after one served request it is parked in
+    // the keep-alive read on c0.
+    let mut c0 = connect(&handle);
+    assert_eq!(healthz(&mut c0).0, 200);
+    wait_until("worker to own c0", || handle.queue_depth() == 0);
+
+    // Fill the queue (capacity 1) with a second connection the busy
+    // worker cannot pop.
+    let _c1 = connect(&handle);
+    wait_until("c1 to be queued", || handle.queue_depth() == 1);
+
+    // The third connection must be rejected by admission control itself.
+    let mut c2 = connect(&handle);
+    let (status, retry_after, connection) = healthz(&mut c2);
+    assert_eq!(status, 503, "admission control must reject");
+    assert_eq!(retry_after.as_deref(), Some("7"), "Retry-After advertised");
+    assert_eq!(connection.as_deref(), Some("close"));
+    let rejected = state
+        .metrics
+        .rejected
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(rejected, 1, "rejection counted in metrics");
+
+    // The held connection still works: overload never broke admitted work.
+    assert_eq!(healthz(&mut c0).0, 200);
+
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_queued_work() {
+    let (handle, _state) = small_daemon(8);
+
+    // Worker owns cA.
+    let mut c_a = connect(&handle);
+    assert_eq!(healthz(&mut c_a).0, 200);
+    wait_until("worker to own cA", || handle.queue_depth() == 0);
+
+    // cB is queued with a complete request already on the wire.
+    let mut c_b = connect(&handle);
+    c_b.write_all(http::format_request("GET", "/healthz", "").as_bytes())
+        .expect("send queued request");
+    wait_until("cB to be queued", || handle.queue_depth() == 1);
+
+    handle.shutdown();
+
+    // The in-flight connection gets its answer, tagged Connection: close.
+    let (status, _, connection) = healthz(&mut c_a);
+    assert_eq!(
+        status, 200,
+        "in-flight request must be answered during drain"
+    );
+    assert_eq!(connection.as_deref(), Some("close"));
+    drop(c_a);
+
+    // The queued connection is drained, not dropped.
+    let (status, _headers, _body) = http::read_response(&mut c_b).expect("queued response");
+    assert_eq!(status, 200, "queued request must be answered during drain");
+
+    // Every thread exits; join is bounded by the read timeout.
+    let t0 = Instant::now();
+    let addr = handle.addr();
+    handle.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "join must not hang after drain"
+    );
+
+    // The listener is gone: new connections are refused.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}

@@ -1,0 +1,337 @@
+//! End-to-end tests of the planning daemon over real sockets: every
+//! endpoint, the plan-cache speedup claim, reload invalidation, and an
+//! in-process closed-loop load run with zero dropped responses.
+//!
+//! One daemon instance serves the whole file (building it characterizes a
+//! workload, which takes real time); tests share it via a `OnceLock`.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use hecmix_experiments::Lab;
+use hecmix_obs::json::{self, Value};
+use hecmix_serve::http;
+use hecmix_serve::loadgen::{self, LoadgenConfig, MixRatio};
+use hecmix_serve::{start, AppState, ModelStore, ServeConfig, ServerHandle};
+
+fn build_store() -> ModelStore {
+    static MODELS: OnceLock<Vec<hecmix_core::profile::WorkloadModel>> = OnceLock::new();
+    let models = MODELS.get_or_init(|| {
+        let lab = Lab::new();
+        let ep = hecmix_workloads::workload_by_name("ep").expect("ep registered");
+        lab.models(ep.as_ref()).to_vec()
+    });
+    let mut store = ModelStore::new();
+    store.insert("ep", models.clone());
+    store
+}
+
+struct Daemon {
+    handle: ServerHandle,
+    state: Arc<AppState>,
+}
+
+fn daemon() -> &'static Daemon {
+    static DAEMON: OnceLock<Daemon> = OnceLock::new();
+    DAEMON.get_or_init(|| {
+        let state = Arc::new(AppState::new(build_store(), 4, 256));
+        state.set_reload(Arc::new(|| Ok(build_store())));
+        let config = ServeConfig {
+            workers: 4,
+            queue_capacity: 32,
+            read_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        };
+        let handle = start(config, Arc::clone(&state)).expect("daemon starts");
+        Daemon { handle, state }
+    })
+}
+
+/// One request over a fresh connection; returns `(status, parsed body)`.
+fn call(method: &str, path: &str, body: &str) -> (u16, Value) {
+    let addr = daemon().handle.addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    conn.write_all(http::format_request(method, path, body).as_bytes())
+        .expect("send");
+    let (status, _headers, resp) = http::read_response(&mut conn).expect("response");
+    let text = std::str::from_utf8(&resp).expect("UTF-8 body");
+    let value = json::parse(text).unwrap_or_else(|e| panic!("bad JSON ({e}): {text}"));
+    (status, value)
+}
+
+fn as_u64(v: &Value, k: &str) -> u64 {
+    v.get(k)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 {k}"))
+}
+
+fn as_bool(v: &Value, k: &str) -> bool {
+    v.get(k)
+        .and_then(Value::as_bool)
+        .unwrap_or_else(|| panic!("missing bool {k}"))
+}
+
+// The daemon is shared; the cache-sensitive tests coordinate through this
+// lock so a concurrently running test cannot interleave a /reload between
+// a cold and a warm query.
+static CACHE_SENSITIVE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn healthz_and_statz_report_inventory() {
+    let (status, v) = call("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(as_bool(&v, "ok"));
+    assert_eq!(as_u64(&v, "workloads"), 1);
+
+    let (status, v) = call("GET", "/statz", "");
+    assert_eq!(status, 200);
+    assert!(v.get("uptime_s").and_then(Value::as_f64).expect("uptime") >= 0.0);
+    let hashes = v
+        .get("model_hashes")
+        .and_then(Value::as_array)
+        .expect("hashes");
+    assert_eq!(hashes.len(), 1);
+    let h = hashes[0].as_str().expect("hash string");
+    assert!(h.starts_with("ep:") && h.len() == 3 + 16, "{h}");
+    assert!(v.get("latency_us").and_then(|l| l.get("p50")).is_some());
+    assert!(v.get("cache").and_then(|c| c.get("hit_rate")).is_some());
+}
+
+#[test]
+fn plan_answers_feasible_and_infeasible_deadlines() {
+    let _guard = CACHE_SENSITIVE.lock().unwrap();
+    // A generous deadline must be feasible with a config and split.
+    let (status, v) = call(
+        "POST",
+        "/plan",
+        r#"{"workload":"ep","arm":6,"amd":5,"deadline_ms":3600000}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(as_bool(&v, "feasible"));
+    // Labels read like "ARM Cortex-A9 6(4c@1.40 GHz) + AMD K10 ..."
+    assert!(v
+        .get("config")
+        .and_then(Value::as_str)
+        .expect("config")
+        .contains("c@"));
+    let time_ms = v.get("time_ms").and_then(Value::as_f64).expect("time");
+    assert!(time_ms > 0.0 && time_ms <= 3_600_000.0);
+    assert!(v.get("energy_j").and_then(Value::as_f64).expect("energy") > 0.0);
+    let shares = v.get("shares").expect("shares");
+    let low = shares
+        .get("low")
+        .and_then(Value::as_f64)
+        .expect("low share");
+    let high = shares
+        .get("high")
+        .and_then(Value::as_f64)
+        .expect("high share");
+    assert!(
+        (low + high - 1.0).abs() < 1e-9,
+        "shares sum to 1: {low} + {high}"
+    );
+
+    // A microsecond deadline is infeasible; the fastest option is reported.
+    let (status, v) = call(
+        "POST",
+        "/plan",
+        r#"{"workload":"ep","arm":6,"amd":5,"deadline_ms":0.001}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(!as_bool(&v, "feasible"));
+    assert!(
+        v.get("fastest_ms")
+            .and_then(Value::as_f64)
+            .expect("fastest")
+            > 0.001
+    );
+}
+
+#[test]
+fn frontier_warm_cache_is_10x_faster_than_cold() {
+    let _guard = CACHE_SENSITIVE.lock().unwrap();
+    // Unique query shape (node caps) so no other test has warmed this key.
+    let body = r#"{"workload":"ep","arm":9,"amd":7}"#;
+    let (status, v) = call("POST", "/frontier", body);
+    assert_eq!(status, 200);
+    assert!(!as_bool(&v, "cached"), "first query must be a cache miss");
+    let cold_us = as_u64(&v, "compute_us");
+    let count = as_u64(&v, "count");
+    assert!(count >= 1);
+    let points = v.get("points").and_then(Value::as_array).expect("points");
+    assert_eq!(points.len() as u64, count);
+    for p in points {
+        assert!(p.get("time_ms").and_then(Value::as_f64).expect("t") > 0.0);
+        assert!(p.get("energy_j").and_then(Value::as_f64).expect("e") > 0.0);
+    }
+
+    // Warm queries: identical shape, served from cache, >= 10x faster on
+    // the server-side compute clock (immune to loopback RTT noise).
+    let mut warm_us = Vec::new();
+    for _ in 0..21 {
+        let (status, v) = call("POST", "/frontier", body);
+        assert_eq!(status, 200);
+        assert!(as_bool(&v, "cached"), "repeat query must hit the cache");
+        assert_eq!(
+            as_u64(&v, "count"),
+            count,
+            "cached answer must be identical"
+        );
+        warm_us.push(as_u64(&v, "compute_us"));
+    }
+    warm_us.sort_unstable();
+    let warm_median = warm_us[warm_us.len() / 2].max(1);
+    assert!(
+        cold_us >= 10 * warm_median,
+        "cache speedup below 10x: cold {cold_us} µs vs warm median {warm_median} µs"
+    );
+}
+
+#[test]
+fn resilient_frontier_dominates_plain_energy() {
+    let _guard = CACHE_SENSITIVE.lock().unwrap();
+    let (status, plain) = call("POST", "/frontier", r#"{"workload":"ep","arm":4,"amd":3}"#);
+    assert_eq!(status, 200);
+    let (status, resilient) = call(
+        "POST",
+        "/frontier",
+        r#"{"workload":"ep","arm":4,"amd":3,"resilient_k":1}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(as_u64(&resilient, "resilient_k"), 1);
+    // Surviving k=1 crashes costs headroom: the resilient frontier's best
+    // (fastest) point cannot beat the plain frontier's fastest point.
+    let min_time = |v: &Value| {
+        v.get("points")
+            .and_then(Value::as_array)
+            .expect("points")
+            .iter()
+            .map(|p| p.get("time_ms").and_then(Value::as_f64).expect("t"))
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(min_time(&resilient) >= min_time(&plain) - 1e-9);
+}
+
+#[test]
+fn whatif_ladder_spans_all_high_to_all_low() {
+    let _guard = CACHE_SENSITIVE.lock().unwrap();
+    let (status, v) = call(
+        "POST",
+        "/whatif",
+        r#"{"workload":"ep","budget_w":400,"deadline_ms":3600000,"step_high":1}"#,
+    );
+    assert_eq!(status, 200);
+    let rungs = v.get("rungs").and_then(Value::as_array).expect("rungs");
+    assert!(rungs.len() >= 2, "ladder needs at least two rungs");
+    let first = &rungs[0];
+    let last = &rungs[rungs.len() - 1];
+    assert_eq!(as_u64(first, "arm"), 0, "ladder starts all-high");
+    assert_eq!(as_u64(last, "amd"), 0, "ladder ends all-low");
+    for r in rungs {
+        assert!(r.get("peak_w").and_then(Value::as_f64).expect("peak") <= 400.0 + 1e-9);
+    }
+    assert!(v.get("best_mix").and_then(Value::as_str).is_some());
+
+    // Same ladder again: cached.
+    let (_, v2) = call(
+        "POST",
+        "/whatif",
+        r#"{"workload":"ep","budget_w":400,"deadline_ms":3600000,"step_high":1}"#,
+    );
+    assert!(as_bool(&v2, "cached"));
+    // A different deadline reuses the cached ladder (key excludes deadline).
+    let (_, v3) = call(
+        "POST",
+        "/whatif",
+        r#"{"workload":"ep","budget_w":400,"deadline_ms":1,"step_high":1}"#,
+    );
+    assert!(as_bool(&v3, "cached"));
+}
+
+#[test]
+fn reload_swaps_store_and_invalidates_cache() {
+    let _guard = CACHE_SENSITIVE.lock().unwrap();
+    let body = r#"{"workload":"ep","arm":3,"amd":2}"#;
+    let (_, first) = call("POST", "/frontier", body);
+    assert!(!as_bool(&first, "cached"));
+    let (_, warmed) = call("POST", "/frontier", body);
+    assert!(as_bool(&warmed, "cached"));
+
+    let before = daemon().state.store().hashes();
+    let (status, v) = call("POST", "/reload", "");
+    assert_eq!(status, 200);
+    assert!(as_bool(&v, "reloaded"));
+    assert_eq!(as_u64(&v, "workloads"), 1);
+    // Same lab, same models: the content hash must be reproducible.
+    assert_eq!(daemon().state.store().hashes(), before);
+
+    // The cache was invalidated: the same query is cold again.
+    let (_, after) = call("POST", "/frontier", body);
+    assert!(
+        !as_bool(&after, "cached"),
+        "reload must invalidate the plan cache"
+    );
+}
+
+#[test]
+fn error_paths_return_typed_statuses() {
+    let cases = [
+        ("POST", "/plan", r#"{"workload":"ep","arm":2,"amd":2}"#, 400), // no deadline
+        ("POST", "/plan", r#"{"deadline_ms":1000}"#, 400),              // no workload
+        (
+            "POST",
+            "/plan",
+            r#"{"workload":"nope","deadline_ms":1}"#,
+            404,
+        ),
+        (
+            "POST",
+            "/frontier",
+            r#"{"workload":"ep","arm":0,"amd":0}"#,
+            422,
+        ),
+        ("POST", "/frontier", r#"{"workload":"ep","units":-5}"#, 422),
+        (
+            "POST",
+            "/frontier",
+            r#"{"workload":"ep","resilient_k":0}"#,
+            422,
+        ),
+        ("POST", "/whatif", r#"{"workload":"ep","budget_w":-1}"#, 422),
+        ("POST", "/frontier", "{not json", 400),
+        ("GET", "/plan", "", 405),
+        ("POST", "/healthz", "", 405),
+        ("GET", "/nope", "", 404),
+    ];
+    for (method, path, body, want) in cases {
+        let (status, _) = call(method, path, body);
+        assert_eq!(status, want, "{method} {path} with {body:?}");
+    }
+}
+
+#[test]
+fn closed_loop_load_run_completes_without_errors() {
+    let cfg = LoadgenConfig {
+        addr: daemon().handle.addr().to_string(),
+        concurrency: 4,
+        requests: 120,
+        mix: MixRatio::parse("2:2:1").expect("mix"),
+        workload: "ep".to_owned(),
+        arm: 5,
+        amd: 4,
+        budget_w: 400.0,
+        deadline_ms: 3_600_000.0,
+    };
+    let report = loadgen::run(&cfg);
+    assert_eq!(report.sent, 120);
+    assert_eq!(report.ok, 120, "every request must complete: {report:?}");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.p50_us > 0 && report.p50_us <= report.p99_us);
+    let j = report.to_json(&cfg);
+    assert!(json::parse(&j).is_ok(), "bench JSON parses: {j}");
+}

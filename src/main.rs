@@ -8,10 +8,14 @@
 //! hecmix characterize --out DIR [--workload NAME]
 //! hecmix queueing     --workload memcached --lambda 2.0 --slo-ms 450
 //! hecmix selfcheck    [--seed 42] [--fuzz-iters 200]
+//! hecmix serve        [--addr 127.0.0.1:7077] [--models DIR] [--workloads a,b]
+//! hecmix loadgen      [--addr 127.0.0.1:7077] [--requests 500] [--concurrency 8]
 //! ```
 //!
 //! Everything runs against the simulated reference testbed (see DESIGN.md);
-//! `characterize` exports reusable `.model` bundles.
+//! `characterize` exports reusable `.model` bundles. `serve` keeps the
+//! planner resident as an HTTP daemon (see `crates/serve`); `loadgen` is
+//! its closed-loop benchmark client.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -56,6 +60,8 @@ fn main() -> ExitCode {
         "characterize" => cmd_characterize(&flags),
         "queueing" => cmd_queueing(&flags),
         "selfcheck" => cmd_selfcheck(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -79,6 +85,11 @@ commands:
   characterize --out DIR [--workload NAME]
   queueing     --workload NAME --lambda JOBS_PER_S --slo-ms R [--window-s S]
   selfcheck    [--seed N] [--fuzz-iters N]
+  serve        [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+               [--models DIR] [--workloads NAME,NAME,...]
+  loadgen      [--addr HOST:PORT] [--requests N] [--concurrency N]
+               [--mix P:F:W] [--workload NAME] [--arm N] [--amd N]
+               [--budget W] [--deadline-ms D] [--bench-out FILE]
 
 workloads: ep memcached x264 blackscholes julius rsa-2048"
     );
@@ -392,6 +403,182 @@ fn cmd_selfcheck(flags: &HashMap<String, String>) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Build the daemon's model inventory plus the matching `/reload` closure.
+/// `--models DIR` loads persisted bundles; otherwise the named workloads
+/// (default: all) are characterized on the simulated testbed.
+fn build_serve_store(
+    flags: &HashMap<String, String>,
+) -> Result<
+    (
+        hecmix_serve::ModelStore,
+        std::sync::Arc<hecmix_serve::api::ReloadFn>,
+    ),
+    ExitCode,
+> {
+    let only: Vec<String> = flags
+        .get("workloads")
+        .map(|s| {
+            s.split(',')
+                .map(|w| w.trim().to_owned())
+                .filter(|w| !w.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    if let Some(dir) = flags.get("models") {
+        let dir = std::path::PathBuf::from(dir);
+        let store = hecmix_serve::ModelStore::from_dir(&dir, &only).map_err(|e| {
+            eprintln!("cannot load models from {}: {e}", dir.display());
+            ExitCode::FAILURE
+        })?;
+        let reload: std::sync::Arc<hecmix_serve::api::ReloadFn> =
+            std::sync::Arc::new(move || hecmix_serve::ModelStore::from_dir(&dir, &only));
+        return Ok((store, reload));
+    }
+
+    let build = move |only: &[String]| -> Result<hecmix_serve::ModelStore, String> {
+        let lab = Lab::new();
+        let workloads: Vec<Box<dyn Workload + Send + Sync>> = if only.is_empty() {
+            hecmix_workloads::all_workloads()
+        } else {
+            only.iter()
+                .map(|name| {
+                    workload_by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut store = hecmix_serve::ModelStore::new();
+        for w in workloads {
+            store.insert(w.name(), lab.models(w.as_ref()).to_vec());
+        }
+        Ok(store)
+    };
+    let store = build(&only).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    let reload: std::sync::Arc<hecmix_serve::api::ReloadFn> =
+        std::sync::Arc::new(move || build(&only));
+    Ok((store, reload))
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    let defaults = hecmix_serve::ServeConfig::default();
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7077".to_owned());
+    let (Ok(workers), Ok(queue), Ok(cache)) = (
+        get_num::<usize>(flags, "workers", defaults.workers),
+        get_num::<usize>(flags, "queue", defaults.queue_capacity),
+        get_num::<usize>(flags, "cache", 256),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    if workers == 0 || queue == 0 {
+        eprintln!("--workers and --queue must be >= 1");
+        return ExitCode::FAILURE;
+    }
+
+    let (store, reload) = match build_serve_store(flags) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let names = store.names().join(" ");
+    let state = std::sync::Arc::new(hecmix_serve::AppState::new(store, workers, cache));
+    state.set_reload(reload);
+    let config = hecmix_serve::ServeConfig {
+        addr,
+        workers,
+        queue_capacity: queue,
+        ..defaults
+    };
+    let handle = match hecmix_serve::start(config, std::sync::Arc::clone(&state)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    hecmix_serve::signal::install();
+    println!(
+        "hecmix-serve listening on http://{} ({workers} workers, queue {queue}, cache {cache})",
+        handle.addr()
+    );
+    println!("workloads: {names}");
+    println!("endpoints: POST /plan /frontier /whatif /reload — GET /healthz /statz");
+    while !hecmix_serve::signal::interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received; draining in-flight requests");
+    handle.shutdown();
+    handle.join();
+    eprintln!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
+    use hecmix_serve::loadgen::{self, LoadgenConfig, MixRatio};
+
+    let d = LoadgenConfig::default();
+    let mix = match flags.get("mix") {
+        None => d.mix,
+        Some(s) => match MixRatio::parse(s) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("bad --mix: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let (Ok(concurrency), Ok(requests), Ok(arm), Ok(amd)) = (
+        get_num::<usize>(flags, "concurrency", d.concurrency),
+        get_num::<u64>(flags, "requests", d.requests),
+        get_num::<u32>(flags, "arm", d.arm),
+        get_num::<u32>(flags, "amd", d.amd),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let (Ok(budget_w), Ok(deadline_ms)) = (
+        get_num::<f64>(flags, "budget", d.budget_w),
+        get_num::<f64>(flags, "deadline-ms", d.deadline_ms),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    if concurrency == 0 || requests == 0 {
+        eprintln!("--concurrency and --requests must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    let cfg = LoadgenConfig {
+        addr: flags.get("addr").cloned().unwrap_or(d.addr),
+        concurrency,
+        requests,
+        mix,
+        workload: flags.get("workload").cloned().unwrap_or(d.workload),
+        arm,
+        amd,
+        budget_w,
+        deadline_ms,
+    };
+
+    let report = loadgen::run(&cfg);
+    print!("{}", report.render());
+    if let Some(path) = flags.get("bench-out") {
+        if let Err(e) = std::fs::write(path, report.to_json(&cfg)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench artifact written to {path}");
+    }
+    if report.errors > 0 {
+        eprintln!("{} of {} requests failed", report.errors, report.sent);
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
