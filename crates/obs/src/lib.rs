@@ -299,6 +299,40 @@ pub enum Event {
         /// Evicted entry's key.
         key: u64,
     },
+    /// A request joined an in-flight compute for the same cache key
+    /// instead of starting its own (single-flight coalescing).
+    RequestCoalesced {
+        /// Request path.
+        path: String,
+        /// Cache key of the shared in-flight compute.
+        key: u64,
+    },
+    /// `POST /reload` started re-computing the hot key set against the new
+    /// model store before swapping it in.
+    CacheWarmStart {
+        /// Cached entries snapshotted for warming.
+        keys: usize,
+    },
+    /// Background cache warming finished; the store and warmed entries
+    /// were swapped in.
+    CacheWarmDone {
+        /// Cached entries snapshotted for warming.
+        keys: usize,
+        /// Entries successfully recomputed and reinserted.
+        warmed: usize,
+        /// Wall time of the warming pass, seconds.
+        wall_s: f64,
+    },
+    /// One event-loop iteration woke with work to do (ready sources
+    /// and/or mailbox messages). Quiet timeout ticks are not emitted.
+    EventLoopWakeup {
+        /// I/O thread index.
+        io_thread: usize,
+        /// Readiness events delivered by the poller.
+        events: usize,
+        /// Mailbox messages (new connections, compute responses).
+        messages: usize,
+    },
 
     // ---- generic ----
     /// A named wall-clock span measured by [`ScopedTimer`].
@@ -346,6 +380,10 @@ impl Event {
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
             Event::CacheEvict { .. } => "cache_evict",
+            Event::RequestCoalesced { .. } => "request_coalesced",
+            Event::CacheWarmStart { .. } => "cache_warm_start",
+            Event::CacheWarmDone { .. } => "cache_warm_done",
+            Event::EventLoopWakeup { .. } => "eventloop_wakeup",
             Event::Timer { .. } => "timer",
             Event::Warning { .. } => "warning",
         }
@@ -575,6 +613,31 @@ impl Event {
             }
             Event::CacheEvict { key } => {
                 o.u64("key", *key);
+            }
+            Event::RequestCoalesced { path, key } => {
+                o.str("path", path);
+                o.u64("key", *key);
+            }
+            Event::CacheWarmStart { keys } => {
+                o.u64("keys", *keys as u64);
+            }
+            Event::CacheWarmDone {
+                keys,
+                warmed,
+                wall_s,
+            } => {
+                o.u64("keys", *keys as u64);
+                o.u64("warmed", *warmed as u64);
+                o.f64("wall_s", *wall_s);
+            }
+            Event::EventLoopWakeup {
+                io_thread,
+                events,
+                messages,
+            } => {
+                o.u64("io_thread", *io_thread as u64);
+                o.u64("events", *events as u64);
+                o.u64("messages", *messages as u64);
             }
             Event::Timer { name, wall_s } => {
                 o.str("name", name);
@@ -941,6 +1004,21 @@ mod tests {
             Event::CacheHit { key: 0 },
             Event::CacheMiss { key: 0 },
             Event::CacheEvict { key: 0 },
+            Event::RequestCoalesced {
+                path: String::new(),
+                key: 0,
+            },
+            Event::CacheWarmStart { keys: 0 },
+            Event::CacheWarmDone {
+                keys: 0,
+                warmed: 0,
+                wall_s: 0.0,
+            },
+            Event::EventLoopWakeup {
+                io_thread: 0,
+                events: 0,
+                messages: 0,
+            },
             Event::Timer {
                 name: "x",
                 wall_s: 0.0,

@@ -1,4 +1,4 @@
-//! Request dispatch: the planning endpoints and their shared state.
+//! Request routing, plan computation, and response formatting.
 //!
 //! Six endpoints over the model machinery in `hecmix-core`:
 //!
@@ -7,21 +7,38 @@
 //! | `POST /plan`     | cheapest feasible config for a workload + deadline |
 //! | `POST /frontier` | the energy–deadline Pareto frontier (optionally the `resilient_k` degraded frontier) |
 //! | `POST /whatif`   | the power-budget substitution ladder               |
-//! | `POST /reload`   | swap the model inventory, invalidate the cache     |
+//! | `POST /reload`   | swap the model inventory, **re-warm** the hot set  |
 //! | `GET /healthz`   | liveness                                           |
-//! | `GET /statz`     | uptime, queue, cache, latency percentiles          |
+//! | `GET /statz`     | uptime, connections, queue, cache, latency         |
 //!
-//! Every computed answer is memoized in the sharded LRU ([`crate::cache`])
-//! under a key mixing the **content hash of the model bundle** with the
-//! query shape, so identical questions after the first are answered
-//! without touching the sweep engine. Responses always carry two fields
-//! the load harness relies on: `"cached"` and `"compute_us"` (server-side
-//! compute time, free of network jitter — the honest number for the
-//! cold-vs-warm speedup claim).
+//! The event-loop architecture splits a request's life into three phases
+//! that run on different threads, so this module is organized around three
+//! verbs instead of one blocking `handle`:
+//!
+//! * [`AppState::route`] — parse and classify, on an I/O thread. Cache
+//!   hits, health/stat reads, and errors are answered immediately
+//!   ([`Routed::Ready`]); a cache miss yields a [`PendingCompute`] that
+//!   the caller hands to the single-flight registry and compute pool.
+//! * [`AppState::compute`] — the expensive sweep, on a compute thread.
+//!   The result (a [`CachedPlan`]) is inserted into the sharded LRU so
+//!   every later identical question is a `route`-time hit.
+//! * [`format_response`] — turn a computed plan plus the request's
+//!   [`RespCtx`] into wire JSON. Cheap, runs wherever the plan and the
+//!   waiter meet.
+//!
+//! A [`CachedPlan`] carries the [`ComputeSpec`] that produced it, which is
+//! what makes **warm reload** possible: `POST /reload` snapshots the hot
+//! set, recomputes every spec against the freshly loaded store, and only
+//! then swaps — so a reload does not open a cold-start latency cliff.
+//!
+//! Responses carry three fields the load harness relies on: `"cached"`,
+//! `"coalesced"` (answered from another connection's in-flight compute),
+//! and `"compute_us"` (server-side compute time, free of network jitter —
+//! the honest number for the cold-vs-warm speedup claim).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hecmix_core::budget::PowerBudget;
 use hecmix_core::config::ConfigSpace;
@@ -79,29 +96,247 @@ pub struct WhatifRung {
     pub frontier: ParetoFrontier,
 }
 
+/// A cached plan: the computed value plus the spec that produced it (for
+/// warm reload) and how long the compute took.
+pub struct CachedPlan {
+    /// The memoized computation.
+    pub compute: CachedCompute,
+    /// The inputs, kept so a reload can recompute this entry against a
+    /// fresh model store.
+    pub spec: ComputeSpec,
+    /// Server-side compute time of the original (cold) computation, µs.
+    pub compute_us: u64,
+}
+
+/// The normalized inputs of one cacheable computation. Two requests with
+/// the same spec against the same model bundle produce byte-identical
+/// plans, which is what makes both memoization and single-flight
+/// coalescing sound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComputeSpec {
+    /// Plain energy–deadline frontier (`/plan` and `/frontier` share it).
+    Frontier {
+        /// Workload name.
+        workload: String,
+        /// Low-power node cap.
+        arm: u32,
+        /// High-performance node cap.
+        amd: u32,
+        /// Work units.
+        units: f64,
+    },
+    /// k-degraded frontier.
+    ResilientFrontier {
+        /// Workload name.
+        workload: String,
+        /// Low-power node cap.
+        arm: u32,
+        /// High-performance node cap.
+        amd: u32,
+        /// Work units.
+        units: f64,
+        /// Survivable node failures.
+        k: u32,
+    },
+    /// Power-budget substitution ladder.
+    Whatif {
+        /// Workload name.
+        workload: String,
+        /// Power budget, watts.
+        budget_w: f64,
+        /// Work units.
+        units: f64,
+        /// High-performance nodes traded per rung.
+        step_high: u32,
+    },
+}
+
+impl ComputeSpec {
+    /// The workload this spec computes over.
+    #[must_use]
+    pub fn workload(&self) -> &str {
+        match self {
+            Self::Frontier { workload, .. }
+            | Self::ResilientFrontier { workload, .. }
+            | Self::Whatif { workload, .. } => workload,
+        }
+    }
+
+    /// Cache key for this spec against the model bundle with `model_hash`.
+    #[must_use]
+    pub fn key(&self, model_hash: u64) -> u64 {
+        match self {
+            Self::Frontier {
+                arm, amd, units, ..
+            } => cache_key(&[
+                model_hash,
+                tag::FRONTIER,
+                u64::from(*arm),
+                u64::from(*amd),
+                units.to_bits(),
+            ]),
+            Self::ResilientFrontier {
+                arm, amd, units, k, ..
+            } => cache_key(&[
+                model_hash,
+                tag::RESILIENT,
+                u64::from(*arm),
+                u64::from(*amd),
+                units.to_bits(),
+                u64::from(*k),
+            ]),
+            Self::Whatif {
+                budget_w,
+                units,
+                step_high,
+                ..
+            } => cache_key(&[
+                model_hash,
+                tag::WHATIF,
+                budget_w.to_bits(),
+                units.to_bits(),
+                u64::from(*step_high),
+            ]),
+        }
+    }
+}
+
+/// Per-request formatting context: everything [`format_response`] needs
+/// beyond the computed plan itself (deadlines are evaluated at format
+/// time so any deadline can be answered from one cached frontier).
+#[derive(Debug, Clone)]
+pub enum RespCtx {
+    /// `POST /plan`.
+    Plan {
+        /// Workload name.
+        workload: String,
+        /// Low-power node cap.
+        arm: u32,
+        /// High-performance node cap.
+        amd: u32,
+        /// Work units.
+        units: f64,
+        /// Deadline to plan for, milliseconds.
+        deadline_ms: f64,
+    },
+    /// `POST /frontier`.
+    Frontier {
+        /// Workload name.
+        workload: String,
+        /// Low-power node cap.
+        arm: u32,
+        /// High-performance node cap.
+        amd: u32,
+        /// Work units.
+        units: f64,
+        /// Degraded-frontier k, when requested.
+        resilient_k: Option<u32>,
+    },
+    /// `POST /whatif`.
+    Whatif {
+        /// Workload name.
+        workload: String,
+        /// Power budget, watts.
+        budget_w: f64,
+        /// Work units.
+        units: f64,
+        /// High-performance nodes traded per rung.
+        step_high: u32,
+        /// Optional deadline to rank rungs by.
+        deadline_ms: Option<f64>,
+    },
+    /// `POST /reload` (answered by [`AppState::do_reload`], never by
+    /// [`format_response`]).
+    Reload,
+}
+
+impl RespCtx {
+    /// The endpoint path this context belongs to (for telemetry and
+    /// per-endpoint latency accounting).
+    #[must_use]
+    pub fn path(&self) -> &'static str {
+        match self {
+            Self::Plan { .. } => "/plan",
+            Self::Frontier { .. } => "/frontier",
+            Self::Whatif { .. } => "/whatif",
+            Self::Reload => "/reload",
+        }
+    }
+}
+
+/// What [`AppState::route`] decided about a request.
+pub enum Routed {
+    /// Answer now: health/stat reads, parse errors, and cache hits.
+    Ready {
+        /// The finished response.
+        resp: Response,
+        /// Whether it came from the plan cache.
+        cached: bool,
+    },
+    /// A cache miss that needs the compute pool.
+    Compute(PendingCompute),
+    /// `POST /reload` — runs on the compute pool so I/O threads never
+    /// block behind a model rebuild + cache warm.
+    Reload,
+}
+
+impl Routed {
+    fn ready(resp: Response) -> Self {
+        Self::Ready {
+            resp,
+            cached: false,
+        }
+    }
+}
+
+/// A parsed cache miss, ready to be coalesced and computed.
+pub struct PendingCompute {
+    /// Cache key the waiters coalesce under.
+    pub key: u64,
+    /// What to compute.
+    pub spec: ComputeSpec,
+    /// The model-store snapshot the request was parsed against.
+    pub store: Arc<ModelStore>,
+    /// How to format the answer for this particular request.
+    pub ctx: RespCtx,
+}
+
 /// Source for `POST /reload`: rebuilds a fresh [`ModelStore`].
 pub type ReloadFn = dyn Fn() -> Result<ModelStore, String> + Send + Sync;
 
-/// Per-daemon counters and per-worker latency histograms.
+/// Per-daemon counters and per-I/O-thread latency histograms.
 pub struct Metrics {
-    /// One histogram per worker (indexed by worker id; lock-free writes).
+    /// One histogram per I/O thread (indexed by loop id; lock-free writes).
     pub hists: Vec<Histogram>,
-    /// Requests answered (any status except accept-queue rejections).
+    /// Requests answered (any status except admission rejections).
     pub served: AtomicU64,
-    /// Connections rejected by admission control.
+    /// Connections rejected by admission control, plus computes shed by
+    /// the queue deadline or drain.
     pub rejected: AtomicU64,
-    /// Last observed accept-queue depth.
+    /// Plan computations actually executed on the compute pool.
+    pub computes: AtomicU64,
+    /// Requests answered from another connection's in-flight compute.
+    pub coalesced: AtomicU64,
+    /// Cache entries re-computed by warm reloads.
+    pub warmed: AtomicU64,
+    /// Current compute-queue depth.
     pub queue_depth: AtomicUsize,
+    /// Currently open client connections.
+    pub connections: AtomicUsize,
     started: Instant,
 }
 
 impl Metrics {
-    fn new(workers: usize) -> Self {
+    fn new(io_threads: usize) -> Self {
         Self {
-            hists: (0..workers.max(1)).map(|_| Histogram::new()).collect(),
+            hists: (0..io_threads.max(1)).map(|_| Histogram::new()).collect(),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            warmed: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
             started: Instant::now(),
         }
     }
@@ -113,25 +348,28 @@ impl Metrics {
     }
 }
 
-/// Everything a worker needs to answer a request.
+/// Everything the I/O loops and compute pool share to answer requests.
 pub struct AppState {
     store: RwLock<Arc<ModelStore>>,
-    cache: ShardedLru<CachedCompute>,
+    cache: ShardedLru<CachedPlan>,
     reload: RwLock<Option<Arc<ReloadFn>>>,
-    /// Counters and histograms, updated by workers and the accept thread.
+    compute_delay_us: AtomicU64,
+    /// Counters and histograms, updated by I/O loops, the compute pool,
+    /// and the accept thread.
     pub metrics: Metrics,
 }
 
 impl AppState {
-    /// State over `store`, with `workers` latency histograms and a plan
+    /// State over `store`, with `io_threads` latency histograms and a plan
     /// cache of `cache_capacity` entries.
     #[must_use]
-    pub fn new(store: ModelStore, workers: usize, cache_capacity: usize) -> Self {
+    pub fn new(store: ModelStore, io_threads: usize, cache_capacity: usize) -> Self {
         Self {
             store: RwLock::new(Arc::new(store)),
             cache: ShardedLru::new(cache_capacity.max(1)),
             reload: RwLock::new(None),
-            metrics: Metrics::new(workers),
+            compute_delay_us: AtomicU64::new(0),
+            metrics: Metrics::new(io_threads),
         }
     }
 
@@ -141,72 +379,184 @@ impl AppState {
         *self.reload.write().expect("reload slot poisoned") = Some(f);
     }
 
+    /// Testing hook: make every pool compute take at least `delay` of wall
+    /// clock. This is how the coalescing and drain tests hold a compute
+    /// open long enough to pile concurrent misses onto one flight; it has
+    /// no effect on cache hits or warm-reload recomputes.
+    pub fn set_compute_delay(&self, delay: Duration) {
+        self.compute_delay_us
+            .store(delay.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn compute_delay(&self) -> Duration {
+        Duration::from_micros(self.compute_delay_us.load(Ordering::Relaxed))
+    }
+
     /// Snapshot of the current model inventory.
     #[must_use]
     pub fn store(&self) -> Arc<ModelStore> {
         Arc::clone(&self.store.read().expect("model store poisoned"))
     }
 
-    /// Handle one request end to end: dispatch, record latency into
-    /// `worker`'s histogram, emit request telemetry.
+    /// Classify one request: answer immediately (reads, errors, cache
+    /// hits) or hand back the compute it needs. Runs on an I/O thread —
+    /// everything here is bounded-time.
     #[must_use]
-    pub fn handle(&self, worker: usize, req: &Request) -> Response {
+    pub fn route(&self, req: &Request) -> Routed {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Routed::ready(self.healthz()),
+            ("GET", "/statz") => Routed::ready(self.statz()),
+            ("POST", "/plan" | "/frontier" | "/whatif") => self.route_compute(req),
+            ("POST", "/reload") => Routed::Reload,
+            (_, "/healthz" | "/statz" | "/plan" | "/frontier" | "/whatif" | "/reload") => {
+                Routed::ready(Response::error(405, "method not allowed"))
+            }
+            _ => Routed::ready(Response::error(404, "no such endpoint")),
+        }
+    }
+
+    fn route_compute(&self, req: &Request) -> Routed {
         let t0 = Instant::now();
-        emit(|| Event::RequestStart {
-            path: req.path.clone(),
-            queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
-        });
-        let (resp, cached) = self.dispatch(req);
-        let wall = t0.elapsed();
+        let v = match parse_body(&req.body) {
+            Ok(v) => v,
+            Err(resp) => return Routed::ready(resp),
+        };
+        let store = self.store();
+        let parsed = match req.path.as_str() {
+            "/plan" => parse_plan(&store, &v),
+            "/frontier" => parse_frontier(&store, &v),
+            _ => parse_whatif(&store, &v),
+        };
+        let (spec, ctx) = match parsed {
+            Ok(p) => p,
+            Err(resp) => return Routed::ready(resp),
+        };
+        let hash = store
+            .get(spec.workload())
+            .map(|e| e.hash)
+            .unwrap_or_default();
+        let key = spec.key(hash);
+        if let Some(hit) = self.cache.get(key) {
+            // Elapsed covers parse + lookup only: response serialization
+            // costs the same on hits and misses, so including it would
+            // mask the cache win.
+            let lookup_us = t0.elapsed().as_micros() as u64;
+            let resp = format_response(&ctx, &store, &hit, true, false, lookup_us);
+            return Routed::Ready { resp, cached: true };
+        }
+        Routed::Compute(PendingCompute {
+            key,
+            spec,
+            store,
+            ctx,
+        })
+    }
+
+    /// Execute one plan computation and memoize it. Runs on a compute
+    /// thread; this is the only place the sweep engine is invoked for
+    /// live traffic.
+    ///
+    /// # Errors
+    /// The typed HTTP error response (422 model/sweep rejections, 404 if
+    /// the workload vanished in a reload race) for delivery to every
+    /// coalesced waiter.
+    pub fn compute(
+        &self,
+        spec: &ComputeSpec,
+        store: &ModelStore,
+    ) -> Result<Arc<CachedPlan>, Response> {
+        let delay = self.compute_delay();
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let (key, plan) = compute_plan(spec, store)?;
+        self.cache.insert(key, Arc::clone(&plan));
+        self.metrics.computes.fetch_add(1, Ordering::Relaxed);
+        Ok(plan)
+    }
+
+    /// Record a finished request: bump `served`, feed the I/O thread's
+    /// histogram, emit [`Event::RequestDone`].
+    pub fn record_done(
+        &self,
+        hist: usize,
+        path: &str,
+        resp: &Response,
+        wall: Duration,
+        cached: bool,
+    ) {
         self.metrics.served.fetch_add(1, Ordering::Relaxed);
-        if let Some(h) = self.metrics.hists.get(worker) {
+        if let Some(h) = self.metrics.hists.get(hist) {
             h.record(wall.as_nanos() as u64);
         }
+        let status = resp.status;
         emit(|| Event::RequestDone {
-            path: req.path.clone(),
-            status: resp.status,
+            path: path.to_owned(),
+            status,
             wall_s: wall.as_secs_f64(),
             cached,
         });
-        resp
     }
 
-    fn dispatch(&self, req: &Request) -> (Response, bool) {
-        match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => (self.healthz(), false),
-            ("GET", "/statz") => (self.statz(), false),
-            ("POST", "/plan") => self.with_body(req, Self::plan),
-            ("POST", "/frontier") => self.with_body(req, Self::frontier),
-            ("POST", "/whatif") => self.with_body(req, Self::whatif),
-            ("POST", "/reload") => (self.reload_models(), false),
-            (_, "/healthz" | "/statz" | "/plan" | "/frontier" | "/whatif" | "/reload") => {
-                (Response::error(405, "method not allowed"), false)
+    /// Rebuild the model store and **warm** the plan cache before swapping:
+    /// every currently cached plan's spec is recomputed against the new
+    /// store, so the first post-reload queries hit instead of paying a
+    /// cold sweep. Runs on the compute pool.
+    #[must_use]
+    pub fn do_reload(&self) -> Response {
+        let reload = self
+            .reload
+            .read()
+            .expect("reload slot poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        let Some(reload) = reload else {
+            return Response::error(400, "no reload source configured");
+        };
+        let new_store = match reload() {
+            Ok(s) => Arc::new(s),
+            Err(e) => return Response::error(500, &format!("reload failed: {e}")),
+        };
+
+        // Recompute the hot set against the new store *before* swapping —
+        // the artificial test delay is deliberately skipped so warming
+        // reflects real compute cost only.
+        let hot = self.cache.snapshot();
+        emit(|| Event::CacheWarmStart { keys: hot.len() });
+        let t0 = Instant::now();
+        let mut warmed: Vec<(u64, Arc<CachedPlan>)> = Vec::with_capacity(hot.len());
+        for plan in &hot {
+            if let Ok((key, fresh)) = compute_plan(&plan.spec, &new_store) {
+                warmed.push((key, fresh));
             }
-            _ => (Response::error(404, "no such endpoint"), false),
         }
+        let wall = t0.elapsed();
+
+        *self.store.write().expect("model store poisoned") = Arc::clone(&new_store);
+        self.cache.invalidate_all();
+        for (key, fresh) in &warmed {
+            self.cache.insert(*key, Arc::clone(fresh));
+        }
+        self.metrics
+            .warmed
+            .fetch_add(warmed.len() as u64, Ordering::Relaxed);
+        emit(|| Event::CacheWarmDone {
+            keys: hot.len(),
+            warmed: warmed.len(),
+            wall_s: wall.as_secs_f64(),
+        });
+
+        let mut o = Object::new();
+        o.bool("reloaded", true);
+        o.u64("workloads", new_store.len() as u64);
+        o.str_array("model_hashes", &new_store.hashes());
+        o.u64("hot_keys", hot.len() as u64);
+        o.u64("warmed", warmed.len() as u64);
+        o.f64("warm_ms", wall.as_secs_f64() * 1e3);
+        Response::json(200, o.finish())
     }
 
-    fn with_body(
-        &self,
-        req: &Request,
-        f: fn(&Self, &Value) -> (Response, bool),
-    ) -> (Response, bool) {
-        let text = match std::str::from_utf8(&req.body) {
-            Ok(t) => t.trim(),
-            Err(_) => return (Response::error(400, "body is not UTF-8"), false),
-        };
-        let value = if text.is_empty() {
-            Value::Object(Vec::new())
-        } else {
-            match json::parse(text) {
-                Ok(v) => v,
-                Err(e) => return (Response::error(400, &format!("bad JSON: {e}")), false),
-            }
-        };
-        f(self, &value)
-    }
-
-    // ---- endpoints ----
+    // ---- read endpoints ----
 
     fn healthz(&self) -> Response {
         let store = self.store();
@@ -222,10 +572,17 @@ impl AppState {
         let cache = self.cache.stats();
         let lat = hist::summarize(&self.metrics.hists);
         let mut o = Object::new();
-        o.str("schema", "hecmix-statz-v1");
+        o.str("schema", "hecmix-statz-v2");
         o.f64("uptime_s", self.metrics.uptime_s());
         o.u64("served", self.metrics.served.load(Ordering::Relaxed));
         o.u64("rejected", self.metrics.rejected.load(Ordering::Relaxed));
+        o.u64("computes", self.metrics.computes.load(Ordering::Relaxed));
+        o.u64("coalesced", self.metrics.coalesced.load(Ordering::Relaxed));
+        o.u64("warmed", self.metrics.warmed.load(Ordering::Relaxed));
+        o.u64(
+            "connections",
+            self.metrics.connections.load(Ordering::Relaxed) as u64,
+        );
         o.u64(
             "queue_depth",
             self.metrics.queue_depth.load(Ordering::Relaxed) as u64,
@@ -251,338 +608,368 @@ impl AppState {
         o.str_array("model_hashes", &store.hashes());
         Response::json(200, o.finish())
     }
+}
 
-    fn plan(&self, v: &Value) -> (Response, bool) {
-        let store = self.store();
-        let (entry, name, arm, amd, units) = match parse_common(&store, v) {
-            Ok(p) => p,
-            Err(resp) => return (resp, false),
-        };
-        let Some(deadline_ms) = v.get("deadline_ms").and_then(Value::as_f64) else {
-            return (Response::error(400, "missing deadline_ms"), false);
-        };
-        if deadline_ms <= 0.0 || !deadline_ms.is_finite() {
-            return (
-                Response::error(422, "deadline_ms must be finite and positive"),
-                false,
-            );
+// ---- the compute itself ----
+
+/// Compute the plan described by `spec` against `store`, from scratch.
+///
+/// Returns the cache key (derived from the store's current model hash) and
+/// the finished plan. Shared by the live compute path and the warm-reload
+/// path; does **not** touch the cache or any counters.
+///
+/// # Errors
+/// The typed HTTP error response for a model/sweep rejection or a missing
+/// workload.
+pub fn compute_plan(
+    spec: &ComputeSpec,
+    store: &ModelStore,
+) -> Result<(u64, Arc<CachedPlan>), Response> {
+    let entry = store
+        .get(spec.workload())
+        .ok_or_else(|| Response::error(404, &format!("unknown workload `{}`", spec.workload())))?;
+    let key = spec.key(entry.hash);
+    let t0 = Instant::now();
+    let compute = match *spec {
+        ComputeSpec::Frontier {
+            arm, amd, units, ..
+        } => {
+            let [low, high] = platform_pair(entry);
+            let space = ConfigSpace::two_type(low, arm, high, amd);
+            let table = RateTable::build_pruned(&space, &entry.models)
+                .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
+            let frontier = table
+                .frontier(units)
+                .map_err(|e| Response::error(422, &format!("sweep failed: {e}")))?;
+            CachedCompute::Frontier(frontier)
         }
-
-        let t0 = Instant::now();
-        let (computed, cached) = match self.frontier_for(entry, arm, amd, units) {
-            Ok(x) => x,
-            Err(resp) => return (resp, false),
-        };
-        // Planning compute only: response serialization costs the same on
-        // hits and misses, so including it would mask the cache win.
-        let compute_us = t0.elapsed().as_micros() as u64;
-        let CachedCompute::Frontier(frontier) = &*computed else {
-            return (Response::error(500, "cache type confusion"), false);
-        };
-        let platforms = platform_pair(entry);
-
-        let mut o = Object::new();
-        o.str("workload", name);
-        o.u64("arm", u64::from(arm));
-        o.u64("amd", u64::from(amd));
-        o.f64("units", units);
-        o.f64("deadline_ms", deadline_ms);
-        match frontier.min_energy_for_deadline(deadline_ms / 1e3) {
-            Some(point) => {
-                o.bool("feasible", true);
-                o.str("config", &point.config.label(&platforms));
-                o.f64("time_ms", point.time_s * 1e3);
-                o.f64("energy_j", point.energy_j);
-                if let Ok(split) = mix_and_match(&point.config, &entry.models, units) {
-                    // `MatchedSplit::shares` are absolute work units summing
-                    // to `units`; the wire format reports fractions.
-                    let mut s = Object::new();
-                    s.f64("low", split.shares.first().copied().unwrap_or(0.0) / units);
-                    s.f64("high", split.shares.get(1).copied().unwrap_or(0.0) / units);
-                    o.raw("shares", &s.finish());
-                }
-            }
-            None => {
-                o.bool("feasible", false);
-                if let Some(t) = frontier.min_time_s() {
-                    o.f64("fastest_ms", t * 1e3);
-                }
-            }
+        ComputeSpec::ResilientFrontier {
+            arm, amd, units, k, ..
+        } => {
+            let [low, high] = platform_pair(entry);
+            let space = ConfigSpace::two_type(low, arm, high, amd);
+            let table = ResilientTable::build(&space, &entry.models)
+                .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
+            let frontier = table
+                .frontier(units, k)
+                .map_err(|e| Response::error(422, &format!("resilient sweep failed: {e}")))?;
+            CachedCompute::Frontier(frontier)
         }
-        o.bool("cached", cached);
-        o.u64("compute_us", compute_us);
-        (Response::json(200, o.finish()), cached)
-    }
-
-    fn frontier(&self, v: &Value) -> (Response, bool) {
-        let store = self.store();
-        let (entry, name, arm, amd, units) = match parse_common(&store, v) {
-            Ok(p) => p,
-            Err(resp) => return (resp, false),
-        };
-        let resilient_k = match v.get("resilient_k") {
-            None => None,
-            Some(k) => match k.as_u64() {
-                Some(k) if k >= 1 => Some(k as u32),
-                _ => {
-                    return (
-                        Response::error(422, "resilient_k must be an integer >= 1"),
-                        false,
-                    )
-                }
-            },
-        };
-
-        let t0 = Instant::now();
-        let result = match resilient_k {
-            None => self.frontier_for(entry, arm, amd, units),
-            Some(k) => self.resilient_frontier_for(entry, arm, amd, units, k),
-        };
-        let (computed, cached) = match result {
-            Ok(x) => x,
-            Err(resp) => return (resp, false),
-        };
-        let compute_us = t0.elapsed().as_micros() as u64;
-        let CachedCompute::Frontier(frontier) = &*computed else {
-            return (Response::error(500, "cache type confusion"), false);
-        };
-        let platforms = platform_pair(entry);
-
-        let mut o = Object::new();
-        o.str("workload", name);
-        o.u64("arm", u64::from(arm));
-        o.u64("amd", u64::from(amd));
-        o.f64("units", units);
-        if let Some(k) = resilient_k {
-            o.u64("resilient_k", u64::from(k));
+        ComputeSpec::Whatif {
+            budget_w,
+            units,
+            step_high,
+            ..
+        } => {
+            let [low, high] = platform_pair(entry);
+            let ladder = PowerBudget::new(budget_w)
+                .substitution_ladder(&low, &high, step_high)
+                .map_err(|e| Response::error(422, &format!("bad budget: {e}")))?;
+            let mut rungs = Vec::with_capacity(ladder.len());
+            for mix in ladder {
+                let (frontier, _prune) = mix
+                    .frontier(&low, &high, &entry.models, units)
+                    .map_err(|e| Response::error(422, &format!("rung sweep failed: {e}")))?;
+                rungs.push(WhatifRung {
+                    label: mix.label(&low, &high),
+                    low_nodes: mix.low_nodes,
+                    high_nodes: mix.high_nodes,
+                    peak_w: mix.peak_power_w(&low, &high),
+                    frontier,
+                });
+            }
+            CachedCompute::Whatif(WhatifResult { rungs })
         }
-        o.u64("count", frontier.len() as u64);
-        let mut points = String::from("[");
-        for (i, p) in frontier.points.iter().enumerate() {
-            if i > 0 {
-                points.push(',');
-            }
-            let mut po = Object::new();
-            po.f64("time_ms", p.time_s * 1e3);
-            po.f64("energy_j", p.energy_j);
-            po.str("config", &p.config.label(&platforms));
-            points.push_str(&po.finish());
-        }
-        points.push(']');
-        o.raw("points", &points);
-        o.bool("cached", cached);
-        o.u64("compute_us", compute_us);
-        (Response::json(200, o.finish()), cached)
-    }
+    };
+    let compute_us = t0.elapsed().as_micros() as u64;
+    Ok((
+        key,
+        Arc::new(CachedPlan {
+            compute,
+            spec: spec.clone(),
+            compute_us,
+        }),
+    ))
+}
 
-    fn whatif(&self, v: &Value) -> (Response, bool) {
-        let store = self.store();
-        let Some(name) = v.get("workload").and_then(Value::as_str) else {
-            return (Response::error(400, "missing workload"), false);
-        };
-        let Some(entry) = store.get(name) else {
-            return (
-                Response::error(404, &format!("unknown workload `{name}`")),
-                false,
-            );
-        };
-        let Some(budget_w) = v.get("budget_w").and_then(Value::as_f64) else {
-            return (Response::error(400, "missing budget_w"), false);
-        };
-        let units = match optional_f64(v, "units", entry.default_units) {
-            Ok(u) => u,
-            Err(resp) => return (resp, false),
-        };
-        let step_high = v
-            .get("step_high")
-            .and_then(Value::as_u64)
-            .unwrap_or(2)
-            .clamp(1, 64) as u32;
-        let deadline_ms = v.get("deadline_ms").and_then(Value::as_f64);
+// ---- response formatting ----
 
-        let t0 = Instant::now();
-        let (computed, cached) = match self.whatif_for(entry, budget_w, units, step_high) {
-            Ok(x) => x,
-            Err(resp) => return (resp, false),
-        };
-        let compute_us = t0.elapsed().as_micros() as u64;
-        let CachedCompute::Whatif(result) = &*computed else {
-            return (Response::error(500, "cache type confusion"), false);
-        };
-
-        let mut o = Object::new();
-        o.str("workload", name);
-        o.f64("budget_w", budget_w);
-        o.f64("units", units);
-        o.u64("step_high", u64::from(step_high));
-        let mut best: Option<(usize, f64)> = None;
-        let mut rungs = String::from("[");
-        for (i, rung) in result.rungs.iter().enumerate() {
-            if i > 0 {
-                rungs.push(',');
-            }
-            let mut ro = Object::new();
-            ro.str("mix", &rung.label);
-            ro.u64("arm", u64::from(rung.low_nodes));
-            ro.u64("amd", u64::from(rung.high_nodes));
-            ro.f64("peak_w", rung.peak_w);
-            if let Some(t) = rung.frontier.min_time_s() {
-                ro.f64("min_time_ms", t * 1e3);
-            }
-            if let Some(e) = rung.frontier.min_energy_j() {
-                ro.f64("min_energy_j", e);
-            }
-            if let Some(d) = deadline_ms {
-                match rung.frontier.min_energy_for_deadline(d / 1e3) {
-                    Some(p) => {
-                        ro.f64("deadline_energy_j", p.energy_j);
-                        if best.is_none_or(|(_, e)| p.energy_j < e) {
-                            best = Some((i, p.energy_j));
-                        }
+/// Format `plan` as the wire answer for the request described by `ctx`.
+///
+/// `cached` marks a cache hit, `coalesced` marks an answer shared from
+/// another connection's in-flight compute, and `compute_us` is the
+/// server-side cost attributed to this request (the original sweep time
+/// for misses and coalesced waiters, the lookup time for hits).
+#[must_use]
+pub fn format_response(
+    ctx: &RespCtx,
+    store: &ModelStore,
+    plan: &CachedPlan,
+    cached: bool,
+    coalesced: bool,
+    compute_us: u64,
+) -> Response {
+    match ctx {
+        RespCtx::Plan {
+            workload,
+            arm,
+            amd,
+            units,
+            deadline_ms,
+        } => {
+            let CachedCompute::Frontier(frontier) = &plan.compute else {
+                return Response::error(500, "cache type confusion");
+            };
+            let Some(entry) = store.get(workload) else {
+                return Response::error(500, "workload disappeared during compute");
+            };
+            let platforms = platform_pair(entry);
+            let mut o = Object::new();
+            o.str("workload", workload);
+            o.u64("arm", u64::from(*arm));
+            o.u64("amd", u64::from(*amd));
+            o.f64("units", *units);
+            o.f64("deadline_ms", *deadline_ms);
+            match frontier.min_energy_for_deadline(deadline_ms / 1e3) {
+                Some(point) => {
+                    o.bool("feasible", true);
+                    o.str("config", &point.config.label(&platforms));
+                    o.f64("time_ms", point.time_s * 1e3);
+                    o.f64("energy_j", point.energy_j);
+                    if let Ok(split) = mix_and_match(&point.config, &entry.models, *units) {
+                        // `MatchedSplit::shares` are absolute work units
+                        // summing to `units`; the wire format reports
+                        // fractions.
+                        let mut s = Object::new();
+                        s.f64("low", split.shares.first().copied().unwrap_or(0.0) / units);
+                        s.f64("high", split.shares.get(1).copied().unwrap_or(0.0) / units);
+                        o.raw("shares", &s.finish());
                     }
-                    None => ro.bool("deadline_feasible", false),
+                }
+                None => {
+                    o.bool("feasible", false);
+                    if let Some(t) = frontier.min_time_s() {
+                        o.f64("fastest_ms", t * 1e3);
+                    }
                 }
             }
-            rungs.push_str(&ro.finish());
+            o.bool("cached", cached);
+            o.bool("coalesced", coalesced);
+            o.u64("compute_us", compute_us);
+            Response::json(200, o.finish())
         }
-        rungs.push(']');
-        o.raw("rungs", &rungs);
-        if let Some(d) = deadline_ms {
-            o.f64("deadline_ms", d);
-            if let Some((i, e)) = best {
-                o.str("best_mix", &result.rungs[i].label);
-                o.f64("best_energy_j", e);
+        RespCtx::Frontier {
+            workload,
+            arm,
+            amd,
+            units,
+            resilient_k,
+        } => {
+            let CachedCompute::Frontier(frontier) = &plan.compute else {
+                return Response::error(500, "cache type confusion");
+            };
+            let Some(entry) = store.get(workload) else {
+                return Response::error(500, "workload disappeared during compute");
+            };
+            let platforms = platform_pair(entry);
+            let mut o = Object::new();
+            o.str("workload", workload);
+            o.u64("arm", u64::from(*arm));
+            o.u64("amd", u64::from(*amd));
+            o.f64("units", *units);
+            if let Some(k) = resilient_k {
+                o.u64("resilient_k", u64::from(*k));
             }
-        }
-        o.bool("cached", cached);
-        o.u64("compute_us", compute_us);
-        (Response::json(200, o.finish()), cached)
-    }
-
-    fn reload_models(&self) -> Response {
-        let reload = self
-            .reload
-            .read()
-            .expect("reload slot poisoned")
-            .as_ref()
-            .map(Arc::clone);
-        let Some(reload) = reload else {
-            return Response::error(400, "no reload source configured");
-        };
-        match reload() {
-            Ok(new_store) => {
-                let mut o = Object::new();
-                o.bool("reloaded", true);
-                o.u64("workloads", new_store.len() as u64);
-                o.str_array("model_hashes", &new_store.hashes());
-                *self.store.write().expect("model store poisoned") = Arc::new(new_store);
-                self.cache.invalidate_all();
-                Response::json(200, o.finish())
+            o.u64("count", frontier.len() as u64);
+            let mut points = String::from("[");
+            for (i, p) in frontier.points.iter().enumerate() {
+                if i > 0 {
+                    points.push(',');
+                }
+                let mut po = Object::new();
+                po.f64("time_ms", p.time_s * 1e3);
+                po.f64("energy_j", p.energy_j);
+                po.str("config", &p.config.label(&platforms));
+                points.push_str(&po.finish());
             }
-            Err(e) => Response::error(500, &format!("reload failed: {e}")),
+            points.push(']');
+            o.raw("points", &points);
+            o.bool("cached", cached);
+            o.bool("coalesced", coalesced);
+            o.u64("compute_us", compute_us);
+            Response::json(200, o.finish())
         }
+        RespCtx::Whatif {
+            workload,
+            budget_w,
+            units,
+            step_high,
+            deadline_ms,
+        } => {
+            let CachedCompute::Whatif(result) = &plan.compute else {
+                return Response::error(500, "cache type confusion");
+            };
+            let mut o = Object::new();
+            o.str("workload", workload);
+            o.f64("budget_w", *budget_w);
+            o.f64("units", *units);
+            o.u64("step_high", u64::from(*step_high));
+            let mut best: Option<(usize, f64)> = None;
+            let mut rungs = String::from("[");
+            for (i, rung) in result.rungs.iter().enumerate() {
+                if i > 0 {
+                    rungs.push(',');
+                }
+                let mut ro = Object::new();
+                ro.str("mix", &rung.label);
+                ro.u64("arm", u64::from(rung.low_nodes));
+                ro.u64("amd", u64::from(rung.high_nodes));
+                ro.f64("peak_w", rung.peak_w);
+                if let Some(t) = rung.frontier.min_time_s() {
+                    ro.f64("min_time_ms", t * 1e3);
+                }
+                if let Some(e) = rung.frontier.min_energy_j() {
+                    ro.f64("min_energy_j", e);
+                }
+                if let Some(d) = deadline_ms {
+                    match rung.frontier.min_energy_for_deadline(d / 1e3) {
+                        Some(p) => {
+                            ro.f64("deadline_energy_j", p.energy_j);
+                            if best.is_none_or(|(_, e)| p.energy_j < e) {
+                                best = Some((i, p.energy_j));
+                            }
+                        }
+                        None => ro.bool("deadline_feasible", false),
+                    }
+                }
+                rungs.push_str(&ro.finish());
+            }
+            rungs.push(']');
+            o.raw("rungs", &rungs);
+            if let Some(d) = deadline_ms {
+                o.f64("deadline_ms", *d);
+                if let Some((i, e)) = best {
+                    o.str("best_mix", &result.rungs[i].label);
+                    o.f64("best_energy_j", e);
+                }
+            }
+            o.bool("cached", cached);
+            o.bool("coalesced", coalesced);
+            o.u64("compute_us", compute_us);
+            Response::json(200, o.finish())
+        }
+        RespCtx::Reload => Response::error(500, "reload is not a formatted compute"),
     }
+}
 
-    // ---- memoized computations ----
+// ---- parsing ----
 
-    fn frontier_for(
-        &self,
-        entry: &ModelEntry,
-        arm: u32,
-        amd: u32,
-        units: f64,
-    ) -> Result<(Arc<CachedCompute>, bool), Response> {
-        let key = cache_key(&[
-            entry.hash,
-            tag::FRONTIER,
-            u64::from(arm),
-            u64::from(amd),
-            units.to_bits(),
-        ]);
-        if let Some(hit) = self.cache.get(key) {
-            return Ok((hit, true));
-        }
-        let [low, high] = platform_pair(entry);
-        let space = ConfigSpace::two_type(low, arm, high, amd);
-        let table = RateTable::build_pruned(&space, &entry.models)
-            .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
-        let frontier = table
-            .frontier(units)
-            .map_err(|e| Response::error(422, &format!("sweep failed: {e}")))?;
-        let value = Arc::new(CachedCompute::Frontier(frontier));
-        self.cache.insert(key, Arc::clone(&value));
-        Ok((value, false))
+fn parse_body(body: &[u8]) -> Result<Value, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "body is not UTF-8"))?
+        .trim();
+    if text.is_empty() {
+        return Ok(Value::Object(Vec::new()));
     }
+    json::parse(text).map_err(|e| Response::error(400, &format!("bad JSON: {e}")))
+}
 
-    fn resilient_frontier_for(
-        &self,
-        entry: &ModelEntry,
-        arm: u32,
-        amd: u32,
-        units: f64,
-        k: u32,
-    ) -> Result<(Arc<CachedCompute>, bool), Response> {
-        let key = cache_key(&[
-            entry.hash,
-            tag::RESILIENT,
-            u64::from(arm),
-            u64::from(amd),
-            units.to_bits(),
-            u64::from(k),
-        ]);
-        if let Some(hit) = self.cache.get(key) {
-            return Ok((hit, true));
-        }
-        let [low, high] = platform_pair(entry);
-        let space = ConfigSpace::two_type(low, arm, high, amd);
-        let table = ResilientTable::build(&space, &entry.models)
-            .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
-        let frontier = table
-            .frontier(units, k)
-            .map_err(|e| Response::error(422, &format!("resilient sweep failed: {e}")))?;
-        let value = Arc::new(CachedCompute::Frontier(frontier));
-        self.cache.insert(key, Arc::clone(&value));
-        Ok((value, false))
+fn parse_plan(store: &ModelStore, v: &Value) -> Result<(ComputeSpec, RespCtx), Response> {
+    let (_, name, arm, amd, units) = parse_common(store, v)?;
+    let Some(deadline_ms) = v.get("deadline_ms").and_then(Value::as_f64) else {
+        return Err(Response::error(400, "missing deadline_ms"));
+    };
+    if deadline_ms <= 0.0 || !deadline_ms.is_finite() {
+        return Err(Response::error(
+            422,
+            "deadline_ms must be finite and positive",
+        ));
     }
+    Ok((
+        ComputeSpec::Frontier {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+        },
+        RespCtx::Plan {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+            deadline_ms,
+        },
+    ))
+}
 
-    fn whatif_for(
-        &self,
-        entry: &ModelEntry,
-        budget_w: f64,
-        units: f64,
-        step_high: u32,
-    ) -> Result<(Arc<CachedCompute>, bool), Response> {
-        let key = cache_key(&[
-            entry.hash,
-            tag::WHATIF,
-            budget_w.to_bits(),
-            units.to_bits(),
-            u64::from(step_high),
-        ]);
-        if let Some(hit) = self.cache.get(key) {
-            return Ok((hit, true));
-        }
-        let [low, high] = platform_pair(entry);
-        let ladder = PowerBudget::new(budget_w)
-            .substitution_ladder(&low, &high, step_high)
-            .map_err(|e| Response::error(422, &format!("bad budget: {e}")))?;
-        let mut rungs = Vec::with_capacity(ladder.len());
-        for mix in ladder {
-            let (frontier, _prune) = mix
-                .frontier(&low, &high, &entry.models, units)
-                .map_err(|e| Response::error(422, &format!("rung sweep failed: {e}")))?;
-            rungs.push(WhatifRung {
-                label: mix.label(&low, &high),
-                low_nodes: mix.low_nodes,
-                high_nodes: mix.high_nodes,
-                peak_w: mix.peak_power_w(&low, &high),
-                frontier,
-            });
-        }
-        let value = Arc::new(CachedCompute::Whatif(WhatifResult { rungs }));
-        self.cache.insert(key, Arc::clone(&value));
-        Ok((value, false))
-    }
+fn parse_frontier(store: &ModelStore, v: &Value) -> Result<(ComputeSpec, RespCtx), Response> {
+    let (_, name, arm, amd, units) = parse_common(store, v)?;
+    let resilient_k = match v.get("resilient_k") {
+        None => None,
+        Some(k) => match k.as_u64() {
+            Some(k) if k >= 1 => Some(k as u32),
+            _ => return Err(Response::error(422, "resilient_k must be an integer >= 1")),
+        },
+    };
+    let spec = match resilient_k {
+        None => ComputeSpec::Frontier {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+        },
+        Some(k) => ComputeSpec::ResilientFrontier {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+            k,
+        },
+    };
+    Ok((
+        spec,
+        RespCtx::Frontier {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+            resilient_k,
+        },
+    ))
+}
+
+fn parse_whatif(store: &ModelStore, v: &Value) -> Result<(ComputeSpec, RespCtx), Response> {
+    let Some(name) = v.get("workload").and_then(Value::as_str) else {
+        return Err(Response::error(400, "missing workload"));
+    };
+    let Some(entry) = store.get(name) else {
+        return Err(Response::error(404, &format!("unknown workload `{name}`")));
+    };
+    let Some(budget_w) = v.get("budget_w").and_then(Value::as_f64) else {
+        return Err(Response::error(400, "missing budget_w"));
+    };
+    let units = optional_f64(v, "units", entry.default_units)?;
+    let step_high = v
+        .get("step_high")
+        .and_then(Value::as_u64)
+        .unwrap_or(2)
+        .clamp(1, 64) as u32;
+    let deadline_ms = v.get("deadline_ms").and_then(Value::as_f64);
+    Ok((
+        ComputeSpec::Whatif {
+            workload: name.to_owned(),
+            budget_w,
+            units,
+            step_high,
+        },
+        RespCtx::Whatif {
+            workload: name.to_owned(),
+            budget_w,
+            units,
+            step_high,
+            deadline_ms,
+        },
+    ))
 }
 
 /// The `[low, high]` platform pair of a bundle (cloned; labels and spaces

@@ -165,6 +165,21 @@ impl<V> ShardedLru<V> {
         }
     }
 
+    /// Shared handles to every live value, most-recently-used first within
+    /// each shard. This is the "hot set" the warm-reload path recomputes
+    /// against a freshly loaded model store before swapping it in.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Arc<V>> {
+        let mut values = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().expect("cache shard poisoned");
+            let mut entries: Vec<_> = guard.map.values().collect();
+            entries.sort_by_key(|e| std::cmp::Reverse(e.last_used));
+            values.extend(entries.into_iter().map(|e| Arc::clone(&e.value)));
+        }
+        values
+    }
+
     /// Current counters and live-entry count.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -223,6 +238,18 @@ mod tests {
         cache.insert(3, Arc::new(2));
         assert_eq!(*cache.get(3).expect("hit"), 2);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn snapshot_returns_every_live_value() {
+        let cache: ShardedLru<u64> = ShardedLru::new(256);
+        for k in 0..20u64 {
+            cache.insert(k, Arc::new(k * 10));
+        }
+        let mut values: Vec<u64> = cache.snapshot().iter().map(|v| **v).collect();
+        values.sort_unstable();
+        let expect: Vec<u64> = (0..20).map(|k| k * 10).collect();
+        assert_eq!(values, expect);
     }
 
     #[test]

@@ -9,37 +9,49 @@
 //! Everything in this crate is `std`-only, consistent with the workspace's
 //! vendored-stubs rule: no tokio, no hyper, no serde_json. The protocol is
 //! a deliberately minimal hand-rolled HTTP/1.1 + JSON subset ([`http`],
-//! with JSON encoding/decoding from `hecmix-obs::json`), served by a fixed
-//! pool of worker threads behind a **bounded accept queue with admission
-//! control** — when the queue is full the accept loop answers
-//! `503 Service Unavailable` with a `Retry-After` header instead of
-//! building an invisible backlog ([`server`]).
+//! with JSON encoding/decoding from `hecmix-obs::json`), parsed
+//! **incrementally** so no thread ever blocks on a slow peer.
+//!
+//! The connection layer is a **readiness-based event loop** ([`server`],
+//! `event_loop`): a few I/O threads multiplex thousands of nonblocking
+//! keep-alive connections over `poll(2)` (via the vendored `poll` stub),
+//! while plan sweeps run on a separate bounded **compute pool**. Admission
+//! control answers `503 Service Unavailable` with `Retry-After` past the
+//! connection cap, and a full compute queue sheds with the same contract —
+//! backpressure, never invisible backlog.
 //!
 //! The hot path is memoized: rate tables and Pareto frontiers live in a
 //! **sharded LRU keyed by the FNV-1a content hash of the model bundles
 //! plus the query shape** ([`cache`]), so a repeated `/frontier` query
-//! skips the sweep entirely; `POST /reload` swaps the model set and
-//! invalidates every cached plan. Per-worker lock-free latency histograms
-//! ([`hist`]) are merged on demand by `GET /statz`.
+//! skips the sweep entirely. Concurrent misses on the same key are
+//! **single-flight coalesced** ([`singleflight`]): one compute answers
+//! every waiter. `POST /reload` swaps the model set and **re-warms** the
+//! hot set against the new models before the swap, so a reload does not
+//! reopen the cold-start latency cliff. Per-I/O-thread lock-free latency
+//! histograms ([`hist`]) are merged on demand by `GET /statz`.
 //!
 //! Endpoints (see [`api`]): `POST /plan`, `POST /frontier` (optional
 //! `resilient_k`), `POST /whatif`, `POST /reload`, `GET /healthz`,
 //! `GET /statz`.
 //!
-//! [`loadgen`] is the closed-loop load harness that drives the daemon over
-//! real sockets — it doubles as the serving-path benchmark (cold vs warm
-//! cache) and as the end-to-end test.
+//! [`loadgen`] is the load harness that drives the daemon over real
+//! sockets — closed-loop or open-loop (Poisson-free fixed-rate arrivals
+//! with coordinated-omission correction), with warmup exclusion and
+//! per-endpoint percentiles. It doubles as the serving-path benchmark
+//! (cold vs warm cache, tail-latency gate) and as the end-to-end test.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod api;
 pub mod cache;
+mod event_loop;
 pub mod hist;
 pub mod http;
 pub mod loadgen;
 pub mod server;
 pub mod signal;
+pub mod singleflight;
 pub mod store;
 
 pub use api::AppState;

@@ -1,28 +1,52 @@
-//! The daemon: accept loop, bounded queue, worker pool, graceful drain.
+//! The daemon: accept thread, readiness-based I/O loops, compute pool.
 //!
 //! Threading model (one picture):
 //!
 //! ```text
-//!             ┌──────────┐   bounded VecDeque + Condvar   ┌──────────┐
-//!  TCP ──────▶│  accept  │ ─────────────────────────────▶ │ worker 0 │
-//!  clients    │  thread  │   full? → 503 + Retry-After    │    …     │
-//!             └──────────┘                                │ worker N │
-//!                                                         └──────────┘
+//!              ┌──────────┐  round-robin   ┌───────────────┐
+//!  TCP ───────▶│  accept  │ ─────────────▶ │  I/O loop 0…I │◀── poll(2) readiness
+//!  clients     │  thread  │  > max conns   │ (nonblocking, │     over every
+//!              └──────────┘  → 503 + R-A   │  many conns)  │     registered conn
+//!                                          └──────┬────────┘
+//!                             cache miss → single-flight join
+//!                                          ┌──────▼────────┐
+//!                                          │ bounded job   │  full? → 503
+//!                                          │ queue + cv    │
+//!                                          └──────┬────────┘
+//!                                          ┌──────▼────────┐
+//!                                          │ compute 0…W   │ → result fans out to
+//!                                          └───────────────┘   every parked waiter
+//!                                                              via the loop mailbox
 //! ```
 //!
-//! * The accept thread is the **admission controller**: when the queue is
-//!   at capacity it answers `503 Service Unavailable` with a `Retry-After`
-//!   header itself, so overload is visible to clients immediately instead
-//!   of accumulating as an invisible backlog.
-//! * Workers own connections for their keep-alive lifetime. Per-request
-//!   socket read timeouts bound how long an idle or stalled peer can hold
-//!   a worker; a **queue deadline** sheds connections that waited too long
-//!   to be worth serving.
-//! * Shutdown is a relaxed [`AtomicBool`]: the accept thread stops
-//!   admitting and closes the listener, workers finish their in-flight
-//!   request (answering it with `Connection: close`), drain what is
-//!   already queued, and exit. [`ServerHandle::join`] returns when every
-//!   thread is gone — no in-flight response is ever dropped.
+//! * The **accept thread** is the admission controller: past
+//!   `max_connections` it answers `503 Service Unavailable` with
+//!   `Retry-After` itself, so overload is visible to clients immediately.
+//!   Admitted sockets are made nonblocking and round-robined across the
+//!   I/O loops.
+//! * Each **I/O loop** (the private `event_loop` module) multiplexes hundreds to
+//!   thousands of keep-alive connections over one `poll(2)` registration
+//!   set. Everything it does is bounded-time: parse, cache lookup, format,
+//!   buffered writes. A connection whose request misses the plan cache is
+//!   *parked* (marked busy, fd stays registered) and its compute goes to
+//!   the pool — the loop never blocks on a sweep.
+//! * Concurrent misses on the same cache key **coalesce**
+//!   ([`crate::singleflight`]): the first joiner enqueues one job, later
+//!   joiners just park. The pool computes once and the result is fanned
+//!   out to every waiter through its loop's mailbox. Waiters are
+//!   addressed by loop + token, never by socket, so a waiter (even the
+//!   leader) disconnecting mid-compute is discarded at delivery without
+//!   affecting the rest of the flight.
+//! * The **compute pool** pulls from a bounded job queue (a full queue
+//!   503s the whole flight immediately — backpressure, not backlog) and
+//!   sheds jobs that waited past `queue_deadline`. `POST /reload` runs
+//!   here too, so a model rebuild + cache warm never stalls an I/O loop.
+//! * **Shutdown** is a relaxed [`AtomicBool`] plus a wakeup broadcast: the
+//!   accept thread closes the listener, I/O loops answer whatever is
+//!   parsed or in flight (with `Connection: close`), shed new computes,
+//!   and retire idle connections; the pool drains every queued job so no
+//!   parked waiter is ever stranded. [`ServerHandle::join`] returns when
+//!   every thread is gone.
 
 use std::collections::VecDeque;
 use std::io;
@@ -34,23 +58,30 @@ use std::time::{Duration, Instant};
 
 use hecmix_obs::{emit, Event};
 
-use crate::api::AppState;
-use crate::http::{self, ReadError, Request, Response};
+use crate::api::{self, AppState, ComputeSpec, RespCtx};
+use crate::http::Response;
+use crate::singleflight::SingleFlight;
+use crate::store::ModelStore;
 
 /// Tunables for one daemon instance.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, `HOST:PORT` (port 0 picks an ephemeral port).
     pub addr: String,
-    /// Worker threads (each owns one connection at a time).
+    /// Readiness-driven I/O threads; each multiplexes its share of the
+    /// connections.
+    pub io_threads: usize,
+    /// Compute-pool threads (plan sweeps and reloads).
     pub workers: usize,
-    /// Bounded accept-queue capacity; beyond it, admission control rejects.
+    /// Open-connection cap; beyond it, admission control rejects.
+    pub max_connections: usize,
+    /// Bounded compute-job queue capacity; a full queue 503s new misses.
     pub queue_capacity: usize,
-    /// Per-read socket timeout: bounds idle keep-alive connections and
-    /// stalled senders.
+    /// Idle timeout: keep-alive connections quiet for longer are retired.
     pub read_timeout: Duration,
-    /// Connections that waited longer than this in the queue are shed with
-    /// a 503 instead of served (their client has likely timed out anyway).
+    /// Compute jobs that waited longer than this in the queue are shed
+    /// with a 503 instead of computed (their clients have likely timed
+    /// out anyway).
     pub queue_deadline: Duration,
     /// `Retry-After` seconds advertised on 503 rejections.
     pub retry_after_s: u64,
@@ -61,8 +92,10 @@ impl Default for ServeConfig {
         let cpus = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
         Self {
             addr: "127.0.0.1:0".to_owned(),
+            io_threads: cpus.min(2),
             workers: cpus.min(8),
-            queue_capacity: 64,
+            max_connections: 1024,
+            queue_capacity: 256,
             read_timeout: Duration::from_secs(5),
             queue_deadline: Duration::from_secs(2),
             retry_after_s: 1,
@@ -70,22 +103,173 @@ impl Default for ServeConfig {
     }
 }
 
-struct Queued {
-    stream: TcpStream,
-    enqueued: Instant,
+/// A message to an I/O loop (new connection, or a computed response for a
+/// parked waiter).
+pub(crate) enum Msg {
+    /// A freshly admitted nonblocking connection.
+    Conn(TcpStream),
+    /// A finished response for the waiter parked under `token`.
+    Response {
+        /// The loop-local connection token.
+        token: usize,
+        /// The fully formatted response.
+        resp: Response,
+        /// When the request started (for latency accounting).
+        start: Instant,
+        /// Endpoint path (for telemetry).
+        path: &'static str,
+        /// Whether the answer came from the cache.
+        cached: bool,
+    },
 }
 
-struct Shared {
-    queue: Mutex<VecDeque<Queued>>,
+/// One I/O loop's inbox plus the poller that wakes it.
+pub(crate) struct Mailbox {
+    msgs: Mutex<Vec<Msg>>,
+    pub(crate) poller: poll::Poller,
+}
+
+impl Mailbox {
+    fn new(poller: poll::Poller) -> Self {
+        Self {
+            msgs: Mutex::new(Vec::new()),
+            poller,
+        }
+    }
+
+    pub(crate) fn send(&self, msg: Msg) {
+        self.msgs.lock().expect("mailbox poisoned").push(msg);
+        let _ = self.poller.notify();
+    }
+
+    pub(crate) fn take(&self) -> Vec<Msg> {
+        std::mem::take(&mut *self.msgs.lock().expect("mailbox poisoned"))
+    }
+}
+
+/// A request parked while its compute is in flight: where to deliver the
+/// answer and how to format it. Holds no socket — delivery to a token
+/// whose connection has since closed is a no-op.
+pub(crate) struct Waiter {
+    pub(crate) loop_idx: usize,
+    pub(crate) token: usize,
+    pub(crate) ctx: RespCtx,
+    pub(crate) store: Arc<ModelStore>,
+    pub(crate) start: Instant,
+    pub(crate) coalesced: bool,
+}
+
+/// Work for the compute pool.
+pub(crate) enum Job {
+    /// One single-flight plan computation; completion fans out to every
+    /// waiter registered under `key`.
+    Compute {
+        key: u64,
+        spec: ComputeSpec,
+        store: Arc<ModelStore>,
+        enqueued: Instant,
+    },
+    /// A model reload + cache warm, answered to one waiter.
+    Reload { waiter: Waiter },
+}
+
+/// Bounded MPMC job queue for the compute pool.
+pub(crate) struct JobQueue {
+    q: Mutex<VecDeque<Job>>,
     cv: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue `job`, or hand it back if the queue is at capacity.
+    pub(crate) fn push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.q.lock().expect("job queue poisoned");
+        if q.len() >= self.capacity {
+            return Err(job);
+        }
+        q.push_back(job);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next job; `None` once shutdown is flagged **and** the
+    /// queue is empty (pop-before-check, so jobs pushed right before the
+    /// flag are still drained and no waiter is stranded).
+    fn pop(&self, shutdown: &AtomicBool) -> Option<Job> {
+        let mut q = self.q.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            // The timeout is a liveness backstop against a lost
+            // notification; the condvar is the fast path.
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("job queue poisoned");
+            q = guard;
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.q.lock().expect("job queue poisoned").len()
+    }
+
+    fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// Everything the accept thread, I/O loops, and compute pool share.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) state: Arc<AppState>,
+    pub(crate) flight: SingleFlight<Waiter>,
+    pub(crate) jobs: JobQueue,
+    pub(crate) loops: Vec<Mailbox>,
     shutdown: AtomicBool,
-    config: ServeConfig,
-    state: Arc<AppState>,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Route a finished response back to the waiter's I/O loop.
+    pub(crate) fn deliver(&self, waiter: Waiter, resp: Response, cached: bool) {
+        self.loops[waiter.loop_idx].send(Msg::Response {
+            token: waiter.token,
+            resp,
+            start: waiter.start,
+            path: waiter.ctx.path(),
+            cached,
+        });
+    }
+
+    /// Shed one waiter with a 503 (queue full, queue deadline, or drain).
+    pub(crate) fn shed(&self, waiter: Waiter, why: &str) {
+        self.state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        let retry_after_s = self.config.retry_after_s;
+        let queue_depth = self.jobs.depth();
+        emit(|| Event::RequestRejected {
+            queue_depth,
+            retry_after_s,
+        });
+        let mut resp = Response::error(503, why);
+        resp.retry_after_s = Some(retry_after_s);
+        self.deliver(waiter, resp, false);
     }
 }
 
@@ -95,7 +279,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    io: Vec<JoinHandle<()>>,
+    compute: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -105,21 +290,31 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Connections currently waiting in the bounded queue.
+    /// Compute jobs currently waiting for a pool thread.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .expect("accept queue poisoned")
-            .len()
+        self.shared.jobs.depth()
     }
 
-    /// Begin graceful shutdown: stop admitting, drain queued and in-flight
-    /// work. Returns immediately; pair with [`ServerHandle::join`].
+    /// Currently open client connections.
+    #[must_use]
+    pub fn connections(&self) -> usize {
+        self.shared
+            .state
+            .metrics
+            .connections
+            .load(Ordering::Relaxed)
+    }
+
+    /// Begin graceful shutdown: stop admitting, answer or shed everything
+    /// in flight, drain the job queue. Returns immediately; pair with
+    /// [`ServerHandle::join`].
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        self.shared.cv.notify_all();
+        self.shared.jobs.wake_all();
+        for mailbox in &self.shared.loops {
+            let _ = mailbox.poller.notify();
+        }
     }
 
     /// Block until every thread has drained and exited. Implies
@@ -129,36 +324,57 @@ impl ServerHandle {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
-        for t in self.workers.drain(..) {
+        for t in self.compute.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.io.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Bind, spawn the worker pool and accept thread, and return the handle.
+/// Bind, spawn the I/O loops, compute pool, and accept thread, and return
+/// the handle.
 ///
 /// # Errors
-/// Propagates bind/configuration I/O errors.
+/// Propagates bind/poller/thread-spawn I/O errors.
 pub fn start(config: ServeConfig, state: Arc<AppState>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    let io_threads = config.io_threads.max(1);
+    let mut loops = Vec::with_capacity(io_threads);
+    for _ in 0..io_threads {
+        loops.push(Mailbox::new(poll::Poller::new()?));
+    }
+
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
-        cv: Condvar::new(),
-        shutdown: AtomicBool::new(false),
         config: config.clone(),
         state,
+        flight: SingleFlight::new(),
+        jobs: JobQueue::new(config.queue_capacity.max(1)),
+        loops,
+        shutdown: AtomicBool::new(false),
     });
 
-    let mut workers = Vec::with_capacity(config.workers.max(1));
+    let mut compute = Vec::with_capacity(config.workers.max(1));
     for worker in 0..config.workers.max(1) {
         let shared = Arc::clone(&shared);
-        workers.push(
+        compute.push(
             std::thread::Builder::new()
-                .name(format!("hecmix-worker-{worker}"))
-                .spawn(move || worker_loop(&shared, worker))?,
+                .name(format!("hecmix-compute-{worker}"))
+                .spawn(move || compute_loop(&shared))?,
+        );
+    }
+
+    let mut io = Vec::with_capacity(io_threads);
+    for idx in 0..io_threads {
+        let shared = Arc::clone(&shared);
+        io.push(
+            std::thread::Builder::new()
+                .name(format!("hecmix-io-{idx}"))
+                .spawn(move || crate::event_loop::io_loop(&shared, idx))?,
         );
     }
 
@@ -173,14 +389,33 @@ pub fn start(config: ServeConfig, state: Arc<AppState>) -> io::Result<ServerHand
         addr,
         shared,
         accept: Some(accept),
-        workers,
+        io,
+        compute,
     })
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut next = 0usize;
     while !shared.shutting_down() {
         match listener.accept() {
-            Ok((stream, _peer)) => admit(stream, shared),
+            Ok((stream, _peer)) => {
+                let open = shared.state.metrics.connections.load(Ordering::Relaxed);
+                if open >= shared.config.max_connections {
+                    reject(stream, shared);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                shared
+                    .state
+                    .metrics
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.loops[next % shared.loops.len()].send(Msg::Conn(stream));
+                next += 1;
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 // Nonblocking accept doubles as the shutdown poll point.
                 std::thread::sleep(Duration::from_millis(5));
@@ -188,120 +423,93 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
-    // Listener drops here: new connects are refused while workers drain.
-    shared.cv.notify_all();
-}
-
-fn admit(stream: TcpStream, shared: &Shared) {
-    // Accepted sockets may inherit the listener's nonblocking mode.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_nodelay(true);
-
-    let capacity = shared.config.queue_capacity;
-    let mut queue = shared.queue.lock().expect("accept queue poisoned");
-    if queue.len() >= capacity {
-        drop(queue);
-        reject(stream, shared);
-        return;
+    // Listener drops here: new connects are refused while everyone drains.
+    shared.jobs.wake_all();
+    for mailbox in &shared.loops {
+        let _ = mailbox.poller.notify();
     }
-    queue.push_back(Queued {
-        stream,
-        enqueued: Instant::now(),
-    });
-    let depth = queue.len();
-    drop(queue);
-    shared
-        .state
-        .metrics
-        .queue_depth
-        .store(depth, Ordering::Relaxed);
-    shared.cv.notify_one();
 }
 
 /// Admission-control rejection: written by the accept thread itself so the
 /// client learns about overload with zero queueing delay.
 fn reject(mut stream: TcpStream, shared: &Shared) {
-    let capacity = shared.config.queue_capacity;
     let retry_after_s = shared.config.retry_after_s;
+    let queue_depth = shared.jobs.depth();
     shared
         .state
         .metrics
         .rejected
         .fetch_add(1, Ordering::Relaxed);
     emit(|| Event::RequestRejected {
-        queue_depth: capacity,
+        queue_depth,
         retry_after_s,
     });
-    let mut resp = Response::error(503, "accept queue full");
+    // Accepted sockets inherit the listener's nonblocking mode; this one
+    // write is blocking on purpose (tiny, and the accept thread has
+    // nothing better to do under overload).
+    let _ = stream.set_nonblocking(false);
+    let mut resp = Response::error(503, "connection limit reached");
     resp.retry_after_s = Some(retry_after_s);
     resp.close = true;
     let _ = resp.write_to(&mut stream);
 }
 
-fn worker_loop(shared: &Shared, worker: usize) {
-    loop {
-        let queued = {
-            let mut queue = shared.queue.lock().expect("accept queue poisoned");
-            loop {
-                if let Some(q) = queue.pop_front() {
-                    shared
-                        .state
-                        .metrics
-                        .queue_depth
-                        .store(queue.len(), Ordering::Relaxed);
-                    break Some(q);
+/// One compute-pool thread: pull jobs until shutdown *and* empty, compute
+/// once per flight, fan the result out to every parked waiter.
+fn compute_loop(shared: &Shared) {
+    while let Some(job) = shared.jobs.pop(&shared.shutdown) {
+        shared
+            .state
+            .metrics
+            .queue_depth
+            .store(shared.jobs.depth(), Ordering::Relaxed);
+        match job {
+            Job::Compute {
+                key,
+                spec,
+                store,
+                enqueued,
+            } => {
+                if enqueued.elapsed() > shared.config.queue_deadline && !shared.shutting_down() {
+                    // Stale work: the clients have waited past the deadline,
+                    // shed the whole flight rather than burn a sweep on it.
+                    // (During drain we compute anyway — answering parked
+                    // waiters beats 503ing them on the way out.)
+                    for waiter in shared.flight.complete(key) {
+                        shared.shed(waiter, "compute queue deadline exceeded");
+                    }
+                    continue;
                 }
-                if shared.shutting_down() {
-                    break None;
+                let result = shared.state.compute(&spec, &store);
+                // Complete *after* the cache insert: a request that missed
+                // the cache an instant ago either joined this flight (and
+                // is in `waiters`) or will now hit the cache.
+                let waiters = shared.flight.complete(key);
+                match result {
+                    Ok(plan) => {
+                        for waiter in waiters {
+                            let resp = api::format_response(
+                                &waiter.ctx,
+                                &waiter.store,
+                                &plan,
+                                false,
+                                waiter.coalesced,
+                                plan.compute_us,
+                            );
+                            shared.deliver(waiter, resp, false);
+                        }
+                    }
+                    Err(err) => {
+                        for waiter in waiters {
+                            shared.deliver(waiter, err.clone(), false);
+                        }
+                    }
                 }
-                // The timeout is a liveness backstop against a lost
-                // notification; the condvar is the fast path.
-                let (guard, _timeout) = shared
-                    .cv
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("accept queue poisoned");
-                queue = guard;
             }
-        };
-        let Some(queued) = queued else { break };
-        if queued.enqueued.elapsed() > shared.config.queue_deadline {
-            // Stale work: the client has waited past the deadline, shed it
-            // like an admission rejection rather than burn compute on it.
-            reject(queued.stream, shared);
-            continue;
-        }
-        handle_connection(queued.stream, shared, worker);
-    }
-}
-
-/// Serve one keep-alive connection until the peer closes, errors, idles
-/// past the read timeout, or the daemon begins draining.
-fn handle_connection(mut stream: TcpStream, shared: &Shared, worker: usize) {
-    loop {
-        let req: Request = match http::read_request(&mut stream) {
-            Ok(req) => req,
-            Err(ReadError::Closed) => break,
-            Err(ReadError::TimedOut) => break,
-            Err(ReadError::Malformed(msg)) => {
-                let mut resp = Response::error(400, &msg);
-                resp.close = true;
-                let _ = resp.write_to(&mut stream);
-                break;
+            Job::Reload { waiter } => {
+                let resp = shared.state.do_reload();
+                shared.deliver(waiter, resp, false);
             }
-            Err(ReadError::Io(_)) => break,
-        };
-        let mut resp = shared.state.handle(worker, &req);
-        // Draining: answer the in-flight request, then close so the peer
-        // reconnects elsewhere (or gives up) instead of idling on us.
-        if shared.shutting_down() || req.wants_close() {
-            resp.close = true;
-        }
-        if resp.write_to(&mut stream).is_err() {
-            break;
-        }
-        if resp.close {
-            break;
         }
     }
 }

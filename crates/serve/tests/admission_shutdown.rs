@@ -1,22 +1,43 @@
 //! Admission control and graceful shutdown, over real sockets.
 //!
-//! Both tests run their own daemon instance with `workers: 1` so queue
-//! occupancy is fully deterministic: the single worker is parked on one
-//! held connection while the tests arrange the accept queue behind it.
+//! The first test exercises the **connection cap**: past
+//! `max_connections`, the accept loop itself answers `503` with
+//! `Retry-After` instead of registering the socket — admitted connections
+//! never feel the overload. The second exercises the **drain protocol** in
+//! its hardest configuration: shutdown arrives while a coalesced compute
+//! (one leader, one single-flight follower) is still running on the pool.
+//! Both waiters must get real answers tagged `Connection: close`, every
+//! thread must exit within a bounded join, and the listener must be gone.
 
 use std::io::Write as _;
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use hecmix_experiments::Lab;
+use hecmix_obs::json::{self, Value};
 use hecmix_serve::http;
 use hecmix_serve::{start, AppState, ModelStore, ServeConfig, ServerHandle};
 
-fn small_daemon(queue_capacity: usize) -> (ServerHandle, Arc<AppState>) {
-    let state = Arc::new(AppState::new(ModelStore::new(), 1, 16));
+fn build_store() -> ModelStore {
+    static MODELS: OnceLock<Vec<hecmix_core::profile::WorkloadModel>> = OnceLock::new();
+    let models = MODELS.get_or_init(|| {
+        let lab = Lab::new();
+        let ep = hecmix_workloads::workload_by_name("ep").expect("ep registered");
+        lab.models(ep.as_ref()).to_vec()
+    });
+    let mut store = ModelStore::new();
+    store.insert("ep", models.clone());
+    store
+}
+
+fn small_daemon(store: ModelStore, max_connections: usize) -> (ServerHandle, Arc<AppState>) {
+    let state = Arc::new(AppState::new(store, 1, 16));
     let config = ServeConfig {
+        io_threads: 1,
         workers: 1,
-        queue_capacity,
+        max_connections,
+        queue_capacity: 8,
         read_timeout: Duration::from_secs(2),
         queue_deadline: Duration::from_secs(30),
         retry_after_s: 7,
@@ -57,21 +78,19 @@ fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
 }
 
 #[test]
-fn full_queue_gets_503_with_retry_after() {
-    let (handle, state) = small_daemon(1);
+fn connection_cap_gets_503_with_retry_after() {
+    let (handle, state) = small_daemon(ModelStore::new(), 2);
 
-    // Occupy the single worker: after one served request it is parked in
-    // the keep-alive read on c0.
+    // Two connections fill the cap; both are registered with the event
+    // loop and fully functional.
     let mut c0 = connect(&handle);
+    let mut c1 = connect(&handle);
     assert_eq!(healthz(&mut c0).0, 200);
-    wait_until("worker to own c0", || handle.queue_depth() == 0);
+    assert_eq!(healthz(&mut c1).0, 200);
+    wait_until("both connections registered", || handle.connections() == 2);
 
-    // Fill the queue (capacity 1) with a second connection the busy
-    // worker cannot pop.
-    let _c1 = connect(&handle);
-    wait_until("c1 to be queued", || handle.queue_depth() == 1);
-
-    // The third connection must be rejected by admission control itself.
+    // The third connection is rejected by the accept loop itself — it
+    // never reaches the event loop or the compute pool.
     let mut c2 = connect(&handle);
     let (status, retry_after, connection) = healthz(&mut c2);
     assert_eq!(status, 503, "admission control must reject");
@@ -81,43 +100,87 @@ fn full_queue_gets_503_with_retry_after() {
         .metrics
         .rejected
         .load(std::sync::atomic::Ordering::Relaxed);
-    assert_eq!(rejected, 1, "rejection counted in metrics");
+    assert!(rejected >= 1, "rejection counted in metrics");
 
-    // The held connection still works: overload never broke admitted work.
+    // The admitted connections still work: overload never broke them.
     assert_eq!(healthz(&mut c0).0, 200);
+    assert_eq!(healthz(&mut c1).0, 200);
 
+    // Dropping an admitted connection frees a slot for a new one.
+    drop(c0);
+    wait_until("slot freed", || handle.connections() < 2);
+    let mut c3 = connect(&handle);
+    assert_eq!(healthz(&mut c3).0, 200, "freed slot must be reusable");
+
+    handle.shutdown();
     handle.join();
 }
 
 #[test]
-fn graceful_shutdown_drains_in_flight_and_queued_work() {
-    let (handle, _state) = small_daemon(8);
+fn graceful_shutdown_drains_coalesced_in_flight_compute() {
+    let (handle, state) = small_daemon(build_store(), 64);
+    // Hold the single compute worker long enough that shutdown lands
+    // mid-sweep with a follower parked on the leader's flight.
+    state.set_compute_delay(Duration::from_millis(400));
 
-    // Worker owns cA.
-    let mut c_a = connect(&handle);
-    assert_eq!(healthz(&mut c_a).0, 200);
-    wait_until("worker to own cA", || handle.queue_depth() == 0);
+    let body = r#"{"workload":"ep","arm":4,"amd":3}"#;
+    let wire = http::format_request("POST", "/frontier", body);
 
-    // cB is queued with a complete request already on the wire.
-    let mut c_b = connect(&handle);
-    c_b.write_all(http::format_request("GET", "/healthz", "").as_bytes())
-        .expect("send queued request");
-    wait_until("cB to be queued", || handle.queue_depth() == 1);
+    // Leader: first miss enqueues the compute.
+    let mut c_leader = connect(&handle);
+    c_leader.write_all(wire.as_bytes()).expect("leader send");
+    // Follower: identical query while the sweep runs — joins the flight
+    // instead of enqueueing a second job.
+    let mut c_follower = connect(&handle);
+    c_follower
+        .write_all(wire.as_bytes())
+        .expect("follower send");
+    wait_until("follower to coalesce onto the leader's flight", || {
+        state
+            .metrics
+            .coalesced
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    });
 
+    // SIGINT equivalent: drain starts while the coalesced compute is
+    // still sleeping on the pool.
     handle.shutdown();
 
-    // The in-flight connection gets its answer, tagged Connection: close.
-    let (status, _, connection) = healthz(&mut c_a);
-    assert_eq!(
-        status, 200,
-        "in-flight request must be answered during drain"
+    // Both waiters get the real answer, tagged for close.
+    let mut answers = Vec::new();
+    for (name, conn) in [("leader", &mut c_leader), ("follower", &mut c_follower)] {
+        let (status, headers, resp) =
+            http::read_response(conn).unwrap_or_else(|e| panic!("{name} must be answered: {e:?}"));
+        assert_eq!(status, 200, "{name} gets the computed frontier");
+        let connection = headers
+            .iter()
+            .find(|(k, _)| k == "connection")
+            .map(|(_, v)| v.as_str().to_owned());
+        assert_eq!(
+            connection.as_deref(),
+            Some("close"),
+            "{name} told to close during drain"
+        );
+        let v = json::parse(std::str::from_utf8(&resp).expect("UTF-8")).expect("JSON");
+        answers.push(v);
+    }
+    let coalesced_flags: Vec<bool> = answers
+        .iter()
+        .map(|v| v.get("coalesced").and_then(Value::as_bool).expect("flag"))
+        .collect();
+    assert!(
+        coalesced_flags.contains(&true),
+        "one waiter rode the leader's compute: {coalesced_flags:?}"
     );
-    assert_eq!(connection.as_deref(), Some("close"));
-    drop(c_a);
-
-    // The queued connection is drained, not dropped.
-    let (status, _headers, _body) = http::read_response(&mut c_b).expect("queued response");
-    assert_eq!(status, 200, "queued request must be answered during drain");
+    assert_eq!(
+        state
+            .metrics
+            .computes
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "exactly one sweep for both waiters"
+    );
 
     // Every thread exits; join is bounded by the read timeout.
     let t0 = Instant::now();

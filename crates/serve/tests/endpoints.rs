@@ -89,7 +89,19 @@ fn healthz_and_statz_report_inventory() {
 
     let (status, v) = call("GET", "/statz", "");
     assert_eq!(status, 200);
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("hecmix-statz-v2")
+    );
     assert!(v.get("uptime_s").and_then(Value::as_f64).expect("uptime") >= 0.0);
+    // v2 serving counters: compute-pool work, single-flight coalescing,
+    // warm-reload recomputes, and the live connection gauge.
+    for counter in ["computes", "coalesced", "warmed", "connections"] {
+        assert!(
+            v.get(counter).and_then(Value::as_u64).is_some(),
+            "statz v2 must report {counter}"
+        );
+    }
     let hashes = v
         .get("model_hashes")
         .and_then(Value::as_array)
@@ -159,6 +171,10 @@ fn frontier_warm_cache_is_10x_faster_than_cold() {
     let (status, v) = call("POST", "/frontier", body);
     assert_eq!(status, 200);
     assert!(!as_bool(&v, "cached"), "first query must be a cache miss");
+    assert!(
+        !as_bool(&v, "coalesced"),
+        "a lone miss has no flight to join"
+    );
     let cold_us = as_u64(&v, "compute_us");
     let count = as_u64(&v, "count");
     assert!(count >= 1);
@@ -253,7 +269,7 @@ fn whatif_ladder_spans_all_high_to_all_low() {
 }
 
 #[test]
-fn reload_swaps_store_and_invalidates_cache() {
+fn reload_swaps_store_and_rewarms_hot_set() {
     let _guard = CACHE_SENSITIVE.lock().unwrap();
     let body = r#"{"workload":"ep","arm":3,"amd":2}"#;
     let (_, first) = call("POST", "/frontier", body);
@@ -268,13 +284,21 @@ fn reload_swaps_store_and_invalidates_cache() {
     assert_eq!(as_u64(&v, "workloads"), 1);
     // Same lab, same models: the content hash must be reproducible.
     assert_eq!(daemon().state.store().hashes(), before);
+    // The hot set was recomputed against the new store before the swap.
+    assert!(as_u64(&v, "hot_keys") >= 1, "hot set captured: {v:?}");
+    assert!(as_u64(&v, "warmed") >= 1, "hot set re-warmed: {v:?}");
 
-    // The cache was invalidated: the same query is cold again.
+    // No cold-start cliff: the hot query is *still* a cache hit after the
+    // swap — reload warms the new cache rather than leaving it empty.
     let (_, after) = call("POST", "/frontier", body);
     assert!(
-        !as_bool(&after, "cached"),
-        "reload must invalidate the plan cache"
+        as_bool(&after, "cached"),
+        "reload must re-warm the hot set, not reopen the cold-start cliff"
     );
+
+    // The warm work is visible in the serving counters.
+    let (_, stats) = call("GET", "/statz", "");
+    assert!(as_u64(&stats, "warmed") >= 1, "statz counts warmed entries");
 }
 
 #[test]
@@ -325,6 +349,7 @@ fn closed_loop_load_run_completes_without_errors() {
         amd: 4,
         budget_w: 400.0,
         deadline_ms: 3_600_000.0,
+        ..LoadgenConfig::default()
     };
     let report = loadgen::run(&cfg);
     assert_eq!(report.sent, 120);
@@ -332,6 +357,15 @@ fn closed_loop_load_run_completes_without_errors() {
     assert_eq!(report.errors, 0, "{report:?}");
     assert!(report.throughput_rps > 0.0);
     assert!(report.p50_us > 0 && report.p50_us <= report.p99_us);
+    // Per-endpoint split covers every endpoint in the 2:2:1 mix.
+    assert!(report.plan.count > 0 && report.frontier.count > 0 && report.whatif.count > 0);
+    assert_eq!(
+        report.measured,
+        report.plan.count + report.frontier.count + report.whatif.count
+    );
+    // /statz was scraped before and after: server-side deltas are present.
+    let server = report.server.expect("statz deltas scraped");
+    assert!(server.computes >= 1, "{server:?}");
     let j = report.to_json(&cfg);
     assert!(json::parse(&j).is_ok(), "bench JSON parses: {j}");
 }

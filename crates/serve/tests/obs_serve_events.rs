@@ -1,0 +1,181 @@
+//! Serving-path telemetry: drives a live daemon with a `JsonlSink`
+//! installed and asserts the JSONL stream carries the event-loop,
+//! coalescing, and warm-reload records with their documented schemas.
+//!
+//! The obs sink is process-global, so this file holds exactly **one**
+//! test in its own integration-test binary — sharing a process with other
+//! sink-installing tests would interleave their streams.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hecmix_experiments::Lab;
+use hecmix_obs::json::{self, Value};
+use hecmix_obs::JsonlSink;
+use hecmix_serve::http;
+use hecmix_serve::{start, AppState, ModelStore, ServeConfig, ServerHandle};
+
+fn build_store() -> ModelStore {
+    let lab = Lab::new();
+    let ep = hecmix_workloads::workload_by_name("ep").expect("ep registered");
+    let mut store = ModelStore::new();
+    store.insert("ep", lab.models(ep.as_ref()).to_vec());
+    store
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    let conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    conn
+}
+
+fn call(handle: &ServerHandle, method: &str, path: &str, body: &str) -> u16 {
+    let mut conn = connect(handle);
+    conn.write_all(http::format_request(method, path, body).as_bytes())
+        .expect("send");
+    let (status, _headers, _resp) = http::read_response(&mut conn).expect("response");
+    status
+}
+
+/// Assert `line` (a parsed JSONL record) has a `u64` field `key`.
+fn has_u64(line: &Value, key: &str) -> bool {
+    line.get(key).and_then(Value::as_u64).is_some()
+}
+
+#[test]
+fn serving_path_emits_schema_complete_jsonl_events() {
+    let dir = std::env::temp_dir().join(format!("hecmix-obs-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("events.jsonl");
+    hecmix_obs::install(Arc::new(JsonlSink::create(&path).expect("sink")));
+
+    let state = Arc::new(AppState::new(build_store(), 1, 64));
+    state.set_reload(Arc::new(|| Ok(build_store())));
+    state.set_compute_delay(Duration::from_millis(250));
+    let config = ServeConfig {
+        io_threads: 1,
+        workers: 1,
+        queue_capacity: 16,
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let handle = start(config, Arc::clone(&state)).expect("daemon starts");
+
+    // 1. A health check exercises the plain request path.
+    assert_eq!(call(&handle, "GET", "/healthz", ""), 200);
+
+    // 2. Two concurrent identical /frontier misses: the second coalesces
+    //    onto the first's in-flight compute.
+    let body = r#"{"workload":"ep","arm":5,"amd":5}"#;
+    let wire = http::format_request("POST", "/frontier", body);
+    let mut c_leader = connect(&handle);
+    c_leader.write_all(wire.as_bytes()).expect("leader send");
+    let mut c_follower = connect(&handle);
+    c_follower
+        .write_all(wire.as_bytes())
+        .expect("follower send");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while state
+        .metrics
+        .coalesced
+        .load(std::sync::atomic::Ordering::Relaxed)
+        == 0
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never coalesced onto the leader's flight"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (status, _, _) = http::read_response(&mut c_leader).expect("leader answered");
+    assert_eq!(status, 200);
+    let (status, _, _) = http::read_response(&mut c_follower).expect("follower answered");
+    assert_eq!(status, 200);
+
+    // 3. A reload re-warms the hot set (the frontier key cached above).
+    state.set_compute_delay(Duration::ZERO);
+    assert_eq!(call(&handle, "POST", "/reload", ""), 200);
+
+    handle.shutdown();
+    handle.join();
+    hecmix_obs::uninstall();
+
+    // Replay the JSONL stream and check each serving event's schema.
+    let text = std::fs::read_to_string(&path).expect("events file");
+    let mut kinds = std::collections::HashMap::<String, u64>::new();
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line ({e}): {line}"));
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("record without kind: {line}"))
+            .to_owned();
+        match kind.as_str() {
+            "request_coalesced" => {
+                // `key` is a full 64-bit FNV hash — beyond the JSON
+                // parser's exact-integer range, so check it as a number.
+                assert!(
+                    v.get("path").and_then(Value::as_str).is_some()
+                        && v.get("key").and_then(Value::as_f64).is_some(),
+                    "request_coalesced schema: {line}"
+                );
+            }
+            "cache_warm_start" => {
+                assert!(has_u64(&v, "keys"), "cache_warm_start schema: {line}");
+            }
+            "cache_warm_done" => {
+                assert!(
+                    has_u64(&v, "keys")
+                        && has_u64(&v, "warmed")
+                        && v.get("wall_s").and_then(Value::as_f64).is_some(),
+                    "cache_warm_done schema: {line}"
+                );
+            }
+            "eventloop_wakeup" => {
+                assert!(
+                    has_u64(&v, "io_thread") && has_u64(&v, "events") && has_u64(&v, "messages"),
+                    "eventloop_wakeup schema: {line}"
+                );
+            }
+            "request_start" => {
+                assert!(
+                    v.get("path").and_then(Value::as_str).is_some() && has_u64(&v, "queue_depth"),
+                    "request_start schema: {line}"
+                );
+            }
+            "request_done" => {
+                assert!(
+                    v.get("path").and_then(Value::as_str).is_some()
+                        && has_u64(&v, "status")
+                        && v.get("wall_s").and_then(Value::as_f64).is_some()
+                        && v.get("cached").and_then(Value::as_bool).is_some(),
+                    "request_done schema: {line}"
+                );
+            }
+            _ => {}
+        }
+        *kinds.entry(kind).or_default() += 1;
+    }
+
+    // Every serving event the scenario must have produced is present.
+    for required in [
+        "eventloop_wakeup",
+        "request_start",
+        "request_done",
+        "request_coalesced",
+        "cache_warm_start",
+        "cache_warm_done",
+    ] {
+        assert!(
+            kinds.get(required).copied().unwrap_or(0) >= 1,
+            "missing {required} in stream; saw {kinds:?}"
+        );
+    }
+    // One follower coalesced exactly once.
+    assert_eq!(kinds["request_coalesced"], 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

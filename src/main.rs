@@ -85,11 +85,14 @@ commands:
   characterize --out DIR [--workload NAME]
   queueing     --workload NAME --lambda JOBS_PER_S --slo-ms R [--window-s S]
   selfcheck    [--seed N] [--fuzz-iters N]
-  serve        [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-               [--models DIR] [--workloads NAME,NAME,...]
-  loadgen      [--addr HOST:PORT] [--requests N] [--concurrency N]
+  serve        [--addr HOST:PORT] [--io-threads N] [--workers N] [--queue N]
+               [--cache N] [--max-conns N] [--models DIR]
+               [--workloads NAME,NAME,...]
+  loadgen      [--addr HOST:PORT] [--requests N | --duration SECS]
+               [--warmup SECS] [--open-loop RPS] [--concurrency N]
                [--mix P:F:W] [--workload NAME] [--arm N] [--amd N]
                [--budget W] [--deadline-ms D] [--bench-out FILE]
+               [--gate-tail-ratio X] [--gate-min-ok N]
 
 workloads: ep memcached x264 blackscholes julius rsa-2048"
     );
@@ -471,15 +474,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7077".to_owned());
-    let (Ok(workers), Ok(queue), Ok(cache)) = (
+    let (Ok(io_threads), Ok(workers), Ok(queue), Ok(cache), Ok(max_conns)) = (
+        get_num::<usize>(flags, "io-threads", defaults.io_threads),
         get_num::<usize>(flags, "workers", defaults.workers),
         get_num::<usize>(flags, "queue", defaults.queue_capacity),
         get_num::<usize>(flags, "cache", 256),
+        get_num::<usize>(flags, "max-conns", defaults.max_connections),
     ) else {
         return ExitCode::FAILURE;
     };
-    if workers == 0 || queue == 0 {
-        eprintln!("--workers and --queue must be >= 1");
+    if io_threads == 0 || workers == 0 || queue == 0 || max_conns == 0 {
+        eprintln!("--io-threads, --workers, --queue, and --max-conns must be >= 1");
         return ExitCode::FAILURE;
     }
 
@@ -488,12 +493,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         Err(c) => return c,
     };
     let names = store.names().join(" ");
-    let state = std::sync::Arc::new(hecmix_serve::AppState::new(store, workers, cache));
+    let state = std::sync::Arc::new(hecmix_serve::AppState::new(store, io_threads, cache));
     state.set_reload(reload);
     let config = hecmix_serve::ServeConfig {
         addr,
+        io_threads,
         workers,
         queue_capacity: queue,
+        max_connections: max_conns,
         ..defaults
     };
     let handle = match hecmix_serve::start(config, std::sync::Arc::clone(&state)) {
@@ -506,7 +513,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
 
     hecmix_serve::signal::install();
     println!(
-        "hecmix-serve listening on http://{} ({workers} workers, queue {queue}, cache {cache})",
+        "hecmix-serve listening on http://{} ({io_threads} io threads, {workers} workers, \
+         queue {queue}, cache {cache}, max {max_conns} conns)",
         handle.addr()
     );
     println!("workloads: {names}");
@@ -543,9 +551,32 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
     ) else {
         return ExitCode::FAILURE;
     };
-    let (Ok(budget_w), Ok(deadline_ms)) = (
+    let (Ok(budget_w), Ok(deadline_ms), Ok(warmup_s)) = (
         get_num::<f64>(flags, "budget", d.budget_w),
         get_num::<f64>(flags, "deadline-ms", d.deadline_ms),
+        get_num::<f64>(flags, "warmup", d.warmup_s),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let duration_s = match flags.get("duration").map(|v| v.parse::<f64>()) {
+        None => None,
+        Some(Ok(v)) if v > 0.0 => Some(v),
+        Some(_) => {
+            eprintln!("--duration needs a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+    };
+    let open_loop_rps = match flags.get("open-loop").map(|v| v.parse::<f64>()) {
+        None => None,
+        Some(Ok(v)) if v > 0.0 => Some(v),
+        Some(_) => {
+            eprintln!("--open-loop needs a positive rate in requests/second");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Ok(gate_tail_ratio), Ok(gate_min_ok)) = (
+        get_num::<f64>(flags, "gate-tail-ratio", 0.0),
+        get_num::<u64>(flags, "gate-min-ok", 0),
     ) else {
         return ExitCode::FAILURE;
     };
@@ -553,10 +584,19 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("--concurrency and --requests must be >= 1");
         return ExitCode::FAILURE;
     }
+    if let Some(dur) = duration_s {
+        if warmup_s >= dur {
+            eprintln!("--warmup must be shorter than --duration");
+            return ExitCode::FAILURE;
+        }
+    }
     let cfg = LoadgenConfig {
         addr: flags.get("addr").cloned().unwrap_or(d.addr),
         concurrency,
         requests,
+        duration_s,
+        warmup_s,
+        open_loop_rps,
         mix,
         workload: flags.get("workload").cloned().unwrap_or(d.workload),
         arm,
@@ -574,12 +614,17 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         }
         println!("bench artifact written to {path}");
     }
-    if report.errors > 0 {
-        eprintln!("{} of {} requests failed", report.errors, report.sent);
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    if let Err(why) = report.gate(gate_tail_ratio, gate_min_ok) {
+        eprintln!("loadgen gate FAILED: {why}");
+        return ExitCode::FAILURE;
     }
+    if gate_tail_ratio > 0.0 || gate_min_ok > 0 {
+        println!(
+            "loadgen gate passed (tail ratio {:.1} <= {gate_tail_ratio:.1}, ok {} >= {gate_min_ok})",
+            report.tail_ratio, report.ok
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_queueing(flags: &HashMap<String, String>) -> ExitCode {

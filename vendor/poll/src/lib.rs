@@ -1,0 +1,386 @@
+//! Vendored readiness-polling stub (see `vendor/README.md`).
+//!
+//! API-subset stand-in for an epoll/`polling`-style readiness library,
+//! small enough to audit in one sitting. On Unix it is backed by the
+//! portable `poll(2)` syscall (already linked through std's libc) plus a
+//! self-pipe waker, which is all a daemon with a few thousand connections
+//! per I/O thread needs: `poll(2)` is O(fds) per wait, but the fd sets
+//! here are rebuilt from a registry snapshot in one allocation and the
+//! constant is tiny. On non-Unix targets a degraded busy-poll emulation
+//! keeps the workspace compiling; it reports every registered source as
+//! ready at a bounded tick rate (documented, not optimized — the daemon's
+//! deployment targets are Unix).
+//!
+//! Semantics (the subset the workspace relies on):
+//! - **Level-triggered, persistent interest**: a registered source stays
+//!   registered with its last interest until `modify`/`delete`; `wait`
+//!   reports it every time it is ready.
+//! - Error/hangup conditions (`POLLERR`/`POLLHUP`/`POLLNVAL`) surface as
+//!   readable so the owner discovers them on the next read.
+//! - `notify` wakes a concurrent or future `wait` without producing an
+//!   event (self-pipe; coalesced).
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Raw pollable handle: a Unix fd (or, on Windows, a raw socket) widened
+/// to `i64` so registry keys are platform-independent.
+pub type Raw = i64;
+
+/// Interest when registering, readiness when returned from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen token identifying the source.
+    pub key: usize,
+    /// Interest in / readiness for reading.
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read interest only.
+    #[must_use]
+    pub fn readable(key: usize) -> Self {
+        Self {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write interest only.
+    #[must_use]
+    pub fn writable(key: usize) -> Self {
+        Self {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read and write interest.
+    #[must_use]
+    pub fn all(key: usize) -> Self {
+        Self {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+/// Types exposing a raw pollable handle. Blanket-implemented for every
+/// `AsRawFd` type on Unix (`TcpStream`, `TcpListener`, …).
+pub trait AsRaw {
+    /// The raw handle.
+    fn as_raw(&self) -> Raw;
+}
+
+#[cfg(unix)]
+impl<T: std::os::fd::AsRawFd> AsRaw for T {
+    fn as_raw(&self) -> Raw {
+        Raw::from(self.as_raw_fd())
+    }
+}
+
+#[cfg(windows)]
+impl<T: std::os::windows::io::AsRawSocket> AsRaw for T {
+    fn as_raw(&self) -> Raw {
+        self.as_raw_socket() as Raw
+    }
+}
+
+/// A readiness poller over a set of registered sources.
+pub struct Poller {
+    registry: Mutex<HashMap<Raw, Event>>,
+    waker: imp::Waker,
+}
+
+impl Poller {
+    /// A poller with an empty registry and an armed waker.
+    ///
+    /// # Errors
+    /// Propagates waker (self-pipe) creation failures.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            registry: Mutex::new(HashMap::new()),
+            waker: imp::Waker::new()?,
+        })
+    }
+
+    /// Register `source` with `interest`. Registering an already-known
+    /// handle replaces its interest (same as [`Poller::modify`]).
+    ///
+    /// # Errors
+    /// Infallible in this stub; `io::Result` kept for API compatibility.
+    pub fn add(&self, source: &impl AsRaw, interest: Event) -> io::Result<()> {
+        self.registry
+            .lock()
+            .expect("poll registry poisoned")
+            .insert(source.as_raw(), interest);
+        Ok(())
+    }
+
+    /// Replace the interest of a registered `source`.
+    ///
+    /// # Errors
+    /// `NotFound` if the handle was never registered.
+    pub fn modify(&self, source: &impl AsRaw, interest: Event) -> io::Result<()> {
+        let mut reg = self.registry.lock().expect("poll registry poisoned");
+        match reg.get_mut(&source.as_raw()) {
+            Some(slot) => {
+                *slot = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    /// Remove `source` from the registry. Unknown handles are a no-op.
+    ///
+    /// # Errors
+    /// Infallible in this stub; `io::Result` kept for API compatibility.
+    pub fn delete(&self, source: &impl AsRaw) -> io::Result<()> {
+        self.registry
+            .lock()
+            .expect("poll registry poisoned")
+            .remove(&source.as_raw());
+        Ok(())
+    }
+
+    /// Wake a concurrent (or the next) [`Poller::wait`] without an event.
+    /// Multiple notifies before a wait coalesce into one wakeup.
+    ///
+    /// # Errors
+    /// Propagates self-pipe write failures (`EAGAIN` is swallowed — the
+    /// pipe already holds a pending wakeup).
+    pub fn notify(&self) -> io::Result<()> {
+        self.waker.notify()
+    }
+
+    /// Block until at least one registered source is ready, the timeout
+    /// elapses, or [`Poller::notify`] is called. Ready events are appended
+    /// to `out` (which is **not** cleared first); returns how many were
+    /// appended. `None` means wait forever. Spurious zero-event returns
+    /// (notify, `EINTR`) are normal.
+    ///
+    /// # Errors
+    /// Propagates `poll(2)` failures other than `EINTR`.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let snapshot: Vec<(Raw, Event)> = {
+            let reg = self.registry.lock().expect("poll registry poisoned");
+            reg.iter().map(|(&fd, &ev)| (fd, ev)).collect()
+        };
+        imp::wait(&self.waker, &snapshot, out, timeout)
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{Event, Raw};
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    const F_SETFL: c_int = 4;
+    #[cfg(target_os = "macos")]
+    const O_NONBLOCK: c_int = 0x0004;
+    #[cfg(not(target_os = "macos"))]
+    const O_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    /// Self-pipe waker: `notify` writes one byte, `wait` polls the read
+    /// end alongside the registered sources and drains it on wakeup.
+    pub struct Waker {
+        read_fd: c_int,
+        write_fd: c_int,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Self> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let err = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(err);
+                }
+            }
+            Ok(Self {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let byte = 1u8;
+            let n = unsafe { write(self.write_fd, &byte, 1) };
+            if n == 1 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                // The pipe buffer is full: a wakeup is already pending.
+                Ok(())
+            } else {
+                Err(err)
+            }
+        }
+
+        fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
+    pub fn wait(
+        waker: &Waker,
+        snapshot: &[(Raw, Event)],
+        out: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = Vec::with_capacity(snapshot.len() + 1);
+        for &(fd, ev) in snapshot {
+            let mut events: c_short = 0;
+            if ev.readable {
+                events |= POLLIN;
+            }
+            if ev.writable {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd {
+                fd: fd as c_int,
+                events,
+                revents: 0,
+            });
+        }
+        fds.push(PollFd {
+            fd: waker.read_fd,
+            events: POLLIN,
+            revents: 0,
+        });
+
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => c_int::try_from(d.as_millis()).unwrap_or(c_int::MAX),
+        };
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                // EINTR: report a spurious zero-event wakeup.
+                return Ok(0);
+            }
+            return Err(err);
+        }
+
+        let waker_pollfd = fds.pop().expect("waker pollfd present");
+        if waker_pollfd.revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+            waker.drain();
+        }
+        let mut appended = 0;
+        for (pollfd, &(_, ev)) in fds.iter().zip(snapshot.iter()) {
+            let r = pollfd.revents;
+            if r == 0 {
+                continue;
+            }
+            out.push(Event {
+                key: ev.key,
+                // Errors and hangups surface as readable so the owner's
+                // next read sees the EOF/error and retires the source.
+                readable: r & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0,
+                writable: r & (POLLOUT | POLLERR) != 0,
+            });
+            appended += 1;
+        }
+        Ok(appended)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Degraded fallback: a bounded busy-poll that reports every registered
+    //! source as ready with its full interest. Functionally correct for
+    //! nonblocking sockets (reads yield `WouldBlock` when nothing is
+    //! there), wasteful by design, and only compiled where `poll(2)` is
+    //! unavailable.
+
+    use super::{Event, Raw};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    pub struct Waker {
+        notified: AtomicBool,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                notified: AtomicBool::new(false),
+            })
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            self.notified.store(true, Ordering::Release);
+            Ok(())
+        }
+    }
+
+    pub fn wait(
+        waker: &Waker,
+        snapshot: &[(Raw, Event)],
+        out: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        if !waker.notified.swap(false, Ordering::Acquire) {
+            let tick = Duration::from_millis(1);
+            std::thread::sleep(timeout.map_or(tick, |t| t.min(tick)));
+        }
+        let before = out.len();
+        out.extend(snapshot.iter().map(|&(_, ev)| ev));
+        Ok(out.len() - before)
+    }
+}
