@@ -334,6 +334,72 @@ pub enum Event {
         messages: usize,
     },
 
+    // ---- hecmix-serve: replica fleet (gateway) ----
+    /// The gateway's view of a replica flipped between healthy and
+    /// unhealthy (active probe or passive forward failure).
+    ReplicaHealthChange {
+        /// Replica index in the fleet.
+        replica: usize,
+        /// Replica upstream address.
+        addr: String,
+        /// New health state.
+        healthy: bool,
+        /// What triggered the flip (e.g. `probe connect refused`).
+        reason: String,
+        /// Consecutive probe/forward outcomes that crossed the threshold.
+        consecutive: u32,
+    },
+    /// A per-replica circuit breaker changed state
+    /// (`closed` → `open` → `half_open` → `closed`).
+    BreakerTransition {
+        /// Replica index in the fleet.
+        replica: usize,
+        /// State before the transition.
+        from: &'static str,
+        /// State after the transition.
+        to: &'static str,
+        /// Consecutive failures recorded when the transition fired.
+        failures: u32,
+    },
+    /// The gateway is retrying a forwarded request after a failed or
+    /// shed upstream attempt.
+    RequestRetry {
+        /// Request path.
+        path: String,
+        /// Replica the retry is aimed at.
+        replica: usize,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff slept before this attempt, milliseconds.
+        backoff_ms: u64,
+        /// Why the previous attempt failed.
+        why: String,
+    },
+    /// The gateway fired a hedged duplicate because the primary attempt
+    /// outlived the adaptive tail-latency delay.
+    RequestHedged {
+        /// Request path.
+        path: String,
+        /// Replica the primary attempt went to.
+        primary: usize,
+        /// Replica the hedge went to.
+        hedge: usize,
+        /// Hedge delay that expired, milliseconds.
+        delay_ms: u64,
+    },
+    /// After a replica was marked down, its displaced hot keys were
+    /// re-driven through the ring so the new owners' caches are warm.
+    FailoverRewarm {
+        /// Replica whose hash range was re-mapped.
+        from_replica: usize,
+        /// Displaced hot keys replayed.
+        keys: usize,
+        /// Keys successfully re-warmed on their new owners.
+        rewarmed: usize,
+        /// Wall time of the rewarm pass, seconds.
+        wall_s: f64,
+    },
+
     // ---- generic ----
     /// A named wall-clock span measured by [`ScopedTimer`].
     Timer {
@@ -384,6 +450,11 @@ impl Event {
             Event::CacheWarmStart { .. } => "cache_warm_start",
             Event::CacheWarmDone { .. } => "cache_warm_done",
             Event::EventLoopWakeup { .. } => "eventloop_wakeup",
+            Event::ReplicaHealthChange { .. } => "replica_health_change",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::RequestRetry { .. } => "request_retry",
+            Event::RequestHedged { .. } => "request_hedged",
+            Event::FailoverRewarm { .. } => "failover_rewarm",
             Event::Timer { .. } => "timer",
             Event::Warning { .. } => "warning",
         }
@@ -638,6 +709,65 @@ impl Event {
                 o.u64("io_thread", *io_thread as u64);
                 o.u64("events", *events as u64);
                 o.u64("messages", *messages as u64);
+            }
+            Event::ReplicaHealthChange {
+                replica,
+                addr,
+                healthy,
+                reason,
+                consecutive,
+            } => {
+                o.u64("replica", *replica as u64);
+                o.str("addr", addr);
+                o.bool("healthy", *healthy);
+                o.str("reason", reason);
+                o.u64("consecutive", u64::from(*consecutive));
+            }
+            Event::BreakerTransition {
+                replica,
+                from,
+                to,
+                failures,
+            } => {
+                o.u64("replica", *replica as u64);
+                o.str("from", from);
+                o.str("to", to);
+                o.u64("failures", u64::from(*failures));
+            }
+            Event::RequestRetry {
+                path,
+                replica,
+                attempt,
+                backoff_ms,
+                why,
+            } => {
+                o.str("path", path);
+                o.u64("replica", *replica as u64);
+                o.u64("attempt", u64::from(*attempt));
+                o.u64("backoff_ms", *backoff_ms);
+                o.str("why", why);
+            }
+            Event::RequestHedged {
+                path,
+                primary,
+                hedge,
+                delay_ms,
+            } => {
+                o.str("path", path);
+                o.u64("primary", *primary as u64);
+                o.u64("hedge", *hedge as u64);
+                o.u64("delay_ms", *delay_ms);
+            }
+            Event::FailoverRewarm {
+                from_replica,
+                keys,
+                rewarmed,
+                wall_s,
+            } => {
+                o.u64("from_replica", *from_replica as u64);
+                o.u64("keys", *keys as u64);
+                o.u64("rewarmed", *rewarmed as u64);
+                o.f64("wall_s", *wall_s);
             }
             Event::Timer { name, wall_s } => {
                 o.str("name", name);
@@ -1018,6 +1148,38 @@ mod tests {
                 io_thread: 0,
                 events: 0,
                 messages: 0,
+            },
+            Event::ReplicaHealthChange {
+                replica: 0,
+                addr: String::new(),
+                healthy: false,
+                reason: String::new(),
+                consecutive: 0,
+            },
+            Event::BreakerTransition {
+                replica: 0,
+                from: "closed",
+                to: "open",
+                failures: 0,
+            },
+            Event::RequestRetry {
+                path: String::new(),
+                replica: 0,
+                attempt: 1,
+                backoff_ms: 0,
+                why: String::new(),
+            },
+            Event::RequestHedged {
+                path: String::new(),
+                primary: 0,
+                hedge: 1,
+                delay_ms: 0,
+            },
+            Event::FailoverRewarm {
+                from_replica: 0,
+                keys: 0,
+                rewarmed: 0,
+                wall_s: 0.0,
             },
             Event::Timer {
                 name: "x",

@@ -52,6 +52,7 @@ use hecmix_obs::json::{self, Object, Value};
 use hecmix_obs::{emit, Event};
 
 use crate::cache::ShardedLru;
+use crate::fleet::Fleet;
 use crate::hist::{self, Histogram};
 use crate::http::{Request, Response};
 use crate::store::{ModelEntry, ModelStore};
@@ -248,6 +249,9 @@ pub enum RespCtx {
     /// `POST /reload` (answered by [`AppState::do_reload`], never by
     /// [`format_response`]).
     Reload,
+    /// A gateway-forwarded request: the replica formats the response, the
+    /// gateway only needs the path for telemetry.
+    Proxy(&'static str),
 }
 
 impl RespCtx {
@@ -260,6 +264,7 @@ impl RespCtx {
             Self::Frontier { .. } => "/frontier",
             Self::Whatif { .. } => "/whatif",
             Self::Reload => "/reload",
+            Self::Proxy(path) => path,
         }
     }
 }
@@ -278,6 +283,10 @@ pub enum Routed {
     /// `POST /reload` — runs on the compute pool so I/O threads never
     /// block behind a model rebuild + cache warm.
     Reload,
+    /// Gateway mode: a validated request bound for a replica via the
+    /// fleet's forward path (retries/hedging block, so it runs on the
+    /// compute pool, never on an I/O thread).
+    Forward(PendingForward),
 }
 
 impl Routed {
@@ -287,6 +296,19 @@ impl Routed {
             cached: false,
         }
     }
+}
+
+/// A validated request the gateway will forward to a replica. The body is
+/// re-sent verbatim; `key` is the plan-cache key (identical to what the
+/// replica will derive, because gateway and replicas share the same model
+/// bundles), which is what the consistent-hash ring routes on.
+pub struct PendingForward {
+    /// The routing key: the plan-cache key of this request.
+    pub key: u64,
+    /// Endpoint path.
+    pub path: &'static str,
+    /// The original JSON body, forwarded verbatim.
+    pub body: String,
 }
 
 /// A parsed cache miss, ready to be coalesced and computed.
@@ -319,6 +341,9 @@ pub struct Metrics {
     pub coalesced: AtomicU64,
     /// Cache entries re-computed by warm reloads.
     pub warmed: AtomicU64,
+    /// Connections reaped with `408` for holding a partial request head
+    /// past the deadline (slowloris guard).
+    pub timeouts: AtomicU64,
     /// Current compute-queue depth.
     pub queue_depth: AtomicUsize,
     /// Currently open client connections.
@@ -335,6 +360,7 @@ impl Metrics {
             computes: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             warmed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             started: Instant::now(),
@@ -354,6 +380,10 @@ pub struct AppState {
     cache: ShardedLru<CachedPlan>,
     reload: RwLock<Option<Arc<ReloadFn>>>,
     compute_delay_us: AtomicU64,
+    /// `Some` turns this daemon into a gateway: plan requests are parsed
+    /// and key-derived locally (same models as the replicas, so the keys
+    /// match), then forwarded through the fleet instead of computed.
+    fleet: Option<Arc<Fleet>>,
     /// Counters and histograms, updated by I/O loops, the compute pool,
     /// and the accept thread.
     pub metrics: Metrics,
@@ -369,7 +399,36 @@ impl AppState {
             cache: ShardedLru::new(cache_capacity.max(1)),
             reload: RwLock::new(None),
             compute_delay_us: AtomicU64::new(0),
+            fleet: None,
             metrics: Metrics::new(io_threads),
+        }
+    }
+
+    /// Gateway state: like [`AppState::new`], but plan traffic is routed
+    /// through `fleet` instead of the local compute path. The `store`
+    /// must be built from the same model bundles the replicas serve —
+    /// cache keys are content-hashed, so matching bundles make the
+    /// gateway's routing key identical to the replicas' cache key.
+    #[must_use]
+    pub fn new_gateway(store: ModelStore, io_threads: usize, fleet: Arc<Fleet>) -> Self {
+        let mut state = Self::new(store, io_threads, 1);
+        state.fleet = Some(fleet);
+        state
+    }
+
+    /// The fleet, when this daemon is a gateway.
+    #[must_use]
+    pub fn fleet(&self) -> Option<&Arc<Fleet>> {
+        self.fleet.as_ref()
+    }
+
+    /// Forward one validated request through the fleet (gateway mode
+    /// only; blocks through retries/hedges, so the compute pool runs it).
+    #[must_use]
+    pub fn forward(&self, key: u64, path: &'static str, body: &str) -> Response {
+        match &self.fleet {
+            Some(fleet) => fleet.forward(key, path, body),
+            None => Response::error(500, "not a gateway"),
         }
     }
 
@@ -406,7 +465,13 @@ impl AppState {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Routed::ready(self.healthz()),
             ("GET", "/statz") => Routed::ready(self.statz()),
-            ("POST", "/plan" | "/frontier" | "/whatif") => self.route_compute(req),
+            ("POST", "/plan" | "/frontier" | "/whatif") => {
+                if self.fleet.is_some() {
+                    self.route_forward(req)
+                } else {
+                    self.route_compute(req)
+                }
+            }
             ("POST", "/reload") => Routed::Reload,
             (_, "/healthz" | "/statz" | "/plan" | "/frontier" | "/whatif" | "/reload") => {
                 Routed::ready(Response::error(405, "method not allowed"))
@@ -449,6 +514,37 @@ impl AppState {
             spec,
             store,
             ctx,
+        })
+    }
+
+    /// Gateway-mode routing: validate exactly like [`Self::route_compute`]
+    /// (malformed requests die at the edge, never burn an upstream
+    /// attempt), derive the plan-cache key, and hand back a forward. The
+    /// gateway keeps no plan cache of its own — the replicas' sharded
+    /// LRUs *are* the cache, partitioned by this key.
+    fn route_forward(&self, req: &Request) -> Routed {
+        let v = match parse_body(&req.body) {
+            Ok(v) => v,
+            Err(resp) => return Routed::ready(resp),
+        };
+        let store = self.store();
+        let parsed = match req.path.as_str() {
+            "/plan" => parse_plan(&store, &v),
+            "/frontier" => parse_frontier(&store, &v),
+            _ => parse_whatif(&store, &v),
+        };
+        let (spec, ctx) = match parsed {
+            Ok(p) => p,
+            Err(resp) => return Routed::ready(resp),
+        };
+        let hash = store
+            .get(spec.workload())
+            .map(|e| e.hash)
+            .unwrap_or_default();
+        Routed::Forward(PendingForward {
+            key: spec.key(hash),
+            path: ctx.path(),
+            body: String::from_utf8_lossy(&req.body).into_owned(),
         })
     }
 
@@ -518,6 +614,15 @@ impl AppState {
             Err(e) => return Response::error(500, &format!("reload failed: {e}")),
         };
 
+        if let Some(fleet) = &self.fleet {
+            // Gateway: swap the local store so routing keys track the new
+            // model hashes, then broadcast the reload to every replica —
+            // each replica does its own warm. No local cache to warm.
+            *self.store.write().expect("model store poisoned") = new_store;
+            self.cache.invalidate_all();
+            return fleet.broadcast_reload();
+        }
+
         // Recompute the hot set against the new store *before* swapping —
         // the artificial test delay is deliberately skipped so warming
         // reflects real compute cost only.
@@ -564,6 +669,11 @@ impl AppState {
         o.bool("ok", true);
         o.u64("workloads", store.len() as u64);
         o.f64("uptime_s", self.metrics.uptime_s());
+        if let Some(fleet) = &self.fleet {
+            o.str("role", "gateway");
+            o.u64("replicas", fleet.replica_count() as u64);
+            o.u64("healthy_replicas", fleet.healthy_count() as u64);
+        }
         Response::json(200, o.finish())
     }
 
@@ -572,10 +682,14 @@ impl AppState {
         let cache = self.cache.stats();
         let lat = hist::summarize(&self.metrics.hists);
         let mut o = Object::new();
-        o.str("schema", "hecmix-statz-v2");
+        o.str("schema", "hecmix-statz-v3");
         o.f64("uptime_s", self.metrics.uptime_s());
         o.u64("served", self.metrics.served.load(Ordering::Relaxed));
         o.u64("rejected", self.metrics.rejected.load(Ordering::Relaxed));
+        o.u64(
+            "timeouts_408",
+            self.metrics.timeouts.load(Ordering::Relaxed),
+        );
         o.u64("computes", self.metrics.computes.load(Ordering::Relaxed));
         o.u64("coalesced", self.metrics.coalesced.load(Ordering::Relaxed));
         o.u64("warmed", self.metrics.warmed.load(Ordering::Relaxed));
@@ -599,6 +713,7 @@ impl AppState {
         l.u64("count", lat.count);
         l.f64("p50", ns_to_us(lat.p50));
         l.f64("p90", ns_to_us(lat.p90));
+        l.f64("p95", ns_to_us(lat.p95));
         l.f64("p99", ns_to_us(lat.p99));
         l.f64("p999", ns_to_us(lat.p999));
         l.f64("max", ns_to_us(lat.max));
@@ -606,6 +721,9 @@ impl AppState {
         o.raw("latency_us", &l.finish());
         o.str_array("workloads", &store.names());
         o.str_array("model_hashes", &store.hashes());
+        if let Some(fleet) = &self.fleet {
+            o.raw("fleet", &fleet.statz_object());
+        }
         Response::json(200, o.finish())
     }
 }
@@ -858,7 +976,7 @@ pub fn format_response(
             o.u64("compute_us", compute_us);
             Response::json(200, o.finish())
         }
-        RespCtx::Reload => Response::error(500, "reload is not a formatted compute"),
+        RespCtx::Reload | RespCtx::Proxy(_) => Response::error(500, "not a formatted compute"),
     }
 }
 

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use hecmix_obs::{emit, Event};
 
-use crate::api::{PendingCompute, RespCtx, Routed};
+use crate::api::{PendingCompute, PendingForward, RespCtx, Routed};
 use crate::http::{self, Response};
 use crate::server::{Job, Msg, Shared, Waiter};
 
@@ -60,6 +60,11 @@ struct Conn {
     /// The current request asked for `Connection: close`.
     close_requested: bool,
     last_active: Instant,
+    /// When `buf_in` started holding a *partial* request (slowloris
+    /// guard): `None` whenever the input buffer is empty, reset on every
+    /// parse. A peer trickling a header one byte at a time keeps
+    /// `last_active` fresh forever — this deadline does not refresh.
+    head_since: Option<Instant>,
 }
 
 impl Conn {
@@ -73,6 +78,7 @@ impl Conn {
             close_after: false,
             close_requested: false,
             last_active: Instant::now(),
+            head_since: None,
         }
     }
 }
@@ -269,6 +275,9 @@ impl IoLoop<'_> {
                     }
                 }
             }
+            if !conn.buf_in.is_empty() && conn.head_since.is_none() {
+                conn.head_since = Some(Instant::now());
+            }
         }
         if closed {
             self.close(token);
@@ -291,6 +300,9 @@ impl IoLoop<'_> {
                 match http::try_parse(&conn.buf_in) {
                     Ok(Some((req, consumed))) => {
                         conn.buf_in.drain(..consumed);
+                        // A complete request resets the slowloris clock;
+                        // pipelined leftovers start a fresh deadline.
+                        conn.head_since = (!conn.buf_in.is_empty()).then(Instant::now);
                         conn.close_requested = req.wants_close();
                         Ok(req)
                     }
@@ -373,6 +385,40 @@ impl IoLoop<'_> {
                         path: path.to_owned(),
                         key,
                     });
+                }
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.busy = true;
+                }
+            }
+            Routed::Forward(pf) => {
+                if draining {
+                    self.shed_now(token, start, pf.path, draining);
+                    return;
+                }
+                let PendingForward { key, path, body } = pf;
+                let waiter = Waiter {
+                    loop_idx: self.idx,
+                    token,
+                    ctx: RespCtx::Proxy(path),
+                    store: state.store(),
+                    start,
+                    coalesced: false,
+                };
+                let job = Job::Forward {
+                    waiter,
+                    key,
+                    body,
+                    enqueued: Instant::now(),
+                };
+                if let Err(job) = self.shared.jobs.push(job) {
+                    if let Job::Forward { waiter, .. } = job {
+                        self.shared.shed(waiter, "compute queue full");
+                    }
+                } else {
+                    state
+                        .metrics
+                        .queue_depth
+                        .store(self.shared.jobs.depth(), Ordering::Relaxed);
                 }
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.busy = true;
@@ -504,6 +550,31 @@ impl IoLoop<'_> {
             return;
         }
         self.last_sweep = Instant::now();
+        // Slowloris guard: a connection that has held a partial request
+        // head past the deadline is answered 408 and closed. (`busy` and
+        // pending-write connections are excluded — they are making
+        // progress elsewhere.)
+        let head_deadline = self.shared.config.head_deadline;
+        let slow: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                !c.busy
+                    && c.buf_out.is_empty()
+                    && c.head_since.is_some_and(|t| t.elapsed() > head_deadline)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in slow {
+            self.shared
+                .state
+                .metrics
+                .timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            let mut resp = Response::error(408, "timed out waiting for request head");
+            resp.close = true;
+            self.send(token, resp, draining);
+        }
         let timeout = self.shared.config.read_timeout;
         let stale: Vec<usize> = self
             .conns

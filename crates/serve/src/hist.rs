@@ -95,6 +95,8 @@ pub struct Summary {
     pub p50: u64,
     /// 90th percentile.
     pub p90: u64,
+    /// 95th percentile (anchors the gateway's adaptive hedge delay).
+    pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
     /// 99.9th percentile.
@@ -140,6 +142,7 @@ pub fn summarize(hists: &[Histogram]) -> Summary {
         count,
         p50: quantile(0.50),
         p90: quantile(0.90),
+        p95: quantile(0.95),
         p99: quantile(0.99),
         p999: quantile(0.999),
         max,

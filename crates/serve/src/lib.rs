@@ -39,16 +39,33 @@
 //! with coordinated-omission correction), with warmup exclusion and
 //! per-endpoint percentiles. It doubles as the serving-path benchmark
 //! (cold vs warm cache, tail-latency gate) and as the end-to-end test.
+//!
+//! Above a single daemon sits the **replica fleet**: `hecmix gateway`
+//! routes `/plan`, `/frontier`, and `/whatif` across N replica daemons by
+//! consistent hashing over the plan-cache key ([`router`]), so each
+//! replica's LRU holds a disjoint shard of the hot set. The fleet layer
+//! ([`fleet`]) adds active + passive health checking, per-replica circuit
+//! breakers, bounded jittered retries that honor `Retry-After`, hedged
+//! requests after an adaptive p95 delay, and failover re-warm of a dead
+//! replica's hot keys. Robustness is proven, not asserted: a seeded
+//! [`chaos`] schedule drives an in-process TCP proxy that injects
+//! connection resets, delays, black-holes, and kill windows
+//! deterministically, and [`fleetbench`] scripts a replica crash under
+//! load while gating on zero client-visible errors.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod api;
 pub mod cache;
+pub mod chaos;
 mod event_loop;
+pub mod fleet;
+pub mod fleetbench;
 pub mod hist;
 pub mod http;
 pub mod loadgen;
+pub mod router;
 pub mod server;
 pub mod signal;
 pub mod singleflight;

@@ -117,6 +117,11 @@ pub struct LoadgenConfig {
     pub workload: String,
     /// ARM node cap for `/plan` and `/frontier`.
     pub arm: u32,
+    /// When set, `/plan` and `/frontier` sweep `arm` over `1..=n` by
+    /// ticket instead of using the fixed cap — n distinct cache keys, so
+    /// a fleet gateway's consistent-hash routing (and failover re-warm)
+    /// is exercised across replicas instead of hammering one key.
+    pub arm_sweep: Option<u32>,
     /// AMD node cap for `/plan` and `/frontier`.
     pub amd: u32,
     /// Power budget for `/whatif`, watts.
@@ -137,6 +142,7 @@ impl Default for LoadgenConfig {
             mix: MixRatio::default(),
             workload: "ep".to_owned(),
             arm: 10,
+            arm_sweep: None,
             amd: 10,
             budget_w: 400.0,
             deadline_ms: 120_000.0,
@@ -271,11 +277,14 @@ fn endpoint_for(ticket: u64, mix: MixRatio) -> Endpoint {
 
 fn request_for(cfg: &LoadgenConfig, ticket: u64) -> (Endpoint, &'static str, String) {
     let endpoint = endpoint_for(ticket, cfg.mix);
+    let arm = cfg
+        .arm_sweep
+        .map_or(cfg.arm, |n| 1 + (ticket % u64::from(n.max(1))) as u32);
     match endpoint {
         Endpoint::Plan => {
             let mut o = Object::new();
             o.str("workload", &cfg.workload);
-            o.u64("arm", u64::from(cfg.arm));
+            o.u64("arm", u64::from(arm));
             o.u64("amd", u64::from(cfg.amd));
             o.f64("deadline_ms", cfg.deadline_ms);
             (endpoint, "/plan", o.finish())
@@ -283,7 +292,7 @@ fn request_for(cfg: &LoadgenConfig, ticket: u64) -> (Endpoint, &'static str, Str
         Endpoint::Frontier => {
             let mut o = Object::new();
             o.str("workload", &cfg.workload);
-            o.u64("arm", u64::from(cfg.arm));
+            o.u64("arm", u64::from(arm));
             o.u64("amd", u64::from(cfg.amd));
             (endpoint, "/frontier", o.finish())
         }
@@ -319,6 +328,35 @@ fn exchange(
         .find(|(k, _)| k == "retry-after")
         .and_then(|(_, v)| v.parse().ok());
     Ok((status, retry_after, resp_body))
+}
+
+/// Total 503 retries allowed per ticket before it counts as an error.
+const MAX_503_RETRIES: u32 = 32;
+
+/// How long to sleep before 503-retry number `attempt` (1-based) of
+/// `ticket`, or `None` once the attempt budget is spent.
+///
+/// The base wait grows exponentially (5 ms, doubling, capped at 100 ms)
+/// and is floored by the server's `Retry-After` (seconds, also capped at
+/// 100 ms — a load generator that sleeps whole seconds measures nothing).
+/// The result is then jittered to `[base/2, 1.5·base)` by a hash of
+/// `(ticket, attempt)`: deterministic per ticket for replayable runs, but
+/// de-synchronized *across* tickets, so a fleet of workers rejected in
+/// the same instant cannot form a retry storm against a recovering
+/// replica.
+#[must_use]
+pub fn retry_503_wait_ms(ticket: u64, attempt: u32, retry_after_s: Option<u64>) -> Option<u64> {
+    if attempt > MAX_503_RETRIES {
+        return None;
+    }
+    let exp = 5u64
+        .saturating_mul(1 << attempt.saturating_sub(1).min(5))
+        .min(100);
+    let base = retry_after_s
+        .map_or(exp, |s| exp.max((s * 1000).min(100)))
+        .max(1);
+    let jitter = crate::router::splitmix64(ticket ^ (u64::from(attempt) << 32)) % base;
+    Some(base / 2 + jitter)
 }
 
 fn worker(cfg: &LoadgenConfig, tickets: &AtomicU64, start: Instant) -> WorkerOut {
@@ -405,17 +443,21 @@ fn worker(cfg: &LoadgenConfig, tickets: &AtomicU64, start: Instant) -> WorkerOut
                 }
                 Ok((503, retry_after, _)) => {
                     // Admission control asked us to back off; honor it
-                    // (capped — Retry-After is in whole seconds) and retry
-                    // the same ticket. 503 closes the connection.
+                    // (capped — Retry-After is in whole seconds), jittered
+                    // per ticket so every worker that got the same
+                    // Retry-After does not re-arrive in the same instant
+                    // and re-trip admission on a recovering daemon. 503
+                    // closes the connection.
                     out.rejected_retries += 1;
                     conn = None;
                     backoffs += 1;
-                    if backoffs > 200 {
-                        out.errors += 1;
-                        break;
+                    match retry_503_wait_ms(ticket, backoffs, retry_after) {
+                        Some(wait) => std::thread::sleep(Duration::from_millis(wait)),
+                        None => {
+                            out.errors += 1;
+                            break;
+                        }
                     }
-                    let wait = retry_after.map_or(10, |s| (s * 1000).min(100));
-                    std::thread::sleep(Duration::from_millis(wait));
                 }
                 Ok((_status, _, _)) => {
                     out.errors += 1;
@@ -648,7 +690,7 @@ impl LoadReport {
             o.finish()
         };
         let mut o = Object::new();
-        o.str("schema", "hecmix-bench-serve-v2");
+        o.str("schema", "hecmix-bench-serve-v3");
         o.str("workload", &cfg.workload);
         o.u64("concurrency", cfg.concurrency as u64);
         o.str(
@@ -661,6 +703,9 @@ impl LoadReport {
         o.f64("warmup_s", cfg.warmup_s);
         if let Some(r) = cfg.open_loop_rps {
             o.f64("open_loop_rps", r);
+        }
+        if let Some(n) = cfg.arm_sweep {
+            o.u64("arm_sweep", u64::from(n));
         }
         o.u64("sent", self.sent);
         o.u64("ok", self.ok);
@@ -880,7 +925,7 @@ mod tests {
         let v = json::parse(&j).expect("valid JSON");
         assert_eq!(
             v.get("schema").and_then(Value::as_str),
-            Some("hecmix-bench-serve-v2")
+            Some("hecmix-bench-serve-v3")
         );
         assert_eq!(v.get("ok").and_then(Value::as_u64), Some(10));
         assert_eq!(v.get("measured").and_then(Value::as_u64), Some(8));
@@ -904,5 +949,31 @@ mod tests {
             .and_then(Value::as_f64)
             .is_some());
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn retry_503_wait_is_deterministic_bounded_and_capped() {
+        // Same (ticket, attempt) → same wait; different tickets spread out.
+        assert_eq!(
+            retry_503_wait_ms(7, 1, Some(1)),
+            retry_503_wait_ms(7, 1, Some(1))
+        );
+        let spread: std::collections::HashSet<u64> = (0..64)
+            .filter_map(|t| retry_503_wait_ms(t, 1, Some(1)))
+            .collect();
+        assert!(
+            spread.len() > 16,
+            "jitter must de-synchronize tickets, got {} distinct waits",
+            spread.len()
+        );
+        // Retry-After floors the base but is capped at 100 ms, and every
+        // jittered wait stays inside [base/2, 1.5*base).
+        for t in 0..200u64 {
+            let w = retry_503_wait_ms(t, 3, Some(30)).unwrap();
+            assert!((50..150).contains(&w), "wait {w} escaped the jitter band");
+        }
+        // The attempt budget is finite.
+        assert!(retry_503_wait_ms(1, MAX_503_RETRIES, None).is_some());
+        assert!(retry_503_wait_ms(1, MAX_503_RETRIES + 1, None).is_none());
     }
 }

@@ -79,6 +79,10 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Idle timeout: keep-alive connections quiet for longer are retired.
     pub read_timeout: Duration,
+    /// Slowloris guard: a connection holding a *partial* request head for
+    /// longer than this is answered `408` and closed (idle keep-alive
+    /// connections with empty buffers get the full `read_timeout`).
+    pub head_deadline: Duration,
     /// Compute jobs that waited longer than this in the queue are shed
     /// with a 503 instead of computed (their clients have likely timed
     /// out anyway).
@@ -97,6 +101,7 @@ impl Default for ServeConfig {
             max_connections: 1024,
             queue_capacity: 256,
             read_timeout: Duration::from_secs(5),
+            head_deadline: Duration::from_secs(2),
             queue_deadline: Duration::from_secs(2),
             retry_after_s: 1,
         }
@@ -171,6 +176,14 @@ pub(crate) enum Job {
     },
     /// A model reload + cache warm, answered to one waiter.
     Reload { waiter: Waiter },
+    /// Gateway mode: forward one request through the fleet (blocking
+    /// through retries and hedges), answered to one waiter.
+    Forward {
+        waiter: Waiter,
+        key: u64,
+        body: String,
+        enqueued: Instant,
+    },
 }
 
 /// Bounded MPMC job queue for the compute pool.
@@ -190,6 +203,9 @@ impl JobQueue {
     }
 
     /// Enqueue `job`, or hand it back if the queue is at capacity.
+    // The large Err is the point: a shed job returns to the caller so the
+    // waiter inside it can be answered 503 — boxing would be pure churn.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn push(&self, job: Job) -> Result<(), Job> {
         let mut q = self.q.lock().expect("job queue poisoned");
         if q.len() >= self.capacity {
@@ -509,6 +525,22 @@ fn compute_loop(shared: &Shared) {
             Job::Reload { waiter } => {
                 let resp = shared.state.do_reload();
                 shared.deliver(waiter, resp, false);
+            }
+            Job::Forward {
+                waiter,
+                key,
+                body,
+                enqueued,
+            } => {
+                if enqueued.elapsed() > shared.config.queue_deadline && !shared.shutting_down() {
+                    shared.shed(waiter, "forward queue deadline exceeded");
+                    continue;
+                }
+                let resp = shared.state.forward(key, waiter.ctx.path(), &body);
+                // The replica, not the gateway, knows whether it answered
+                // from cache; recover the flag for telemetry parity.
+                let cached = resp.body.contains("\"cached\":true");
+                shared.deliver(waiter, resp, cached);
             }
         }
     }

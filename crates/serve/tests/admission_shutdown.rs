@@ -197,3 +197,94 @@ fn graceful_shutdown_drains_coalesced_in_flight_compute() {
         "listener must be closed after shutdown"
     );
 }
+
+#[test]
+fn slowloris_partial_head_is_reaped_with_408() {
+    // A peer trickling a request head one fragment at a time keeps
+    // `last_active` fresh forever, so the idle sweep alone never fires.
+    // The head deadline is the guard: a connection holding a *partial*
+    // request past it is answered 408 and closed, and the reap is
+    // counted in /statz.
+    let state = Arc::new(AppState::new(build_store(), 1, 16));
+    let config = ServeConfig {
+        io_threads: 1,
+        workers: 1,
+        max_connections: 16,
+        queue_capacity: 8,
+        read_timeout: Duration::from_secs(30),
+        head_deadline: Duration::from_millis(300),
+        queue_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let handle = start(config, Arc::clone(&state)).expect("daemon starts");
+
+    // An honest keep-alive connection, for contrast: it must survive the
+    // slowloris reaping untouched (its buffers are empty between
+    // requests, so the head deadline never applies).
+    let mut honest = connect(&handle);
+    assert_eq!(healthz(&mut honest).0, 200);
+
+    // The attacker sends half a request line, then drip-feeds one byte
+    // every 100 ms from a second thread — each byte refreshes
+    // `last_active`, so only the head deadline can catch it.
+    let mut slow = connect(&handle);
+    slow.write_all(b"POST /frontier HT").expect("partial head");
+    let mut trickle = slow.try_clone().expect("clone socket");
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_trickle = Arc::clone(&stop);
+    let trickler = std::thread::spawn(move || {
+        while !stop_trickle.load(std::sync::atomic::Ordering::Relaxed) {
+            if trickle.write_all(b"T").is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    });
+    let t0 = Instant::now();
+    let (status, headers, _body) =
+        http::read_response(&mut slow).expect("slowloris connection must get a response");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    trickler.join().expect("trickler thread");
+    assert_eq!(status, 408, "partial head reaped with 408");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "reap happens on the head deadline, not the 30 s idle timeout"
+    );
+    assert_eq!(
+        headers
+            .iter()
+            .find(|(k, _)| k == "connection")
+            .map(|(_, v)| v.as_str()),
+        Some("close"),
+        "a reaped connection is told to close"
+    );
+    wait_until("timeout counted", || {
+        state
+            .metrics
+            .timeouts
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    });
+
+    // The honest connection was untouched by the reaping.
+    assert_eq!(healthz(&mut honest).0, 200);
+
+    // And the counter is visible in /statz.
+    let mut c = connect(&handle);
+    c.write_all(http::format_request("GET", "/statz", "").as_bytes())
+        .expect("send");
+    let (status, _headers, resp) = http::read_response(&mut c).expect("statz");
+    assert_eq!(status, 200);
+    let v = json::parse(std::str::from_utf8(&resp).expect("UTF-8")).expect("JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("hecmix-statz-v3")
+    );
+    assert!(
+        v.get("timeouts_408").and_then(Value::as_u64).unwrap_or(0) >= 1,
+        "statz must count the 408 reap"
+    );
+
+    handle.shutdown();
+    handle.join();
+}

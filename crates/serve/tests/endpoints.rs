@@ -91,15 +91,21 @@ fn healthz_and_statz_report_inventory() {
     assert_eq!(status, 200);
     assert_eq!(
         v.get("schema").and_then(Value::as_str),
-        Some("hecmix-statz-v2")
+        Some("hecmix-statz-v3")
     );
     assert!(v.get("uptime_s").and_then(Value::as_f64).expect("uptime") >= 0.0);
-    // v2 serving counters: compute-pool work, single-flight coalescing,
-    // warm-reload recomputes, and the live connection gauge.
-    for counter in ["computes", "coalesced", "warmed", "connections"] {
+    // v3 serving counters: compute-pool work, single-flight coalescing,
+    // warm-reload recomputes, slowloris reaps, and the connection gauge.
+    for counter in [
+        "computes",
+        "coalesced",
+        "warmed",
+        "timeouts_408",
+        "connections",
+    ] {
         assert!(
             v.get(counter).and_then(Value::as_u64).is_some(),
-            "statz v2 must report {counter}"
+            "statz v3 must report {counter}"
         );
     }
     let hashes = v
@@ -110,6 +116,7 @@ fn healthz_and_statz_report_inventory() {
     let h = hashes[0].as_str().expect("hash string");
     assert!(h.starts_with("ep:") && h.len() == 3 + 16, "{h}");
     assert!(v.get("latency_us").and_then(|l| l.get("p50")).is_some());
+    assert!(v.get("latency_us").and_then(|l| l.get("p95")).is_some());
     assert!(v.get("cache").and_then(|c| c.get("hit_rate")).is_some());
 }
 

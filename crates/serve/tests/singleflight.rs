@@ -207,3 +207,83 @@ fn disconnected_leader_does_not_strand_followers() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn leader_crash_during_drain_answers_followers_cleanly() {
+    // The hardest corner of coalescing: the daemon starts draining while a
+    // flight is in the air, and then the *leader* — the one connection the
+    // compute pool nominally answers to — dies. Followers must still get a
+    // definitive answer (the drain path computes in-flight work instead of
+    // shedding it) and shutdown must complete in bounded time: nobody
+    // hangs on a flight whose leader is gone.
+    let (handle, state) = daemon(Duration::from_millis(500));
+    let body = r#"{"workload":"ep","arm":9,"amd":5}"#;
+    let wire = http::format_request("POST", "/frontier", body);
+
+    let mut c_leader = connect(&handle);
+    c_leader.write_all(wire.as_bytes()).expect("leader send");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cache_misses(&handle) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "leader request never routed"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut followers: Vec<TcpStream> = (0..4).map(|_| connect(&handle)).collect();
+    for f in &mut followers {
+        f.write_all(wire.as_bytes()).expect("follower send");
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while state
+        .metrics
+        .coalesced
+        .load(std::sync::atomic::Ordering::Relaxed)
+        < 4
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "followers never coalesced"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Drain begins with the flight still computing; the leader dies next.
+    handle.shutdown();
+    drop(c_leader);
+
+    let joined = std::thread::scope(|s| {
+        let answers = s.spawn(move || {
+            followers
+                .into_iter()
+                .map(|mut f| {
+                    let (status, _headers, resp) =
+                        http::read_response(&mut f).expect("follower answered, not hung");
+                    let v = json::parse(std::str::from_utf8(&resp).expect("UTF-8")).expect("JSON");
+                    (
+                        status,
+                        v.get("coalesced").and_then(Value::as_bool).unwrap_or(false),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        handle.join();
+        answers.join().expect("follower reader")
+    });
+    for (status, coalesced) in joined {
+        assert_eq!(
+            status, 200,
+            "drain answers coalesced followers, never hangs"
+        );
+        assert!(coalesced, "the answer rode the orphaned leader's flight");
+    }
+    assert_eq!(
+        state
+            .metrics
+            .computes
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "drain completed the in-flight compute exactly once"
+    );
+}

@@ -61,7 +61,9 @@ fn main() -> ExitCode {
         "queueing" => cmd_queueing(&flags),
         "selfcheck" => cmd_selfcheck(&flags),
         "serve" => cmd_serve(&flags),
+        "gateway" => cmd_gateway(&flags),
         "loadgen" => cmd_loadgen(&flags),
+        "fleetbench" => cmd_fleetbench(&flags),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -88,11 +90,18 @@ commands:
   serve        [--addr HOST:PORT] [--io-threads N] [--workers N] [--queue N]
                [--cache N] [--max-conns N] [--models DIR]
                [--workloads NAME,NAME,...]
+  gateway      --replicas HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+               [--io-threads N] [--workers N] [--queue N] [--max-conns N]
+               [--seed N] [--models DIR] [--workloads NAME,NAME,...]
   loadgen      [--addr HOST:PORT] [--requests N | --duration SECS]
                [--warmup SECS] [--open-loop RPS] [--concurrency N]
-               [--mix P:F:W] [--workload NAME] [--arm N] [--amd N]
-               [--budget W] [--deadline-ms D] [--bench-out FILE]
+               [--mix P:F:W] [--workload NAME] [--arm N] [--arm-sweep N]
+               [--amd N] [--budget W] [--deadline-ms D] [--bench-out FILE]
                [--gate-tail-ratio X] [--gate-min-ok N]
+  fleetbench   [--replicas N] [--kill-replica I] [--kill-at SECS] [--seed N]
+               [--duration SECS] [--warmup SECS] [--concurrency N]
+               [--arm-sweep N] [--gate-tail-ratio X] [--gate-min-ok N]
+               [--bench-out FILE]
 
 workloads: ep memcached x264 blackscholes julius rsa-2048"
     );
@@ -529,6 +538,167 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_gateway(flags: &HashMap<String, String>) -> ExitCode {
+    use hecmix_serve::fleet::{Fleet, FleetConfig};
+
+    let Some(replica_list) = flags.get("replicas") else {
+        eprintln!("gateway needs --replicas HOST:PORT,HOST:PORT,...");
+        return ExitCode::FAILURE;
+    };
+    let replicas: Vec<String> = replica_list
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if replicas.is_empty() {
+        eprintln!("--replicas needs at least one address");
+        return ExitCode::FAILURE;
+    }
+
+    let defaults = hecmix_serve::ServeConfig::default();
+    let fleet_defaults = FleetConfig::default();
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7078".to_owned());
+    let (Ok(io_threads), Ok(workers), Ok(queue), Ok(max_conns), Ok(seed)) = (
+        get_num::<usize>(flags, "io-threads", defaults.io_threads),
+        get_num::<usize>(flags, "workers", defaults.workers),
+        get_num::<usize>(flags, "queue", defaults.queue_capacity),
+        get_num::<usize>(flags, "max-conns", defaults.max_connections),
+        get_num::<u64>(flags, "seed", fleet_defaults.seed),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    if io_threads == 0 || workers == 0 || queue == 0 || max_conns == 0 {
+        eprintln!("--io-threads, --workers, --queue, and --max-conns must be >= 1");
+        return ExitCode::FAILURE;
+    }
+
+    // The gateway's store must come from the same model bundles the
+    // replicas serve, so its routing keys equal their cache keys.
+    let (store, reload) = match build_serve_store(flags) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let replica_count = replicas.len();
+    let fleet = match Fleet::new(FleetConfig {
+        replicas,
+        seed,
+        ..fleet_defaults
+    }) {
+        Ok(f) => std::sync::Arc::new(f),
+        Err(e) => {
+            eprintln!("cannot build fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    fleet.start_probing();
+    let state = std::sync::Arc::new(hecmix_serve::AppState::new_gateway(
+        store,
+        io_threads,
+        std::sync::Arc::clone(&fleet),
+    ));
+    state.set_reload(reload);
+    let config = hecmix_serve::ServeConfig {
+        addr,
+        io_threads,
+        workers,
+        queue_capacity: queue,
+        max_connections: max_conns,
+        ..defaults
+    };
+    let handle = match hecmix_serve::start(config, std::sync::Arc::clone(&state)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start gateway: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    hecmix_serve::signal::install();
+    println!(
+        "hecmix gateway listening on http://{} routing {replica_count} replicas \
+         ({io_threads} io threads, {workers} forward workers, seed {seed})",
+        handle.addr()
+    );
+    println!("endpoints: POST /plan /frontier /whatif /reload — GET /healthz /statz");
+    while !hecmix_serve::signal::interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received; draining in-flight requests");
+    handle.shutdown();
+    handle.join();
+    fleet.stop();
+    eprintln!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+fn cmd_fleetbench(flags: &HashMap<String, String>) -> ExitCode {
+    use hecmix_serve::fleetbench::{self, FleetBenchConfig};
+
+    let d = FleetBenchConfig::default();
+    let (Ok(replicas), Ok(kill_replica), Ok(concurrency), Ok(arm_sweep), Ok(seed)) = (
+        get_num::<usize>(flags, "replicas", d.replicas),
+        get_num::<usize>(flags, "kill-replica", d.kill_replica),
+        get_num::<usize>(flags, "concurrency", d.concurrency),
+        get_num::<u32>(flags, "arm-sweep", d.arm_sweep),
+        get_num::<u64>(flags, "seed", d.seed),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let (Ok(kill_at_s), Ok(duration_s), Ok(warmup_s), Ok(max_tail_ratio), Ok(min_ok)) = (
+        get_num::<f64>(flags, "kill-at", d.kill_at_s),
+        get_num::<f64>(flags, "duration", d.duration_s),
+        get_num::<f64>(flags, "warmup", d.warmup_s),
+        get_num::<f64>(flags, "gate-tail-ratio", d.max_tail_ratio),
+        get_num::<u64>(flags, "gate-min-ok", d.min_ok),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    if replicas == 0 || concurrency == 0 || duration_s <= 0.0 {
+        eprintln!("--replicas, --concurrency must be >= 1 and --duration positive");
+        return ExitCode::FAILURE;
+    }
+
+    let (_store, build) = match build_serve_store(flags) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let cfg = FleetBenchConfig {
+        replicas,
+        kill_replica,
+        kill_at_s,
+        seed,
+        duration_s,
+        warmup_s,
+        concurrency,
+        arm_sweep,
+        max_tail_ratio,
+        min_ok,
+    };
+    let outcome = match fleetbench::run(&cfg, build.as_ref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleetbench setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", outcome.summary);
+    if let Some(path) = flags.get("bench-out") {
+        if let Err(e) = std::fs::write(path, &outcome.json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench artifact written to {path}");
+    }
+    if let Err(why) = outcome.gate {
+        eprintln!("fleetbench gate FAILED: {why}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
     use hecmix_serve::loadgen::{self, LoadgenConfig, MixRatio};
 
@@ -550,6 +720,14 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         get_num::<u32>(flags, "amd", d.amd),
     ) else {
         return ExitCode::FAILURE;
+    };
+    let arm_sweep = match flags.get("arm-sweep").map(|v| v.parse::<u32>()) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        Some(_) => {
+            eprintln!("--arm-sweep needs a count >= 1");
+            return ExitCode::FAILURE;
+        }
     };
     let (Ok(budget_w), Ok(deadline_ms), Ok(warmup_s)) = (
         get_num::<f64>(flags, "budget", d.budget_w),
@@ -600,6 +778,7 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
         mix,
         workload: flags.get("workload").cloned().unwrap_or(d.workload),
         arm,
+        arm_sweep,
         amd,
         budget_w,
         deadline_ms,
