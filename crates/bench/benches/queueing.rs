@@ -32,7 +32,7 @@ fn bench_des_crosscheck(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(criterion::Throughput::Elements(100_000));
     g.bench_function("md1_des_100k_jobs", |b| {
-        b.iter(|| black_box(simulate_md1(black_box(50.0), 0.01, 100_000, 7)))
+        b.iter(|| black_box(simulate_md1(black_box(50.0), 0.01, 100_000, 7).unwrap()))
     });
     g.finish();
 }

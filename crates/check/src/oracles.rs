@@ -13,7 +13,8 @@ use hecmix_core::profile::WorkloadModel;
 use hecmix_core::rate_table::{stream_frontier, RateTable};
 use hecmix_core::resilience::ResilientTable;
 use hecmix_core::sweep::sweep_frontier;
-use hecmix_queueing::{simulate_md1, MD1};
+use hecmix_queueing::des::{simulate, CoreLayout, DesConfig, ServiceDist, UNBOUNDED};
+use hecmix_queueing::{simulate_md1, MD1, MG1};
 use hecmix_sim::{
     reference_amd_arch, reference_arm_arch, run_cluster, run_cluster_faulted, ClusterSpec,
     FaultSchedule, RecoveryPolicy, TypeAssignment,
@@ -286,7 +287,13 @@ pub fn md1_formula_vs_des(seed: u64) -> Vec<String> {
                 continue;
             }
         };
-        let sim = simulate_md1(lambda, service_s, 400_000, seed ^ i as u64);
+        let sim = match simulate_md1(lambda, service_s, 400_000, seed ^ i as u64) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(format!("M/D/1 DES failed at λ={lambda}: {e}"));
+                continue;
+            }
+        };
         let err = rel_diff(formula, sim.mean_wait_s);
         if err > 0.05 {
             violations.push(format!(
@@ -294,6 +301,114 @@ pub fn md1_formula_vs_des(seed: u64) -> Vec<String> {
                 100.0 * err,
                 formula,
                 sim.mean_wait_s
+            ));
+        }
+    }
+    violations
+}
+
+/// One single-server request-level DES scenario for the tail oracles:
+/// `queue_cap` unbounded, no network cost, one flow — textbook M/G/1.
+fn single_server_des(lambda: f64, service: ServiceDist, seed: u64) -> DesConfig {
+    DesConfig {
+        pps: lambda,
+        n_requests: 400_000,
+        layout: CoreLayout::Combined { cores: 1 },
+        service,
+        net_cost_s: 0.0,
+        queue_cap: UNBOUNDED,
+        flows: 1,
+        seed,
+    }
+}
+
+/// Request-level DES mean wait vs the Pollaczek–Khinchine formula, across
+/// service shapes (deterministic scv = 0, exponential scv = 1) and light
+/// and heavy load. 400 k requests bound the DES standard error well under
+/// the 5 % acceptance band.
+#[must_use]
+pub fn des_mean_wait_vs_pk(seed: u64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let service_s = 0.01;
+    let shapes = [
+        ("constant", ServiceDist::Constant(service_s)),
+        ("exponential", ServiceDist::Exponential(service_s)),
+    ];
+    for (i, (name, dist)) in shapes.into_iter().enumerate() {
+        for (j, rho) in [0.3, 0.7].into_iter().enumerate() {
+            let lambda = rho / service_s;
+            let formula =
+                match MG1::new(lambda, dist.mean_s(), dist.scv()).and_then(|q| q.mean_wait_s()) {
+                    Ok(wq) => wq,
+                    Err(e) => {
+                        violations.push(format!("P-K formula failed at ρ={rho} ({name}): {e}"));
+                        continue;
+                    }
+                };
+            let run_seed = seed ^ ((i as u64) << 8) ^ (j as u64);
+            let sim = match simulate(&single_server_des(lambda, dist, run_seed)) {
+                Ok(out) => out,
+                Err(e) => {
+                    violations.push(format!("DES failed at ρ={rho} ({name}): {e}"));
+                    continue;
+                }
+            };
+            let Some(mean_wait) = sim.wait.mean() else {
+                violations.push(format!("DES completed nothing at ρ={rho} ({name})"));
+                continue;
+            };
+            let err = rel_diff(formula, mean_wait);
+            if err > 0.05 {
+                violations.push(format!(
+                    "DES mean wait off by {:.1} % at ρ={rho} ({name}): \
+                     P-K {:.4e} s vs DES {:.4e} s",
+                    100.0 * err,
+                    formula,
+                    mean_wait
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Request-level DES p99 wait vs the analytical M/D/1 waiting-time
+/// distribution on the constant-service special case (the one queue whose
+/// wait CDF is known in closed form). The p99 order statistic of 400 k
+/// samples is noisier than a mean, hence the 10 % band.
+#[must_use]
+pub fn des_p99_vs_md1_quantile(seed: u64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let service_s = 0.01;
+    for (i, rho) in [0.5, 0.7].into_iter().enumerate() {
+        let lambda = rho / service_s;
+        let analytic = match MD1::new(lambda, service_s).and_then(|q| q.wait_quantile(0.99)) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("M/D/1 wait quantile failed at ρ={rho}: {e}"));
+                continue;
+            }
+        };
+        let cfg = single_server_des(lambda, ServiceDist::Constant(service_s), seed ^ i as u64);
+        let sim = match simulate(&cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                violations.push(format!("DES failed at ρ={rho}: {e}"));
+                continue;
+            }
+        };
+        let Some(p99) = sim.wait.p99() else {
+            violations.push(format!("DES completed nothing at ρ={rho}"));
+            continue;
+        };
+        let err = rel_diff(analytic, p99);
+        if err > 0.10 {
+            violations.push(format!(
+                "DES p99 wait off by {:.1} % at ρ={rho}: \
+                 analytic {:.4e} s vs DES {:.4e} s",
+                100.0 * err,
+                analytic,
+                p99
             ));
         }
     }
@@ -379,5 +494,7 @@ mod tests {
             Vec::<String>::new()
         );
         assert_eq!(md1_formula_vs_des(42), Vec::<String>::new());
+        assert_eq!(des_mean_wait_vs_pk(42), Vec::<String>::new());
+        assert_eq!(des_p99_vs_md1_quantile(42), Vec::<String>::new());
     }
 }

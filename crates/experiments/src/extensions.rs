@@ -6,7 +6,10 @@ use hecmix_core::config::{ConfigSpace, TypeBounds};
 use hecmix_core::pareto::ParetoFrontier;
 use hecmix_core::profile::WorkloadModel;
 use hecmix_core::sweep::{sweep_frontier_pruned, sweep_space, EvaluatedConfig, PruneStats};
-use hecmix_queueing::dispatch::{run_day, ConfigChoice, DayOutcome, DiurnalProfile};
+use hecmix_queueing::dispatch::{
+    best_choice, best_choice_tail, run_day, ConfigChoice, DayOutcome, DiurnalProfile,
+    TailDesConfig, TailTarget,
+};
 use hecmix_sim::NodeArch;
 use hecmix_workloads::Workload;
 
@@ -194,6 +197,93 @@ pub fn diurnal_study(
                 .expect("diurnal study menus and SLO are well-formed"),
         },
     ]
+}
+
+// ---------------------------------------------------------------------
+// Percentile-deadline planning (p99 via DES) vs mean-SLO planning
+// ---------------------------------------------------------------------
+
+/// One operating point of the percentile-deadline planning study: the
+/// mean-SLO planner and the p99 planner answer the same question, and the
+/// gap between their picks is the price of a tail guarantee.
+#[derive(Debug, Clone)]
+pub struct TailPlanningRow {
+    /// Arrival rate, jobs/second.
+    pub lambda: f64,
+    /// Response deadline, seconds (mean for the baseline, p99 for the
+    /// tail planner).
+    pub deadline_s: f64,
+    /// Configuration the mean-SLO planner picks.
+    pub mean_label: String,
+    /// Window energy of the mean-SLO pick, joules.
+    pub mean_energy_j: f64,
+    /// Mean response of the mean-SLO pick, seconds.
+    pub mean_response_s: f64,
+    /// Configuration the p99 planner picks.
+    pub tail_label: String,
+    /// Window energy of the p99 pick, joules.
+    pub tail_energy_j: f64,
+    /// Analytical mean response of the p99 pick, seconds.
+    pub tail_mean_response_s: f64,
+    /// DES-measured p99 response of the p99 pick, seconds.
+    pub tail_p99_s: f64,
+    /// Candidates the p99 planner eliminated analytically (no DES run).
+    pub screened_out: usize,
+    /// DES runs the p99 planner spent (coarse + exact).
+    pub des_runs: u32,
+    /// True when no configuration meets the p99 deadline and the tail
+    /// pick is the smallest-tail fallback.
+    pub violated: bool,
+}
+
+/// Plan the same (λ, deadline) grid twice over the 16 ARM + 14 AMD
+/// frontier menu: once against a *mean*-response SLO ([`best_choice`])
+/// and once against a *p99* deadline scored by discrete-event simulation
+/// ([`best_choice_tail`]). Utilizations are relative to the fastest menu
+/// entry; deadlines are multiples of its service time.
+#[must_use]
+pub fn tail_planning_study(lab: &Lab, w: &dyn Workload, seed: u64) -> Vec<TailPlanningRow> {
+    let models = lab.models(w);
+    let units = w.analysis_units() as f64;
+    let space = ConfigSpace::two_type(lab.arm.platform.clone(), 16, lab.amd.platform.clone(), 14);
+    let (frontier, _) = sweep_frontier_pruned(&space, &models, units).expect("valid space");
+    let menu = menu_from(&frontier, &models);
+    let t_min = frontier.min_time_s().expect("non-empty frontier");
+    let window_s = 20.0_f64.max(100.0 * t_min);
+    let des_cfg = TailDesConfig {
+        seed,
+        ..TailDesConfig::default()
+    };
+
+    let mut rows = Vec::new();
+    for rho in [0.3, 0.6, 0.8] {
+        let lambda = rho / t_min;
+        for mult in [3.0, 10.0, 30.0] {
+            let deadline_s = mult * t_min;
+            let Ok(Some((mi, me, mr, _))) = best_choice(&menu, lambda, window_s, deadline_s) else {
+                continue; // saturated at every entry: no comparison to make
+            };
+            let target = TailTarget::new(0.99, deadline_s).expect("valid percentile target");
+            let Ok(Some(tail)) = best_choice_tail(&menu, lambda, window_s, target, &des_cfg) else {
+                continue;
+            };
+            rows.push(TailPlanningRow {
+                lambda,
+                deadline_s,
+                mean_label: menu[mi].label.clone(),
+                mean_energy_j: me,
+                mean_response_s: mr,
+                tail_label: menu[tail.index].label.clone(),
+                tail_energy_j: tail.energy_j,
+                tail_mean_response_s: tail.mean_response_s,
+                tail_p99_s: tail.tail_response_s,
+                screened_out: tail.screened_out,
+                des_runs: tail.des_runs,
+                violated: tail.violated,
+            });
+        }
+    }
+    rows
 }
 
 // ---------------------------------------------------------------------

@@ -4,7 +4,7 @@
 //! experiments [--results-dir DIR] [--seed N] [--trace FILE] ARTIFACT...
 //!   ARTIFACT: --table1 --table3 --table4 --table5
 //!             --fig2 --fig3 --fig4 --fig5 --fig6 --fig7 --fig8 --fig9 --fig10
-//!             --headline --all
+//!             --headline --tail-planning --all
 //! ```
 //!
 //! Prints paper-style rows to stdout and writes CSV series under the
@@ -20,7 +20,7 @@ use hecmix_experiments::ablation::{
     matching_ablation, overlap_ablation, spimem_ablation, switching_ablation,
 };
 use hecmix_experiments::extensions::{
-    diurnal_study, fig10_des_crosscheck, governor_study, sensitivity, threeway,
+    diurnal_study, fig10_des_crosscheck, governor_study, sensitivity, tail_planning_study, threeway,
 };
 use hecmix_experiments::figures::{
     fig10, fig2, fig3, mix_frontiers, paper_budget_mixes, paper_scaling_mixes, pareto_figure,
@@ -38,7 +38,7 @@ use hecmix_workloads::Workload;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments [--results-dir DIR] [--seed N] [--trace FILE] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--all ...");
+        eprintln!("usage: experiments [--results-dir DIR] [--seed N] [--trace FILE] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--tail-planning|--all ...");
         return ExitCode::FAILURE;
     }
     let mut results_dir = "results".to_owned();
@@ -101,6 +101,7 @@ fn main() -> ExitCode {
             "export-models",
             "governor",
             "fig10des",
+            "tail-planning",
             "resilience",
             "selfcheck",
         ]
@@ -176,6 +177,7 @@ fn main() -> ExitCode {
             "sensitivity" => run_sensitivity(&csv),
             "governor" => run_governor(&lab, &csv),
             "fig10des" => run_fig10des(&lab, &csv),
+            "tail-planning" => run_tail_planning(&lab, &csv),
             "resilience" => run_resilience(&lab, &csv),
             "selfcheck" => run_selfcheck(&lab, &csv),
             other => {
@@ -882,6 +884,60 @@ fn run_fig10des(lab: &Lab, csv: &CsvWriter) {
     ];
     println!("{}", render_table(&header, &table));
     let _ = csv.write("fig10des", &header, &table);
+}
+
+fn run_tail_planning(lab: &Lab, csv: &CsvWriter) {
+    println!(
+        "== Extension: percentile-deadline planning — p99 via DES vs mean-SLO (16 ARM + 14 AMD, memcached) =="
+    );
+    let rows = tail_planning_study(lab, &Memcached::default(), lab.seed());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt_f(r.lambda),
+                fmt_f(r.deadline_s * 1e3),
+                r.mean_label.replace(',', ";"),
+                fmt_f(r.mean_energy_j),
+                fmt_f(r.mean_response_s * 1e3),
+                r.tail_label.replace(',', ";"),
+                fmt_f(r.tail_energy_j),
+                fmt_f(r.tail_mean_response_s * 1e3),
+                fmt_f(r.tail_p99_s * 1e3),
+                r.screened_out.to_string(),
+                r.des_runs.to_string(),
+                r.violated.to_string(),
+            ]
+        })
+        .collect();
+    let header = [
+        "lambda",
+        "deadline_ms",
+        "mean_config",
+        "mean_energy_j",
+        "mean_response_ms",
+        "p99_config",
+        "p99_energy_j",
+        "p99_mean_response_ms",
+        "p99_response_ms",
+        "screened_out",
+        "des_runs",
+        "violated",
+    ];
+    for r in &rows {
+        let premium = 100.0 * (r.tail_energy_j / r.mean_energy_j - 1.0);
+        println!(
+            "λ {:>6.2}/s deadline {:>8.1} ms: mean-SLO pick {:>8.1} J, p99 pick {:>8.1} J ({premium:+.1} %){}  [{} screened, {} DES runs]",
+            r.lambda,
+            r.deadline_s * 1e3,
+            r.mean_energy_j,
+            r.tail_energy_j,
+            if r.violated { "  (p99 UNMET)" } else { "" },
+            r.screened_out,
+            r.des_runs,
+        );
+    }
+    let _ = csv.write("tail_planning", &header, &table);
 }
 
 fn run_selfcheck(lab: &Lab, csv: &CsvWriter) {

@@ -400,6 +400,53 @@ pub enum Event {
         wall_s: f64,
     },
 
+    // ---- hecmix-queueing: request-level DES + tail planning ----
+    /// One request-level discrete-event simulation completed
+    /// (`hecmix_queueing::des::simulate`).
+    DesRun {
+        /// Offered Poisson arrival rate, requests/second.
+        pps: f64,
+        /// Requests generated.
+        requests: u64,
+        /// Requests that completed.
+        completed: u64,
+        /// Requests dropped at full per-core queues.
+        dropped: u64,
+        /// Median sojourn time of completed requests, seconds (NaN when
+        /// nothing completed).
+        p50_s: f64,
+        /// 99th-percentile sojourn time, seconds (NaN when nothing
+        /// completed).
+        p99_s: f64,
+        /// Simulated horizon (last departure), seconds.
+        duration_s: f64,
+        /// RNG seed of the run.
+        seed: u64,
+    },
+    /// A percentile-deadline plan was decided
+    /// (`hecmix_queueing::dispatch::best_choice_tail`).
+    TailPlan {
+        /// Arrival rate planned for, jobs/second.
+        lambda: f64,
+        /// Target quantile (0.99 = p99).
+        percentile: f64,
+        /// Deadline on that quantile, seconds.
+        deadline_s: f64,
+        /// Menu entries considered.
+        candidates: usize,
+        /// Entries rejected by the analytical mean-response screen.
+        screened_out: usize,
+        /// DES runs spent (coarse + exact).
+        des_runs: u64,
+        /// Index of the chosen entry.
+        chosen: usize,
+        /// DES-measured percentile response of the chosen entry, seconds.
+        tail_s: f64,
+        /// True when the choice is a smallest-tail fallback that still
+        /// misses the deadline.
+        violated: bool,
+    },
+
     // ---- generic ----
     /// A named wall-clock span measured by [`ScopedTimer`].
     Timer {
@@ -455,6 +502,8 @@ impl Event {
             Event::RequestRetry { .. } => "request_retry",
             Event::RequestHedged { .. } => "request_hedged",
             Event::FailoverRewarm { .. } => "failover_rewarm",
+            Event::DesRun { .. } => "des_run",
+            Event::TailPlan { .. } => "tail_plan",
             Event::Timer { .. } => "timer",
             Event::Warning { .. } => "warning",
         }
@@ -768,6 +817,46 @@ impl Event {
                 o.u64("keys", *keys as u64);
                 o.u64("rewarmed", *rewarmed as u64);
                 o.f64("wall_s", *wall_s);
+            }
+            Event::DesRun {
+                pps,
+                requests,
+                completed,
+                dropped,
+                p50_s,
+                p99_s,
+                duration_s,
+                seed,
+            } => {
+                o.f64("pps", *pps);
+                o.u64("requests", *requests);
+                o.u64("completed", *completed);
+                o.u64("dropped", *dropped);
+                o.f64("p50_s", *p50_s);
+                o.f64("p99_s", *p99_s);
+                o.f64("duration_s", *duration_s);
+                o.u64("seed", *seed);
+            }
+            Event::TailPlan {
+                lambda,
+                percentile,
+                deadline_s,
+                candidates,
+                screened_out,
+                des_runs,
+                chosen,
+                tail_s,
+                violated,
+            } => {
+                o.f64("lambda", *lambda);
+                o.f64("percentile", *percentile);
+                o.f64("deadline_s", *deadline_s);
+                o.u64("candidates", *candidates as u64);
+                o.u64("screened_out", *screened_out as u64);
+                o.u64("des_runs", *des_runs);
+                o.u64("chosen", *chosen as u64);
+                o.f64("tail_s", *tail_s);
+                o.bool("violated", *violated);
             }
             Event::Timer { name, wall_s } => {
                 o.str("name", name);
@@ -1180,6 +1269,27 @@ mod tests {
                 keys: 0,
                 rewarmed: 0,
                 wall_s: 0.0,
+            },
+            Event::DesRun {
+                pps: 0.0,
+                requests: 0,
+                completed: 0,
+                dropped: 0,
+                p50_s: 0.0,
+                p99_s: 0.0,
+                duration_s: 0.0,
+                seed: 0,
+            },
+            Event::TailPlan {
+                lambda: 0.0,
+                percentile: 0.0,
+                deadline_s: 0.0,
+                candidates: 0,
+                screened_out: 0,
+                des_runs: 0,
+                chosen: 0,
+                tail_s: 0.0,
+                violated: false,
             },
             Event::Timer {
                 name: "x",

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use hecmix_core::{Error, Result};
 
+use crate::des::{self, DesConfig, ServiceDist};
 use crate::{window_energy, MD1};
 
 /// One configuration a policy may choose: the outcome of a cluster
@@ -213,6 +214,319 @@ pub fn best_choice(
         (None, Some((i, e, r))) => Some((i, e, r, true)),
         (None, None) => None,
     })
+}
+
+/// A percentile deadline: "the `percentile` quantile of the response time
+/// must not exceed `deadline_s`" (e.g. p99 ≤ 200 ms), as opposed to the
+/// mean-response SLO [`best_choice`] plans against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailTarget {
+    /// The quantile, in `(0, 1)` — 0.99 for a p99 deadline.
+    pub percentile: f64,
+    /// Deadline on that quantile of the response time, seconds.
+    pub deadline_s: f64,
+}
+
+impl TailTarget {
+    /// Validate and construct.
+    pub fn new(percentile: f64, deadline_s: f64) -> Result<Self> {
+        if !(percentile > 0.0) || !(percentile < 1.0) {
+            return Err(Error::InvalidInput(format!(
+                "tail percentile must lie in (0, 1), got {percentile}"
+            )));
+        }
+        if !(deadline_s > 0.0) || !deadline_s.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "tail deadline must be finite and positive, got {deadline_s}"
+            )));
+        }
+        Ok(Self {
+            percentile,
+            deadline_s,
+        })
+    }
+}
+
+/// Knobs of the coarse-then-exact DES scoring pass in
+/// [`best_choice_tail`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailDesConfig {
+    /// Requests per coarse screening run.
+    pub coarse_requests: u64,
+    /// Requests per exact confirmation run.
+    pub exact_requests: u64,
+    /// Relative band around the deadline: a coarse tail beyond
+    /// `deadline·(1 + band)` rejects the candidate without an exact run.
+    pub band: f64,
+    /// Base RNG seed; per-candidate seeds derive from it, so a plan is
+    /// replayable bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for TailDesConfig {
+    fn default() -> Self {
+        Self {
+            coarse_requests: 20_000,
+            exact_requests: 200_000,
+            band: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl TailDesConfig {
+    fn validate(&self) -> Result<()> {
+        if self.coarse_requests == 0
+            || self.exact_requests == 0
+            || !(self.band >= 0.0)
+            || !self.band.is_finite()
+        {
+            return Err(Error::InvalidInput(format!(
+                "TailDesConfig needs coarse/exact requests >= 1 and a finite \
+                 non-negative band, got {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What [`best_choice_tail`] decided for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailChoiceOutcome {
+    /// Index of the chosen configuration in the menu.
+    pub index: usize,
+    /// Window energy of the chosen configuration, joules.
+    pub energy_j: f64,
+    /// DES-measured percentile response time of the chosen
+    /// configuration, seconds.
+    pub tail_response_s: f64,
+    /// Analytical M/D/1 mean response of the chosen configuration,
+    /// seconds.
+    pub mean_response_s: f64,
+    /// True when no configuration meets the percentile deadline and the
+    /// returned one is the smallest-tail fallback.
+    pub violated: bool,
+    /// Candidates eliminated by the analytical mean-response screen
+    /// without any DES run.
+    pub screened_out: usize,
+    /// DES runs spent (coarse + exact).
+    pub des_runs: u32,
+}
+
+/// DES-measured `percentile` response time of one menu entry treated as a
+/// single deterministic server at `lambda` (the same abstraction the
+/// M/D/1 window-energy model uses: the cluster's mix-and-match schedule
+/// serves one job at a time in `service_s`).
+fn des_tail(
+    lambda: f64,
+    service_s: f64,
+    percentile: f64,
+    n_requests: u64,
+    seed: u64,
+) -> Result<f64> {
+    let out = des::simulate(&DesConfig {
+        pps: lambda,
+        n_requests,
+        layout: des::CoreLayout::Combined { cores: 1 },
+        service: ServiceDist::Constant(service_s),
+        net_cost_s: 0.0,
+        queue_cap: des::UNBOUNDED,
+        flows: 1,
+        seed,
+    })?;
+    out.sojourn.quantile(percentile).ok_or_else(|| {
+        Error::InvalidInput(format!(
+            "DES produced no completions for percentile {percentile}"
+        ))
+    })
+}
+
+/// Seed for the exact confirmation run of candidate `idx` (decorrelated
+/// from its coarse run by an odd 64-bit constant).
+fn exact_seed(base: u64, idx: usize) -> u64 {
+    base ^ (idx as u64) ^ 0x9e37_79b9_7f4a_7c15
+}
+
+/// Percentile-deadline slot choice (ROADMAP item 1): pick the cheapest
+/// menu entry whose DES-measured `target.percentile` response time meets
+/// `target.deadline_s`.
+///
+/// Candidates are screened coarse-then-exact (the ROADMAP item 4
+/// pattern):
+///
+/// 1. the analytical M/D/1 *mean* response is a lower bound on any upper
+///    quantile's response (the response distribution's p50+ quantiles sit
+///    at or above the mean for these service shapes — a stated heuristic,
+///    not a theorem), so a candidate whose mean already misses the
+///    deadline is rejected with no DES run;
+/// 2. survivors are walked cheapest-first; a coarse DES run
+///    ([`TailDesConfig::coarse_requests`]) rejects a candidate whose tail
+///    overshoots `deadline·(1 + band)`, otherwise an exact run
+///    ([`TailDesConfig::exact_requests`]) decides.
+///
+/// The first candidate whose exact tail meets the deadline wins (cheapest
+/// by construction). When none passes, the smallest observed tail is
+/// returned with `violated = true`; `Ok(None)` only when every entry is
+/// saturated at `lambda`.
+///
+/// # Errors
+/// [`Error::InvalidInput`] for non-finite or non-positive slot scalars, a
+/// malformed menu entry, or a malformed `des_cfg`.
+pub fn best_choice_tail(
+    menu: &[ConfigChoice],
+    lambda: f64,
+    window_s: f64,
+    target: TailTarget,
+    des_cfg: &TailDesConfig,
+) -> Result<Option<TailChoiceOutcome>> {
+    validate_slot_inputs(lambda, window_s, target.deadline_s)?;
+    let target = TailTarget::new(target.percentile, target.deadline_s)?;
+    des_cfg.validate()?;
+    for c in menu {
+        validate_choice("menu entry", c)?;
+    }
+
+    // Analytical screen: saturated entries are out entirely; entries whose
+    // M/D/1 mean response already misses the deadline are out without a
+    // DES run.
+    let mut screened_out = 0usize;
+    let mut survivors: Vec<(usize, f64, f64)> = Vec::new(); // (idx, energy, mean response)
+    for (idx, c) in menu.iter().enumerate() {
+        let Ok(we) = window_energy(
+            lambda,
+            window_s,
+            c.service_s,
+            c.job_energy_j,
+            c.idle_power_w,
+        ) else {
+            continue; // saturated
+        };
+        if we.response_s > target.deadline_s {
+            screened_out += 1;
+            continue;
+        }
+        survivors.push((idx, we.total_j(), we.response_s));
+    }
+    if survivors.is_empty() && screened_out == 0 {
+        return Ok(None); // everything saturated
+    }
+    survivors.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    let mut des_runs = 0u32;
+    let mut fallback: Option<TailChoiceOutcome> = None; // smallest observed tail
+    let mut chosen: Option<TailChoiceOutcome> = None;
+    for &(idx, energy_j, mean_response_s) in &survivors {
+        let c = &menu[idx];
+        let coarse = des_tail(
+            lambda,
+            c.service_s,
+            target.percentile,
+            des_cfg.coarse_requests,
+            des_cfg.seed ^ idx as u64,
+        )?;
+        des_runs += 1;
+        let outcome = |tail: f64, violated: bool, des_runs: u32| TailChoiceOutcome {
+            index: idx,
+            energy_j,
+            tail_response_s: tail,
+            mean_response_s,
+            violated,
+            screened_out,
+            des_runs,
+        };
+        if coarse > target.deadline_s * (1.0 + des_cfg.band) {
+            // Clearly over even at coarse resolution.
+            if fallback.as_ref().is_none_or(|f| coarse < f.tail_response_s) {
+                fallback = Some(outcome(coarse, true, des_runs));
+            }
+            continue;
+        }
+        let exact = des_tail(
+            lambda,
+            c.service_s,
+            target.percentile,
+            des_cfg.exact_requests,
+            exact_seed(des_cfg.seed, idx),
+        )?;
+        des_runs += 1;
+        if exact <= target.deadline_s {
+            chosen = Some(outcome(exact, false, des_runs));
+            break; // cheapest-first walk: first pass wins
+        }
+        if fallback.as_ref().is_none_or(|f| exact < f.tail_response_s) {
+            fallback = Some(outcome(exact, true, des_runs));
+        }
+    }
+    // The fallback snapshot may carry a stale run count; pin it to the
+    // final tally below.
+    if let Some(f) = fallback.as_mut() {
+        f.des_runs = des_runs;
+    }
+
+    // Fallback when nothing passed: if every survivor was also screened
+    // away without a DES run (impossible here since survivors got runs),
+    // or the menu only had screened-out entries, measure the fastest
+    // screened entry so the caller still sees a concrete tail.
+    let result = match (chosen, fallback) {
+        (Some(c), _) => Some(c),
+        (None, Some(f)) => Some(f),
+        (None, None) => {
+            // All candidates were screened out analytically. Report the
+            // entry with the smallest mean response as the violating
+            // fallback, with its DES tail measured once.
+            let best = menu
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, c)| {
+                    let we = window_energy(
+                        lambda,
+                        window_s,
+                        c.service_s,
+                        c.job_energy_j,
+                        c.idle_power_w,
+                    )
+                    .ok()?;
+                    Some((idx, we.total_j(), we.response_s))
+                })
+                .min_by(|a, b| a.2.total_cmp(&b.2));
+            match best {
+                None => None,
+                Some((idx, energy_j, mean_response_s)) => {
+                    let tail = des_tail(
+                        lambda,
+                        menu[idx].service_s,
+                        target.percentile,
+                        des_cfg.exact_requests,
+                        exact_seed(des_cfg.seed, idx),
+                    )?;
+                    des_runs += 1;
+                    Some(TailChoiceOutcome {
+                        index: idx,
+                        energy_j,
+                        tail_response_s: tail,
+                        mean_response_s,
+                        violated: true,
+                        screened_out,
+                        des_runs,
+                    })
+                }
+            }
+        }
+    };
+    if let Some(ref out) = result {
+        hecmix_obs::emit(|| hecmix_obs::Event::TailPlan {
+            lambda,
+            percentile: target.percentile,
+            deadline_s: target.deadline_s,
+            candidates: menu.len(),
+            screened_out,
+            des_runs: u64::from(out.des_runs),
+            chosen: out.index,
+            tail_s: out.tail_response_s,
+            violated: out.violated,
+        });
+    }
+    Ok(result)
 }
 
 /// Run a whole day under one menu. A slot where even the fastest
@@ -603,6 +917,116 @@ mod tests {
             .unwrap();
         assert_eq!(idx, 0);
         assert!(violated);
+    }
+
+    fn quick_des() -> TailDesConfig {
+        TailDesConfig {
+            coarse_requests: 5_000,
+            exact_requests: 20_000,
+            ..TailDesConfig::default()
+        }
+    }
+
+    #[test]
+    fn tail_choice_prefers_cheap_when_deadline_is_loose() {
+        let m = menu();
+        // λ = 1, p99 ≤ 2 s: the cheap entry (ρ = 0.4) has plenty of room.
+        let out = best_choice_tail(
+            &m,
+            1.0,
+            3600.0,
+            TailTarget::new(0.99, 2.0).unwrap(),
+            &quick_des(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(out.index, 1);
+        assert!(!out.violated);
+        assert!(out.tail_response_s <= 2.0, "tail {}", out.tail_response_s);
+        // The DES-confirmed tail sits above the analytic mean.
+        assert!(out.tail_response_s >= out.mean_response_s);
+    }
+
+    #[test]
+    fn tail_choice_screens_analytically_before_simulating() {
+        let m = menu();
+        // p99 ≤ 50 ms: the cheap entry's *mean* response (≈ 533 ms at
+        // λ = 1) already misses, so it must be rejected with zero DES
+        // runs; only the fast entry gets simulated.
+        let out = best_choice_tail(
+            &m,
+            1.0,
+            3600.0,
+            TailTarget::new(0.99, 0.05).unwrap(),
+            &quick_des(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(out.index, 0);
+        assert!(!out.violated);
+        assert_eq!(out.screened_out, 1, "cheap entry screened analytically");
+        assert_eq!(out.des_runs, 2, "one coarse + one exact for the fast entry");
+    }
+
+    #[test]
+    fn tail_choice_falls_back_and_flags_violation() {
+        let m = menu();
+        // p99 ≤ 1 ms is impossible (fast service alone is 25 ms): the
+        // fastest entry comes back flagged.
+        let out = best_choice_tail(
+            &m,
+            0.5,
+            3600.0,
+            TailTarget::new(0.99, 0.001).unwrap(),
+            &quick_des(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(out.index, 0);
+        assert!(out.violated);
+        assert!(out.tail_response_s > 0.001);
+        // Saturated everywhere: nothing to pick.
+        assert!(best_choice_tail(
+            &m,
+            1000.0,
+            3600.0,
+            TailTarget::new(0.99, 1.0).unwrap(),
+            &quick_des(),
+        )
+        .unwrap()
+        .is_none());
+    }
+
+    #[test]
+    fn tail_choice_is_deterministic() {
+        let m = menu();
+        let run = || {
+            best_choice_tail(
+                &m,
+                1.2,
+                3600.0,
+                TailTarget::new(0.99, 1.5).unwrap(),
+                &quick_des(),
+            )
+            .unwrap()
+            .unwrap()
+        };
+        assert_eq!(run(), run(), "same seed must replay bit-for-bit");
+    }
+
+    #[test]
+    fn tail_choice_rejects_bad_inputs() {
+        let m = menu();
+        assert!(TailTarget::new(0.0, 1.0).is_err());
+        assert!(TailTarget::new(1.0, 1.0).is_err());
+        assert!(TailTarget::new(0.99, f64::NAN).is_err());
+        let t = TailTarget::new(0.99, 1.0).unwrap();
+        assert!(best_choice_tail(&m, f64::NAN, 3600.0, t, &quick_des()).is_err());
+        let bad = TailDesConfig {
+            coarse_requests: 0,
+            ..quick_des()
+        };
+        assert!(best_choice_tail(&m, 1.0, 3600.0, t, &bad).is_err());
     }
 
     #[test]

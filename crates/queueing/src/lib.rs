@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod des;
 pub mod dispatch;
 
 use rand::rngs::SmallRng;
@@ -78,6 +79,103 @@ impl MD1 {
     pub fn mean_jobs_in_system(&self) -> Result<f64> {
         Ok(self.lambda * self.mean_response_s()?)
     }
+
+    /// Waiting-time distribution `P(W ≤ t)` of the M/D/1 queue
+    /// (Erlang's classical result):
+    ///
+    /// `F_W(t) = (1 − ρ) · Σ_{k=0}^{⌊t/D⌋} (λ(kD − t))^k / k! · e^{−λ(kD − t)}`
+    ///
+    /// where `D` is the deterministic service time. `F_W(0) = 1 − ρ` (an
+    /// arriving job waits zero with the probability the server is idle).
+    /// Errors at or beyond saturation, where no stationary distribution
+    /// exists.
+    pub fn wait_cdf(&self, t: f64) -> Result<f64> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(Error::Saturated { utilization: rho });
+        }
+        if !t.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "wait_cdf needs a finite t, got {t}"
+            )));
+        }
+        if t < 0.0 {
+            return Ok(0.0);
+        }
+        let d = self.service_s;
+        let kmax = (t / d).floor() as u64;
+        let mut sum = 0.0f64;
+        let mut max_term = 0.0f64;
+        for k in 0..=kmax {
+            // x = λ(kD − t) ≤ 0: build x^k/k!·e^{−x} by repeated
+            // multiplication so the factorial never overflows.
+            let x = self.lambda * (k as f64 * d - t);
+            let mut term = (-x).exp();
+            for j in 1..=k {
+                term *= x / j as f64;
+            }
+            sum += term;
+            max_term = max_term.max(term.abs());
+        }
+        if !sum.is_finite() {
+            // λt is large enough that e^{λt} overflows; the true CDF is 1
+            // to double precision well before that point.
+            return Ok(1.0);
+        }
+        let f = ((1.0 - rho) * sum).clamp(0.0, 1.0);
+        // The series alternates with terms up to e^{λt} that cancel down
+        // to a value in [0, 1]: once the true tail 1 − F drops under the
+        // cancellation noise, pin the CDF to exactly 1 so it stays
+        // monotone instead of jittering at the noise floor.
+        let noise = (1.0 - rho) * max_term * (kmax + 1) as f64 * f64::EPSILON;
+        if 1.0 - f <= 8.0 * noise {
+            return Ok(1.0);
+        }
+        Ok(f)
+    }
+
+    /// Quantile of the *waiting* time: smallest `t` with `P(W ≤ t) ≥ q`,
+    /// found by bisection on [`Self::wait_cdf`]. `q` must lie in `(0, 1)`.
+    pub fn wait_quantile(&self, q: f64) -> Result<f64> {
+        if !(q > 0.0) || !(q < 1.0) {
+            return Err(Error::InvalidInput(format!(
+                "wait_quantile needs q in (0, 1), got {q}"
+            )));
+        }
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(Error::Saturated { utilization: rho });
+        }
+        if q <= 1.0 - rho {
+            return Ok(0.0); // mass at zero covers this quantile
+        }
+        // Bracket: the wait CDF approaches 1 geometrically, so doubling
+        // from one service time up finds an upper bound quickly.
+        let mut hi = self.service_s;
+        while self.wait_cdf(hi)? < q {
+            hi *= 2.0;
+            if hi > 1e6 * self.service_s {
+                return Err(Error::InvalidInput(format!(
+                    "wait_quantile failed to bracket q={q} at ρ={rho}"
+                )));
+            }
+        }
+        let mut lo = 0.0f64;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.wait_cdf(mid)? >= q {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// Quantile of the *response* time (wait + deterministic service).
+    pub fn response_quantile(&self, q: f64) -> Result<f64> {
+        Ok(self.wait_quantile(q)? + self.service_s)
+    }
 }
 
 /// The M/M/1 queue (exponential service) — included for comparison; its
@@ -125,9 +223,15 @@ pub struct MG1 {
 impl MG1 {
     /// Construct and validate.
     pub fn new(lambda: f64, service_s: f64, scv: f64) -> Result<Self> {
-        if !(lambda > 0.0) || !(service_s > 0.0) || !(scv >= 0.0) || !scv.is_finite() {
+        if !(lambda > 0.0)
+            || !lambda.is_finite()
+            || !(service_s > 0.0)
+            || !service_s.is_finite()
+            || !(scv >= 0.0)
+            || !scv.is_finite()
+        {
             return Err(Error::InvalidInput(format!(
-                "MG1 needs positive λ and E[S] and non-negative SCV, got λ={lambda}, T={service_s}, scv={scv}"
+                "MG1 needs positive finite λ and E[S] and non-negative SCV, got λ={lambda}, T={service_s}, scv={scv}"
             )));
         }
         Ok(Self {
@@ -174,9 +278,23 @@ pub struct SimStats {
 
 /// Discrete-event simulation of an M/D/1 queue: `n_jobs` Poisson arrivals,
 /// FIFO service. Used to cross-validate the Pollaczek–Khinchine formula.
-#[must_use]
-pub fn simulate_md1(lambda: f64, service_s: f64, n_jobs: u64, seed: u64) -> SimStats {
-    assert!(lambda > 0.0 && service_s > 0.0 && n_jobs > 0);
+///
+/// Saturated rates (`ρ ≥ 1`) are allowed — a finite-horizon transient is
+/// well-defined even where no stationary distribution exists — but
+/// non-finite or non-positive `lambda`/`service_s` and `n_jobs == 0` are
+/// rejected with [`Error::InvalidInput`].
+pub fn simulate_md1(lambda: f64, service_s: f64, n_jobs: u64, seed: u64) -> Result<SimStats> {
+    if !(lambda > 0.0)
+        || !lambda.is_finite()
+        || !(service_s > 0.0)
+        || !service_s.is_finite()
+        || n_jobs == 0
+    {
+        return Err(Error::InvalidInput(format!(
+            "simulate_md1 needs positive finite lambda/service and n_jobs >= 1, \
+             got λ={lambda}, T={service_s}, n_jobs={n_jobs}"
+        )));
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut clock = 0.0f64; // arrival clock
     let mut server_free_at = 0.0f64;
@@ -193,12 +311,12 @@ pub fn simulate_md1(lambda: f64, service_s: f64, n_jobs: u64, seed: u64) -> SimS
         last_departure = server_free_at;
     }
     let jobs = n_jobs;
-    SimStats {
+    Ok(SimStats {
         jobs,
         mean_wait_s: total_wait / jobs as f64,
         mean_response_s: total_wait / jobs as f64 + service_s,
         utilization: busy / last_departure,
-    }
+    })
 }
 
 /// Energy of one configuration over an observation window (Fig. 10):
@@ -353,7 +471,7 @@ mod tests {
             let service = 0.01;
             let lambda = rho / service;
             let analytic = MD1::new(lambda, service).unwrap().mean_wait_s().unwrap();
-            let sim = simulate_md1(lambda, service, 400_000, 42);
+            let sim = simulate_md1(lambda, service, 400_000, 42).unwrap();
             let rel = if analytic > 0.0 {
                 (sim.mean_wait_s - analytic).abs() / analytic
             } else {
@@ -366,6 +484,89 @@ mod tests {
             );
             assert!((sim.utilization - rho).abs() < 0.05 * rho.max(0.1));
         }
+    }
+
+    #[test]
+    fn mg1_rejects_non_finite_rate_and_service() {
+        // Pre-fix regression: `f64::INFINITY > 0.0` passed the positivity
+        // guard, so an infinite λ or E[S] produced NaN waits downstream.
+        assert!(MG1::new(f64::INFINITY, 0.1, 0.5).is_err());
+        assert!(MG1::new(1.0, f64::INFINITY, 0.5).is_err());
+        assert!(MG1::new(f64::NAN, 0.1, 0.5).is_err());
+        assert!(MG1::new(1.0, f64::NAN, 0.5).is_err());
+        assert!(MG1::new(1.0, 0.1, 0.5).is_ok());
+    }
+
+    #[test]
+    fn simulate_md1_rejects_degenerate_inputs() {
+        // Pre-fix these were panicking `assert!`s, inconsistent with the
+        // crate's fallible-input policy.
+        assert!(matches!(
+            simulate_md1(0.0, 0.1, 10, 1),
+            Err(Error::InvalidInput(_))
+        ));
+        assert!(simulate_md1(-1.0, 0.1, 10, 1).is_err());
+        assert!(simulate_md1(1.0, 0.0, 10, 1).is_err());
+        assert!(simulate_md1(1.0, 0.1, 0, 1).is_err());
+        assert!(simulate_md1(f64::NAN, 0.1, 10, 1).is_err());
+        assert!(simulate_md1(1.0, f64::INFINITY, 10, 1).is_err());
+    }
+
+    #[test]
+    fn simulate_md1_saturated_transient_is_finite() {
+        // ρ ≥ 1 has no stationary distribution, but a finite-horizon run
+        // is still well-defined: the queue just grows. The simulator must
+        // return finite stats with utilization pinned near 1.
+        let sim = simulate_md1(20.0, 0.1, 20_000, 7).unwrap(); // ρ = 2
+        assert!(sim.mean_wait_s.is_finite() && sim.mean_wait_s > 0.0);
+        assert!(sim.mean_response_s.is_finite());
+        assert!((sim.utilization - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn md1_wait_cdf_known_values() {
+        let q = MD1::new(7.0, 0.1).unwrap(); // ρ = 0.7
+        let rho = q.utilization();
+        // Mass at zero is exactly 1 − ρ.
+        assert!((q.wait_cdf(0.0).unwrap() - (1.0 - rho)).abs() < 1e-12);
+        assert!(q.wait_cdf(-1.0).unwrap() == 0.0);
+        // Monotone non-decreasing, approaching 1.
+        let mut prev = 0.0;
+        for i in 0..60 {
+            let t = f64::from(i) * 0.05;
+            let c = q.wait_cdf(t).unwrap();
+            assert!(c >= prev - 1e-12, "CDF must be monotone at t={t}");
+            prev = c;
+        }
+        assert!(prev > 0.999, "CDF must approach 1, got {prev}");
+        // Mean of the distribution (numerical integral of the survival
+        // function) must match Pollaczek–Khinchine.
+        let dt = 1e-4;
+        let mut mean = 0.0;
+        let mut t = 0.0;
+        while t < 3.0 {
+            mean += (1.0 - q.wait_cdf(t).unwrap()) * dt;
+            t += dt;
+        }
+        let pk = q.mean_wait_s().unwrap();
+        assert!((mean - pk).abs() / pk < 0.01, "∫(1−F) = {mean} vs P-K {pk}");
+    }
+
+    #[test]
+    fn md1_wait_quantile_inverts_cdf() {
+        let q = MD1::new(7.0, 0.1).unwrap();
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let t = q.wait_quantile(p).unwrap();
+            assert!((q.wait_cdf(t).unwrap() - p).abs() < 1e-6, "q={p}, t={t}");
+        }
+        // Quantiles inside the zero-wait mass are exactly zero.
+        assert!(q.wait_quantile(0.1).unwrap() == 0.0);
+        assert!(q.wait_quantile(0.0).is_err());
+        assert!(q.wait_quantile(1.0).is_err());
+        assert!(MD1::new(10.0, 0.1).unwrap().wait_quantile(0.9).is_err());
+        // Response quantile adds the deterministic service time.
+        let r = q.response_quantile(0.99).unwrap();
+        assert!((r - q.wait_quantile(0.99).unwrap() - 0.1).abs() < 1e-12);
     }
 
     #[test]

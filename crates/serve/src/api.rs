@@ -4,7 +4,7 @@
 //!
 //! | Endpoint         | Answers                                            |
 //! |------------------|----------------------------------------------------|
-//! | `POST /plan`     | cheapest feasible config for a workload + deadline |
+//! | `POST /plan`     | cheapest feasible config for a workload + deadline (`deadline_ms`: mean-time frontier lookup; `p99_s` + `lambda`: DES-scored percentile deadline) |
 //! | `POST /frontier` | the energy–deadline Pareto frontier (optionally the `resilient_k` degraded frontier) |
 //! | `POST /whatif`   | the power-budget substitution ladder               |
 //! | `POST /reload`   | swap the model inventory, **re-warm** the hot set  |
@@ -50,6 +50,9 @@ use hecmix_core::resilience::ResilientTable;
 use hecmix_core::types::Platform;
 use hecmix_obs::json::{self, Object, Value};
 use hecmix_obs::{emit, Event};
+use hecmix_queueing::dispatch::{
+    best_choice_tail, ConfigChoice, TailChoiceOutcome, TailDesConfig, TailTarget,
+};
 
 use crate::cache::ShardedLru;
 use crate::fleet::Fleet;
@@ -66,6 +69,8 @@ mod tag {
     pub const RESILIENT: u64 = 3;
     /// Power-budget substitution ladder.
     pub const WHATIF: u64 = 4;
+    /// Percentile-deadline (p99) plan, scored by discrete-event simulation.
+    pub const TAILPLAN: u64 = 5;
 }
 
 /// One memoized computation.
@@ -75,6 +80,22 @@ pub enum CachedCompute {
     /// A full substitution ladder with per-rung frontiers (kept so any
     /// deadline can be evaluated against a cached ladder).
     Whatif(WhatifResult),
+    /// A percentile-deadline plan: the DES-confirmed best choice over the
+    /// frontier-derived serving menu.
+    TailPlan(TailPlanResult),
+}
+
+/// Cached result of a percentile-deadline `/plan` computation. The DES is
+/// seeded deterministically from the spec, so two identical requests
+/// produce byte-identical outcomes — the property memoization and
+/// single-flight coalescing rely on.
+pub struct TailPlanResult {
+    /// The planner outcome; `None` when every menu entry saturates at the
+    /// requested arrival rate.
+    pub outcome: Option<TailChoiceOutcome>,
+    /// Human-readable labels of the frontier-derived menu, indexed by
+    /// [`TailChoiceOutcome::index`].
+    pub labels: Vec<String>,
 }
 
 /// Cached result of a `/whatif` ladder computation.
@@ -150,6 +171,24 @@ pub enum ComputeSpec {
         /// High-performance nodes traded per rung.
         step_high: u32,
     },
+    /// Percentile-deadline plan over the frontier-derived serving menu
+    /// (`/plan` with a `p99_s` field instead of `deadline_ms`).
+    TailPlan {
+        /// Workload name.
+        workload: String,
+        /// Low-power node cap.
+        arm: u32,
+        /// High-performance node cap.
+        amd: u32,
+        /// Work units.
+        units: f64,
+        /// Open-loop arrival rate, jobs/second.
+        lambda: f64,
+        /// p99 response-time deadline, seconds.
+        p99_s: f64,
+        /// Energy-accounting window, seconds.
+        window_s: f64,
+    },
 }
 
 impl ComputeSpec {
@@ -159,7 +198,8 @@ impl ComputeSpec {
         match self {
             Self::Frontier { workload, .. }
             | Self::ResilientFrontier { workload, .. }
-            | Self::Whatif { workload, .. } => workload,
+            | Self::Whatif { workload, .. }
+            | Self::TailPlan { workload, .. } => workload,
         }
     }
 
@@ -198,6 +238,24 @@ impl ComputeSpec {
                 units.to_bits(),
                 u64::from(*step_high),
             ]),
+            Self::TailPlan {
+                arm,
+                amd,
+                units,
+                lambda,
+                p99_s,
+                window_s,
+                ..
+            } => cache_key(&[
+                model_hash,
+                tag::TAILPLAN,
+                u64::from(*arm),
+                u64::from(*amd),
+                units.to_bits(),
+                lambda.to_bits(),
+                p99_s.to_bits(),
+                window_s.to_bits(),
+            ]),
         }
     }
 }
@@ -219,6 +277,25 @@ pub enum RespCtx {
         units: f64,
         /// Deadline to plan for, milliseconds.
         deadline_ms: f64,
+    },
+    /// `POST /plan` with a percentile deadline (`p99_s`): the menu index
+    /// and tail numbers live in the cached [`TailPlanResult`], so the
+    /// context only needs the echo fields.
+    TailPlan {
+        /// Workload name.
+        workload: String,
+        /// Low-power node cap.
+        arm: u32,
+        /// High-performance node cap.
+        amd: u32,
+        /// Work units.
+        units: f64,
+        /// Open-loop arrival rate, jobs/second.
+        lambda: f64,
+        /// p99 response-time deadline, seconds.
+        p99_s: f64,
+        /// Energy-accounting window, seconds.
+        window_s: f64,
     },
     /// `POST /frontier`.
     Frontier {
@@ -260,7 +337,7 @@ impl RespCtx {
     #[must_use]
     pub fn path(&self) -> &'static str {
         match self {
-            Self::Plan { .. } => "/plan",
+            Self::Plan { .. } | Self::TailPlan { .. } => "/plan",
             Self::Frontier { .. } => "/frontier",
             Self::Whatif { .. } => "/whatif",
             Self::Reload => "/reload",
@@ -798,6 +875,33 @@ pub fn compute_plan(
             }
             CachedCompute::Whatif(WhatifResult { rungs })
         }
+        ComputeSpec::TailPlan {
+            arm,
+            amd,
+            units,
+            lambda,
+            p99_s,
+            window_s,
+            ..
+        } => {
+            let platforms = platform_pair(entry);
+            let space = ConfigSpace::two_type(platforms[0].clone(), arm, platforms[1].clone(), amd);
+            let table = RateTable::build_pruned(&space, &entry.models)
+                .map_err(|e| Response::error(422, &format!("model rejected: {e}")))?;
+            let frontier = table
+                .frontier(units)
+                .map_err(|e| Response::error(422, &format!("sweep failed: {e}")))?;
+            let (menu, labels) = tail_menu(&frontier, entry, &platforms);
+            let target = TailTarget::new(0.99, p99_s)
+                .map_err(|e| Response::error(422, &format!("bad tail target: {e}")))?;
+            // Default DES budget and a fixed seed: identical requests get
+            // byte-identical plans, which memoization and single-flight
+            // coalescing both depend on.
+            let outcome =
+                best_choice_tail(&menu, lambda, window_s, target, &TailDesConfig::default())
+                    .map_err(|e| Response::error(422, &format!("tail planning failed: {e}")))?;
+            CachedCompute::TailPlan(TailPlanResult { outcome, labels })
+        }
     };
     let compute_us = t0.elapsed().as_micros() as u64;
     Ok((
@@ -869,6 +973,49 @@ pub fn format_response(
                     if let Some(t) = frontier.min_time_s() {
                         o.f64("fastest_ms", t * 1e3);
                     }
+                }
+            }
+            o.bool("cached", cached);
+            o.bool("coalesced", coalesced);
+            o.u64("compute_us", compute_us);
+            Response::json(200, o.finish())
+        }
+        RespCtx::TailPlan {
+            workload,
+            arm,
+            amd,
+            units,
+            lambda,
+            p99_s,
+            window_s,
+        } => {
+            let CachedCompute::TailPlan(result) = &plan.compute else {
+                return Response::error(500, "cache type confusion");
+            };
+            let mut o = Object::new();
+            o.str("workload", workload);
+            o.u64("arm", u64::from(*arm));
+            o.u64("amd", u64::from(*amd));
+            o.f64("units", *units);
+            o.f64("lambda", *lambda);
+            o.f64("p99_s", *p99_s);
+            o.f64("window_s", *window_s);
+            match &result.outcome {
+                Some(out) => {
+                    o.bool("feasible", !out.violated);
+                    o.str("config", &result.labels[out.index]);
+                    o.f64("p99_response_s", out.tail_response_s);
+                    o.f64("mean_response_s", out.mean_response_s);
+                    o.f64("window_energy_j", out.energy_j);
+                    o.u64("screened_out", out.screened_out as u64);
+                    o.u64("des_runs", u64::from(out.des_runs));
+                    o.bool("violated", out.violated);
+                }
+                None => {
+                    // Every menu entry saturates: ρ ≥ 1 everywhere, no
+                    // finite tail exists at this arrival rate.
+                    o.bool("feasible", false);
+                    o.bool("saturated", true);
                 }
             }
             o.bool("cached", cached);
@@ -994,8 +1141,41 @@ fn parse_body(body: &[u8]) -> Result<Value, Response> {
 
 fn parse_plan(store: &ModelStore, v: &Value) -> Result<(ComputeSpec, RespCtx), Response> {
     let (_, name, arm, amd, units) = parse_common(store, v)?;
+    // A percentile deadline selects the DES-scored tail planner instead of
+    // the mean-time frontier lookup; it needs an arrival rate to queue at.
+    if let Some(p99) = v.get("p99_s") {
+        let Some(p99_s) = p99.as_f64().filter(|x| *x > 0.0 && x.is_finite()) else {
+            return Err(Response::error(422, "p99_s must be finite and positive"));
+        };
+        let Some(lambda) = v.get("lambda").and_then(Value::as_f64) else {
+            return Err(Response::error(400, "p99_s requires lambda (jobs/s)"));
+        };
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(Response::error(422, "lambda must be finite and positive"));
+        }
+        let window_s = optional_f64(v, "window_s", 20.0)?;
+        let spec = ComputeSpec::TailPlan {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+            lambda,
+            p99_s,
+            window_s,
+        };
+        let ctx = RespCtx::TailPlan {
+            workload: name.to_owned(),
+            arm,
+            amd,
+            units,
+            lambda,
+            p99_s,
+            window_s,
+        };
+        return Ok((spec, ctx));
+    }
     let Some(deadline_ms) = v.get("deadline_ms").and_then(Value::as_f64) else {
-        return Err(Response::error(400, "missing deadline_ms"));
+        return Err(Response::error(400, "missing deadline_ms (or p99_s)"));
     };
     if deadline_ms <= 0.0 || !deadline_ms.is_finite() {
         return Err(Response::error(
@@ -1088,6 +1268,37 @@ fn parse_whatif(store: &ModelStore, v: &Value) -> Result<(ComputeSpec, RespCtx),
             deadline_ms,
         },
     ))
+}
+
+/// Build the serving menu `best_choice_tail` scores: one [`ConfigChoice`]
+/// per frontier point (service time = the point's makespan, idle draw =
+/// exactly the powered nodes), plus the display labels kept for the
+/// response formatter.
+fn tail_menu(
+    frontier: &ParetoFrontier,
+    entry: &ModelEntry,
+    platforms: &[Platform; 2],
+) -> (Vec<ConfigChoice>, Vec<String>) {
+    let mut menu = Vec::with_capacity(frontier.points.len());
+    let mut labels = Vec::with_capacity(frontier.points.len());
+    for p in &frontier.points {
+        let idle_power_w = p
+            .config
+            .per_type
+            .iter()
+            .zip(entry.models.iter())
+            .filter_map(|(cfg, m)| cfg.map(|c| f64::from(c.nodes) * m.power.idle_w))
+            .sum();
+        let label = p.config.label(platforms);
+        labels.push(label.clone());
+        menu.push(ConfigChoice {
+            label,
+            service_s: p.time_s,
+            job_energy_j: p.energy_j,
+            idle_power_w,
+        });
+    }
+    (menu, labels)
 }
 
 /// The `[low, high]` platform pair of a bundle (cloned; labels and spaces

@@ -7,8 +7,12 @@
 //!
 //! Bucketing follows the HdrHistogram idea at fixed size: values below
 //! [`LINEAR_MAX`] get exact buckets; above that, each power-of-two octave
-//! is split into 16 sub-buckets, giving a worst-case relative error of
-//! 1/16 ≈ 6% across the full `u64` range in [`NBUCKETS`] slots.
+//! is split into 16 sub-buckets, so a bucket spans at most 1/16 ≈ 6.25%
+//! of its value across the full `u64` range in [`NBUCKETS`] slots.
+//! Quantiles are reported at the bucket *midpoint*, which halves the
+//! worst-case quantile error to ±1/32 ≈ ±3.2% (reporting the lower bound,
+//! as this module originally did, biases every quantile low by up to a
+//! full sub-bucket).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,7 +78,7 @@ pub fn bucket_index(v: u64) -> usize {
 }
 
 /// Smallest value that lands in bucket `idx` (inverse of
-/// [`bucket_index`]); used when reporting quantiles.
+/// [`bucket_index`]).
 #[must_use]
 pub fn bucket_lower_bound(idx: usize) -> u64 {
     if idx < LINEAR_MAX as usize {
@@ -86,12 +90,32 @@ pub fn bucket_lower_bound(idx: usize) -> u64 {
     (1u64 << oct) + (sub << (oct - 4))
 }
 
+/// Midpoint of bucket `idx` — the unbiased representative value used when
+/// reporting quantiles (±3.2% worst case, vs up to −6.25% bias at the
+/// lower bound). Exact in the linear range, where each bucket holds a
+/// single value.
+#[must_use]
+pub fn bucket_mid(idx: usize) -> u64 {
+    if idx < LINEAR_MAX as usize {
+        return idx as u64; // exact buckets: the midpoint is the value
+    }
+    let lo = bucket_lower_bound(idx);
+    // Bucket width = distance to the next bucket's lower bound; the last
+    // bucket runs to u64::MAX.
+    let next = if idx + 1 < NBUCKETS {
+        bucket_lower_bound(idx + 1)
+    } else {
+        u64::MAX
+    };
+    lo + (next - lo) / 2
+}
+
 /// Merged summary of one or more histograms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Total samples.
     pub count: u64,
-    /// Median, in the recorded unit (bucket lower bound).
+    /// Median, in the recorded unit (bucket midpoint, ±3.2%).
     pub p50: u64,
     /// 90th percentile.
     pub p90: u64,
@@ -133,7 +157,12 @@ pub fn summarize(hists: &[Histogram]) -> Summary {
         for (idx, &c) in merged.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_lower_bound(idx);
+                // Midpoint, not lower bound: the lower bound systematically
+                // underestimates every quantile by up to one sub-bucket
+                // (6.25%) — and the fleet's adaptive hedge delay anchors
+                // on this p95. Cap at the observed max so a sparse top
+                // bucket cannot report beyond any real sample.
+                return bucket_mid(idx).min(max);
             }
         }
         max
@@ -191,14 +220,14 @@ mod tests {
         let s = summarize(std::slice::from_ref(&h));
         assert_eq!(s.count, 1000);
         assert_eq!(s.max, 1_000_000);
-        // p50 ≈ 500µs within one sub-bucket (6.25%).
+        // Midpoint reporting: within half a sub-bucket (±3.2%) of truth.
         assert!(
-            (s.p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.07,
+            (s.p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.04,
             "{}",
             s.p50
         );
         assert!(
-            (s.p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.07,
+            (s.p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.04,
             "{}",
             s.p99
         );
@@ -215,7 +244,24 @@ mod tests {
         }
         let s = summarize(&[a, b]);
         assert_eq!(s.count, 20);
-        assert_eq!(s.p50, bucket_lower_bound(bucket_index(100)));
+        assert_eq!(s.p50, bucket_mid(bucket_index(100)));
         assert!(s.p99 >= 900_000);
+    }
+
+    #[test]
+    fn bucket_mid_sits_inside_its_bucket() {
+        for idx in 0..NBUCKETS {
+            let mid = bucket_mid(idx);
+            assert!(mid >= bucket_lower_bound(idx), "bucket {idx}");
+            assert_eq!(bucket_index(mid), idx, "midpoint of {idx} maps back");
+        }
+        // Quantiles never exceed the observed max even when the midpoint
+        // of a sparse bucket would: 2^20 is exactly a bucket lower bound,
+        // so its midpoint lies strictly above the only recorded sample.
+        let h = Histogram::new();
+        h.record(1 << 20);
+        let s = summarize(std::slice::from_ref(&h));
+        assert!(bucket_mid(bucket_index(1 << 20)) > (1 << 20));
+        assert_eq!(s.p99, 1 << 20);
     }
 }

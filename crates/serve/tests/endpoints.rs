@@ -171,6 +171,89 @@ fn plan_answers_feasible_and_infeasible_deadlines() {
 }
 
 #[test]
+fn plan_p99_deadline_is_des_confirmed_and_cached() {
+    let _guard = CACHE_SENSITIVE.lock().unwrap();
+    // Derive a safe operating point from the frontier itself: an arrival
+    // rate keeping every menu entry below half utilization, and a deadline
+    // loose enough that some entry's p99 clears it.
+    let (status, f) = call("POST", "/frontier", r#"{"workload":"ep","arm":8,"amd":6}"#);
+    assert_eq!(status, 200);
+    let t_max_s = f
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("points")
+        .iter()
+        .map(|p| p.get("time_ms").and_then(Value::as_f64).expect("t") / 1e3)
+        .fold(0.0f64, f64::max);
+    assert!(t_max_s > 0.0);
+    let lambda = 0.5 / t_max_s;
+    let p99_s = 20.0 * t_max_s;
+    let body = format!(r#"{{"workload":"ep","arm":8,"amd":6,"lambda":{lambda},"p99_s":{p99_s}}}"#);
+
+    let (status, v) = call("POST", "/plan", &body);
+    assert_eq!(status, 200);
+    assert!(
+        !as_bool(&v, "cached"),
+        "first p99 plan must be a cache miss"
+    );
+    assert!(as_bool(&v, "feasible"), "loose deadline feasible: {v:?}");
+    assert!(!as_bool(&v, "violated"));
+    let config = v
+        .get("config")
+        .and_then(Value::as_str)
+        .expect("config")
+        .to_owned();
+    assert!(config.contains("c@"), "{config}");
+    let tail = v
+        .get("p99_response_s")
+        .and_then(Value::as_f64)
+        .expect("tail");
+    let mean = v
+        .get("mean_response_s")
+        .and_then(Value::as_f64)
+        .expect("mean");
+    assert!(tail <= p99_s, "DES-confirmed tail within deadline");
+    assert!(tail >= mean, "p99 cannot sit below the mean");
+    assert!(
+        v.get("window_energy_j")
+            .and_then(Value::as_f64)
+            .expect("energy")
+            > 0.0
+    );
+    assert!(
+        as_u64(&v, "des_runs") >= 1,
+        "the plan must be DES-confirmed"
+    );
+    let cold_us = as_u64(&v, "compute_us");
+
+    // Identical question again: answered from cache, byte-identical plan.
+    let (status, warm) = call("POST", "/plan", &body);
+    assert_eq!(status, 200);
+    assert!(
+        as_bool(&warm, "cached"),
+        "repeat p99 plan must hit the cache"
+    );
+    assert_eq!(
+        warm.get("config").and_then(Value::as_str),
+        Some(config.as_str()),
+        "cached answer must be identical"
+    );
+    let warm_us = as_u64(&warm, "compute_us").max(1);
+    assert!(
+        cold_us >= 10 * warm_us,
+        "DES-backed plan must be >=10x faster warm: cold {cold_us} µs vs warm {warm_us} µs"
+    );
+
+    // An arrival rate that saturates every configuration is answered, not
+    // errored: infeasible and explicitly flagged saturated.
+    let sat_body = format!(r#"{{"workload":"ep","arm":8,"amd":6,"lambda":1e9,"p99_s":{p99_s}}}"#);
+    let (status, sat) = call("POST", "/plan", &sat_body);
+    assert_eq!(status, 200);
+    assert!(!as_bool(&sat, "feasible"));
+    assert!(as_bool(&sat, "saturated"));
+}
+
+#[test]
 fn frontier_warm_cache_is_10x_faster_than_cold() {
     let _guard = CACHE_SENSITIVE.lock().unwrap();
     // Unique query shape (node caps) so no other test has warmed this key.
@@ -313,6 +396,19 @@ fn error_paths_return_typed_statuses() {
     let cases = [
         ("POST", "/plan", r#"{"workload":"ep","arm":2,"amd":2}"#, 400), // no deadline
         ("POST", "/plan", r#"{"deadline_ms":1000}"#, 400),              // no workload
+        ("POST", "/plan", r#"{"workload":"ep","p99_s":10}"#, 400),      // p99 without lambda
+        (
+            "POST",
+            "/plan",
+            r#"{"workload":"ep","p99_s":-1,"lambda":1}"#,
+            422,
+        ),
+        (
+            "POST",
+            "/plan",
+            r#"{"workload":"ep","p99_s":10,"lambda":0}"#,
+            422,
+        ),
         (
             "POST",
             "/plan",

@@ -56,7 +56,7 @@ fn main() {
     let analytic = MD1::new(lambda, service)
         .and_then(|q| q.mean_wait_s())
         .expect("stable queue");
-    let sim = simulate_md1(lambda, service, 200_000, 7);
+    let sim = simulate_md1(lambda, service, 200_000, 7).expect("valid simulation inputs");
     println!(
         "M/D/1 cross-check at λ={lambda:.2}, T={service}s: analytic wait {:.2} ms vs simulated {:.2} ms",
         analytic * 1e3,

@@ -6,7 +6,7 @@
 //! hecmix frontier     --workload ep [--arm 10] [--amd 10] [--pruned]
 //! hecmix evaluate     --workload ep --arm-nodes 8 --amd-nodes 1 [--units N]
 //! hecmix characterize --out DIR [--workload NAME]
-//! hecmix queueing     --workload memcached --lambda 2.0 --slo-ms 450
+//! hecmix queueing     --workload memcached --lambda 2.0 --slo-ms 450 [--p99-ms 900]
 //! hecmix selfcheck    [--seed 42] [--fuzz-iters 200]
 //! hecmix serve        [--addr 127.0.0.1:7077] [--models DIR] [--workloads a,b]
 //! hecmix loadgen      [--addr 127.0.0.1:7077] [--requests 500] [--concurrency 8]
@@ -25,7 +25,9 @@ use hecmix_core::mix_match::{evaluate, mix_and_match, TypeDeployment};
 use hecmix_core::pareto::ParetoFrontier;
 use hecmix_core::sweep::{sweep_frontier_pruned, sweep_space, EvaluatedConfig};
 use hecmix_experiments::lab::Lab;
-use hecmix_queueing::dispatch::{best_choice, ConfigChoice};
+use hecmix_queueing::dispatch::{
+    best_choice, best_choice_tail, ConfigChoice, TailDesConfig, TailTarget,
+};
 use hecmix_workloads::{workload_by_name, Workload};
 
 fn main() -> ExitCode {
@@ -86,6 +88,7 @@ commands:
   evaluate     --workload NAME --arm-nodes N --amd-nodes M [--units W]
   characterize --out DIR [--workload NAME]
   queueing     --workload NAME --lambda JOBS_PER_S --slo-ms R [--window-s S]
+               [--p99-ms R]  (plan for a p99 deadline via DES instead of the mean SLO)
   selfcheck    [--seed N] [--fuzz-iters N]
   serve        [--addr HOST:PORT] [--io-threads N] [--workers N] [--queue N]
                [--cache N] [--max-conns N] [--models DIR]
@@ -811,10 +814,11 @@ fn cmd_queueing(flags: &HashMap<String, String>) -> ExitCode {
         Ok(w) => w,
         Err(c) => return c,
     };
-    let (Ok(lambda), Ok(slo_ms), Ok(window_s)) = (
+    let (Ok(lambda), Ok(slo_ms), Ok(window_s), Ok(p99_ms)) = (
         get_num::<f64>(flags, "lambda", 2.0),
         get_num::<f64>(flags, "slo-ms", 450.0),
         get_num::<f64>(flags, "window-s", 20.0),
+        get_num::<f64>(flags, "p99-ms", 0.0),
     ) else {
         return ExitCode::FAILURE;
     };
@@ -848,6 +852,59 @@ fn cmd_queueing(flags: &HashMap<String, String>) -> ExitCode {
             }
         })
         .collect();
+    // A p99 deadline switches to the DES-scored tail planner: the menu is
+    // screened analytically, then the survivors are simulated until one
+    // meets the percentile deadline.
+    if flags.contains_key("p99-ms") && !(p99_ms.is_finite() && p99_ms > 0.0) {
+        eprintln!("invalid p99 deadline: --p99-ms must be a positive number of milliseconds");
+        return ExitCode::FAILURE;
+    }
+    if p99_ms > 0.0 {
+        let target = match TailTarget::new(0.99, p99_ms / 1e3) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("invalid p99 deadline: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match best_choice_tail(&menu, lambda, window_s, target, &TailDesConfig::default()) {
+            Err(e) => {
+                eprintln!("invalid dispatch input: {e}");
+                ExitCode::FAILURE
+            }
+            Ok(None) => {
+                eprintln!("every configuration saturates at λ = {lambda} jobs/s");
+                ExitCode::FAILURE
+            }
+            Ok(Some(out)) => {
+                println!(
+                    "{}: λ = {lambda} jobs/s over a {window_s} s window, p99 deadline {p99_ms} ms",
+                    w.name()
+                );
+                println!("  best configuration : {}", menu[out.index].label);
+                println!(
+                    "  p99 response (DES) : {:.1} ms{}",
+                    out.tail_response_s * 1e3,
+                    if out.violated {
+                        "  (DEADLINE MISSED)"
+                    } else {
+                        ""
+                    }
+                );
+                println!("  mean response      : {:.1} ms", out.mean_response_s * 1e3);
+                println!("  window energy      : {:.1} J", out.energy_j);
+                println!(
+                    "  planner effort     : {} screened analytically, {} DES runs",
+                    out.screened_out, out.des_runs
+                );
+                if out.violated {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        };
+    }
     match best_choice(&menu, lambda, window_s, slo_ms / 1e3) {
         Err(e) => {
             eprintln!("invalid dispatch input: {e}");
