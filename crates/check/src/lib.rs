@@ -180,6 +180,14 @@ pub fn run_all(seed: u64) -> CheckReport {
             "resilient-k0-vs-plain",
             oracles::resilient_k0_vs_plain(&space, &models, w),
         ),
+        CheckResult::new(
+            "ladder-degenerate-vs-legacy",
+            oracles::ladder_degenerate_vs_legacy(seed),
+        ),
+        CheckResult::new(
+            "ladder-stream-vs-exhaustive",
+            oracles::ladder_stream_vs_exhaustive(seed),
+        ),
     ];
     results.extend(invariant_results(&space, &models, w));
     for r in &results {

@@ -7,12 +7,14 @@
 //! going so one broken layer does not mask another.
 
 use hecmix_core::config::{ClusterPoint, ConfigSpace, NodeConfig};
+use hecmix_core::dvfs::exhaustive_ladder_frontier;
 use hecmix_core::exec_time::ExecTimeModel;
 use hecmix_core::mix_match::{evaluate, match_two_numeric, mix_and_match, TypeDeployment};
 use hecmix_core::profile::WorkloadModel;
 use hecmix_core::rate_table::{stream_frontier, RateTable};
 use hecmix_core::resilience::ResilientTable;
 use hecmix_core::sweep::sweep_frontier;
+use hecmix_core::types::Platform;
 use hecmix_queueing::des::{simulate, CoreLayout, DesConfig, ServiceDist, UNBOUNDED};
 use hecmix_queueing::{simulate_md1, MD1, MG1};
 use hecmix_sim::{
@@ -446,6 +448,217 @@ pub fn resilient_k0_vs_plain(
     }
 }
 
+/// A degenerate 1-OPP ladder must reproduce the legacy two-point model
+/// **bit for bit**: the effective frequency of the single OPP is the
+/// configured frequency itself (`capacity/capacity == 1.0` exactly), so
+/// every per-point evaluation and the streamed frontier must be
+/// `assert_eq`-identical, not merely close. The platforms are restricted
+/// to one random P-state so both paths enumerate the same option set.
+#[must_use]
+pub fn ladder_degenerate_vs_legacy(seed: u64) -> Vec<String> {
+    use hecmix_core::dvfs::NodeDvfs;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd1f5);
+    let mut mk = |platform: &Platform, i_ps: f64| {
+        let mut p = platform.clone();
+        let f = p.freqs[rng.gen_range(0..p.freqs.len())];
+        p.freqs = vec![f];
+        let legacy = WorkloadModel::synthetic_cpu_bound(&p, "ladder-oracle", i_ps);
+        let dvfs = NodeDvfs::degenerate(&legacy.power, f);
+        let ladder = legacy.clone().with_dvfs(dvfs);
+        (p, legacy, ladder)
+    };
+    let (arm, legacy_a, ladder_a) = mk(&Platform::reference_arm(), 2.0e9);
+    let (amd, legacy_b, ladder_b) = mk(&Platform::reference_amd(), 1.6e9);
+    let w = rng.gen_range(1e5..1e7);
+    let space = ConfigSpace::two_type(arm, 3, amd, 2);
+    let legacy_models = [legacy_a, legacy_b];
+    let ladder_models = [ladder_a, ladder_b];
+
+    let mut violations = Vec::new();
+    for point in sample_points(&space) {
+        let lhs = evaluate(&point, &legacy_models, w);
+        let rhs = evaluate(&point, &ladder_models, w);
+        match (lhs, rhs) {
+            (Ok(l), Ok(r)) => {
+                if l.time_s != r.time_s || l.energy_j != r.energy_j {
+                    violations.push(format!(
+                        "degenerate ladder diverges on {point:?}: \
+                         ({:.17e} s, {:.17e} J) vs ({:.17e} s, {:.17e} J)",
+                        l.time_s, l.energy_j, r.time_s, r.energy_j
+                    ));
+                }
+            }
+            (l, r) => violations.push(format!(
+                "evaluation parity broken on {point:?}: legacy {l:?} vs ladder {r:?}"
+            )),
+        }
+    }
+    let lhs = stream_frontier(&space, &legacy_models, w);
+    let rhs = stream_frontier(&space, &ladder_models, w);
+    match (lhs, rhs) {
+        (Ok(l), Ok(r)) => {
+            if l != r {
+                violations.push(format!(
+                    "degenerate-ladder frontier is not bit-identical to the \
+                     legacy frontier: {} vs {} points",
+                    l.len(),
+                    r.len()
+                ));
+            }
+        }
+        (l, r) => violations.push(format!(
+            "frontier parity broken: legacy {:?} vs ladder {:?}",
+            l.map(|f| f.len()),
+            r.map(|f| f.len())
+        )),
+    }
+    violations
+}
+
+/// Streamed per-`(type, OPP)` rate-table frontier vs the exhaustive
+/// ladder sweep on seeded random valid ladders and domain trees. Same
+/// comparison as [`exhaustive_vs_streaming`]: the energy-per-deadline
+/// curves must agree both ways at `1e-9` relative.
+#[must_use]
+pub fn ladder_stream_vs_exhaustive(seed: u64) -> Vec<String> {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1add);
+    let arm = Platform::reference_arm();
+    let amd = Platform::reference_amd();
+    let model_a = WorkloadModel::synthetic_cpu_bound(&arm, "ladder-oracle", 2.0e9)
+        .with_dvfs(random_node_dvfs(&mut rng));
+    let model_b = WorkloadModel::synthetic_cpu_bound(&amd, "ladder-oracle", 1.6e9)
+        .with_dvfs(random_node_dvfs(&mut rng));
+    let space = ConfigSpace::two_type(arm, 2, amd, 2);
+    let models = [model_a, model_b];
+    ladder_stream_vs_exhaustive_models(&space, &models, 1e6)
+}
+
+/// The comparison core of [`ladder_stream_vs_exhaustive`], reusable from
+/// property tests with externally generated ladders/domains.
+#[must_use]
+pub fn ladder_stream_vs_exhaustive_models(
+    space: &ConfigSpace,
+    models: &[WorkloadModel],
+    w_units: f64,
+) -> Vec<String> {
+    for (i, m) in models.iter().enumerate() {
+        if let Err(e) = m.validate() {
+            return vec![format!("model {i} fails validation: {e}")];
+        }
+    }
+    let exhaustive = match exhaustive_ladder_frontier(&space.types, models, w_units) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("exhaustive ladder sweep failed: {e}")],
+    };
+    let streamed = match stream_frontier(space, models, w_units) {
+        Ok(f) => f,
+        Err(e) => return vec![format!("streamed ladder sweep failed: {e}")],
+    };
+    let mut violations = Vec::new();
+    for p in &exhaustive.points {
+        match streamed.min_energy_for_deadline(p.time_s) {
+            Some(got) if (got.energy_j - p.energy_j).abs() <= 1e-9 * p.energy_j => {}
+            Some(got) => violations.push(format!(
+                "streamed ladder curve off at deadline {:.6e} s: {:.12e} J vs exhaustive {:.12e} J",
+                p.time_s, got.energy_j, p.energy_j
+            )),
+            None => violations.push(format!(
+                "streamed ladder frontier has no point at deadline {:.6e} s",
+                p.time_s
+            )),
+        }
+    }
+    for p in &streamed.points {
+        match exhaustive.min_energy_for_deadline(p.time_s) {
+            Some(got) if got.energy_j <= p.energy_j + 1e-9 * p.energy_j => {}
+            Some(got) => violations.push(format!(
+                "streamed ladder point ({:.6e} s, {:.12e} J) beats the exhaustive curve ({:.12e} J)",
+                p.time_s, p.energy_j, got.energy_j
+            )),
+            None => violations.push(format!(
+                "exhaustive ladder frontier has no point at deadline {:.6e} s",
+                p.time_s
+            )),
+        }
+    }
+    violations
+}
+
+/// Seeded random valid [`NodeDvfs`](hecmix_core::dvfs::NodeDvfs): 2–4
+/// OPPs with strictly increasing
+/// frequency and capacity, a 0–2 state idle ladder (power non-increasing,
+/// residency non-decreasing), and a random 1–4 leaf domain tree whose
+/// sleep floors respect `sleep_w <= idle_w`.
+#[must_use]
+pub fn random_node_dvfs<R: rand::Rng>(rng: &mut R) -> hecmix_core::dvfs::NodeDvfs {
+    use hecmix_core::dvfs::{ActiveState, IdleState, NodeDvfs, OppLadder, PowerDomain};
+    use hecmix_core::types::Frequency;
+
+    let n_opp = rng.gen_range(2..=4usize);
+    let mut ghz = rng.gen_range(0.3..0.7);
+    let mut capacity = rng.gen_range(100.0..300.0);
+    let states = (0..n_opp)
+        .map(|_| {
+            let s = ActiveState {
+                freq: Frequency::from_ghz(ghz),
+                capacity,
+                power_w: rng.gen_range(0.05..1.0),
+                stall_w: rng.gen_range(0.0..0.5),
+            };
+            ghz += rng.gen_range(0.2..0.6);
+            capacity += rng.gen_range(50.0..400.0);
+            s
+        })
+        .collect();
+    let n_idle = rng.gen_range(0..=2usize);
+    let mut idle_w = rng.gen_range(0.5..1.0);
+    let mut residency = 0.0;
+    let idle_states = (0..n_idle)
+        .map(|i| {
+            let s = IdleState {
+                name: format!("idle{i}"),
+                power_w: idle_w,
+                residency_s: residency,
+            };
+            idle_w *= rng.gen_range(0.1..0.9);
+            residency += rng.gen_range(0.0..0.01);
+            s
+        })
+        .collect();
+    let leaves = rng.gen_range(1..=4u32);
+    let children = (0..leaves)
+        .map(|c| {
+            let leaf_idle = rng.gen_range(0.1..0.5);
+            PowerDomain::leaf(
+                &format!("core{c}"),
+                leaf_idle,
+                leaf_idle * rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..0.01),
+            )
+        })
+        .collect();
+    let cluster_idle = rng.gen_range(0.2..1.0);
+    NodeDvfs {
+        ladder: OppLadder {
+            states,
+            idle_states,
+        },
+        domain: PowerDomain::cluster(
+            "cluster0",
+            cluster_idle,
+            cluster_idle * rng.gen_range(0.0..1.0),
+            rng.gen_range(0.0..0.1),
+            children,
+        ),
+    }
+}
+
 /// Symmetric relative difference, safe at zero.
 #[must_use]
 pub fn rel_diff(a: f64, b: f64) -> f64 {
@@ -496,5 +709,13 @@ mod tests {
         assert_eq!(md1_formula_vs_des(42), Vec::<String>::new());
         assert_eq!(des_mean_wait_vs_pk(42), Vec::<String>::new());
         assert_eq!(des_p99_vs_md1_quantile(42), Vec::<String>::new());
+    }
+
+    #[test]
+    fn ladder_oracles_hold_on_several_seeds() {
+        for seed in [0u64, 1, 42, 1337] {
+            assert_eq!(ladder_degenerate_vs_legacy(seed), Vec::<String>::new());
+            assert_eq!(ladder_stream_vs_exhaustive(seed), Vec::<String>::new());
+        }
     }
 }

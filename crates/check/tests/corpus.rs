@@ -139,7 +139,11 @@ fn power_budget_rejects_every_nonfinite_wattage() {
 
 #[test]
 fn corrupt_model_files_fail_to_load_without_panicking() {
-    for name in ["empty_spi_mem.model", "nan_frequency.model"] {
+    for name in [
+        "empty_spi_mem.model",
+        "nan_frequency.model",
+        "nonmonotone_opp.model",
+    ] {
         match hecmix_core::persist::load(&corpus_path(name)) {
             Err(Error::InvalidInput(_)) => {}
             other => panic!("{name} must load as InvalidInput, got {other:?}"),

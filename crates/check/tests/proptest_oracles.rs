@@ -91,6 +91,117 @@ proptest! {
     }
 }
 
+/// Random valid [`NodeDvfs`]: 2–4 OPPs built from positive frequency and
+/// capacity increments (so monotonicity holds by construction), a 0–2
+/// state idle ladder with multiplicative power decay and non-decreasing
+/// residency, and a 1–4 leaf cluster domain whose sleep floors are a
+/// fraction of their idle floors.
+fn node_dvfs() -> impl Strategy<Value = hecmix_core::dvfs::NodeDvfs> {
+    use hecmix_core::dvfs::{ActiveState, IdleState, NodeDvfs, OppLadder, PowerDomain};
+    use hecmix_core::types::Frequency;
+    (
+        0.3f64..0.7,
+        100.0f64..300.0,
+        proptest::collection::vec(
+            (0.2f64..0.6, 50.0f64..400.0, 0.05f64..1.0, 0.0f64..0.5),
+            2..=4,
+        ),
+        proptest::collection::vec((0.1f64..0.9, 0.0f64..0.01), 0..=2),
+        proptest::collection::vec((0.1f64..0.5, 0.0f64..1.0, 0.0f64..0.01), 1..=4),
+        (0.2f64..1.0, 0.0f64..1.0, 0.0f64..0.1),
+    )
+        .prop_map(|(ghz0, cap0, opps, idles, leaves, cluster)| {
+            let (mut ghz, mut cap) = (ghz0, cap0);
+            let states = opps
+                .into_iter()
+                .map(|(dghz, dcap, power_w, stall_w)| {
+                    let s = ActiveState {
+                        freq: Frequency::from_ghz(ghz),
+                        capacity: cap,
+                        power_w,
+                        stall_w,
+                    };
+                    ghz += dghz;
+                    cap += dcap;
+                    s
+                })
+                .collect();
+            let (mut idle_w, mut residency) = (1.0, 0.0);
+            let idle_states = idles
+                .into_iter()
+                .enumerate()
+                .map(|(i, (decay, dres))| {
+                    idle_w *= decay;
+                    residency += dres;
+                    IdleState {
+                        name: format!("idle{i}"),
+                        power_w: idle_w,
+                        residency_s: residency,
+                    }
+                })
+                .collect();
+            let children = leaves
+                .into_iter()
+                .enumerate()
+                .map(|(c, (leaf_idle, sleep_frac, res))| {
+                    PowerDomain::leaf(&format!("core{c}"), leaf_idle, leaf_idle * sleep_frac, res)
+                })
+                .collect();
+            let (cluster_idle, cluster_sleep_frac, cluster_res) = cluster;
+            NodeDvfs {
+                ladder: OppLadder {
+                    states,
+                    idle_states,
+                },
+                domain: PowerDomain::cluster(
+                    "cluster0",
+                    cluster_idle,
+                    cluster_idle * cluster_sleep_frac,
+                    cluster_res,
+                    children,
+                ),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Satellite coverage for the DVFS tentpole: any valid random ladder
+    // and domain tree must (a) pass validation and (b) make the streamed
+    // per-(type, OPP) frontier agree with the exhaustive ladder sweep.
+    #[test]
+    fn prop_ladder_stream_matches_exhaustive(
+        dvfs_a in node_dvfs(),
+        dvfs_b in node_dvfs(),
+        w in 1e4f64..1e7,
+    ) {
+        let arm = Platform::reference_arm();
+        let amd = Platform::reference_amd();
+        let models = [
+            WorkloadModel::synthetic_cpu_bound(&arm, "prop", 2.0e9).with_dvfs(dvfs_a),
+            WorkloadModel::synthetic_cpu_bound(&amd, "prop", 1.6e9).with_dvfs(dvfs_b),
+        ];
+        prop_assert!(models[0].validate().is_ok());
+        prop_assert!(models[1].validate().is_ok());
+        let space = ConfigSpace::two_type(arm, 2, amd, 2);
+        prop_assert_eq!(
+            oracles::ladder_stream_vs_exhaustive_models(&space, &models, w),
+            Vec::<String>::new()
+        );
+    }
+
+    // The degenerate 1-OPP ladder must stay bit-identical to the legacy
+    // model for any seed (random platform frequency and job size inside).
+    #[test]
+    fn prop_degenerate_ladder_is_bit_identical(seed in 0u64..(1u64 << 32)) {
+        prop_assert_eq!(
+            oracles::ladder_degenerate_vs_legacy(seed),
+            Vec::<String>::new()
+        );
+    }
+}
+
 proptest! {
     // The simulator-backed oracles characterize and run the testbed per
     // case; a handful of random seeds keeps the suite fast while still

@@ -75,6 +75,7 @@
 
 pub mod budget;
 pub mod config;
+pub mod dvfs;
 pub mod energy;
 pub mod error;
 pub mod exec_time;
@@ -94,7 +95,10 @@ pub use error::{Error, Result};
 pub mod prelude {
     pub use crate::budget::{BudgetMix, PowerBudget, SubstitutionRatio};
     pub use crate::config::{ConfigSpace, NodeConfig};
-    pub use crate::energy::{EnergyBreakdown, EnergyModel};
+    pub use crate::dvfs::{
+        exhaustive_ladder_frontier, ActiveState, IdleState, NodeDvfs, OppLadder, PowerDomain,
+    };
+    pub use crate::energy::{EnergyBreakdown, EnergyModel, PoweredWindow};
     pub use crate::error::{Error, Result};
     pub use crate::exec_time::{ExecTimeModel, TimeBreakdown};
     pub use crate::mix_match::{

@@ -296,7 +296,7 @@ impl Region {
 mod tests {
     use super::*;
     use crate::config::NodeConfig;
-    use crate::types::Platform;
+    use crate::types::{Frequency, Platform};
 
     fn pt(time_s: f64, energy_j: f64, hetero: bool) -> ParetoPoint {
         let arm = Platform::reference_arm();
@@ -409,6 +409,45 @@ mod tests {
         assert_eq!(fwd.len(), 1);
         // Canonical order prefers the smaller deployment.
         assert_eq!(fwd.points[0].config.per_type[0].as_ref().unwrap().nodes, 1);
+    }
+
+    #[test]
+    fn opp_tie_dedup_is_iteration_order_independent() {
+        // Regression for ladder sweeps: two points with identical
+        // (time, energy) coming from *different OPPs* of the same ladder —
+        // same node and core counts, different effective frequencies —
+        // must resolve to the same canonical survivor no matter which
+        // order the ladder was iterated in. `cmp_config` breaks the tie on
+        // the frequency axis (total order over effective frequencies), the
+        // same determinism rule used for node-count ties.
+        let mk = |ghz: f64| {
+            let arm = Platform::reference_arm();
+            ParetoPoint {
+                time_s: 2.0,
+                energy_j: 8.0,
+                config: ClusterPoint {
+                    per_type: vec![
+                        Some(NodeConfig::new(2, arm.cores, Frequency::from_ghz(ghz))),
+                        None,
+                    ],
+                },
+            }
+        };
+        let low_opp = mk(0.9);
+        let high_opp = mk(1.3);
+        let fwd = ParetoFrontier::from_points(vec![low_opp.clone(), high_opp.clone()]);
+        let rev = ParetoFrontier::from_points(vec![high_opp.clone(), low_opp.clone()]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), 1);
+        // Canonical order prefers the lower effective frequency.
+        let survivor = fwd.points[0].config.per_type[0].as_ref().unwrap();
+        assert!((survivor.freq.ghz() - 0.9).abs() < 1e-12);
+
+        // Merge resolves the same way in both directions.
+        let a = ParetoFrontier::from_points(vec![low_opp.clone()]);
+        let b = ParetoFrontier::from_points(vec![high_opp.clone()]);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b), fwd);
     }
 
     #[test]

@@ -88,7 +88,61 @@ pub fn to_string(model: &WorkloadModel) -> String {
     let _ = writeln!(s, "mem_w = {}", fmt_f64(pw.mem_w));
     let _ = writeln!(s, "io_w = {}", fmt_f64(pw.io_w));
     let _ = writeln!(s, "idle_w = {}", fmt_f64(pw.idle_w));
+
+    // Optional DVFS extension. Written only when present, so legacy
+    // bundles serialize byte-identically (and keep their content hashes),
+    // while ladder bundles get the OPP tables folded into the hash.
+    if let Some(d) = &model.dvfs {
+        let _ = writeln!(s, "[dvfs]");
+        let opps: Vec<String> = d
+            .ladder
+            .states
+            .iter()
+            .map(|st| {
+                format!(
+                    "{}:{},{},{}",
+                    fmt_f64(st.freq.ghz()),
+                    fmt_f64(st.capacity),
+                    fmt_f64(st.power_w),
+                    fmt_f64(st.stall_w)
+                )
+            })
+            .collect();
+        let _ = writeln!(s, "opp = {}", opps.join(" "));
+        let idles: Vec<String> = d
+            .ladder
+            .idle_states
+            .iter()
+            .map(|st| {
+                format!(
+                    "{}:{},{}",
+                    st.name,
+                    fmt_f64(st.power_w),
+                    fmt_f64(st.residency_s)
+                )
+            })
+            .collect();
+        let _ = writeln!(s, "idle = {}", idles.join(" "));
+        let mut doms: Vec<String> = Vec::new();
+        fmt_domain(&d.domain, 0, &mut doms);
+        let _ = writeln!(s, "domain = {}", doms.join(" "));
+    }
     s
+}
+
+/// Preorder-DFS flattening of a power-domain tree: one
+/// `depth:name:idle_w,sleep_w,residency_s` entry per domain.
+fn fmt_domain(d: &crate::dvfs::PowerDomain, depth: usize, out: &mut Vec<String>) {
+    out.push(format!(
+        "{depth}:{}:{},{},{}",
+        d.name,
+        fmt_f64(d.idle_w),
+        fmt_f64(d.sleep_w),
+        fmt_f64(d.residency_s)
+    ));
+    for c in &d.children {
+        fmt_domain(c, depth + 1, out);
+    }
 }
 
 /// Parse a model bundle from the v1 text format. Strict: unknown keys,
@@ -208,6 +262,58 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
         idle_w: parse_f64(&take(f, "power.idle_w")?)?,
     };
 
+    // Optional [dvfs] section: all three keys or none. Ladder invariants
+    // (monotone OPP tables, finite positive capacities/powers, non-empty
+    // ladder) are enforced by `WorkloadModel::validate` below, so a bad
+    // ladder is an `Error::InvalidInput` at load time, never a NaN
+    // frontier downstream.
+    let dvfs = if f.keys().any(|k| k.starts_with("dvfs.")) {
+        let states = take(f, "dvfs.opp")?
+            .split_whitespace()
+            .map(|entry| {
+                let (freq, rest) = entry
+                    .split_once(':')
+                    .ok_or_else(|| bad("malformed opp entry"))?;
+                let parts: Vec<&str> = rest.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(bad("opp needs capacity,power_w,stall_w"));
+                }
+                Ok(crate::dvfs::ActiveState {
+                    freq: Frequency::try_from_ghz(parse_f64(freq)?)?,
+                    capacity: parse_f64(parts[0])?,
+                    power_w: parse_f64(parts[1])?,
+                    stall_w: parse_f64(parts[2])?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let idle_states = take(f, "dvfs.idle")?
+            .split_whitespace()
+            .map(|entry| {
+                let (name, rest) = entry
+                    .split_once(':')
+                    .ok_or_else(|| bad("malformed idle entry"))?;
+                let (power, residency) = rest
+                    .split_once(',')
+                    .ok_or_else(|| bad("idle needs power_w,residency_s"))?;
+                Ok(crate::dvfs::IdleState {
+                    name: name.to_owned(),
+                    power_w: parse_f64(power)?,
+                    residency_s: parse_f64(residency)?,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let domain = parse_domains(&take(f, "dvfs.domain")?)?;
+        Some(crate::dvfs::NodeDvfs {
+            ladder: crate::dvfs::OppLadder {
+                states,
+                idle_states,
+            },
+            domain,
+        })
+    } else {
+        None
+    };
+
     if let Some(stray) = f.keys().next() {
         return Err(bad(&format!("unknown key {stray:?}")));
     }
@@ -217,9 +323,63 @@ pub fn from_str(text: &str) -> Result<WorkloadModel> {
         platform,
         profile,
         power,
+        dvfs,
     };
     model.validate()?;
     Ok(model)
+}
+
+/// Rebuild a power-domain tree from its preorder `depth:name:...` list.
+fn parse_domains(value: &str) -> Result<crate::dvfs::PowerDomain> {
+    let mut root: Option<crate::dvfs::PowerDomain> = None;
+    // Ancestor chain: element `i` sits at depth `i`.
+    let mut stack: Vec<crate::dvfs::PowerDomain> = Vec::new();
+    let attach = |stack: &mut Vec<crate::dvfs::PowerDomain>,
+                  root: &mut Option<crate::dvfs::PowerDomain>|
+     -> Result<()> {
+        let node = stack.pop().expect("attach called with non-empty stack");
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => {
+                if root.is_some() {
+                    return Err(bad("power-domain tree has multiple roots"));
+                }
+                *root = Some(node);
+            }
+        }
+        Ok(())
+    };
+    for entry in value.split_whitespace() {
+        let (depth, rest) = entry
+            .split_once(':')
+            .ok_or_else(|| bad("malformed domain entry"))?;
+        let depth: usize = depth.parse().map_err(|_| bad("malformed domain depth"))?;
+        let (name, nums) = rest
+            .split_once(':')
+            .ok_or_else(|| bad("malformed domain entry"))?;
+        let parts: Vec<&str> = nums.split(',').collect();
+        if parts.len() != 3 {
+            return Err(bad("domain needs idle_w,sleep_w,residency_s"));
+        }
+        let node = crate::dvfs::PowerDomain {
+            name: name.to_owned(),
+            idle_w: parse_f64(parts[0])?,
+            sleep_w: parse_f64(parts[1])?,
+            residency_s: parse_f64(parts[2])?,
+            children: Vec::new(),
+        };
+        while stack.len() > depth {
+            attach(&mut stack, &mut root)?;
+        }
+        if stack.len() != depth {
+            return Err(bad("power-domain depth skips a level"));
+        }
+        stack.push(node);
+    }
+    while !stack.is_empty() {
+        attach(&mut stack, &mut root)?;
+    }
+    root.ok_or_else(|| bad("power-domain tree is empty"))
 }
 
 /// FNV-1a over `bytes` — the workspace's canonical cheap content hash
@@ -458,5 +618,95 @@ mod tests {
         let text = to_string(&sample());
         let broken = text.replace("i_ps = ", "i_ps = -");
         assert!(from_str(&broken).is_err());
+    }
+
+    fn sample_with_ladder() -> WorkloadModel {
+        let mut m = sample();
+        m.dvfs = Some(crate::dvfs::NodeDvfs::synthetic_ladder(
+            &m.power,
+            m.platform.cores,
+            0.1,
+        ));
+        m
+    }
+
+    #[test]
+    fn dvfs_section_round_trips() {
+        let m = sample_with_ladder();
+        let text = to_string(&m);
+        assert!(text.contains("[dvfs]"));
+        let back = from_str(&text).unwrap();
+        assert_eq!(m, back);
+        // Second round trip is byte-stable.
+        assert_eq!(text, to_string(&back));
+    }
+
+    #[test]
+    fn legacy_models_serialize_without_dvfs_section() {
+        // The optional section must not perturb legacy bundles — their
+        // text (and therefore their content hashes, plan-cache keys and
+        // gateway routing keys) stays byte-identical.
+        let text = to_string(&sample());
+        assert!(!text.contains("[dvfs]"));
+    }
+
+    #[test]
+    fn content_hash_covers_opp_tables() {
+        let m = sample_with_ladder();
+        let h = m.content_hash();
+        assert_ne!(h, sample().content_hash());
+        let mut perturbed = m.clone();
+        if let Some(d) = &mut perturbed.dvfs {
+            d.ladder.states[0].power_w *= 1.5;
+        }
+        assert_ne!(h, perturbed.content_hash());
+    }
+
+    #[test]
+    fn load_rejects_invalid_ladders() {
+        let good = to_string(&sample_with_ladder());
+        // Empty ladder.
+        let broken = good
+            .lines()
+            .map(|l| if l.starts_with("opp = ") { "opp =" } else { l })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+        // Non-finite capacity.
+        let broken = good.replacen("1024,", "nan,", 1);
+        assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+        // Non-monotone OPP table: swap the first two entries' capacities
+        // by brute text surgery on the opp line.
+        let opp_line = good
+            .lines()
+            .find(|l| l.starts_with("opp = "))
+            .unwrap()
+            .to_owned();
+        let entries: Vec<&str> = opp_line.trim_start_matches("opp = ").split(' ').collect();
+        assert!(entries.len() >= 2);
+        let mut swapped = entries.clone();
+        swapped.swap(0, 1);
+        let broken = good.replace(opp_line.trim_start_matches("opp = "), &swapped.join(" "));
+        assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+    }
+
+    #[test]
+    fn load_rejects_malformed_domain_trees() {
+        let good = to_string(&sample_with_ladder());
+        // Depth that skips a level.
+        let broken = good.replacen("1:core0:", "2:core0:", 1);
+        assert!(matches!(from_str(&broken), Err(Error::InvalidInput(_))));
+        // sleep_w above idle_w fails validation.
+        let m = {
+            let mut m = sample_with_ladder();
+            if let Some(d) = &mut m.dvfs {
+                d.domain.sleep_w = d.domain.idle_w + 1.0;
+            }
+            m
+        };
+        assert!(matches!(
+            from_str(&to_string(&m)),
+            Err(Error::InvalidInput(_))
+        ));
     }
 }

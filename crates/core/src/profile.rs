@@ -358,6 +358,10 @@ pub struct WorkloadModel {
     pub profile: WorkloadProfile,
     /// Power characterization.
     pub power: PowerProfile,
+    /// Optional DVFS extension: per-type OPP ladder and power-domain
+    /// tree. `None` means the legacy two-point model, which is exactly
+    /// the degenerate 1-OPP ladder (see [`crate::dvfs`]).
+    pub dvfs: Option<crate::dvfs::NodeDvfs>,
 }
 
 impl WorkloadModel {
@@ -365,7 +369,18 @@ impl WorkloadModel {
     pub fn validate(&self) -> Result<()> {
         self.platform.validate()?;
         self.profile.validate()?;
-        self.power.validate()
+        self.power.validate()?;
+        match &self.dvfs {
+            Some(d) => d.validate(),
+            None => Ok(()),
+        }
+    }
+
+    /// Builder-style attachment of a DVFS extension.
+    #[must_use]
+    pub fn with_dvfs(mut self, dvfs: crate::dvfs::NodeDvfs) -> Self {
+        self.dvfs = Some(dvfs);
+        self
     }
 
     /// Synthetic CPU-bound bundle: `i_ps` instructions per unit, a plausible
@@ -386,6 +401,7 @@ impl WorkloadModel {
                 io: IoProfile::none(),
             },
             power: PowerProfile::synthetic(platform),
+            dvfs: None,
         }
     }
 
@@ -414,6 +430,7 @@ impl WorkloadModel {
                 },
             },
             power: PowerProfile::synthetic(platform),
+            dvfs: None,
         }
     }
 }

@@ -66,12 +66,16 @@ pub struct SweepOutcome {
 /// One per-type option with its precomputed aggregates.
 #[derive(Debug, Clone, Copy)]
 pub struct RateOption {
-    /// The `(n, c, f)` knobs.
+    /// The `(n, c, f)` knobs. For ladder-aware tables `cfg.freq` is the
+    /// OPP's effective frequency.
     pub cfg: NodeConfig,
     /// Execution rate `r` in work units per second.
     pub rate: f64,
     /// Lone-run average power `b = E_alone(1)·r` in watts.
     pub power_w: f64,
+    /// OPP index into the type's DVFS ladder; `None` for legacy tables
+    /// enumerated over the platform P-state list.
+    pub opp: Option<usize>,
 }
 
 /// Per-type `(r, b)` tables over a configuration space, plus the flat
@@ -149,10 +153,23 @@ impl RateTable {
             .map(|(t, model)| {
                 let etm = ExecTimeModel::new(model);
                 let enm = EnergyModel::new(model);
-                let count = t.option_count();
-                let mut opts = Vec::with_capacity(count as usize);
-                for idx in 0..count {
-                    let cfg = t.decode_option(idx);
+                // Legacy models enumerate the platform P-state list via
+                // `decode_option`; ladder models enumerate per-(type, OPP)
+                // in the same (nodes, freq-axis, cores) nesting, with the
+                // ladder's effective frequencies as the freq axis. Either
+                // way the flat indexing stays exact — one digit value per
+                // option, no approximation.
+                let enumerated: Vec<(NodeConfig, Option<usize>)> = match &model.dvfs {
+                    Some(d) => crate::dvfs::ladder_options(t, &d.ladder)
+                        .into_iter()
+                        .map(|(cfg, opp)| (cfg, Some(opp)))
+                        .collect(),
+                    None => (0..t.option_count())
+                        .map(|idx| (t.decode_option(idx), None))
+                        .collect(),
+                };
+                let mut opts = Vec::with_capacity(enumerated.len());
+                for (cfg, opp) in enumerated {
                     etm.check_config(&cfg)?;
                     let rate = etm.rate_units_per_s(&cfg);
                     if !(rate > 0.0) || !rate.is_finite() {
@@ -173,7 +190,12 @@ impl RateTable {
                             t.platform.name
                         )));
                     }
-                    opts.push(RateOption { cfg, rate, power_w });
+                    opts.push(RateOption {
+                        cfg,
+                        rate,
+                        power_w,
+                        opp,
+                    });
                 }
                 Ok(opts)
             })

@@ -42,6 +42,15 @@ impl Frequency {
         Ok(Self { hz: ghz * 1e9 })
     }
 
+    /// Crate-internal exact constructor from Hz. The public constructors
+    /// go through GHz for readability, but derived quantities (e.g. a DVFS
+    /// ladder's capacity-scaled effective frequency) must not round-trip
+    /// through a decimal division, which is not bit-exact.
+    pub(crate) fn from_hz(hz: f64) -> Self {
+        debug_assert!(hz.is_finite() && hz > 0.0, "bad frequency {hz} Hz");
+        Self { hz }
+    }
+
     /// Frequency in Hz.
     #[must_use]
     pub fn hz(self) -> f64 {

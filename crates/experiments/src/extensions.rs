@@ -200,6 +200,148 @@ pub fn diurnal_study(
 }
 
 // ---------------------------------------------------------------------
+// DVFS ladders: 1-OPP vs full-ladder frontiers and cluster parking
+// ---------------------------------------------------------------------
+
+/// Outcome of the DVFS-ladder study: frontier richness from multi-OPP
+/// ladders, and the cluster-sleep credit from parking whole clusters in
+/// diurnal troughs.
+#[derive(Debug, Clone)]
+pub struct DvfsLadderResult {
+    /// Workload name.
+    pub workload: String,
+    /// Frontier with every model pinned to a degenerate 1-OPP ladder at
+    /// its platform's maximum frequency.
+    pub one_opp_frontier: ParetoFrontier,
+    /// Frontier over the full synthetic multi-OPP ladders.
+    pub ladder_frontier: ParetoFrontier,
+    /// Diurnal day dispatched from the ladder frontier, always-on floors.
+    pub plain_day: DayOutcome,
+    /// The same day with cluster parking (deep-sleep floors between jobs).
+    pub parked_day: DayOutcome,
+}
+
+impl DvfsLadderResult {
+    /// True when the ladder frontier is strictly richer than the 1-OPP
+    /// one: at least as good at every 1-OPP deadline, strictly more
+    /// operating points, and strictly lower minimum energy somewhere.
+    #[must_use]
+    pub fn ladder_is_strictly_richer(&self) -> bool {
+        let never_worse = self.one_opp_frontier.points.iter().all(|p| {
+            self.ladder_frontier
+                .min_energy_for_deadline(p.time_s)
+                .is_some_and(|q| q.energy_j <= p.energy_j * (1.0 + 1e-9))
+        });
+        let better_somewhere = self.one_opp_frontier.points.iter().any(|p| {
+            self.ladder_frontier
+                .min_energy_for_deadline(p.time_s)
+                .is_some_and(|q| q.energy_j < p.energy_j * (1.0 - 1e-9))
+        });
+        never_worse && better_somewhere && self.ladder_frontier.len() > self.one_opp_frontier.len()
+    }
+
+    /// Whole-day energy saved by cluster parking, joules.
+    #[must_use]
+    pub fn parking_saving_j(&self) -> f64 {
+        self.plain_day.energy_j - self.parked_day.energy_j
+    }
+}
+
+/// Compare the 1-OPP and full-ladder frontiers on the 16 ARM + 14 AMD
+/// hardware, then dispatch the same diurnal day from the ladder frontier
+/// twice: with always-on idle floors and with cluster parking backed by
+/// each model's power-domain tree.
+#[must_use]
+pub fn dvfs_ladder_study(
+    lab: &Lab,
+    w: &dyn Workload,
+    profile: &DiurnalProfile,
+    slo_response_s: f64,
+) -> DvfsLadderResult {
+    use hecmix_core::dvfs::NodeDvfs;
+    use hecmix_core::rate_table::stream_frontier;
+    use hecmix_queueing::dispatch::{run_day_parking, ParkableChoice};
+    use hecmix_queueing::SleepPolicy;
+
+    let base = lab.models(w);
+    let one_opp: Vec<WorkloadModel> = base
+        .iter()
+        .map(|m| {
+            m.clone()
+                .with_dvfs(NodeDvfs::degenerate(&m.power, m.platform.fmax()))
+        })
+        .collect();
+    let ladder: Vec<WorkloadModel> = base
+        .iter()
+        .map(|m| {
+            m.clone()
+                .with_dvfs(NodeDvfs::synthetic_ladder(&m.power, m.platform.cores, 0.1))
+        })
+        .collect();
+    let space = ConfigSpace::new(vec![
+        TypeBounds {
+            platform: base[0].platform.clone(),
+            max_nodes: 16,
+        },
+        TypeBounds {
+            platform: base[1].platform.clone(),
+            max_nodes: 14,
+        },
+    ]);
+    let units = w.analysis_units() as f64;
+    let one_opp_frontier =
+        stream_frontier(&space, &one_opp, units).expect("1-OPP ladder space is well-formed");
+    let ladder_frontier =
+        stream_frontier(&space, &ladder, units).expect("ladder space is well-formed");
+
+    // Dispatch the same day from the *ladder* frontier twice, so the
+    // plain/parked gap isolates the cluster-sleep credit.
+    let menu = menu_from(&ladder_frontier, &ladder);
+    let parkable: Vec<ParkableChoice> = ladder_frontier
+        .points
+        .iter()
+        .zip(menu.iter().cloned())
+        .map(|(p, choice)| {
+            // Deep-sleep floor of the deployment: every powered node's
+            // root domain in its deepest (cluster-sleep) state.
+            let sleep_power_w: f64 = p
+                .config
+                .per_type
+                .iter()
+                .zip(&ladder)
+                .filter_map(|(cfg, m)| {
+                    let d = m.dvfs.as_ref().expect("ladder models carry dvfs");
+                    cfg.map(|c| f64::from(c.nodes) * d.domain.asleep_w())
+                })
+                .sum();
+            let residency_s = ladder
+                .iter()
+                .filter_map(|m| m.dvfs.as_ref().map(|d| d.domain.residency_s))
+                .fold(0.0, f64::max);
+            ParkableChoice {
+                choice,
+                sleep: Some(SleepPolicy {
+                    sleep_power_w,
+                    residency_s,
+                }),
+            }
+        })
+        .collect();
+    let plain_day =
+        run_day(&menu, profile, slo_response_s).expect("ladder menu and SLO are well-formed");
+    let parked_day = run_day_parking(&parkable, profile, slo_response_s)
+        .expect("parkable menu and SLO are well-formed");
+
+    DvfsLadderResult {
+        workload: w.name().to_owned(),
+        one_opp_frontier,
+        ladder_frontier,
+        plain_day,
+        parked_day,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Percentile-deadline planning (p99 via DES) vs mean-SLO planning
 // ---------------------------------------------------------------------
 

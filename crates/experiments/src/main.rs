@@ -20,7 +20,8 @@ use hecmix_experiments::ablation::{
     matching_ablation, overlap_ablation, spimem_ablation, switching_ablation,
 };
 use hecmix_experiments::extensions::{
-    diurnal_study, fig10_des_crosscheck, governor_study, sensitivity, tail_planning_study, threeway,
+    diurnal_study, dvfs_ladder_study, fig10_des_crosscheck, governor_study, sensitivity,
+    tail_planning_study, threeway,
 };
 use hecmix_experiments::figures::{
     fig10, fig2, fig3, mix_frontiers, paper_budget_mixes, paper_scaling_mixes, pareto_figure,
@@ -38,7 +39,7 @@ use hecmix_workloads::Workload;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments [--results-dir DIR] [--seed N] [--trace FILE] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--tail-planning|--all ...");
+        eprintln!("usage: experiments [--results-dir DIR] [--seed N] [--trace FILE] --table1|--table3|--table4|--table5|--fig2..--fig10|--headline|--tail-planning|--dvfs-ladder|--all ...");
         return ExitCode::FAILURE;
     }
     let mut results_dir = "results".to_owned();
@@ -102,6 +103,7 @@ fn main() -> ExitCode {
             "governor",
             "fig10des",
             "tail-planning",
+            "dvfs-ladder",
             "resilience",
             "selfcheck",
         ]
@@ -178,6 +180,7 @@ fn main() -> ExitCode {
             "governor" => run_governor(&lab, &csv),
             "fig10des" => run_fig10des(&lab, &csv),
             "tail-planning" => run_tail_planning(&lab, &csv),
+            "dvfs-ladder" => run_dvfs_ladder(&lab, &csv),
             "resilience" => run_resilience(&lab, &csv),
             "selfcheck" => run_selfcheck(&lab, &csv),
             other => {
@@ -664,6 +667,67 @@ fn run_diurnal(lab: &Lab, csv: &CsvWriter) {
             "response_ms",
             "violated",
         ],
+        &rows,
+    );
+}
+
+fn run_dvfs_ladder(lab: &Lab, csv: &CsvWriter) {
+    println!("== Extension: DVFS ladders — 1-OPP vs full-ladder frontiers, cluster parking ==");
+    let profile = DiurnalProfile::new(2.0, 0.8, 24, 3600.0).expect("valid profile");
+    let slo = 0.45;
+    let r = dvfs_ladder_study(lab, &Memcached::default(), &profile, slo);
+    println!(
+        "frontier points: {} (1-OPP) vs {} (ladder); min energy {:.0} J vs {:.0} J; strictly richer: {}",
+        r.one_opp_frontier.len(),
+        r.ladder_frontier.len(),
+        r.one_opp_frontier.min_energy_j().unwrap_or(f64::NAN),
+        r.ladder_frontier.min_energy_j().unwrap_or(f64::NAN),
+        r.ladder_is_strictly_richer(),
+    );
+    println!(
+        "diurnal day from the ladder menu: {:.0} J always-on vs {:.0} J parked \
+         (cluster-sleep credit {:.0} J, {:.1} %); SLO violations {}/{} vs {}/{}",
+        r.plain_day.energy_j,
+        r.parked_day.energy_j,
+        r.parking_saving_j(),
+        100.0 * r.parking_saving_j() / r.plain_day.energy_j,
+        r.plain_day.violations,
+        r.plain_day.slots.len(),
+        r.parked_day.violations,
+        r.parked_day.slots.len(),
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (series, frontier) in [
+        ("frontier-1opp", &r.one_opp_frontier),
+        ("frontier-ladder", &r.ladder_frontier),
+    ] {
+        for (i, p) in frontier.points.iter().enumerate() {
+            rows.push(vec![
+                series.to_owned(),
+                i.to_string(),
+                fmt_f(p.time_s),
+                fmt_f(p.energy_j),
+                String::new(),
+            ]);
+        }
+    }
+    for (series, day) in [
+        ("day-always-on", &r.plain_day),
+        ("day-parked", &r.parked_day),
+    ] {
+        for s in &day.slots {
+            rows.push(vec![
+                series.to_owned(),
+                s.slot.to_string(),
+                fmt_f(s.lambda),
+                fmt_f(s.energy_j),
+                s.violated.to_string(),
+            ]);
+        }
+    }
+    let _ = csv.write(
+        "dvfs_ladder",
+        &["series", "idx", "time_s_or_lambda", "energy_j", "violated"],
         &rows,
     );
 }

@@ -87,6 +87,43 @@ pub enum Event {
         /// Frequency after the switch, GHz.
         to_ghz: f64,
     },
+    /// The node stepped to a different OPP of its DVFS ladder (the
+    /// ladder-indexed companion of [`Event::DvfsSwitch`]).
+    OppChange {
+        /// Node RNG seed.
+        seed: u64,
+        /// Simulated time of the change, seconds.
+        t_s: f64,
+        /// OPP index before the change.
+        from_opp: u32,
+        /// OPP index after the change.
+        to_opp: u32,
+        /// Frequency after the change, GHz.
+        to_ghz: f64,
+    },
+    /// A power domain entered its deep idle state (all children idle and
+    /// the residency horizon passed).
+    DomainSleep {
+        /// Node RNG seed.
+        seed: u64,
+        /// Simulated time the domain entered the deep state, seconds.
+        t_s: f64,
+        /// Domain name.
+        domain: &'static str,
+        /// Floor power while slept, watts.
+        sleep_w: f64,
+    },
+    /// A power domain left its deep idle state.
+    DomainWake {
+        /// Node RNG seed.
+        seed: u64,
+        /// Simulated wake time, seconds.
+        t_s: f64,
+        /// Domain name.
+        domain: &'static str,
+        /// Seconds spent in the deep state this residency.
+        slept_s: f64,
+    },
 
     // ---- hecmix-sim: fault lifecycle ----
     /// A faulted cluster run started.
@@ -471,6 +508,9 @@ impl Event {
             Event::CoreResume { .. } => "core_resume",
             Event::MemContention { .. } => "mem_contention",
             Event::DvfsSwitch { .. } => "dvfs_switch",
+            Event::OppChange { .. } => "opp_change",
+            Event::DomainSleep { .. } => "domain_sleep",
+            Event::DomainWake { .. } => "domain_wake",
             Event::FaultedRunStart { .. } => "faulted_run_start",
             Event::Crash { .. } => "crash",
             Event::HeartbeatTimeout { .. } => "heartbeat_timeout",
@@ -552,6 +592,41 @@ impl Event {
                 o.f64("t_s", *t_s);
                 o.f64("from_ghz", *from_ghz);
                 o.f64("to_ghz", *to_ghz);
+            }
+            Event::OppChange {
+                seed,
+                t_s,
+                from_opp,
+                to_opp,
+                to_ghz,
+            } => {
+                o.u64("seed", *seed);
+                o.f64("t_s", *t_s);
+                o.u64("from_opp", u64::from(*from_opp));
+                o.u64("to_opp", u64::from(*to_opp));
+                o.f64("to_ghz", *to_ghz);
+            }
+            Event::DomainSleep {
+                seed,
+                t_s,
+                domain,
+                sleep_w,
+            } => {
+                o.u64("seed", *seed);
+                o.f64("t_s", *t_s);
+                o.str("domain", domain);
+                o.f64("sleep_w", *sleep_w);
+            }
+            Event::DomainWake {
+                seed,
+                t_s,
+                domain,
+                slept_s,
+            } => {
+                o.u64("seed", *seed);
+                o.f64("t_s", *t_s);
+                o.str("domain", domain);
+                o.f64("slept_s", *slept_s);
             }
             Event::FaultedRunStart {
                 total_units,
@@ -1095,6 +1170,39 @@ mod tests {
     }
 
     #[test]
+    fn dvfs_domain_events_encode_their_fields() {
+        let e = Event::OppChange {
+            seed: 7,
+            t_s: 1.25,
+            from_opp: 0,
+            to_opp: 2,
+            to_ghz: 1.4,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"kind\":\"opp_change\""));
+        assert!(j.contains("\"from_opp\":0"));
+        assert!(j.contains("\"to_opp\":2"));
+        let e = Event::DomainSleep {
+            seed: 7,
+            t_s: 2.0,
+            domain: "cluster0",
+            sleep_w: 0.25,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"kind\":\"domain_sleep\""));
+        assert!(j.contains("\"domain\":\"cluster0\""));
+        let e = Event::DomainWake {
+            seed: 7,
+            t_s: 3.0,
+            domain: "cluster0",
+            slept_s: 1.0,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"kind\":\"domain_wake\""));
+        assert!(j.contains("\"slept_s\":1"));
+    }
+
+    #[test]
     fn every_variant_kind_is_unique() {
         let variants = [
             Event::CorePark {
@@ -1119,6 +1227,25 @@ mod tests {
                 t_s: 0.0,
                 from_ghz: 1.0,
                 to_ghz: 2.0,
+            },
+            Event::OppChange {
+                seed: 0,
+                t_s: 0.0,
+                from_opp: 0,
+                to_opp: 1,
+                to_ghz: 2.0,
+            },
+            Event::DomainSleep {
+                seed: 0,
+                t_s: 0.0,
+                domain: "cluster0",
+                sleep_w: 0.2,
+            },
+            Event::DomainWake {
+                seed: 0,
+                t_s: 0.0,
+                domain: "cluster0",
+                slept_s: 0.5,
             },
             Event::FaultedRunStart {
                 total_units: 0,

@@ -20,6 +20,7 @@ pub fn characterize_node(arch: &NodeArch, trace: &WorkloadTrace, seed: u64) -> W
         platform: arch.platform.clone(),
         profile,
         power,
+        dvfs: None,
     }
 }
 

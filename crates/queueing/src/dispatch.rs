@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use hecmix_core::{Error, Result};
 
 use crate::des::{self, DesConfig, ServiceDist};
-use crate::{window_energy, MD1};
+use crate::{window_energy, window_energy_sleep, SleepPolicy, MD1};
 
 /// One configuration a policy may choose: the outcome of a cluster
 /// configuration for one job, plus the idle power of its powered nodes.
@@ -587,6 +587,149 @@ pub fn run_day(
     })
 }
 
+/// A menu entry whose powered nodes may park their whole power domains
+/// during idle gaps: the configuration plus an optional cluster-sleep
+/// capability (from the model bundle's DVFS power-domain tree).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParkableChoice {
+    /// The configuration as dispatched.
+    pub choice: ConfigChoice,
+    /// Cluster-sleep capability; `None` keeps the always-on idle floor.
+    pub sleep: Option<SleepPolicy>,
+}
+
+/// [`best_choice`] over a parkable menu: entries with a sleep capability
+/// are priced with [`window_energy_sleep`], so in low-`λ` troughs (long
+/// exponential idle gaps) whole clusters earn their deep-sleep credit and
+/// become cheaper than their always-on pricing. Response times are
+/// unchanged — parking happens strictly between jobs.
+///
+/// # Errors
+/// [`Error::InvalidInput`] as [`best_choice`], plus for invalid sleep
+/// policies.
+pub fn best_choice_parking(
+    menu: &[ParkableChoice],
+    lambda: f64,
+    window_s: f64,
+    slo_response_s: f64,
+) -> Result<Option<(usize, f64, f64, bool)>> {
+    validate_slot_inputs(lambda, window_s, slo_response_s)?;
+    for p in menu {
+        validate_choice("parkable menu entry", &p.choice)?;
+        if let Some(sleep) = &p.sleep {
+            if !sleep.sleep_power_w.is_finite()
+                || sleep.sleep_power_w < 0.0
+                || sleep.sleep_power_w > p.choice.idle_power_w
+                || !sleep.residency_s.is_finite()
+                || sleep.residency_s < 0.0
+            {
+                return Err(Error::InvalidInput(format!(
+                    "parkable menu entry `{}`: invalid sleep policy \
+                     (sleep_power_w={}, residency_s={})",
+                    p.choice.label, sleep.sleep_power_w, sleep.residency_s
+                )));
+            }
+        }
+    }
+    let mut best_ok: Option<(usize, f64, f64)> = None;
+    let mut best_fallback: Option<(usize, f64, f64)> = None;
+    for (idx, p) in menu.iter().enumerate() {
+        let c = &p.choice;
+        let we = match &p.sleep {
+            Some(sleep) => window_energy_sleep(
+                lambda,
+                window_s,
+                c.service_s,
+                c.job_energy_j,
+                c.idle_power_w,
+                sleep,
+            ),
+            None => window_energy(
+                lambda,
+                window_s,
+                c.service_s,
+                c.job_energy_j,
+                c.idle_power_w,
+            ),
+        };
+        let Ok(we) = we else {
+            continue; // saturated
+        };
+        let e = we.total_j();
+        if we.response_s <= slo_response_s && best_ok.as_ref().is_none_or(|(_, be, _)| e < *be) {
+            best_ok = Some((idx, e, we.response_s));
+        }
+        if best_fallback
+            .as_ref()
+            .is_none_or(|(_, _, br)| we.response_s < *br)
+        {
+            best_fallback = Some((idx, e, we.response_s));
+        }
+    }
+    Ok(match (best_ok, best_fallback) {
+        (Some((i, e, r)), _) => Some((i, e, r, false)),
+        (None, Some((i, e, r))) => Some((i, e, r, true)),
+        (None, None) => None,
+    })
+}
+
+/// [`run_day`] over a parkable menu: diurnal dispatch that may park whole
+/// clusters in the troughs.
+///
+/// # Errors
+/// [`Error::InvalidInput`] from [`best_choice_parking`].
+pub fn run_day_parking(
+    menu: &[ParkableChoice],
+    profile: &DiurnalProfile,
+    slo_response_s: f64,
+) -> Result<DayOutcome> {
+    let mut slots = Vec::with_capacity(profile.slots as usize);
+    let mut energy_j = 0.0;
+    let mut violations = 0;
+    for slot in 0..profile.slots {
+        let lambda = profile.lambda_at(slot);
+        match best_choice_parking(menu, lambda, profile.slot_s, slo_response_s)? {
+            Some((choice, e, response_s, violated)) => {
+                hecmix_obs::emit(|| hecmix_obs::Event::DispatchDecision {
+                    slot: slot as usize,
+                    lambda,
+                    choice,
+                    energy_j: e,
+                    response_s,
+                    violated,
+                    resilient: false,
+                });
+                energy_j += e;
+                violations += u32::from(violated);
+                slots.push(SlotOutcome {
+                    slot,
+                    lambda,
+                    choice,
+                    energy_j: e,
+                    response_s,
+                    violated,
+                });
+            }
+            None => {
+                violations += 1;
+                slots.push(SlotOutcome {
+                    slot,
+                    lambda,
+                    choice: usize::MAX,
+                    energy_j: 0.0,
+                    response_s: f64::INFINITY,
+                    violated: true,
+                });
+            }
+        }
+    }
+    Ok(DayOutcome {
+        energy_j,
+        violations,
+        slots,
+    })
+}
+
 /// A menu entry annotated with its worst-case `k`-failure behaviour: the
 /// degraded service time and per-job energy of the same deployment after
 /// losing its `k` most valuable nodes (from
@@ -802,6 +945,83 @@ mod tests {
         assert!(DiurnalProfile::new(f64::NAN, 0.5, 24, 3600.0).is_err());
         assert!(DiurnalProfile::new(1.0, 0.5, 24, f64::INFINITY).is_err());
         assert!(DiurnalProfile::new(1.0, 0.5, 24, f64::NAN).is_err());
+    }
+
+    fn parkable_menu() -> Vec<ParkableChoice> {
+        menu()
+            .into_iter()
+            .map(|choice| {
+                let sleep = Some(SleepPolicy {
+                    sleep_power_w: choice.idle_power_w * 0.1,
+                    residency_s: 0.05,
+                });
+                ParkableChoice { choice, sleep }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parking_day_never_costs_more_than_plain_day() {
+        let profile = DiurnalProfile::new(1.0, 0.1, 24, 3600.0).unwrap();
+        let slo = 1.0;
+        let plain = run_day(&menu(), &profile, slo).unwrap();
+        let parked = run_day_parking(&parkable_menu(), &profile, slo).unwrap();
+        assert!(parked.energy_j < plain.energy_j, "no cluster-sleep savings");
+        assert!(parked.violations <= plain.violations);
+        // A sleep-less parkable menu reproduces the plain day exactly.
+        let no_sleep: Vec<ParkableChoice> = menu()
+            .into_iter()
+            .map(|choice| ParkableChoice {
+                choice,
+                sleep: None,
+            })
+            .collect();
+        let same = run_day_parking(&no_sleep, &profile, slo).unwrap();
+        assert_eq!(same.energy_j, plain.energy_j);
+        assert_eq!(same.violations, plain.violations);
+    }
+
+    #[test]
+    fn parking_savings_concentrate_in_troughs() {
+        let profile = DiurnalProfile::new(1.0, 0.9, 24, 3600.0).unwrap();
+        let slo = 5.0;
+        // Pin the menu to the single cheap configuration so every slot
+        // runs the same hardware and the sleep credit depends only on λ.
+        let plain_menu = vec![menu().remove(1)];
+        let park_menu = vec![parkable_menu().remove(1)];
+        let plain = run_day(&plain_menu, &profile, slo).unwrap();
+        let parked = run_day_parking(&park_menu, &profile, slo).unwrap();
+        // Idle gaps are long when λ is small, so the deep-sleep credit
+        // must be larger in the trough than at the peak.
+        let (mut trough_saving, mut peak_saving) = (0.0f64, 0.0f64);
+        for (p, q) in plain.slots.iter().zip(&parked.slots) {
+            let saving = p.energy_j - q.energy_j;
+            if p.lambda < 0.2 {
+                trough_saving = trough_saving.max(saving);
+            } else if p.lambda > 1.5 {
+                peak_saving = peak_saving.max(saving);
+            }
+        }
+        assert!(
+            trough_saving > peak_saving && peak_saving > 0.0,
+            "trough {trough_saving} vs peak {peak_saving}"
+        );
+    }
+
+    #[test]
+    fn parking_rejects_invalid_sleep_policies() {
+        let mut m = parkable_menu();
+        m[0].sleep = Some(SleepPolicy {
+            sleep_power_w: m[0].choice.idle_power_w + 1.0,
+            residency_s: 0.0,
+        });
+        assert!(best_choice_parking(&m, 0.5, 3600.0, 1.0).is_err());
+        let mut m = parkable_menu();
+        m[1].sleep = Some(SleepPolicy {
+            sleep_power_w: f64::NAN,
+            residency_s: 0.0,
+        });
+        assert!(best_choice_parking(&m, 0.5, 3600.0, 1.0).is_err());
     }
 
     #[test]

@@ -395,6 +395,66 @@ pub fn window_energy(
     })
 }
 
+/// Cluster-sleep capability of a configuration's powered nodes: during
+/// idle gaps longer than `residency_s` the whole cluster's power domains
+/// drop to `sleep_power_w` instead of the always-on idle floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleepPolicy {
+    /// Floor power of the slept configuration, watts. Must not exceed the
+    /// configuration's idle power.
+    pub sleep_power_w: f64,
+    /// Minimum idle-gap length for the deep state to pay off, seconds.
+    pub residency_s: f64,
+}
+
+/// [`window_energy`] with cluster sleep: idle gaps of the M/D/1 server are
+/// exponential with rate `λ` (PASTA: a gap ends at the next arrival), so
+/// of the total idle time `L·(1−ρ)` the expected share spent *past* the
+/// residency horizon is `e^{−λ·residency}`:
+///
+/// ```text
+/// sleepable = L·(1−ρ)·e^{−λ·r}
+/// idle_energy = idle_w·(L·(1−ρ) − sleepable) + sleep_w·sleepable
+/// ```
+///
+/// (Derivation: gaps start at rate `λ·(1−ρ)` per second and each gap
+/// `G ~ Exp(λ)` contributes `E[max(G−r, 0)] = e^{−λr}/λ` of deep-sleep
+/// time, giving `L·λ(1−ρ)·e^{−λr}/λ`.) With `r = 0` every idle second is
+/// sleepable; as `λ` grows the gaps shorten and the credit vanishes —
+/// cluster sleep is a trough phenomenon, which is exactly when diurnal
+/// dispatch wants to park whole clusters.
+///
+/// # Errors
+/// Same domain errors as [`window_energy`], plus [`Error::InvalidInput`]
+/// for a non-finite/negative sleep policy or `sleep_power_w` above the
+/// configuration's idle power.
+pub fn window_energy_sleep(
+    lambda: f64,
+    window_s: f64,
+    service_s: f64,
+    job_energy_j: f64,
+    idle_power_w: f64,
+    sleep: &SleepPolicy,
+) -> Result<WindowEnergy> {
+    if !sleep.sleep_power_w.is_finite()
+        || sleep.sleep_power_w < 0.0
+        || sleep.sleep_power_w > idle_power_w
+        || !sleep.residency_s.is_finite()
+        || sleep.residency_s < 0.0
+    {
+        return Err(Error::InvalidInput(format!(
+            "sleep policy needs finite 0 <= sleep_power_w <= idle_power_w and finite \
+             non-negative residency, got sleep_power_w={}, residency_s={}, idle_power_w={}",
+            sleep.sleep_power_w, sleep.residency_s, idle_power_w
+        )));
+    }
+    let mut we = window_energy(lambda, window_s, service_s, job_energy_j, idle_power_w)?;
+    let idle_s = window_s * (1.0 - we.utilization);
+    let sleepable_s = idle_s * (-lambda * sleep.residency_s).exp();
+    we.idle_energy_j = idle_power_w * (idle_s - sleepable_s) + sleep.sleep_power_w * sleepable_s;
+    Ok(we)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +640,60 @@ mod tests {
         assert!((w.total_j() - 360.0).abs() < 1e-12);
         assert!((w.utilization - 0.2).abs() < 1e-12);
         assert!(w.response_s > 0.1);
+    }
+
+    #[test]
+    fn window_energy_sleep_accounting() {
+        // Same slot as `window_energy_accounting`: λ = 2, T = 0.1, L = 20,
+        // idle time 16 s. Zero residency sleeps through all of it.
+        let sleep_all = SleepPolicy {
+            sleep_power_w: 1.0,
+            residency_s: 0.0,
+        };
+        let w = window_energy_sleep(2.0, 20.0, 0.1, 5.0, 10.0, &sleep_all).unwrap();
+        assert!((w.busy_energy_j - 200.0).abs() < 1e-12);
+        // All 16 idle seconds at 1 W instead of 10 W.
+        assert!((w.idle_energy_j - 16.0).abs() < 1e-12);
+
+        // With residency r: sleepable = 16·e^{−2r}.
+        let sleep_r = SleepPolicy {
+            sleep_power_w: 1.0,
+            residency_s: 0.5,
+        };
+        let w = window_energy_sleep(2.0, 20.0, 0.1, 5.0, 10.0, &sleep_r).unwrap();
+        let sleepable = 16.0 * (-2.0f64 * 0.5).exp();
+        let expect = 10.0 * (16.0 - sleepable) + 1.0 * sleepable;
+        assert!((w.idle_energy_j - expect).abs() < 1e-9);
+
+        // Sleep never costs more than the always-on floor, and a sleep
+        // power equal to the idle power changes nothing.
+        let plain = window_energy(2.0, 20.0, 0.1, 5.0, 10.0).unwrap();
+        assert!(w.idle_energy_j < plain.idle_energy_j);
+        let noop = SleepPolicy {
+            sleep_power_w: 10.0,
+            residency_s: 0.0,
+        };
+        let w = window_energy_sleep(2.0, 20.0, 0.1, 5.0, 10.0, &noop).unwrap();
+        assert!((w.idle_energy_j - plain.idle_energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_energy_sleep_rejects_bad_policies() {
+        let bad = SleepPolicy {
+            sleep_power_w: 11.0, // above idle_power_w
+            residency_s: 0.0,
+        };
+        assert!(window_energy_sleep(2.0, 20.0, 0.1, 5.0, 10.0, &bad).is_err());
+        let bad = SleepPolicy {
+            sleep_power_w: f64::NAN,
+            residency_s: 0.0,
+        };
+        assert!(window_energy_sleep(2.0, 20.0, 0.1, 5.0, 10.0, &bad).is_err());
+        let bad = SleepPolicy {
+            sleep_power_w: 1.0,
+            residency_s: -1.0,
+        };
+        assert!(window_energy_sleep(2.0, 20.0, 0.1, 5.0, 10.0, &bad).is_err());
     }
 
     #[test]

@@ -205,6 +205,53 @@ mod tests {
     }
 
     #[test]
+    fn ladder_bundles_load_and_hash_their_opp_tables() {
+        use hecmix_core::dvfs::NodeDvfs;
+
+        let mk = |sleep_frac: f64| {
+            let models = pair();
+            models
+                .into_iter()
+                .map(|m| {
+                    let dvfs = NodeDvfs::synthetic_ladder(&m.power, m.platform.cores, sleep_frac);
+                    m.with_dvfs(dvfs)
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let dir = std::env::temp_dir().join(format!("hecmix-ladder-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let models = mk(0.1);
+        persist::save(&models[1], &dir.join("ep-cortex-a9.model")).expect("save arm");
+        persist::save(&models[0], &dir.join("ep-k10.model")).expect("save amd");
+        let store = ModelStore::from_dir(&dir, &[]).expect("ladder bundle loads");
+        let entry = store.get("ep").expect("ep loaded");
+        assert!(
+            entry.models.iter().all(|m| m.dvfs.is_some()),
+            "ladders must survive the round trip"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The content hash covers the OPP tables: a bundle that differs
+        // only in its DVFS extension must hash differently.
+        let mut plain = ModelStore::new();
+        plain.insert("ep", pair());
+        let mut laddered = ModelStore::new();
+        laddered.insert("ep", mk(0.1));
+        let mut laddered2 = ModelStore::new();
+        laddered2.insert("ep", mk(0.2));
+        let (h_plain, h_l1, h_l2) = (
+            plain.get("ep").unwrap().hash,
+            laddered.get("ep").unwrap().hash,
+            laddered2.get("ep").unwrap().hash,
+        );
+        assert_ne!(h_plain, h_l1, "ladder must change the bundle hash");
+        assert_ne!(h_l1, h_l2, "OPP/domain edits must change the hash");
+        // And the file path reproduces the programmatic hash.
+        assert_eq!(entry.hash, h_l1);
+    }
+
+    #[test]
     fn from_dir_round_trips_saved_pairs_and_rejects_singletons() {
         let dir = std::env::temp_dir().join(format!("hecmix-store-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mkdir");

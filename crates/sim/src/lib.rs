@@ -57,7 +57,8 @@ pub use faults::{
 };
 pub use jobs::{run_job_stream, JobStreamMeasurement, JobStreamSpec};
 pub use node::{
-    run_node, run_node_faulted, FaultedNodeMeasurement, Governor, NodeMeasurement, NodeRunSpec,
+    run_node, run_node_faulted, DomainSleepSpec, FaultedNodeMeasurement, Governor, NodeMeasurement,
+    NodeRunSpec,
 };
 pub use noise::Noise;
 pub use trace::{ArrivalProcess, UnitDemand, WorkloadTrace};
