@@ -188,6 +188,10 @@ pub fn run_all(seed: u64) -> CheckReport {
             "ladder-stream-vs-exhaustive",
             oracles::ladder_stream_vs_exhaustive(seed),
         ),
+        CheckResult::new(
+            "sched-degenerate-vs-mix",
+            oracles::sched_degenerate_vs_mix(),
+        ),
     ];
     results.extend(invariant_results(&space, &models, w));
     for r in &results {

@@ -590,6 +590,114 @@ pub fn ladder_stream_vs_exhaustive_models(
     violations
 }
 
+/// Degenerate online scheduler vs offline mix-and-match: with a single
+/// job class, infinite deadlines, and `α = 1` (pure performance), the
+/// scheduler's steady-state placement must reproduce the offline
+/// planner's answer on the maxed pool along both axes:
+///
+/// * **operating points** — every committed unit runs at each type's
+///   top-rate option (`best_choice` per node), nothing on lower OPPs;
+/// * **shares** — committed work per type matches the rate-proportional
+///   [`mix_and_match`] split of the same total on
+///   [`NodeConfig::maxed`] nodes.
+///
+/// Tolerance: the greedy earliest-finish fill quantizes shares at one
+/// job, so with 300 equal jobs across a 5-node pool the split can sit a
+/// couple of jobs off the continuous optimum per type; 3% of the total
+/// covers that with margin while still catching any systematic skew
+/// (a wrong rate, a missing option, a biased tie-break).
+#[must_use]
+pub fn sched_degenerate_vs_mix() -> Vec<String> {
+    use hecmix_sched::{JobSpec, Pool, SchedConfig, Scheduler};
+
+    let (_space, models, _w) = crate::reference_scenario();
+    let counts = vec![3u32, 2u32];
+    let pool = match Pool::new(
+        vec![("selfcheck".to_owned(), models.clone())],
+        counts.clone(),
+    ) {
+        Ok(p) => p,
+        Err(e) => return vec![format!("pool construction failed: {e}")],
+    };
+    let job_units = pool.classes[0].peak_rate(); // ~1 s on the fastest node
+    let n_jobs = 300u64;
+    let jobs: Vec<JobSpec> = (0..n_jobs)
+        .map(|id| JobSpec {
+            id,
+            workload: 0,
+            size_units: job_units,
+            arrival_s: 0.0,
+            deadline_s: f64::INFINITY,
+        })
+        .collect();
+    let sched = match Scheduler::new(
+        pool.clone(),
+        SchedConfig {
+            alpha: 1.0,
+            max_outstanding: jobs.len(),
+            ..SchedConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("scheduler construction failed: {e}")],
+    };
+    let out = match sched.run(&jobs) {
+        Ok(o) => o,
+        Err(e) => return vec![format!("scheduler run failed: {e}")],
+    };
+    let mut violations = Vec::new();
+    if out.completed != jobs.len() || out.misses != 0 {
+        violations.push(format!(
+            "degenerate run must complete everything cleanly: {} of {} completed, {} misses",
+            out.completed,
+            jobs.len(),
+            out.misses
+        ));
+    }
+    // Axis 1: only each type's top-rate option may carry work.
+    for (t, menu) in pool.classes[0].options.iter().enumerate() {
+        let best = menu
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.rate.total_cmp(&b.rate))
+            .map(|(k, _)| k)
+            .expect("menus are non-empty");
+        for (k, &units) in out.units_by_option[0][t].iter().enumerate() {
+            if k != best && units > 0.0 {
+                violations.push(format!(
+                    "type {t}: {units} units placed on option {k} ({} GHz) instead of the \
+                     top-rate option {best}",
+                    menu[k].cfg.freq.ghz()
+                ));
+            }
+        }
+    }
+    // Axis 2: per-type shares match the offline split of the same total.
+    let point = ClusterPoint {
+        per_type: pool
+            .platforms
+            .iter()
+            .zip(&counts)
+            .map(|(p, &n)| Some(NodeConfig::maxed(p, n)))
+            .collect(),
+    };
+    let total = job_units * n_jobs as f64;
+    match mix_and_match(&point, &models, total) {
+        Ok(split) => {
+            for (t, (&got, &want)) in out.per_type_units.iter().zip(&split.shares).enumerate() {
+                if (got - want).abs() > 0.03 * total {
+                    violations.push(format!(
+                        "type {t} share off: scheduler committed {got:.3e} units, \
+                         mix-and-match assigns {want:.3e} (total {total:.3e})"
+                    ));
+                }
+            }
+        }
+        Err(e) => violations.push(format!("mix_and_match failed: {e}")),
+    }
+    violations
+}
+
 /// Seeded random valid [`NodeDvfs`](hecmix_core::dvfs::NodeDvfs): 2–4
 /// OPPs with strictly increasing
 /// frequency and capacity, a 0–2 state idle ladder (power non-increasing,

@@ -152,6 +152,28 @@ fn corrupt_model_files_fail_to_load_without_panicking() {
 }
 
 #[test]
+fn malformed_job_trace_is_rejected_not_scheduled() {
+    let text = std::fs::read_to_string(corpus_path("malformed_trace.trace"))
+        .expect("corpus trace readable");
+    let known = ["memcached", "julius"];
+    match hecmix_sched::parse_trace(&text, &known) {
+        Err(Error::InvalidInput(msg)) => {
+            assert!(
+                msg.contains("deadline"),
+                "rejection must name the deadline ordering, got: {msg}"
+            );
+        }
+        other => panic!("malformed trace must be InvalidInput, got {other:?}"),
+    }
+    // The same trace with the poisoned entry repaired loads cleanly — the
+    // loader rejects the entry, not the format.
+    let repaired = text.replace("10.0 5.0", "10.0 50.0");
+    let jobs = hecmix_sched::parse_trace(&repaired, &known).expect("repaired trace parses");
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(jobs[1].workload, 1);
+}
+
+#[test]
 fn energy_pricing_survives_ulp_scale_durations() {
     let case = parse_case("energy_ulp.case");
     let arm = Platform::reference_arm();

@@ -36,6 +36,7 @@ pub mod lab;
 pub mod ppr;
 pub mod report;
 pub mod resilience;
+pub mod scheduler;
 pub mod validation;
 
 pub use lab::Lab;

@@ -30,9 +30,11 @@ use hecmix_experiments::headline::headline;
 use hecmix_experiments::lab::{table1_rows, Lab};
 use hecmix_experiments::ppr::table5;
 use hecmix_experiments::report::{ascii_scatter, fmt_f, render_table, CsvWriter, RunContext};
+use hecmix_experiments::scheduler::{scheduler_pool, scheduler_study};
 use hecmix_experiments::validation::{table3, table4};
 use hecmix_queueing::dispatch::DiurnalProfile;
 use hecmix_workloads::ep::Ep;
+use hecmix_workloads::julius::Julius;
 use hecmix_workloads::memcached::Memcached;
 use hecmix_workloads::Workload;
 
@@ -105,6 +107,7 @@ fn main() -> ExitCode {
             "tail-planning",
             "dvfs-ladder",
             "resilience",
+            "scheduler",
             "selfcheck",
         ]
         .iter()
@@ -182,6 +185,7 @@ fn main() -> ExitCode {
             "tail-planning" => run_tail_planning(&lab, &csv),
             "dvfs-ladder" => run_dvfs_ladder(&lab, &csv),
             "resilience" => run_resilience(&lab, &csv),
+            "scheduler" => run_scheduler(&lab, &csv),
             "selfcheck" => run_selfcheck(&lab, &csv),
             other => {
                 eprintln!("unknown artifact: --{other}");
@@ -1002,6 +1006,136 @@ fn run_tail_planning(lab: &Lab, csv: &CsvWriter) {
         );
     }
     let _ = csv.write("tail_planning", &header, &table);
+}
+
+fn run_scheduler(lab: &Lab, csv: &CsvWriter) {
+    println!("== Extension: online α-scheduler vs static mix-and-match (DESIGN.md §16) ==");
+    let pool = scheduler_pool(
+        lab,
+        &[&Memcached::default(), &Julius::default()],
+        vec![6, 5],
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |trace: &str,
+                    policy: String,
+                    jobs: usize,
+                    admitted: usize,
+                    rejected: usize,
+                    misses: usize,
+                    miss_rate: f64,
+                    active_j: f64,
+                    idle_j: f64,
+                    energy_j: f64,
+                    makespan_s: f64,
+                    migrations: usize| {
+        rows.push(vec![
+            trace.to_owned(),
+            policy,
+            jobs.to_string(),
+            admitted.to_string(),
+            rejected.to_string(),
+            misses.to_string(),
+            fmt_f(miss_rate),
+            fmt_f(active_j),
+            fmt_f(idle_j),
+            fmt_f(energy_j),
+            fmt_f(makespan_s),
+            migrations.to_string(),
+        ]);
+    };
+    for dominant in 0..pool.classes.len() {
+        let s = scheduler_study(&pool, dominant, 1, 0x5CED_2014);
+        println!(
+            "trace {:<10} {:>3} jobs — static mix-and-match: {:>8.0} J, miss rate {:.3}",
+            s.trace,
+            s.jobs,
+            s.baseline.energy_j(),
+            s.baseline.miss_rate()
+        );
+        push(
+            &s.trace,
+            "static".to_owned(),
+            s.jobs,
+            s.jobs,
+            0,
+            s.baseline.misses,
+            s.baseline.miss_rate(),
+            s.baseline.active_energy_j,
+            s.baseline.idle_energy_j,
+            s.baseline.energy_j(),
+            s.baseline.makespan_s,
+            0,
+        );
+        for a in &s.sweep {
+            let o = &a.outcome;
+            println!(
+                "  α = {:>4.2}: {:>8.0} J ({:+5.1} % vs static), miss rate {:.3}",
+                a.alpha,
+                o.energy_j(),
+                100.0 * (o.energy_j() - s.baseline.energy_j()) / s.baseline.energy_j(),
+                o.miss_rate()
+            );
+            push(
+                &s.trace,
+                format!("alpha-{:.2}", a.alpha),
+                s.jobs,
+                o.admitted,
+                o.rejected,
+                o.misses,
+                o.miss_rate(),
+                o.active_energy_j,
+                o.idle_energy_j,
+                o.energy_j(),
+                o.makespan_s,
+                o.migrations,
+            );
+        }
+        let f = &s.faulted;
+        println!(
+            "  α = 0.50 under 2 seeded crashes: {:>8.0} J, miss rate {:.3}, {} migrations",
+            f.energy_j(),
+            f.miss_rate(),
+            f.migrations
+        );
+        push(
+            &s.trace,
+            "alpha-0.50+crashes".to_owned(),
+            s.jobs,
+            f.admitted,
+            f.rejected,
+            f.misses,
+            f.miss_rate(),
+            f.active_energy_j,
+            f.idle_energy_j,
+            f.energy_j(),
+            f.makespan_s,
+            f.migrations,
+        );
+        let winners = s.winning_alphas();
+        println!("  α beating static outright (lower energy, miss rate no worse): {winners:?}");
+        assert!(
+            !winners.is_empty(),
+            "scheduler artifact must beat the static baseline on every trace"
+        );
+    }
+    let _ = csv.write(
+        "scheduler",
+        &[
+            "trace",
+            "policy",
+            "jobs",
+            "admitted",
+            "rejected",
+            "misses",
+            "miss_rate",
+            "active_j",
+            "idle_j",
+            "energy_j",
+            "makespan_s",
+            "migrations",
+        ],
+        &rows,
+    );
 }
 
 fn run_selfcheck(lab: &Lab, csv: &CsvWriter) {

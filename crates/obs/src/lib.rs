@@ -484,6 +484,86 @@ pub enum Event {
         violated: bool,
     },
 
+    // ---- hecmix-sched: online energy-aware task scheduler ----
+    /// A job entered the scheduler's admission stage (replay or live
+    /// `/submit`). Emitted for every job, admitted or not.
+    JobSubmitted {
+        /// Job id (trace order or daemon-assigned).
+        job: u64,
+        /// Workload name.
+        workload: String,
+        /// Job size in work units.
+        size_units: f64,
+        /// Arrival time on the scheduler clock, seconds.
+        arrival_s: f64,
+        /// Absolute completion deadline, seconds (infinite = none).
+        deadline_s: f64,
+        /// False when bounded admission rejected the job.
+        admitted: bool,
+    },
+    /// A task was placed (initially or after a migration) on one node at
+    /// one OPP by the α-score.
+    TaskPlaced {
+        /// Job id.
+        job: u64,
+        /// Node type index in the pool.
+        type_idx: usize,
+        /// Node index within its type.
+        node_idx: u32,
+        /// Option index into the per-(type, OPP) candidate list.
+        opt: usize,
+        /// Scheduled start, seconds.
+        start_s: f64,
+        /// Predicted finish, seconds.
+        finish_s: f64,
+        /// Work units this placement will retire.
+        units: f64,
+        /// Predicted active energy of the placement, joules.
+        energy_j: f64,
+    },
+    /// A fault (crash/straggler/power-cap) forced a task off its
+    /// reservation; committed chunks stay charged, the in-flight chunk is
+    /// rolled back, and the remainder is re-placed.
+    TaskMigrated {
+        /// Job id.
+        job: u64,
+        /// Node type the task was driven from.
+        from_type: usize,
+        /// Node index the task was driven from.
+        from_node: u32,
+        /// Node type it re-placed onto.
+        to_type: usize,
+        /// Node index it re-placed onto.
+        to_node: u32,
+        /// Migration time on the scheduler clock, seconds.
+        at_s: f64,
+        /// What displaced it: `"crash"`, `"straggler"`, `"power_cap"`,
+        /// `"nic_degrade"`.
+        reason: &'static str,
+        /// Work units of the rolled-back in-flight chunk (recomputed
+        /// elsewhere; their energy charge was refunded).
+        lost_units: f64,
+    },
+    /// A job finished after its deadline.
+    DeadlineMiss {
+        /// Job id.
+        job: u64,
+        /// The deadline it missed, seconds.
+        deadline_s: f64,
+        /// Actual finish, seconds.
+        finish_s: f64,
+    },
+    /// Periodic scheduler heartbeat (virtual time in replay, wall time
+    /// behind `/submit`).
+    SchedTick {
+        /// Scheduler clock, seconds.
+        t_s: f64,
+        /// Tasks executing at the tick.
+        running: usize,
+        /// Jobs admitted but not yet finished.
+        outstanding: usize,
+    },
+
     // ---- generic ----
     /// A named wall-clock span measured by [`ScopedTimer`].
     Timer {
@@ -544,6 +624,11 @@ impl Event {
             Event::FailoverRewarm { .. } => "failover_rewarm",
             Event::DesRun { .. } => "des_run",
             Event::TailPlan { .. } => "tail_plan",
+            Event::JobSubmitted { .. } => "job_submitted",
+            Event::TaskPlaced { .. } => "task_placed",
+            Event::TaskMigrated { .. } => "task_migrated",
+            Event::DeadlineMiss { .. } => "deadline_miss",
+            Event::SchedTick { .. } => "sched_tick",
             Event::Timer { .. } => "timer",
             Event::Warning { .. } => "warning",
         }
@@ -932,6 +1017,77 @@ impl Event {
                 o.u64("chosen", *chosen as u64);
                 o.f64("tail_s", *tail_s);
                 o.bool("violated", *violated);
+            }
+            Event::JobSubmitted {
+                job,
+                workload,
+                size_units,
+                arrival_s,
+                deadline_s,
+                admitted,
+            } => {
+                o.u64("job", *job);
+                o.str("workload", workload);
+                o.f64("size_units", *size_units);
+                o.f64("arrival_s", *arrival_s);
+                o.f64("deadline_s", *deadline_s);
+                o.bool("admitted", *admitted);
+            }
+            Event::TaskPlaced {
+                job,
+                type_idx,
+                node_idx,
+                opt,
+                start_s,
+                finish_s,
+                units,
+                energy_j,
+            } => {
+                o.u64("job", *job);
+                o.u64("type_idx", *type_idx as u64);
+                o.u64("node_idx", u64::from(*node_idx));
+                o.u64("opt", *opt as u64);
+                o.f64("start_s", *start_s);
+                o.f64("finish_s", *finish_s);
+                o.f64("units", *units);
+                o.f64("energy_j", *energy_j);
+            }
+            Event::TaskMigrated {
+                job,
+                from_type,
+                from_node,
+                to_type,
+                to_node,
+                at_s,
+                reason,
+                lost_units,
+            } => {
+                o.u64("job", *job);
+                o.u64("from_type", *from_type as u64);
+                o.u64("from_node", u64::from(*from_node));
+                o.u64("to_type", *to_type as u64);
+                o.u64("to_node", u64::from(*to_node));
+                o.f64("at_s", *at_s);
+                o.str("reason", reason);
+                o.f64("lost_units", *lost_units);
+            }
+            Event::DeadlineMiss {
+                job,
+                deadline_s,
+                finish_s,
+            } => {
+                o.u64("job", *job);
+                o.f64("deadline_s", *deadline_s);
+                o.f64("finish_s", *finish_s);
+            }
+            Event::SchedTick {
+                t_s,
+                running,
+                outstanding,
+            } => {
+                o.f64("t_s", *t_s);
+                o.u64("running", *running as u64);
+                o.u64("outstanding", *outstanding as u64);
             }
             Event::Timer { name, wall_s } => {
                 o.str("name", name);
@@ -1417,6 +1573,44 @@ mod tests {
                 chosen: 0,
                 tail_s: 0.0,
                 violated: false,
+            },
+            Event::JobSubmitted {
+                job: 0,
+                workload: String::new(),
+                size_units: 0.0,
+                arrival_s: 0.0,
+                deadline_s: 0.0,
+                admitted: true,
+            },
+            Event::TaskPlaced {
+                job: 0,
+                type_idx: 0,
+                node_idx: 0,
+                opt: 0,
+                start_s: 0.0,
+                finish_s: 0.0,
+                units: 0.0,
+                energy_j: 0.0,
+            },
+            Event::TaskMigrated {
+                job: 0,
+                from_type: 0,
+                from_node: 0,
+                to_type: 0,
+                to_node: 0,
+                at_s: 0.0,
+                reason: "crash",
+                lost_units: 0.0,
+            },
+            Event::DeadlineMiss {
+                job: 0,
+                deadline_s: 0.0,
+                finish_s: 0.0,
+            },
+            Event::SchedTick {
+                t_s: 0.0,
+                running: 0,
+                outstanding: 0,
             },
             Event::Timer {
                 name: "x",

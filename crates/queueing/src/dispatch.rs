@@ -89,6 +89,43 @@ impl DiurnalProfile {
         let phase = std::f64::consts::TAU * f64::from(slot % self.slots) / f64::from(self.slots);
         (self.base_lambda * (1.0 + self.amplitude * phase.sin())).max(1e-9)
     }
+
+    /// Length of one day, seconds.
+    #[must_use]
+    pub fn day_s(&self) -> f64 {
+        f64::from(self.slots) * self.slot_s
+    }
+
+    /// Continuous arrival rate at an arbitrary instant: piecewise-linear
+    /// interpolation between *slot midpoints*, wrapping around the day
+    /// boundary (the last slot's midpoint connects to the first slot's —
+    /// hour 23 interpolates into hour 0, not into a phantom hour 24).
+    ///
+    /// The per-slot [`Self::lambda_at`] used by `run_day`/`run_day_parking`
+    /// treats each slot as a constant plateau and wraps by `slot % slots`;
+    /// this is its continuous counterpart for trace replay (`hecmix-sched`
+    /// synthesizes Poisson arrivals against it). At every slot midpoint
+    /// the two agree exactly. Times outside `[0, day)` wrap via
+    /// `rem_euclid`, so negative instants are safe too.
+    #[must_use]
+    pub fn lambda_at_time(&self, t_s: f64) -> f64 {
+        let day = self.day_s();
+        let t = t_s.rem_euclid(day);
+        // Position in midpoint coordinates: slot k's midpoint sits at
+        // (k + 0.5)·slot_s, i.e. midpoint coordinate k. For t inside the
+        // first half of slot 0 this goes negative, which must select the
+        // wrap segment (slots-1 → 0) — the day-boundary off-by-one a
+        // plain `floor` + cast would get wrong (casting -0.3 to u32
+        // saturates to 0 and would interpolate 0 → 1 instead).
+        let pos = t / self.slot_s - 0.5;
+        let lo = pos.floor();
+        let frac = pos - lo;
+        let slots = f64::from(self.slots);
+        let s0 = lo.rem_euclid(slots) as u32;
+        let s1 = (s0 + 1) % self.slots;
+        let (a, b) = (self.lambda_at(s0), self.lambda_at(s1));
+        (a + (b - a) * frac).max(1e-9)
+    }
 }
 
 /// Result of one slot under a policy.
@@ -945,6 +982,72 @@ mod tests {
         assert!(DiurnalProfile::new(f64::NAN, 0.5, 24, 3600.0).is_err());
         assert!(DiurnalProfile::new(1.0, 0.5, 24, f64::INFINITY).is_err());
         assert!(DiurnalProfile::new(1.0, 0.5, 24, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn diurnal_interpolation_wraps_the_day_boundary() {
+        // Day-wrap audit (ISSUE 10, satellite 2): the continuous profile
+        // must interpolate hour 23 into hour 0, with no discontinuity and
+        // no off-by-one at either end of the day.
+        let p = DiurnalProfile::new(1.0, 0.5, 24, 3600.0).unwrap();
+        let day = p.day_s();
+
+        // Exact agreement with the discrete profile at every midpoint,
+        // including slot 0 and the last slot.
+        for s in 0..24u32 {
+            let mid = (f64::from(s) + 0.5) * p.slot_s;
+            assert!(
+                (p.lambda_at_time(mid) - p.lambda_at(s)).abs() < 1e-12,
+                "midpoint of slot {s}"
+            );
+        }
+
+        // The 23 → 0 wrap segment is linear between the two midpoints:
+        // t = 0 lies exactly halfway between midpoint(23) and midpoint(0).
+        let expected_at_zero = 0.5 * (p.lambda_at(23) + p.lambda_at(0));
+        assert!((p.lambda_at_time(0.0) - expected_at_zero).abs() < 1e-12);
+        // Same point approached from the end of the day.
+        assert!((p.lambda_at_time(day) - expected_at_zero).abs() < 1e-9);
+
+        // Continuity across the boundary: a tiny step over midnight moves
+        // the rate by no more than the wrap segment's slope allows.
+        let slope = (p.lambda_at(0) - p.lambda_at(23)).abs() / p.slot_s;
+        let eps = 1e-3;
+        let before = p.lambda_at_time(day - eps);
+        let after = p.lambda_at_time(day + eps);
+        assert!(
+            (after - before).abs() <= slope * 2.0 * eps + 1e-9,
+            "jump across midnight: {before} -> {after}"
+        );
+
+        // Periodic and defined for negative instants.
+        assert!((p.lambda_at_time(-1.0) - p.lambda_at_time(day - 1.0)).abs() < 1e-9);
+        assert!((p.lambda_at_time(2.0 * day + 7.0) - p.lambda_at_time(7.0)).abs() < 1e-9);
+
+        // The discrete lookup run_day_parking uses wraps too (hour 24 ==
+        // hour 0) — pinned here next to the continuous case.
+        assert_eq!(p.lambda_at(24), p.lambda_at(0));
+    }
+
+    #[test]
+    fn idle_gap_energy_prices_sleep_only_past_residency() {
+        use crate::idle_gap_energy_j;
+        let sleep = SleepPolicy {
+            sleep_power_w: 2.0,
+            residency_s: 10.0,
+        };
+        // Short gap: always-on idle floor.
+        assert!((idle_gap_energy_j(5.0, 8.0, Some(&sleep)) - 40.0).abs() < 1e-12);
+        // Long gap: whole gap at the deep floor.
+        assert!((idle_gap_energy_j(20.0, 8.0, Some(&sleep)) - 40.0).abs() < 1e-12);
+        // Exactly at residency: parks (>=, matching the simulator).
+        assert!((idle_gap_energy_j(10.0, 8.0, Some(&sleep)) - 20.0).abs() < 1e-12);
+        // No policy: idle floor.
+        assert!((idle_gap_energy_j(10.0, 8.0, None) - 80.0).abs() < 1e-12);
+        // Degenerate gaps are free, not errors.
+        assert_eq!(idle_gap_energy_j(0.0, 8.0, None), 0.0);
+        assert_eq!(idle_gap_energy_j(-3.0, 8.0, Some(&sleep)), 0.0);
+        assert_eq!(idle_gap_energy_j(f64::NAN, 8.0, None), 0.0);
     }
 
     fn parkable_menu() -> Vec<ParkableChoice> {

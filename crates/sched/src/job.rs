@@ -1,0 +1,476 @@
+//! Job streams: specs, the hardened trace loader, and seeded diurnal
+//! synthesis.
+//!
+//! A *job* is one indivisible task: `size_units` work units of one
+//! workload, released at `arrival_s`, due (if at all) at `deadline_s`.
+//! Streams come from three places — a trace file (the `[jobs]` section or
+//! a bare standalone trace), programmatic construction, or the seeded
+//! diurnal Poisson synthesizer driven by
+//! [`hecmix_queueing::dispatch::DiurnalProfile::lambda_at_time`].
+
+use hecmix_core::error::{Error, Result};
+use hecmix_queueing::dispatch::DiurnalProfile;
+
+/// One job of the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Stable id: position in the trace (or synthesis order).
+    pub id: u64,
+    /// Index into the pool's workload list.
+    pub workload: usize,
+    /// Work units to execute (positive, finite).
+    pub size_units: f64,
+    /// Release time in seconds (non-negative, finite).
+    pub arrival_s: f64,
+    /// Completion deadline in seconds; `f64::INFINITY` means none.
+    /// Finite deadlines must lie strictly after the arrival.
+    pub deadline_s: f64,
+}
+
+impl JobSpec {
+    /// Validate one spec against a pool with `workloads` workload classes.
+    pub fn validate(&self, workloads: usize) -> Result<()> {
+        if self.workload >= workloads {
+            return Err(Error::InvalidInput(format!(
+                "job {}: workload index {} out of range (pool has {workloads})",
+                self.id, self.workload
+            )));
+        }
+        if self.size_units <= 0.0 || !self.size_units.is_finite() {
+            return Err(Error::InvalidInput(format!(
+                "job {}: size must be positive and finite, got {}",
+                self.id, self.size_units
+            )));
+        }
+        if !self.arrival_s.is_finite() || self.arrival_s < 0.0 {
+            return Err(Error::InvalidInput(format!(
+                "job {}: arrival must be non-negative and finite, got {}",
+                self.id, self.arrival_s
+            )));
+        }
+        // NaN deadlines are rejected along with non-positive slack.
+        if self.deadline_s.is_nan() || self.deadline_s <= self.arrival_s {
+            return Err(Error::InvalidInput(format!(
+                "job {}: deadline {} must lie strictly after arrival {}",
+                self.id, self.deadline_s, self.arrival_s
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parse a job trace. Two layouts are accepted:
+///
+/// * a `[jobs]` section of `job = <workload> <size> <arrival> <deadline>`
+///   lines (other sections are ignored, so a trace can ride inside a
+///   larger config file), or
+/// * a bare standalone trace: one `<workload> <size> <arrival> <deadline>`
+///   line per job, no section header.
+///
+/// `<workload>` is a name resolved against `workloads` (the pool's class
+/// list, in order); `<deadline>` may be `inf` or `none` for no deadline.
+/// `#` starts a comment. Every parsed spec is validated: non-finite or
+/// non-positive sizes, negative arrivals, deadlines at or before the
+/// arrival, and unknown workload names are all [`Error::InvalidInput`].
+pub fn parse_trace(text: &str, workloads: &[&str]) -> Result<Vec<JobSpec>> {
+    let mut jobs = Vec::new();
+    let mut section = String::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_owned();
+            continue;
+        }
+        let body = if let Some((key, rest)) = line.split_once('=') {
+            if section != "jobs" {
+                continue; // someone else's key = value line
+            }
+            if key.trim() != "job" {
+                return Err(Error::InvalidInput(format!(
+                    "trace line {}: unknown [jobs] key `{}`",
+                    lineno + 1,
+                    key.trim()
+                )));
+            }
+            rest.trim()
+        } else {
+            if !section.is_empty() && section != "jobs" {
+                continue; // free-form line of an ignored section
+            }
+            line
+        };
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(Error::InvalidInput(format!(
+                "trace line {}: expected `<workload> <size> <arrival> <deadline>`, got `{body}`",
+                lineno + 1
+            )));
+        }
+        let workload = workloads
+            .iter()
+            .position(|w| *w == fields[0])
+            .ok_or_else(|| {
+                Error::InvalidInput(format!(
+                    "trace line {}: unknown workload `{}` (known: {})",
+                    lineno + 1,
+                    fields[0],
+                    workloads.join(", ")
+                ))
+            })?;
+        let num = |s: &str, what: &str| -> Result<f64> {
+            s.parse::<f64>().map_err(|_| {
+                Error::InvalidInput(format!(
+                    "trace line {}: {what} `{s}` is not a number",
+                    lineno + 1
+                ))
+            })
+        };
+        let size_units = num(fields[1], "size")?;
+        let arrival_s = num(fields[2], "arrival")?;
+        let deadline_s = match fields[3] {
+            "inf" | "none" => f64::INFINITY,
+            s => num(s, "deadline")?,
+        };
+        let job = JobSpec {
+            id: jobs.len() as u64,
+            workload,
+            size_units,
+            arrival_s,
+            deadline_s,
+        };
+        job.validate(workloads.len())?;
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+/// Render a job stream back into the standalone trace layout
+/// [`parse_trace`] accepts (round-trip partner, used by `hecmix sched
+/// --dump-trace`).
+#[must_use]
+pub fn format_trace(jobs: &[JobSpec], workloads: &[&str]) -> String {
+    let mut out = String::from("# <workload> <size_units> <arrival_s> <deadline_s>\n");
+    for j in jobs {
+        let deadline = if j.deadline_s.is_finite() {
+            format!("{}", j.deadline_s)
+        } else {
+            "inf".to_owned()
+        };
+        out.push_str(&format!(
+            "{} {} {} {deadline}\n",
+            workloads[j.workload], j.size_units, j.arrival_s
+        ));
+    }
+    out
+}
+
+/// Parameters of the seeded diurnal Poisson synthesizer.
+#[derive(Debug, Clone)]
+pub struct DiurnalTraceSpec {
+    /// Index of the workload class the stream belongs to.
+    pub workload: usize,
+    /// Diurnal arrival-rate profile; instantaneous rates come from
+    /// [`DiurnalProfile::lambda_at_time`], so the stream is smooth across
+    /// the day-wrap boundary.
+    pub profile: DiurnalProfile,
+    /// Horizon in whole profile days.
+    pub days: u32,
+    /// Mean job size in work units.
+    pub mean_size_units: f64,
+    /// Half-width of the uniform size spread, as a fraction of the mean
+    /// (`0` = constant sizes, must be `< 1`).
+    pub size_spread: f64,
+    /// Nominal service time of a mean-size job on the fastest single
+    /// node, seconds; deadlines scale from it.
+    pub service_ref_s: f64,
+    /// Deadline slack factors: the deadline is
+    /// `arrival + slack · service_ref_s · (size / mean_size)` with `slack`
+    /// drawn uniformly from this inclusive range (both bounds `> 0`).
+    pub deadline_slack: (f64, f64),
+    /// RNG seed; same seed + same spec ⇒ bit-identical stream.
+    pub seed: u64,
+}
+
+/// SplitMix64 — the same tiny deterministic generator the fleet chaos
+/// layer uses; good enough for trace synthesis and fully portable.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`, 53-bit resolution.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in the inclusive range `[lo, hi]`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Synthesize a diurnal Poisson job stream by thinning: candidate
+/// arrivals are drawn at the profile's peak rate `λ_max` and kept with
+/// probability `λ(t)/λ_max`, which realizes the exact non-homogeneous
+/// process without slot-boundary artifacts.
+pub fn synthesize_diurnal(spec: &DiurnalTraceSpec) -> Result<Vec<JobSpec>> {
+    if spec.days == 0 {
+        return Err(Error::InvalidInput(
+            "horizon must be at least one day".into(),
+        ));
+    }
+    if spec.mean_size_units <= 0.0 || !spec.mean_size_units.is_finite() {
+        return Err(Error::InvalidInput(format!(
+            "mean job size must be positive and finite, got {}",
+            spec.mean_size_units
+        )));
+    }
+    if !(0.0..1.0).contains(&spec.size_spread) {
+        return Err(Error::InvalidInput(format!(
+            "size spread must be in [0, 1), got {}",
+            spec.size_spread
+        )));
+    }
+    let (lo, hi) = spec.deadline_slack;
+    if lo.is_nan()
+        || lo <= 0.0
+        || hi < lo
+        || !hi.is_finite()
+        || spec.service_ref_s.is_nan()
+        || spec.service_ref_s <= 0.0
+    {
+        return Err(Error::InvalidInput(format!(
+            "deadline slack range ({lo}, {hi}) / service ref {} s invalid",
+            spec.service_ref_s
+        )));
+    }
+    let horizon_s = f64::from(spec.days) * spec.profile.day_s();
+    let lambda_max = (0..spec.profile.slots)
+        .map(|s| spec.profile.lambda_at(s))
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let mut rng = SplitMix64(spec.seed ^ 0x5ec5_0000_0000_0000);
+    let mut jobs = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Exponential inter-arrival at the envelope rate. `1 - u > 0`
+        // because `next_f64 < 1`, so `ln` never sees zero.
+        t += -(1.0 - rng.next_f64()).ln() / lambda_max;
+        if t >= horizon_s {
+            break;
+        }
+        let keep = rng.next_f64() < spec.profile.lambda_at_time(t) / lambda_max;
+        if !keep {
+            continue;
+        }
+        let size_units =
+            spec.mean_size_units * rng.uniform(1.0 - spec.size_spread, 1.0 + spec.size_spread);
+        let slack = rng.uniform(lo, hi);
+        let deadline_s = t + slack * spec.service_ref_s * (size_units / spec.mean_size_units);
+        jobs.push(JobSpec {
+            id: jobs.len() as u64,
+            workload: spec.workload,
+            size_units,
+            arrival_s: t,
+            deadline_s,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Merge per-workload streams into one arrival-ordered stream, reassigning
+/// ids to the merged order (ties broken by input order, so the merge is
+/// deterministic).
+#[must_use]
+pub fn merge_streams(streams: &[Vec<JobSpec>]) -> Vec<JobSpec> {
+    let mut all: Vec<JobSpec> = streams.iter().flatten().cloned().collect();
+    all.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+    for (i, j) in all.iter_mut().enumerate() {
+        j.id = i as u64;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WL: &[&str] = &["memcached", "julius"];
+
+    #[test]
+    fn parses_both_trace_layouts() {
+        let bare = "# comment\nmemcached 100 0.0 9.5\njulius 50 1.5 inf\n";
+        let jobs = parse_trace(bare, WL).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].workload, 0);
+        assert_eq!(jobs[1].deadline_s, f64::INFINITY);
+        assert_eq!(jobs[1].id, 1);
+
+        let sectioned = "[cluster]\nnodes = 4\n[jobs]\njob = julius 50 1.5 none\n";
+        let jobs = parse_trace(sectioned, WL).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].workload, 1);
+    }
+
+    #[test]
+    fn loader_rejects_malformed_entries() {
+        let bad = [
+            "memcached nan 0 10",          // non-finite size
+            "memcached -3 0 10",           // negative size
+            "memcached 0 0 10",            // zero size
+            "memcached inf 0 10",          // infinite size
+            "memcached 10 -1 10",          // negative arrival
+            "memcached 10 inf 20",         // non-finite arrival
+            "memcached 10 5 5",            // deadline == arrival
+            "memcached 10 5 4",            // deadline < arrival
+            "memcached 10 5 nan",          // NaN deadline
+            "redis 10 0 10",               // unknown workload
+            "memcached 10 0",              // wrong arity
+            "[jobs]\nnope = julius 1 0 2", // unknown key in [jobs]
+        ];
+        for case in bad {
+            let got = parse_trace(case, WL);
+            assert!(
+                matches!(got, Err(hecmix_core::error::Error::InvalidInput(_))),
+                "`{case}` must be InvalidInput, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_format() {
+        let jobs = vec![
+            JobSpec {
+                id: 0,
+                workload: 1,
+                size_units: 12.5,
+                arrival_s: 0.25,
+                deadline_s: f64::INFINITY,
+            },
+            JobSpec {
+                id: 1,
+                workload: 0,
+                size_units: 7.0,
+                arrival_s: 3.0,
+                deadline_s: 11.0,
+            },
+        ];
+        let text = format_trace(&jobs, WL);
+        assert_eq!(parse_trace(&text, WL).unwrap(), jobs);
+    }
+
+    #[test]
+    fn synthesis_is_seed_deterministic_and_valid() {
+        let spec = DiurnalTraceSpec {
+            workload: 0,
+            profile: DiurnalProfile {
+                base_lambda: 0.5,
+                amplitude: 0.8,
+                slots: 24,
+                slot_s: 60.0,
+            },
+            days: 2,
+            mean_size_units: 1000.0,
+            size_spread: 0.25,
+            service_ref_s: 20.0,
+            deadline_slack: (1.5, 3.0),
+            seed: 7,
+        };
+        let a = synthesize_diurnal(&spec).unwrap();
+        let b = synthesize_diurnal(&spec).unwrap();
+        assert_eq!(a, b, "same seed must give a bit-identical stream");
+        assert!(!a.is_empty());
+        let horizon = 2.0 * spec.profile.day_s();
+        for j in &a {
+            j.validate(1).unwrap();
+            assert!(j.arrival_s < horizon);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        let c = synthesize_diurnal(&DiurnalTraceSpec { seed: 8, ..spec }).unwrap();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn synthesis_rejects_bad_specs() {
+        let ok = DiurnalTraceSpec {
+            workload: 0,
+            profile: DiurnalProfile {
+                base_lambda: 0.5,
+                amplitude: 0.5,
+                slots: 24,
+                slot_s: 60.0,
+            },
+            days: 1,
+            mean_size_units: 100.0,
+            size_spread: 0.1,
+            service_ref_s: 10.0,
+            deadline_slack: (1.0, 2.0),
+            seed: 1,
+        };
+        for bad in [
+            DiurnalTraceSpec {
+                days: 0,
+                ..ok.clone()
+            },
+            DiurnalTraceSpec {
+                mean_size_units: 0.0,
+                ..ok.clone()
+            },
+            DiurnalTraceSpec {
+                mean_size_units: f64::NAN,
+                ..ok.clone()
+            },
+            DiurnalTraceSpec {
+                size_spread: 1.0,
+                ..ok.clone()
+            },
+            DiurnalTraceSpec {
+                deadline_slack: (0.0, 1.0),
+                ..ok.clone()
+            },
+            DiurnalTraceSpec {
+                deadline_slack: (2.0, 1.0),
+                ..ok.clone()
+            },
+            DiurnalTraceSpec {
+                service_ref_s: -1.0,
+                ..ok.clone()
+            },
+        ] {
+            assert!(synthesize_diurnal(&bad).is_err());
+        }
+        assert!(synthesize_diurnal(&ok).is_ok());
+    }
+
+    #[test]
+    fn merge_orders_by_arrival_and_reassigns_ids() {
+        let a = vec![JobSpec {
+            id: 0,
+            workload: 0,
+            size_units: 1.0,
+            arrival_s: 5.0,
+            deadline_s: 10.0,
+        }];
+        let b = vec![JobSpec {
+            id: 0,
+            workload: 1,
+            size_units: 2.0,
+            arrival_s: 1.0,
+            deadline_s: 4.0,
+        }];
+        let merged = merge_streams(&[a, b]);
+        assert_eq!(merged[0].workload, 1);
+        assert_eq!(merged[0].id, 0);
+        assert_eq!(merged[1].workload, 0);
+        assert_eq!(merged[1].id, 1);
+    }
+}

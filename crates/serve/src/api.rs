@@ -1,15 +1,17 @@
 //! Request routing, plan computation, and response formatting.
 //!
-//! Six endpoints over the model machinery in `hecmix-core`:
+//! Eight endpoints over the model machinery in `hecmix-core`:
 //!
 //! | Endpoint         | Answers                                            |
 //! |------------------|----------------------------------------------------|
 //! | `POST /plan`     | cheapest feasible config for a workload + deadline (`deadline_ms`: mean-time frontier lookup; `p99_s` + `lambda`: DES-scored percentile deadline) |
 //! | `POST /frontier` | the energy–deadline Pareto frontier (optionally the `resilient_k` degraded frontier) |
 //! | `POST /whatif`   | the power-budget substitution ladder               |
+//! | `POST /submit`   | place one job on the live scheduler's shared pool (α-score, bounded admission) |
 //! | `POST /reload`   | swap the model inventory, **re-warm** the hot set  |
 //! | `GET /healthz`   | liveness                                           |
 //! | `GET /statz`     | uptime, connections, queue, cache, latency         |
+//! | `GET /jobz`      | live-scheduler counters + recent placements        |
 //!
 //! The event-loop architecture splits a request's life into three phases
 //! that run on different threads, so this module is organized around three
@@ -59,6 +61,7 @@ use crate::fleet::Fleet;
 use crate::hist::{self, Histogram};
 use crate::http::{Request, Response};
 use crate::store::{ModelEntry, ModelStore};
+use crate::submit::OnlineSched;
 
 /// Query-shape tags mixed into cache keys so different derivations from
 /// the same model bundle can never alias.
@@ -461,6 +464,9 @@ pub struct AppState {
     /// and key-derived locally (same models as the replicas, so the keys
     /// match), then forwarded through the fleet instead of computed.
     fleet: Option<Arc<Fleet>>,
+    /// The live job scheduler behind `POST /submit` / `GET /jobz`;
+    /// without one, both endpoints answer 503.
+    sched: RwLock<Option<Arc<OnlineSched>>>,
     /// Counters and histograms, updated by I/O loops, the compute pool,
     /// and the accept thread.
     pub metrics: Metrics,
@@ -477,6 +483,7 @@ impl AppState {
             reload: RwLock::new(None),
             compute_delay_us: AtomicU64::new(0),
             fleet: None,
+            sched: RwLock::new(None),
             metrics: Metrics::new(io_threads),
         }
     }
@@ -515,6 +522,19 @@ impl AppState {
         *self.reload.write().expect("reload slot poisoned") = Some(f);
     }
 
+    /// Enable the live job scheduler behind `POST /submit` / `GET /jobz`.
+    /// A `/reload` does not rebuild it: the pool is provisioned hardware,
+    /// not a model cache.
+    pub fn set_sched(&self, sched: Arc<OnlineSched>) {
+        *self.sched.write().expect("sched slot poisoned") = Some(sched);
+    }
+
+    /// The live scheduler, when configured.
+    #[must_use]
+    pub fn sched(&self) -> Option<Arc<OnlineSched>> {
+        self.sched.read().expect("sched slot poisoned").clone()
+    }
+
     /// Testing hook: make every pool compute take at least `delay` of wall
     /// clock. This is how the coalescing and drain tests hold a compute
     /// open long enough to pile concurrent misses onto one flight; it has
@@ -550,9 +570,16 @@ impl AppState {
                 }
             }
             ("POST", "/reload") => Routed::Reload,
-            (_, "/healthz" | "/statz" | "/plan" | "/frontier" | "/whatif" | "/reload") => {
-                Routed::ready(Response::error(405, "method not allowed"))
-            }
+            ("POST", "/submit") => Routed::ready(self.submit(req)),
+            ("GET", "/jobz") => match self.sched() {
+                Some(sched) => Routed::ready(sched.jobz()),
+                None => Routed::ready(Response::error(503, "scheduler not configured")),
+            },
+            (
+                _,
+                "/healthz" | "/statz" | "/plan" | "/frontier" | "/whatif" | "/reload" | "/submit"
+                | "/jobz",
+            ) => Routed::ready(Response::error(405, "method not allowed")),
             _ => Routed::ready(Response::error(404, "no such endpoint")),
         }
     }
@@ -738,6 +765,40 @@ impl AppState {
         Response::json(200, o.finish())
     }
 
+    /// `POST /submit`: parse and validate the job, then let the live
+    /// scheduler place it. Placement is `nodes × options` work, so it is
+    /// answered inline like the read endpoints. `units` defaults to the
+    /// workload's registry size; `deadline_s` is relative to now and
+    /// optional (absent = no deadline).
+    fn submit(&self, req: &Request) -> Response {
+        let Some(sched) = self.sched() else {
+            return Response::error(503, "scheduler not configured");
+        };
+        let v = match parse_body(&req.body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let Some(name) = v.get("workload").and_then(Value::as_str) else {
+            return Response::error(400, "missing workload");
+        };
+        let store = self.store();
+        let Some(entry) = store.get(name) else {
+            return Response::error(404, &format!("unknown workload `{name}`"));
+        };
+        let units = match optional_f64(&v, "units", entry.default_units) {
+            Ok(u) => u,
+            Err(resp) => return resp,
+        };
+        let deadline_rel_s = match v.get("deadline_s") {
+            None => None,
+            Some(d) => match d.as_f64().filter(|x| *x > 0.0 && x.is_finite()) {
+                Some(x) => Some(x),
+                None => return Response::error(422, "deadline_s must be finite and positive"),
+            },
+        };
+        sched.submit(name, units, deadline_rel_s)
+    }
+
     // ---- read endpoints ----
 
     fn healthz(&self) -> Response {
@@ -759,7 +820,7 @@ impl AppState {
         let cache = self.cache.stats();
         let lat = hist::summarize(&self.metrics.hists);
         let mut o = Object::new();
-        o.str("schema", "hecmix-statz-v3");
+        o.str("schema", "hecmix-statz-v4");
         o.f64("uptime_s", self.metrics.uptime_s());
         o.u64("served", self.metrics.served.load(Ordering::Relaxed));
         o.u64("rejected", self.metrics.rejected.load(Ordering::Relaxed));
@@ -800,6 +861,10 @@ impl AppState {
         o.str_array("model_hashes", &store.hashes());
         if let Some(fleet) = &self.fleet {
             o.raw("fleet", &fleet.statz_object());
+        }
+        // v4: live-scheduler counters, when `/submit` is enabled.
+        if let Some(sched) = self.sched() {
+            o.raw("sched", &sched.statz_object());
         }
         Response::json(200, o.finish())
     }

@@ -32,7 +32,9 @@
 //!
 //! Endpoints (see [`api`]): `POST /plan`, `POST /frontier` (optional
 //! `resilient_k`), `POST /whatif`, `POST /reload`, `GET /healthz`,
-//! `GET /statz`.
+//! `GET /statz` — plus, when the live scheduler is configured
+//! ([`submit`]), `POST /submit` and `GET /jobz` for streaming job
+//! admission onto a shared heterogeneous pool.
 //!
 //! [`loadgen`] is the load harness that drives the daemon over real
 //! sockets — closed-loop or open-loop (Poisson-free fixed-rate arrivals
@@ -70,7 +72,9 @@ pub mod server;
 pub mod signal;
 pub mod singleflight;
 pub mod store;
+pub mod submit;
 
 pub use api::AppState;
 pub use server::{start, ServeConfig, ServerHandle};
 pub use store::ModelStore;
+pub use submit::{OnlineSched, SchedParams};

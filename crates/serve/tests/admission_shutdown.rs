@@ -278,7 +278,7 @@ fn slowloris_partial_head_is_reaped_with_408() {
     let v = json::parse(std::str::from_utf8(&resp).expect("UTF-8")).expect("JSON");
     assert_eq!(
         v.get("schema").and_then(Value::as_str),
-        Some("hecmix-statz-v3")
+        Some("hecmix-statz-v4")
     );
     assert!(
         v.get("timeouts_408").and_then(Value::as_u64).unwrap_or(0) >= 1,

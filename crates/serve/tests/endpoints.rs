@@ -14,7 +14,9 @@ use hecmix_experiments::Lab;
 use hecmix_obs::json::{self, Value};
 use hecmix_serve::http;
 use hecmix_serve::loadgen::{self, LoadgenConfig, MixRatio};
-use hecmix_serve::{start, AppState, ModelStore, ServeConfig, ServerHandle};
+use hecmix_serve::{
+    start, AppState, ModelStore, OnlineSched, SchedParams, ServeConfig, ServerHandle,
+};
 
 fn build_store() -> ModelStore {
     static MODELS: OnceLock<Vec<hecmix_core::profile::WorkloadModel>> = OnceLock::new();
@@ -38,6 +40,13 @@ fn daemon() -> &'static Daemon {
     DAEMON.get_or_init(|| {
         let state = Arc::new(AppState::new(build_store(), 4, 256));
         state.set_reload(Arc::new(|| Ok(build_store())));
+        let params = SchedParams {
+            alpha: 0.5,
+            max_outstanding: 64,
+            counts: vec![2, 2],
+        };
+        let sched = OnlineSched::from_store(&build_store(), &params).expect("sched pool");
+        state.set_sched(Arc::new(sched));
         let config = ServeConfig {
             workers: 4,
             queue_capacity: 32,
@@ -91,7 +100,7 @@ fn healthz_and_statz_report_inventory() {
     assert_eq!(status, 200);
     assert_eq!(
         v.get("schema").and_then(Value::as_str),
-        Some("hecmix-statz-v3")
+        Some("hecmix-statz-v4")
     );
     assert!(v.get("uptime_s").and_then(Value::as_f64).expect("uptime") >= 0.0);
     // v3 serving counters: compute-pool work, single-flight coalescing,
@@ -118,6 +127,70 @@ fn healthz_and_statz_report_inventory() {
     assert!(v.get("latency_us").and_then(|l| l.get("p50")).is_some());
     assert!(v.get("latency_us").and_then(|l| l.get("p95")).is_some());
     assert!(v.get("cache").and_then(|c| c.get("hit_rate")).is_some());
+    // v4: the live scheduler's counters are embedded when /submit is on.
+    for counter in ["submitted", "admitted", "rejected", "misses", "outstanding"] {
+        assert!(
+            v.get("sched").and_then(|s| s.get(counter)).is_some(),
+            "statz v4 must embed sched counter {counter}"
+        );
+    }
+}
+
+#[test]
+fn submit_places_jobs_and_jobz_reports_them() {
+    // A plain submission is admitted and answered with its placement.
+    let (status, v) = call("POST", "/submit", r#"{"workload":"ep","units":1e9}"#);
+    assert_eq!(status, 200);
+    assert!(as_bool(&v, "admitted"));
+    let finish = v.get("finish_s").and_then(Value::as_f64).expect("finish_s");
+    let start = v.get("start_s").and_then(Value::as_f64).expect("start_s");
+    assert!(finish > start && start >= 0.0);
+    assert!(v.get("energy_j").and_then(Value::as_f64).expect("energy") > 0.0);
+    assert!(v.get("freq_ghz").and_then(Value::as_f64).expect("freq") > 0.0);
+
+    // `units` defaults to the workload's registry size.
+    let (status, v) = call("POST", "/submit", r#"{"workload":"ep"}"#);
+    assert_eq!(status, 200);
+    assert!(as_bool(&v, "admitted"));
+
+    // An impossible deadline is admitted but flagged as a miss up front.
+    let (status, v) = call(
+        "POST",
+        "/submit",
+        r#"{"workload":"ep","units":1e9,"deadline_s":1e-9}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(as_bool(&v, "missed"));
+
+    // Validation: unknown workload, bad sizes, wrong methods.
+    assert_eq!(call("POST", "/submit", r#"{"workload":"nope"}"#).0, 404);
+    assert_eq!(call("POST", "/submit", r#"{"units":1.0}"#).0, 400);
+    assert_eq!(
+        call("POST", "/submit", r#"{"workload":"ep","units":-1}"#).0,
+        422
+    );
+    assert_eq!(
+        call("POST", "/submit", r#"{"workload":"ep","deadline_s":0}"#).0,
+        422
+    );
+    assert_eq!(call("GET", "/submit", "").0, 405);
+    assert_eq!(call("POST", "/jobz", "").0, 405);
+
+    // /jobz reports the counters and the recent placements.
+    let (status, v) = call("GET", "/jobz", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("hecmix-jobz-v1")
+    );
+    assert!(as_u64(&v, "submitted") >= 3);
+    assert!(as_u64(&v, "admitted") >= 3);
+    assert!(as_u64(&v, "misses") >= 1);
+    let jobs = v.get("jobs").and_then(Value::as_array).expect("jobs array");
+    assert!(jobs.len() >= 3);
+    let line = &jobs[0];
+    assert_eq!(line.get("workload").and_then(Value::as_str), Some("ep"));
+    assert!(line.get("finish_s").and_then(Value::as_f64).is_some());
 }
 
 #[test]

@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         "characterize" => cmd_characterize(&flags),
         "queueing" => cmd_queueing(&flags),
         "selfcheck" => cmd_selfcheck(&flags),
+        "sched" => cmd_sched(&flags),
         "serve" => cmd_serve(&flags),
         "gateway" => cmd_gateway(&flags),
         "loadgen" => cmd_loadgen(&flags),
@@ -90,9 +91,13 @@ commands:
   queueing     --workload NAME --lambda JOBS_PER_S --slo-ms R [--window-s S]
                [--p99-ms R]  (plan for a p99 deadline via DES instead of the mean SLO)
   selfcheck    [--seed N] [--fuzz-iters N]
+  sched        [--workloads NAME,NAME,...] [--workload NAME (dominant)]
+               [--alpha A] [--arm N] [--amd N] [--days N] [--seed N]
+               [--crashes N] [--trace FILE] [--dump-trace FILE]
   serve        [--addr HOST:PORT] [--io-threads N] [--workers N] [--queue N]
                [--cache N] [--max-conns N] [--models DIR]
-               [--workloads NAME,NAME,...]
+               [--workloads NAME,NAME,...] [--sched-alpha A]
+               [--sched-arm N] [--sched-amd N] [--sched-queue N]
   gateway      --replicas HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
                [--io-threads N] [--workers N] [--queue N] [--max-conns N]
                [--seed N] [--models DIR] [--workloads NAME,NAME,...]
@@ -480,6 +485,177 @@ fn build_serve_store(
     Ok((store, reload))
 }
 
+fn cmd_sched(flags: &HashMap<String, String>) -> ExitCode {
+    use hecmix_experiments::scheduler::{scheduler_pool, scheduler_trace};
+    use hecmix_sched::{run_static_mix_and_match, SchedConfig, Scheduler};
+
+    let (Ok(alpha), Ok(arm), Ok(amd), Ok(days), Ok(seed), Ok(crashes)) = (
+        get_num::<f64>(flags, "alpha", 0.5),
+        get_num::<u32>(flags, "arm", 6),
+        get_num::<u32>(flags, "amd", 5),
+        get_num::<u32>(flags, "days", 1),
+        get_num::<u64>(flags, "seed", 7),
+        get_num::<usize>(flags, "crashes", 0),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+    let class_list = flags
+        .get("workloads")
+        .map_or("memcached,julius", String::as_str);
+    let mut workloads: Vec<Box<dyn Workload + Send + Sync>> = Vec::new();
+    for name in class_list.split(',').filter(|s| !s.is_empty()) {
+        let Some(w) = workload_by_name(name) else {
+            eprintln!(
+                "unknown workload {name:?}; one of: ep memcached x264 blackscholes julius rsa-2048"
+            );
+            return ExitCode::FAILURE;
+        };
+        workloads.push(w);
+    }
+    if workloads.is_empty() {
+        eprintln!("--workloads needs at least one class");
+        return ExitCode::FAILURE;
+    }
+
+    let lab = Lab::new();
+    let refs: Vec<&dyn Workload> = workloads
+        .iter()
+        .map(|w| w.as_ref() as &dyn Workload)
+        .collect();
+    let pool = scheduler_pool(&lab, &refs, vec![arm, amd]);
+    let dominant_name = flags
+        .get("workload")
+        .cloned()
+        .unwrap_or_else(|| pool.classes[0].name.clone());
+    let dominant = match pool.class_index(&dominant_name) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("--workload must name one of the pool classes: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let jobs = if let Some(path) = flags.get("trace") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let names = pool.class_names();
+        match hecmix_sched::parse_trace(&text, &names) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("malformed trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        scheduler_trace(&pool, dominant, days, seed)
+    };
+    if jobs.is_empty() {
+        eprintln!("trace has no jobs");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = flags.get("dump-trace") {
+        let text = hecmix_sched::format_trace(&jobs, &pool.class_names());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("trace ({} jobs) written to {path}", jobs.len());
+    }
+
+    let sched = match Scheduler::new(
+        pool.clone(),
+        SchedConfig {
+            alpha,
+            max_outstanding: jobs.len().max(1),
+            ..SchedConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad scheduler config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = if crashes > 0 {
+        let horizon = jobs
+            .iter()
+            .map(|j| j.arrival_s)
+            .fold(f64::from(days) * 24.0 * 60.0, f64::max);
+        let faults = hecmix_sim::FaultSchedule::random_crashes(
+            seed ^ 0xFA17,
+            &pool.counts,
+            crashes,
+            horizon,
+        );
+        sched.run_faulted(&jobs, &faults)
+    } else {
+        sched.run(&jobs)
+    };
+    let out = match run {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("scheduler run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match run_static_mix_and_match(&pool, &jobs) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("baseline run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let nodes: Vec<String> = pool
+        .platforms
+        .iter()
+        .zip(&pool.counts)
+        .map(|(p, c)| format!("{c}x {}", p.name))
+        .collect();
+    println!(
+        "online scheduler: {} jobs ({} dominant) on {} — alpha {alpha:.2}, seed {seed}{}",
+        jobs.len(),
+        pool.classes[dominant].name,
+        nodes.join(" + "),
+        if crashes > 0 {
+            format!(", {crashes} seeded crashes")
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  admitted {}/{} (rejected {}), completed {}, failed {}, migrations {}",
+        out.admitted, out.submitted, out.rejected, out.completed, out.failed, out.migrations
+    );
+    println!(
+        "  energy {:.0} J (active {:.0} + idle {:.0}), misses {} (rate {:.4}), makespan {:.0} s",
+        out.energy_j(),
+        out.active_energy_j,
+        out.idle_energy_j,
+        out.misses,
+        out.miss_rate(),
+        out.makespan_s
+    );
+    println!(
+        "static mix-and-match baseline: energy {:.0} J, misses {} (rate {:.4}), makespan {:.0} s",
+        baseline.energy_j(),
+        baseline.misses,
+        baseline.miss_rate(),
+        baseline.makespan_s
+    );
+    let delta = (out.energy_j() - baseline.energy_j()) / baseline.energy_j() * 100.0;
+    println!(
+        "  scheduler vs baseline: {delta:+.1}% energy at {} vs {} misses",
+        out.misses, baseline.misses
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     let defaults = hecmix_serve::ServeConfig::default();
     let addr = flags
@@ -500,13 +676,38 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let sched_defaults = hecmix_serve::SchedParams::default();
+    let (Ok(sched_alpha), Ok(sched_arm), Ok(sched_amd), Ok(sched_queue)) = (
+        get_num::<f64>(flags, "sched-alpha", sched_defaults.alpha),
+        get_num::<u32>(flags, "sched-arm", sched_defaults.counts[0]),
+        get_num::<u32>(flags, "sched-amd", sched_defaults.counts[1]),
+        get_num::<usize>(flags, "sched-queue", sched_defaults.max_outstanding),
+    ) else {
+        return ExitCode::FAILURE;
+    };
+
     let (store, reload) = match build_serve_store(flags) {
         Ok(x) => x,
         Err(c) => return c,
     };
     let names = store.names().join(" ");
+    let sched_params = hecmix_serve::SchedParams {
+        alpha: sched_alpha,
+        max_outstanding: sched_queue,
+        counts: vec![sched_arm, sched_amd],
+    };
+    let sched = match hecmix_serve::OnlineSched::from_store(&store, &sched_params) {
+        Ok(s) => Some(std::sync::Arc::new(s)),
+        Err(e) => {
+            eprintln!("live scheduler disabled ({e}); /submit and /jobz will answer 503");
+            None
+        }
+    };
     let state = std::sync::Arc::new(hecmix_serve::AppState::new(store, io_threads, cache));
     state.set_reload(reload);
+    if let Some(s) = sched {
+        state.set_sched(s);
+    }
     let config = hecmix_serve::ServeConfig {
         addr,
         io_threads,
@@ -530,7 +731,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         handle.addr()
     );
     println!("workloads: {names}");
-    println!("endpoints: POST /plan /frontier /whatif /reload — GET /healthz /statz");
+    println!("endpoints: POST /plan /frontier /whatif /reload /submit — GET /healthz /statz /jobz");
     while !hecmix_serve::signal::interrupted() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
